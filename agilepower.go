@@ -1,0 +1,345 @@
+// Package agilepower reproduces "Agile, efficient virtualization power
+// management with low-latency server power states" (Isci et al., ISCA
+// 2013): an end-to-end power-aware virtualization manager that
+// consolidates VMs via live migration and parks idle servers in
+// low-latency sleep states (ACPI S3), evaluated against traditional
+// soft-off (S5) management, plain load-balancing DRM, and static
+// provisioning over a calibrated datacenter simulation.
+//
+// The quickest way in is a Scenario:
+//
+//	sc := agilepower.Scenario{
+//		Hosts: 8, HostCores: 16, HostMemoryGB: 64,
+//		VMs:     agilepower.DiurnalFleet(32, 1),
+//		Horizon: 24 * time.Hour,
+//		Manager: agilepower.ManagerConfig{Policy: agilepower.DPMS3},
+//	}
+//	res, err := sc.Run()
+//
+// Result carries energy, SLA, action counts and the time series needed
+// to regenerate the paper's figures.
+package agilepower
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower/internal/core"
+	"agilepower/internal/events"
+	"agilepower/internal/migrate"
+	"agilepower/internal/power"
+	"agilepower/internal/telemetry"
+	"agilepower/internal/workload"
+)
+
+// Re-exported types so library users never import internal packages.
+type (
+	// Profile is a server power calibration (states, latencies, curve).
+	Profile = power.Profile
+	// StateSpec describes one sleep state of a platform.
+	StateSpec = power.StateSpec
+	// State is a platform power state (S0, S3, S5).
+	State = power.State
+	// Watts is electrical power.
+	Watts = power.Watts
+	// Joules is energy.
+	Joules = power.Joules
+	// Policy selects the management behaviour to run.
+	Policy = core.Policy
+	// ManagerConfig tunes the control loop.
+	ManagerConfig = core.Config
+	// ForecastSpec selects the demand predictor.
+	ForecastSpec = core.ForecastSpec
+	// Oracle computes analytic lower bounds.
+	Oracle = core.Oracle
+	// MigrationModel parameterizes pre-copy live migration.
+	MigrationModel = migrate.Model
+	// Facility models datacenter infrastructure overhead (PUE).
+	Facility = power.Facility
+	// ManagerStats are controller action counters.
+	ManagerStats = core.Stats
+	// MigrationStats are migration counters.
+	MigrationStats = migrate.Stats
+	// Trace is a CPU demand trace.
+	Trace = workload.Trace
+	// Series is a recorded time series.
+	Series = telemetry.Series
+	// SLATracker scores delivered versus demanded CPU.
+	SLATracker = telemetry.SLATracker
+	// Event is one audit record (placement, migration, power action).
+	Event = events.Event
+	// EventLog is the bounded audit trail of a run.
+	EventLog = events.Log
+)
+
+// Power states.
+const (
+	S0 = power.S0
+	S3 = power.S3
+	S5 = power.S5
+)
+
+// Preset policies (see internal/core for semantics).
+var (
+	Static   = core.Static
+	NoPM     = core.NoPM
+	DPMS5    = core.DPMS5
+	DPMS3    = core.DPMS3
+	DVFSOnly = core.DVFSOnly
+)
+
+// Forecast kinds.
+const (
+	ForecastDefault    = core.ForecastDefault
+	ForecastLastValue  = core.ForecastLastValue
+	ForecastEWMA       = core.ForecastEWMA
+	ForecastPeakWindow = core.ForecastPeakWindow
+)
+
+// Policies returns the standard comparison set (Static, NoPM, DPM-S5,
+// DPM-S3).
+func Policies() []Policy { return core.Policies() }
+
+// DefaultProfile returns the calibrated 2-socket enterprise server
+// model documented in DESIGN.md.
+func DefaultProfile() *Profile { return power.DefaultProfile() }
+
+// DefaultMigrationModel returns the 10 GbE pre-copy calibration.
+func DefaultMigrationModel() MigrationModel { return migrate.DefaultModel() }
+
+// DefaultFacility returns the mid-efficiency datacenter overhead model.
+func DefaultFacility() Facility { return power.DefaultFacility() }
+
+// HostClass describes one group of identical hosts in a heterogeneous
+// fleet.
+type HostClass struct {
+	// Count is how many hosts of this class to create.
+	Count int
+	// Cores and MemoryGB size each host (defaults 16 / 256).
+	Cores    float64
+	MemoryGB float64
+	// Profile is the class's power calibration (default
+	// DefaultProfile).
+	Profile *Profile
+}
+
+// VMSpec describes one VM in a scenario.
+type VMSpec struct {
+	Name     string
+	VCPUs    float64
+	MemoryGB float64
+	Trace    *Trace
+	// SLOTarget defaults to 0.95.
+	SLOTarget float64
+	// Shares weight the VM's claim under host contention (default
+	// 1000), hypervisor-style.
+	Shares int
+	// Group is an optional anti-affinity group: VMs sharing a
+	// non-empty group (replicas of one service) are never co-located,
+	// the availability constraint that caps consolidation.
+	Group string
+	// ReservedCores guarantees a CPU minimum under contention.
+	ReservedCores float64
+	// LimitCores caps delivered CPU below VCPUs (0 = uncapped).
+	LimitCores float64
+}
+
+// Scenario is a declarative experiment: a fleet, a workload, a policy,
+// and a horizon.
+type Scenario struct {
+	// Name labels the run in reports.
+	Name string
+	// Hosts is the fleet size (required).
+	Hosts int
+	// HostCores and HostMemoryGB size each host (defaults 16 cores /
+	// 256 GB — consolidation-grade virtualization hosts carry far more
+	// memory per core than compute nodes, and memory is the packing
+	// constraint that would otherwise cap consolidation).
+	HostCores    float64
+	HostMemoryGB float64
+	// Profile is the per-host power calibration (default
+	// DefaultProfile).
+	Profile *Profile
+	// HostClasses, when non-empty, builds a heterogeneous fleet and
+	// overrides Hosts/HostCores/HostMemoryGB/Profile. The analytic
+	// Oracle helpers assume a homogeneous fleet and use the
+	// class-weighted mean core count when classes are present.
+	HostClasses []HostClass
+	// VMs is the workload (required).
+	VMs []VMSpec
+	// Horizon is the simulated duration (default 24h).
+	Horizon time.Duration
+	// Manager tunes the control loop and selects the policy.
+	Manager ManagerConfig
+	// Migration overrides the live-migration model.
+	Migration *MigrationModel
+	// Churn adds dynamic VM arrivals and departures (nil = static
+	// population).
+	Churn *ChurnSpec
+	// EvalStep is the demand evaluation period (default 1 minute).
+	EvalStep time.Duration
+	// Seed drives all simulation randomness (default 1).
+	Seed uint64
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.HostCores == 0 {
+		s.HostCores = 16
+	}
+	if s.HostMemoryGB == 0 {
+		s.HostMemoryGB = 256
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 24 * time.Hour
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate checks the scenario.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	if s.Hosts <= 0 && len(s.HostClasses) == 0 {
+		return fmt.Errorf("agilepower: scenario needs hosts > 0 or host classes")
+	}
+	for i, hc := range s.HostClasses {
+		if hc.Count <= 0 {
+			return fmt.Errorf("agilepower: host class %d has count %d", i, hc.Count)
+		}
+	}
+	if len(s.VMs) == 0 {
+		return fmt.Errorf("agilepower: scenario needs at least one VM")
+	}
+	for i, v := range s.VMs {
+		if v.Trace == nil {
+			return fmt.Errorf("agilepower: vm %d (%s) has no trace", i, v.Name)
+		}
+	}
+	if s.Churn != nil {
+		if err := s.Churn.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario string
+	Policy   string
+	Horizon  time.Duration
+
+	// Energy and power.
+	Energy     Joules
+	MeanPowerW float64
+	PeakPowerW float64
+
+	// SLA.
+	Satisfaction      float64
+	ViolationFraction float64
+	UnmetCoreHours    float64
+
+	// Management overhead.
+	Manager    ManagerStats
+	Migrations MigrationStats
+	Sleeps     int
+	Wakes      int
+	// ResumeFailures counts S3 resumes that fell back to a full boot
+	// (nonzero only when the profile injects failures).
+	ResumeFailures int
+
+	// Churn summarizes dynamic provisioning (zero when the scenario
+	// had no ChurnSpec).
+	Churn ChurnStats
+
+	// Events is the audit trail of everything the manager did.
+	Events *EventLog
+
+	// Series for figure regeneration.
+	Power       *Series
+	Demand      *Series
+	Delivered   *Series
+	ActiveHosts *Series
+
+	// Fleet parameters, for oracle comparisons.
+	Hosts     int
+	HostCores float64
+	Profile   *Profile
+}
+
+// Run executes the scenario to its horizon and collects the result.
+// It is the one-shot form of Start → RunUntil → Result; use Start for
+// interactive sessions with operator actions.
+func (s Scenario) Run() (*Result, error) {
+	se, err := s.Start()
+	if err != nil {
+		return nil, err
+	}
+	if err := se.RunUntil(s.withDefaults().Horizon); err != nil {
+		return nil, err
+	}
+	return se.Result(), nil
+}
+
+// RunPolicies runs the scenario once per policy (same workload, same
+// seed) and returns results in the given order.
+func (s Scenario) RunPolicies(policies []Policy) ([]*Result, error) {
+	out := make([]*Result, 0, len(policies))
+	for _, p := range policies {
+		sc := s
+		sc.Manager.Policy = p
+		res, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("policy %q: %w", p.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// TotalMigrations returns all completed migrations.
+func (r *Result) TotalMigrations() int { return r.Migrations.Completed }
+
+// EnergyKWh returns energy in kilowatt-hours.
+func (r *Result) EnergyKWh() float64 { return r.Energy.KWh() }
+
+// Oracle returns the analytic oracle matching this run's fleet.
+func (r *Result) Oracle() *Oracle {
+	return &Oracle{
+		Hosts:     r.Hosts,
+		HostCores: r.HostCores,
+		Profile:   r.Profile,
+	}
+}
+
+// OracleEnergy returns the zero-latency perfect-knowledge power
+// manager's energy over this run's recorded demand.
+func (r *Result) OracleEnergy() (Joules, error) {
+	return r.Oracle().Energy(r.Demand, r.Horizon)
+}
+
+// ProportionalEnergy returns the ideal energy-proportional fleet's
+// energy over this run's recorded demand.
+func (r *Result) ProportionalEnergy() (Joules, error) {
+	return r.Oracle().ProportionalEnergy(r.Demand, r.Horizon)
+}
+
+// FacilityEnergy converts the run's IT energy into meter energy under
+// the given facility overhead model.
+func (r *Result) FacilityEnergy(f Facility) (Joules, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	return f.Energy(r.Energy, r.Horizon), nil
+}
+
+// SavingsVs returns the fractional energy saving of r relative to
+// base (positive when r uses less energy).
+func (r *Result) SavingsVs(base *Result) float64 {
+	if base.Energy <= 0 {
+		return 0
+	}
+	return 1 - float64(r.Energy)/float64(base.Energy)
+}

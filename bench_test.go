@@ -1,0 +1,92 @@
+package agilepower_test
+
+// The benchmark harness regenerates every table and figure in the
+// paper's (reconstructed) evaluation — see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+//	go test -bench=. -benchmem                 # quick mode, all experiments
+//	go test -bench=BenchmarkFigureF5 -full     # one experiment at paper scale
+//
+// Each benchmark prints its experiment's report once (on the first
+// iteration) and then measures the cost of regenerating it, so
+// `-bench` output doubles as the reproduction artifact.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"agilepower/internal/experiments"
+)
+
+var fullScale = flag.Bool("full", false, "run experiments at paper scale instead of quick mode")
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.Options{Quick: !*fullScale}
+	// Print the report once per experiment per process so the bench
+	// run doubles as the figure regeneration artifact.
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Fprintf(os.Stdout, "\n=== experiment %s ===\n", id)
+		if err := experiments.Run(id, os.Stdout, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.Run(id, &buf, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableT1 regenerates the power-state characterization table.
+func BenchmarkTableT1(b *testing.B) { benchExperiment(b, "t1") }
+
+// BenchmarkFigureF2 regenerates the suspend/resume power trace.
+func BenchmarkFigureF2(b *testing.B) { benchExperiment(b, "f2") }
+
+// BenchmarkFigureF3 regenerates the S3-vs-S5 break-even analysis.
+func BenchmarkFigureF3(b *testing.B) { benchExperiment(b, "f3") }
+
+// BenchmarkFigureF4 regenerates the energy-proportionality curves.
+func BenchmarkFigureF4(b *testing.B) { benchExperiment(b, "f4") }
+
+// BenchmarkFigureF5 regenerates the day-long trace-driven run.
+func BenchmarkFigureF5(b *testing.B) { benchExperiment(b, "f5") }
+
+// BenchmarkFigureF6 regenerates the performance-impact comparison.
+func BenchmarkFigureF6(b *testing.B) { benchExperiment(b, "f6") }
+
+// BenchmarkFigureF7 regenerates the scale-out sweep.
+func BenchmarkFigureF7(b *testing.B) { benchExperiment(b, "f7") }
+
+// BenchmarkFigureF8 regenerates the management-overhead comparison.
+func BenchmarkFigureF8(b *testing.B) { benchExperiment(b, "f8") }
+
+// BenchmarkFigureF9 regenerates the control-period sensitivity sweep.
+func BenchmarkFigureF9(b *testing.B) { benchExperiment(b, "f9") }
+
+// BenchmarkFigureF10 regenerates the energy-performance scatter.
+func BenchmarkFigureF10(b *testing.B) { benchExperiment(b, "f10") }
+
+// BenchmarkTableT2 regenerates the end-to-end summary table.
+func BenchmarkTableT2(b *testing.B) { benchExperiment(b, "t2") }
+
+// BenchmarkTableProv regenerates the dynamic-provisioning table.
+func BenchmarkTableProv(b *testing.B) { benchExperiment(b, "prov") }
+
+// BenchmarkFigurePredict regenerates the predictive-wake ablation.
+func BenchmarkFigurePredict(b *testing.B) { benchExperiment(b, "predict") }
+
+// BenchmarkFigureDVFS regenerates the DVFS-vs-sleep-states comparison.
+func BenchmarkFigureDVFS(b *testing.B) { benchExperiment(b, "dvfs") }
+
+// BenchmarkAblations regenerates the design-choice ablation tables.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablate") }

@@ -1,0 +1,158 @@
+// Command agilepm runs one power-aware management scenario and prints
+// the outcome: energy, SLA, action counts and (optionally) the power
+// and demand time series as CSV for plotting.
+//
+// Usage:
+//
+//	agilepm -hosts 32 -vms 160 -workload mixed -policy dpm-s3 -horizon 24h
+//	agilepm -policy all -workload diurnal            # compare the full set
+//	agilepm -policy dpm-s3 -csv series.csv           # dump series
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/report"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 16, "number of hosts")
+	vms := flag.Int("vms", 80, "number of VMs")
+	workloadKind := flag.String("workload", "mixed", "workload: diurnal, spiky, batch, mixed, flat")
+	flatDemand := flag.Float64("flat-demand", 1.0, "per-VM demand in cores for -workload flat")
+	policyName := flag.String("policy", "dpm-s3", "policy: static, nopm-drm, dpm-s5, dpm-s3, or all")
+	horizon := flag.Duration("horizon", 24*time.Hour, "simulated duration")
+	period := flag.Duration("period", 5*time.Minute, "control loop period")
+	targetUtil := flag.Float64("target-util", 0.70, "packing headroom target")
+	spare := flag.Int("spare", 0, "spare hosts kept awake")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	csvPath := flag.String("csv", "", "write power/demand/active-host series CSV to this path")
+	profilePath := flag.String("profile", "", "server power profile JSON (see cmd/calibrate); default built-in calibration")
+	predictive := flag.Bool("predictive", false, "enable time-of-day predictive wake")
+	configPath := flag.String("config", "", "scenario file JSON (overrides fleet/host/manager flags)")
+	flag.Parse()
+
+	var sc agilepower.Scenario
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		sc, err = agilepower.ParseScenario(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fleet, err := buildFleet(*workloadKind, *vms, *flatDemand, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		var profile *agilepower.Profile
+		if *profilePath != "" {
+			data, err := os.ReadFile(*profilePath)
+			if err != nil {
+				fatal(err)
+			}
+			profile = &agilepower.Profile{}
+			if err := json.Unmarshal(data, profile); err != nil {
+				fatal(err)
+			}
+		}
+		sc = agilepower.Scenario{
+			Name:    fmt.Sprintf("%s-%dh-%dv", *workloadKind, *hosts, *vms),
+			Hosts:   *hosts,
+			Profile: profile,
+			VMs:     fleet,
+			Horizon: *horizon,
+			Seed:    *seed,
+			Manager: agilepower.ManagerConfig{
+				Period:         *period,
+				TargetUtil:     *targetUtil,
+				SpareHosts:     *spare,
+				PredictiveWake: *predictive,
+			},
+		}
+	}
+
+	policies, err := selectPolicies(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := sc.RunPolicies(policies)
+	if err != nil {
+		fatal(err)
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("scenario %s", sc.Name),
+		"policy", "energy_kwh", "mean_w", "satisfaction", "violation_frac",
+		"migrations", "sleeps", "wakes")
+	for _, r := range results {
+		tbl.AddRow(r.Policy, r.EnergyKWh(), r.MeanPowerW, r.Satisfaction,
+			r.ViolationFraction, r.Migrations.Completed, r.Sleeps, r.Wakes)
+	}
+	if err := tbl.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if base := results[0]; len(results) > 1 {
+		for _, r := range results[1:] {
+			fmt.Printf("%s saves %.1f%% vs %s\n", r.Policy, 100*r.SavingsVs(base), base.Policy)
+		}
+	}
+	if oracleE, err := results[len(results)-1].OracleEnergy(); err == nil {
+		fmt.Printf("oracle (zero-latency DPM) bound: %.2f kWh\n", oracleE.KWh())
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		last := results[len(results)-1]
+		if err := report.MultiSeriesCSV(f, last.Demand, last.Power, last.Delivered, last.ActiveHosts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("series for %s written to %s\n", last.Policy, *csvPath)
+	}
+}
+
+func buildFleet(kind string, n int, flatDemand float64, seed uint64) ([]agilepower.VMSpec, error) {
+	switch kind {
+	case "diurnal":
+		return agilepower.DiurnalFleet(n, seed), nil
+	case "spiky":
+		return agilepower.SpikyFleet(n, 4, seed), nil
+	case "batch":
+		return agilepower.BatchFleet(n, seed), nil
+	case "mixed":
+		return agilepower.MixedFleet(n, seed), nil
+	case "flat":
+		return agilepower.ConstantFleet(n, flatDemand), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want diurnal, spiky, batch, mixed, flat)", kind)
+	}
+}
+
+func selectPolicies(name string) ([]agilepower.Policy, error) {
+	if name == "all" {
+		return agilepower.Policies(), nil
+	}
+	for _, p := range agilepower.Policies() {
+		if strings.EqualFold(p.Name, name) {
+			return []agilepower.Policy{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q (want static, nopm-drm, dpm-s5, dpm-s3, all)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agilepm:", err)
+	os.Exit(1)
+}

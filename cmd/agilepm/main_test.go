@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildFleetKinds(t *testing.T) {
+	for _, kind := range []string{"diurnal", "spiky", "batch", "mixed", "flat"} {
+		fleet, err := buildFleet(kind, 10, 1.5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(fleet) != 10 {
+			t.Fatalf("%s fleet size = %d", kind, len(fleet))
+		}
+		for _, v := range fleet {
+			if v.Trace == nil {
+				t.Fatalf("%s fleet has VM without trace", kind)
+			}
+		}
+	}
+	if _, err := buildFleet("nope", 4, 1, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	all, err := selectPolicies("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("all → %d policies, err=%v", len(all), err)
+	}
+	one, err := selectPolicies("DPM-S3") // case-insensitive
+	if err != nil || len(one) != 1 || one[0].Name != "dpm-s3" {
+		t.Fatalf("dpm-s3 → %+v, err=%v", one, err)
+	}
+	if _, err := selectPolicies("yolo"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := selectPolicies("yolo"); err != nil && !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("error message: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+// Command agilepmd serves the simulator over HTTP: a control plane for
+// submitting scenario runs and regenerating experiments without
+// linking the library.
+//
+//	agilepmd -addr :8080
+//	curl -s localhost:8080/api/profile
+//	curl -s -X POST localhost:8080/api/runs -d '{"hosts":16,"vms":80,"fleet":"mixed","policy":"dpm-s3"}'
+//	curl -s localhost:8080/api/runs/1/series?step=30m
+//	curl -s -X POST localhost:8080/api/experiments/f6
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"agilepower/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(api.NewServer().Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("agilepmd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

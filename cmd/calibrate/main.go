@@ -1,0 +1,148 @@
+// Command calibrate turns prototype power measurements into a reusable
+// server profile: it reads a CSV of (utilization, watts) samples from
+// a SPECpower-style load sweep, fits the 11-point utilization→power
+// curve (with gap interpolation and isotonic smoothing), merges in the
+// sleep-state timings, and emits the profile as JSON ready for the
+// simulator.
+//
+//	calibrate -in measurements.csv -name myserver -out profile.json
+//	calibrate -in measurements.csv            # JSON to stdout + summary table
+//
+// The input CSV needs a header and two columns: utilization (0..1 or
+// 0..100) and watts.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"agilepower/internal/power"
+	"agilepower/internal/report"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV of utilization,watts samples (default stdin)")
+	out := flag.String("out", "", "output profile JSON path (default stdout)")
+	name := flag.String("name", "calibrated", "profile name")
+	deepIdle := flag.Float64("deepidle-w", 0, "deep-idle (C6) power in watts, 0 to omit")
+	s3Power := flag.Float64("s3-w", 12, "S3 parked power (W); negative to omit S3")
+	s3Entry := flag.Duration("s3-entry", 8*time.Second, "S3 entry latency")
+	s3Exit := flag.Duration("s3-exit", 15*time.Second, "S3 exit latency")
+	s5Power := flag.Float64("s5-w", 4, "S5 parked power (W); negative to omit S5")
+	s5Entry := flag.Duration("s5-entry", 45*time.Second, "S5 entry latency")
+	s5Exit := flag.Duration("s5-exit", 190*time.Second, "S5 exit latency")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	ms, err := readMeasurements(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	curve, err := power.FitCurve(ms)
+	if err != nil {
+		fatal(err)
+	}
+	sleep := map[power.State]power.StateSpec{}
+	if *s3Power >= 0 {
+		sleep[power.S3] = power.StateSpec{
+			Power:        power.Watts(*s3Power),
+			EntryLatency: *s3Entry,
+			ExitLatency:  *s3Exit,
+			EntryPower:   curve[0],
+			ExitPower:    curve[9],
+		}
+	}
+	if *s5Power >= 0 {
+		sleep[power.S5] = power.StateSpec{
+			Power:        power.Watts(*s5Power),
+			EntryLatency: *s5Entry,
+			ExitLatency:  *s5Exit,
+			EntryPower:   curve[0],
+			ExitPower:    curve[9],
+		}
+	}
+	profile, err := power.CalibrateProfile(*name, ms, power.Watts(*deepIdle), sleep)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := json.MarshalIndent(profile, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile written to %s\n", *out)
+	} else {
+		fmt.Println(string(data))
+	}
+
+	// Summary to stderr so stdout stays pipeable JSON.
+	tbl := report.NewTable(
+		fmt.Sprintf("fitted curve for %q (%d samples)", *name, len(ms)),
+		"util", "watts")
+	for i, w := range profile.Curve {
+		tbl.AddRow(fmt.Sprintf("%d%%", i*10), float64(w))
+	}
+	if err := tbl.Write(os.Stderr); err != nil {
+		fatal(err)
+	}
+	for _, st := range []power.State{power.S3, power.S5} {
+		if be, ok := profile.BreakEven(st); ok {
+			fmt.Fprintf(os.Stderr, "%v break-even: %v\n", st, be.Round(time.Second))
+		}
+	}
+}
+
+// readMeasurements parses utilization,watts rows. Utilization may be
+// given as a fraction (0..1) or percentage (0..100).
+func readMeasurements(r io.Reader) ([]power.Measurement, error) {
+	recs, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("reading csv: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("csv needs a header and at least one sample")
+	}
+	var ms []power.Measurement
+	for i, rec := range recs[1:] {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("row %d: want 2 columns, got %d", i+2, len(rec))
+		}
+		u, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d utilization: %w", i+2, err)
+		}
+		w, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %d watts: %w", i+2, err)
+		}
+		if u > 1 {
+			u /= 100 // percentage form
+		}
+		ms = append(ms, power.Measurement{Util: u, Power: power.Watts(w)})
+	}
+	return ms, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

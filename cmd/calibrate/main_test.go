@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadMeasurements(t *testing.T) {
+	in := "util,watts\n0,100\n0.5,180\n1,250\n"
+	ms, err := readMeasurements(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[1].Util != 0.5 || ms[1].Power != 180 {
+		t.Fatalf("ms = %+v", ms)
+	}
+}
+
+func TestReadMeasurementsPercentForm(t *testing.T) {
+	in := "util,watts\n10,130\n50,180\n100,250\n"
+	ms, err := readMeasurements(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Util != 0.1 || ms[2].Util != 1 {
+		t.Fatalf("percent conversion wrong: %+v", ms)
+	}
+}
+
+func TestReadMeasurementsErrors(t *testing.T) {
+	cases := []string{
+		"util,watts\n",          // no samples
+		"util,watts\nx,100\n",   // bad util
+		"util,watts\n0.5,abc\n", // bad watts
+		"util,watts\n0.5\n",     // missing column
+	}
+	for _, in := range cases {
+		if _, err := readMeasurements(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

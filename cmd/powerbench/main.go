@@ -1,0 +1,74 @@
+// Command powerbench characterizes server power states: the prototype
+// measurements of the paper's first half (T1 table, F2 suspend/resume
+// trace, F3 break-even analysis), driven against the calibrated state
+// machine. Calibration parameters can be overridden to explore other
+// platforms.
+//
+// Usage:
+//
+//	powerbench                          # T1 + F2 + F3 with defaults
+//	powerbench -exp f3 -s3-exit 30s     # break-even with a slower S3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"agilepower/internal/experiments"
+	"agilepower/internal/power"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "t1, f2, f3 or all")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	peak := flag.Float64("peak-w", 250, "S0 peak power (W)")
+	idle := flag.Float64("idle-w", 150, "S0 idle power (W)")
+	deepIdle := flag.Float64("deepidle-w", 120, "C6 deep-idle power (W), 0 to disable")
+	s3Power := flag.Float64("s3-w", 12, "S3 power (W)")
+	s3Entry := flag.Duration("s3-entry", 8*time.Second, "S3 entry latency")
+	s3Exit := flag.Duration("s3-exit", 15*time.Second, "S3 exit latency")
+	s5Power := flag.Float64("s5-w", 4, "S5 power (W)")
+	s5Entry := flag.Duration("s5-entry", 45*time.Second, "S5 entry latency")
+	s5Exit := flag.Duration("s5-exit", 190*time.Second, "S5 exit latency")
+	flag.Parse()
+
+	profile := power.DefaultProfile()
+	profile.PeakPower = power.Watts(*peak)
+	profile.IdlePower = power.Watts(*idle)
+	profile.DeepIdlePower = power.Watts(*deepIdle)
+	s3 := profile.Sleep[power.S3]
+	s3.Power = power.Watts(*s3Power)
+	s3.EntryLatency = *s3Entry
+	s3.ExitLatency = *s3Exit
+	profile.Sleep[power.S3] = s3
+	s5 := profile.Sleep[power.S5]
+	s5.Power = power.Watts(*s5Power)
+	s5.EntryLatency = *s5Entry
+	s5.ExitLatency = *s5Exit
+	profile.Sleep[power.S5] = s5
+	if err := profile.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench: invalid calibration:", err)
+		os.Exit(1)
+	}
+
+	opts := experiments.Options{Seed: *seed, Profile: profile}
+	ids := []string{"t1", "f2", "f3"}
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		switch id {
+		case "t1", "f2", "f3":
+		default:
+			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("\n=== %s ===\n", id)
+		if err := experiments.Run(id, os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command sweep regenerates the paper's evaluation: every table and
+// figure (T1, F2–F10, T2) plus the design-choice ablations.
+//
+// Usage:
+//
+//	sweep -exp all            # full reproduction (paper-scale)
+//	sweep -exp f5 -quick      # one experiment, small/fast mode
+//	sweep -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agilepower/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "shrink horizons and fleets for a fast run")
+	seed := flag.Uint64("seed", 1, "workload generation seed")
+	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, SVGDir: *svgDir}
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(os.Stdout, opts)
+	} else {
+		err = experiments.Run(*exp, os.Stdout, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+// The whole stack must be exactly reproducible: same scenario, same
+// numbers, across every policy and feature combination. This is the
+// repo's central testing guarantee (the engine forbids wall-clock and
+// global-RNG leakage), so exercise it broadly.
+func TestDeterminismMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"dpm-s3 mixed", Scenario{
+			Hosts: 6, VMs: MixedFleet(24, 5), Horizon: 8 * time.Hour, Seed: 5,
+			Manager: ManagerConfig{Policy: DPMS3},
+		}},
+		{"dpm-s5 predictive", Scenario{
+			Hosts: 6, VMs: WorkdayFleet(18, 1, 5), Horizon: 12 * time.Hour, Seed: 5,
+			Manager: ManagerConfig{Policy: DPMS5, PredictiveWake: true},
+		}},
+		{"dvfs combined churn", Scenario{
+			Hosts: 6, VMs: DiurnalFleet(18, 5), Horizon: 8 * time.Hour, Seed: 5,
+			Manager: ManagerConfig{Policy: Policy{
+				Name: "combo", LoadBalance: true, Consolidate: true,
+				PowerManage: true, SleepState: S3, DVFS: true,
+			}},
+			Churn: &ChurnSpec{ArrivalsPerHour: 3, MeanLifetime: 2 * time.Hour},
+		}},
+		{"replicated groups panic", Scenario{
+			Hosts: 8, VMs: ReplicatedFleet(6, 3, 5), Horizon: 8 * time.Hour, Seed: 5,
+			Manager: ManagerConfig{Policy: DPMS3, PanicShortfall: 0.3},
+		}},
+		{"hetero resume-failures", func() Scenario {
+			p := DefaultProfile()
+			p.ResumeFailProb = 0.2
+			return Scenario{
+				HostClasses: []HostClass{{Count: 3, Cores: 32}, {Count: 4}},
+				Profile:     p,
+				VMs:         BatchFleet(16, 5),
+				Horizon:     8 * time.Hour,
+				Seed:        5,
+				Manager:     ManagerConfig{Policy: DPMS3},
+			}
+		}()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := tc.sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tc.sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Energy != b.Energy {
+				t.Fatalf("energy diverged: %v vs %v", a.Energy, b.Energy)
+			}
+			if a.Satisfaction != b.Satisfaction || a.ViolationFraction != b.ViolationFraction {
+				t.Fatalf("SLA diverged")
+			}
+			if a.Migrations.Completed != b.Migrations.Completed ||
+				a.Sleeps != b.Sleeps || a.Wakes != b.Wakes ||
+				a.ResumeFailures != b.ResumeFailures ||
+				a.Manager.FreqChanges != b.Manager.FreqChanges {
+				t.Fatalf("action counts diverged: %+v vs %+v", a.Manager, b.Manager)
+			}
+			if a.Events.Len() != b.Events.Len() {
+				t.Fatalf("event logs diverged: %d vs %d", a.Events.Len(), b.Events.Len())
+			}
+			for i, ea := range a.Events.All() {
+				if ea != b.Events.All()[i] {
+					t.Fatalf("event %d diverged: %v vs %v", i, ea, b.Events.All()[i])
+				}
+			}
+		})
+	}
+}

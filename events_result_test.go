@@ -1,0 +1,64 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/events"
+)
+
+// The audit trail must reconcile with the run's counters.
+func TestResultEventsReconcile(t *testing.T) {
+	sc := Scenario{
+		Hosts:   6,
+		VMs:     ConstantFleet(12, 0.5),
+		Horizon: 4 * time.Hour,
+		Manager: ManagerConfig{Policy: DPMS3},
+		Churn: &ChurnSpec{
+			ArrivalsPerHour: 4,
+			MeanLifetime:    time.Hour,
+		},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.Events
+	if log == nil || log.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	counts := log.Counts()
+	if counts[events.MigrationCompleted] != res.Migrations.Completed {
+		t.Fatalf("migration events %d vs counter %d",
+			counts[events.MigrationCompleted], res.Migrations.Completed)
+	}
+	if counts[events.HostSleeping] != res.Sleeps {
+		t.Fatalf("sleep events %d vs counter %d", counts[events.HostSleeping], res.Sleeps)
+	}
+	if counts[events.HostWaking] != res.Wakes {
+		t.Fatalf("wake events %d vs counter %d", counts[events.HostWaking], res.Wakes)
+	}
+	if counts[events.VMArrived] != res.Churn.Arrived {
+		t.Fatalf("arrival events %d vs churn %d", counts[events.VMArrived], res.Churn.Arrived)
+	}
+	if counts[events.VMRemoved] != res.Churn.Departed {
+		t.Fatalf("removal events %d vs churn %d", counts[events.VMRemoved], res.Churn.Departed)
+	}
+	// Initial placements + provisioned placements.
+	wantPlaced := len(sc.VMs) + res.Churn.Placed
+	if counts[events.VMPlaced] != wantPlaced {
+		t.Fatalf("placed events %d, want %d", counts[events.VMPlaced], wantPlaced)
+	}
+	// Every settle pairs with a sleep or wake start.
+	if counts[events.HostSettled] != res.Sleeps+res.Wakes {
+		t.Fatalf("settle events %d vs %d actions", counts[events.HostSettled], res.Sleeps+res.Wakes)
+	}
+	// Events are time-ordered.
+	prev := time.Duration(-1)
+	for _, e := range log.All() {
+		if e.At < prev {
+			t.Fatalf("events out of order at %v", e.At)
+		}
+		prev = e.At
+	}
+}

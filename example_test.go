@@ -1,0 +1,90 @@
+package agilepower_test
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower"
+)
+
+// ExampleScenario_Run runs one managed day and prints the headline
+// numbers. Runs are deterministic in the seed, so the output is exact.
+func ExampleScenario_Run() {
+	sc := agilepower.Scenario{
+		Hosts:   4,
+		VMs:     agilepower.ConstantFleet(8, 0.5),
+		Horizon: 6 * time.Hour,
+		Manager: agilepower.ManagerConfig{Policy: agilepower.DPMS3},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("policy: %s\n", res.Policy)
+	fmt.Printf("satisfaction: %.3f\n", res.Satisfaction)
+	fmt.Printf("hosts parked at end: %d of %d\n", res.Hosts-3, res.Hosts)
+	// Output:
+	// policy: dpm-s3
+	// satisfaction: 1.000
+	// hosts parked at end: 1 of 4
+}
+
+// ExampleScenario_RunPolicies compares the standard policy set on the
+// same workload.
+func ExampleScenario_RunPolicies() {
+	sc := agilepower.Scenario{
+		Hosts:   4,
+		VMs:     agilepower.ConstantFleet(8, 0.5),
+		Horizon: 4 * time.Hour,
+	}
+	results, err := sc.RunPolicies(agilepower.Policies())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range results {
+		fmt.Println(r.Policy)
+	}
+	// Output:
+	// static
+	// nopm-drm
+	// dpm-s5
+	// dpm-s3
+}
+
+// ExampleProfile_BreakEven computes the gap length beyond which
+// parking a server saves energy — the paper's motivating quantity.
+func ExampleProfile_BreakEven() {
+	p := agilepower.DefaultProfile()
+	s3, _ := p.BreakEven(agilepower.S3)
+	s5, _ := p.BreakEven(agilepower.S5)
+	fmt.Printf("S3 pays off after %v of idleness\n", s3.Round(time.Second))
+	fmt.Printf("S5 pays off after %v of idleness\n", s5.Round(time.Second))
+	// Output:
+	// S3 pays off after 39s of idleness
+	// S5 pays off after 7m7s of idleness
+}
+
+// ExampleScenario_Start drives a live session: advance time, hold a
+// host for maintenance, and read the outcome.
+func ExampleScenario_Start() {
+	se, err := agilepower.Scenario{
+		Hosts:   4,
+		VMs:     agilepower.ConstantFleet(8, 0.5),
+		Manager: agilepower.ManagerConfig{Policy: agilepower.NoPM, Period: 2 * time.Minute},
+	}.Start()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	se.Step(10 * time.Minute)
+	se.EnterMaintenance(1)
+	se.Step(30 * time.Minute)
+	fmt.Printf("host 1 drained: %v\n", se.MaintenanceReady(1))
+	res := se.Result()
+	fmt.Printf("migrations: %d\n", res.Migrations.Completed)
+	// Output:
+	// host 1 drained: true
+	// migrations: 2
+}

@@ -1,0 +1,101 @@
+// Ops-timeline: drive a live session the way an operator would — a
+// power-managed morning, a maintenance window on one host, a couple of
+// late VM provisions — and then read the audit trail back as a
+// timeline. Shows the interactive Session API and the event log.
+//
+//	go run ./examples/ops-timeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/events"
+)
+
+func main() {
+	se, err := agilepower.Scenario{
+		Name:    "ops-timeline",
+		Hosts:   6,
+		VMs:     agilepower.DiurnalFleet(24, 11),
+		Manager: agilepower.ManagerConfig{Policy: agilepower.DPMS3},
+		Seed:    11,
+	}.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	status := func(label string) {
+		fmt.Printf("%8s | %2d hosts active | %6.0f W | demand %5.1f cores\n",
+			label, se.ActiveHosts(), se.PowerW(), se.DemandCores())
+	}
+
+	// Overnight: the manager consolidates.
+	must(se.RunUntil(4 * time.Hour))
+	status("04:00")
+
+	// 06:00 — operations wants host 2 for a firmware update.
+	must(se.RunUntil(6 * time.Hour))
+	if err := se.EnterMaintenance(2); err != nil {
+		// Host 2 may be parked at 6am; pick the first available one.
+		log.Printf("host 2: %v (picking another)", err)
+	}
+	must(se.Step(20 * time.Minute))
+	fmt.Printf("06:20  | maintenance drained: %v\n", se.MaintenanceReady(2))
+
+	// 09:30 — two new VMs arrive mid-ramp.
+	must(se.RunUntil(9*time.Hour + 30*time.Minute))
+	status("09:30")
+	for i := 0; i < 2; i++ {
+		id, err := se.AddVM(agilepower.VMSpec{
+			Name:     fmt.Sprintf("new-app-%d", i),
+			VCPUs:    4,
+			MemoryGB: 8,
+			Trace:    agilepower.ConstantTrace(1.5),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("09:30  | provisioned vm %d\n", id)
+	}
+
+	// 11:00 — firmware done, host back to service.
+	must(se.RunUntil(11 * time.Hour))
+	if se.MaintenanceReady(2) {
+		must(se.ExitMaintenance(2))
+		fmt.Println("11:00  | host 2 back in service")
+	}
+
+	// Run out the day.
+	must(se.RunUntil(24 * time.Hour))
+	status("24:00")
+	res := se.Result()
+
+	fmt.Printf("\nday summary: %.1f kWh, satisfaction %.2f%%, %d migrations, %d sleeps / %d wakes\n",
+		res.EnergyKWh(), 100*res.Satisfaction, res.Migrations.Completed, res.Sleeps, res.Wakes)
+
+	// The audit trail around the maintenance window.
+	fmt.Println("\nevents 06:00–06:30:")
+	for _, e := range res.Events.Filter(events.Between(6*time.Hour, 6*time.Hour+30*time.Minute)) {
+		fmt.Println("  " + e.String())
+	}
+
+	fmt.Println("\nevent totals:")
+	counts := res.Events.Counts()
+	for _, k := range []events.Kind{
+		events.VMPlaced, events.MigrationStarted, events.MigrationCompleted,
+		events.HostSleeping, events.HostWaking, events.HostSettled,
+	} {
+		fmt.Printf("  %-20s %d\n", k, counts[k])
+	}
+	_ = os.Stdout
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

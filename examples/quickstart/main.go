@@ -1,0 +1,53 @@
+// Quickstart: run one day of power-aware management over a small
+// cluster and print the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agilepower"
+)
+
+func main() {
+	// A 10-host cluster running 40 diurnal enterprise VMs, managed by
+	// the paper's DPM-S3 policy: consolidate at night, park idle hosts
+	// in suspend-to-RAM, wake them for the morning ramp.
+	sc := agilepower.Scenario{
+		Name:    "quickstart",
+		Hosts:   10,
+		VMs:     agilepower.DiurnalFleet(40, 1),
+		Horizon: 24 * time.Hour,
+		Manager: agilepower.ManagerConfig{Policy: agilepower.DPMS3},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy:            %s\n", res.Policy)
+	fmt.Printf("energy:            %.2f kWh\n", res.EnergyKWh())
+	fmt.Printf("mean power:        %.0f W\n", res.MeanPowerW)
+	fmt.Printf("demand satisfied:  %.2f%%\n", 100*res.Satisfaction)
+	fmt.Printf("SLA violations:    %.2f%% of VM-time\n", 100*res.ViolationFraction)
+	fmt.Printf("migrations:        %d\n", res.Migrations.Completed)
+	fmt.Printf("power actions:     %d sleeps, %d wakes\n", res.Sleeps, res.Wakes)
+
+	// Compare against leaving every host on.
+	static := sc
+	static.Manager.Policy = agilepower.Static
+	base, err := static.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstatic baseline:   %.2f kWh\n", base.EnergyKWh())
+	fmt.Printf("savings:           %.1f%%\n", 100*res.SavingsVs(base))
+
+	if oracleE, err := res.OracleEnergy(); err == nil {
+		fmt.Printf("oracle bound:      %.2f kWh (perfect knowledge, zero-latency transitions)\n",
+			oracleE.KWh())
+	}
+}

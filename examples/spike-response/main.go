@@ -1,0 +1,62 @@
+// Spike-response: the paper's agility argument in isolation. A
+// consolidated cluster is hit by a correlated flash crowd; the example
+// traces minute-by-minute how much demand each policy leaves unserved
+// while capacity wakes up. Low-latency S3 restores service in tens of
+// seconds; traditional S5 takes minutes of full boot.
+//
+//	go run ./examples/spike-response
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agilepower"
+)
+
+func main() {
+	const spikeAt = 2 * time.Hour
+	// 24 API VMs surge together from 0.3 to 4 cores (+89 cores on a
+	// 128-core fleet) for 15 minutes.
+	fleet := agilepower.SpikyFleetAt(24, []time.Duration{spikeAt}, 99)
+	sc := agilepower.Scenario{
+		Name:    "spike-response",
+		Hosts:   8,
+		VMs:     fleet,
+		Horizon: 3 * time.Hour,
+		Seed:    99,
+	}
+
+	results, err := sc.RunPolicies([]agilepower.Policy{
+		agilepower.NoPM, agilepower.DPMS5, agilepower.DPMS3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %10s %13s %16s %8s\n",
+		"policy", "energy", "satisfaction", "unmet_core_hours", "wakes")
+	for _, r := range results {
+		fmt.Printf("%-10s %6.2f kWh %12.2f%% %16.2f %8d\n",
+			r.Policy, r.EnergyKWh(), 100*r.Satisfaction, r.UnmetCoreHours, r.Wakes)
+	}
+
+	// Minute-by-minute service through the surge window.
+	fmt.Printf("\nunserved demand (cores) around the spike at %v:\n", spikeAt)
+	fmt.Printf("%6s %8s %8s %8s\n", "t", "nopm", "dpm-s5", "dpm-s3")
+	for m := -2; m <= 20; m += 2 {
+		at := spikeAt + time.Duration(m)*time.Minute
+		row := fmt.Sprintf("%+4dm ", m)
+		for _, r := range results {
+			unserved := r.Demand.At(at) - r.Delivered.At(at)
+			if unserved < 0 {
+				unserved = 0
+			}
+			row += fmt.Sprintf(" %8.1f", unserved)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nthe S3 column collapses to zero within a wake latency (~15s) plus a")
+	fmt.Println("rebalance; the S5 column stays high through a ~3-minute server boot.")
+}

@@ -1,0 +1,219 @@
+package agilepower
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower/internal/sim"
+	"agilepower/internal/workload"
+)
+
+// Fleet builders: ready-made VM populations for the workload classes
+// the paper's evaluation draws on. All are deterministic in the seed.
+
+// DiurnalFleet returns n 4-vCPU/8GB VMs driven by enterprise
+// day/night demand curves: ~0.4 cores at night rising to ~3 cores at
+// midday, with per-VM phase jitter and noise so cluster demand is
+// smooth.
+func DiurnalFleet(n int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	out := make([]VMSpec, n)
+	for i := range out {
+		tr := workload.Diurnal(rng.Fork(), workload.DiurnalSpec{
+			BaseCores:   0.4,
+			PeakCores:   3.0,
+			NoiseFrac:   0.08,
+			PhaseJitter: 90 * time.Minute,
+		})
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("web-%03d", i),
+			VCPUs:    4,
+			MemoryGB: 8,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
+// SpikyFleet returns n VMs with low steady demand punctuated by
+// correlated flash-crowd spikes to full vCPU load: the whole tier
+// surges within a couple of minutes, the arrival pattern that punishes
+// slow wake-up. Spike onset times are shared across the fleet (with
+// ±2 minutes of per-VM jitter).
+func SpikyFleet(n, spikes int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	// One shared flash-crowd schedule for the whole tier.
+	starts := make([]time.Duration, spikes)
+	for i := range starts {
+		starts[i] = time.Duration(rng.Float64() * float64(24*time.Hour))
+	}
+	out := make([]VMSpec, n)
+	for i := range out {
+		tr := workload.Spiky(rng.Fork(), workload.SpikeSpec{
+			BaseCores:   0.3,
+			SpikeCores:  4,
+			SpikeLen:    15 * time.Minute,
+			Starts:      starts,
+			StartJitter: 2 * time.Minute,
+		})
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("api-%03d", i),
+			VCPUs:    4,
+			MemoryGB: 8,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
+// SpikyFleetAt returns n flash-crowd VMs whose spikes hit at the given
+// times (±2 minutes of per-VM jitter) — the controlled surge used by
+// the spike-response experiments.
+func SpikyFleetAt(n int, starts []time.Duration, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	out := make([]VMSpec, n)
+	for i := range out {
+		tr := workload.Spiky(rng.Fork(), workload.SpikeSpec{
+			BaseCores:   0.3,
+			SpikeCores:  4,
+			SpikeLen:    15 * time.Minute,
+			Starts:      starts,
+			StartJitter: 2 * time.Minute,
+		})
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("api-%03d", i),
+			VCPUs:    4,
+			MemoryGB: 8,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
+// BatchFleet returns n VMs running periodic batch jobs: near idle
+// between runs, full load during them.
+func BatchFleet(n int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	out := make([]VMSpec, n)
+	for i := range out {
+		tr := workload.Batch(rng.Fork(), workload.BatchSpec{
+			IdleCores: 0.1,
+			RunCores:  4,
+			Period:    6 * time.Hour,
+			RunLen:    time.Hour,
+		})
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("batch-%03d", i),
+			VCPUs:    4,
+			MemoryGB: 12,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
+// WorkdayFleet returns n business-day VMs whose demand jumps from 0.4
+// to 3 cores within ~2 minutes of 9:00 and drops at 18:00, every day
+// for the given number of days — the steep recurring ramp where
+// predictive wake matters.
+func WorkdayFleet(n, days int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	out := make([]VMSpec, n)
+	for i := range out {
+		tr := workload.Workday(rng.Fork(), workload.WorkdaySpec{
+			Days:       days,
+			LowCores:   0.4,
+			HighCores:  3,
+			OpenJitter: 2 * time.Minute,
+			NoiseFrac:  0.05,
+		})
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("desk-%03d", i),
+			VCPUs:    4,
+			MemoryGB: 8,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
+// MixedFleet returns a realistic enterprise mix: 60% diurnal web VMs,
+// 25% spiky API VMs, 15% batch VMs.
+func MixedFleet(n int, seed uint64) []VMSpec {
+	nWeb := n * 60 / 100
+	nAPI := n * 25 / 100
+	nBatch := n - nWeb - nAPI
+	out := make([]VMSpec, 0, n)
+	out = append(out, DiurnalFleet(nWeb, seed)...)
+	out = append(out, SpikyFleet(nAPI, 4, seed+1)...)
+	out = append(out, BatchFleet(nBatch, seed+2)...)
+	return out
+}
+
+// ReplicatedFleet returns services×replicas diurnal VMs where the
+// replicas of each service form an anti-affinity group (never
+// co-located). Availability constraints like these put a floor under
+// the number of active hosts and cap what consolidation can save.
+func ReplicatedFleet(services, replicas int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	out := make([]VMSpec, 0, services*replicas)
+	for svc := 0; svc < services; svc++ {
+		group := fmt.Sprintf("svc-%03d", svc)
+		for r := 0; r < replicas; r++ {
+			tr := workload.Diurnal(rng.Fork(), workload.DiurnalSpec{
+				BaseCores:   0.4,
+				PeakCores:   3.0,
+				NoiseFrac:   0.08,
+				PhaseJitter: 90 * time.Minute,
+			})
+			out = append(out, VMSpec{
+				Name:     fmt.Sprintf("%s-r%d", group, r),
+				VCPUs:    4,
+				MemoryGB: 8,
+				Trace:    tr,
+				Group:    group,
+			})
+		}
+	}
+	return out
+}
+
+// ConstantFleet returns n VMs each demanding a flat demand in cores —
+// the building block of steady-load sweeps (figure F4).
+func ConstantFleet(n int, demand float64) []VMSpec {
+	out := make([]VMSpec, n)
+	for i := range out {
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("flat-%03d", i),
+			VCPUs:    4,
+			MemoryGB: 8,
+			Trace:    workload.Constant(demand),
+		}
+	}
+	return out
+}
+
+// GenerateDiurnal exposes the diurnal trace generator for custom
+// fleets.
+func GenerateDiurnal(seed uint64, base, peak float64, noiseFrac float64, jitter time.Duration) *Trace {
+	return workload.Diurnal(sim.NewRNG(seed), workload.DiurnalSpec{
+		BaseCores:   base,
+		PeakCores:   peak,
+		NoiseFrac:   noiseFrac,
+		PhaseJitter: jitter,
+	})
+}
+
+// GenerateSpiky exposes the flash-crowd trace generator for custom
+// fleets.
+func GenerateSpiky(seed uint64, base, spike float64, spikes int, spikeLen time.Duration) *Trace {
+	return workload.Spiky(sim.NewRNG(seed), workload.SpikeSpec{
+		BaseCores:  base,
+		SpikeCores: spike,
+		Spikes:     spikes,
+		SpikeLen:   spikeLen,
+	})
+}
+
+// ConstantTrace exposes the constant trace constructor.
+func ConstantTrace(demand float64) *Trace { return workload.Constant(demand) }

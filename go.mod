@@ -1,0 +1,3 @@
+module agilepower
+
+go 1.22

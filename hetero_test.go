@@ -1,0 +1,134 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHostClassesBuildFleet(t *testing.T) {
+	lowPower := DefaultProfile()
+	lowPower.Name = "micro"
+	lowPower.PeakPower = 120
+	lowPower.IdlePower = 60
+	lowPower.DeepIdlePower = 45
+
+	sc := Scenario{
+		HostClasses: []HostClass{
+			{Count: 2, Cores: 32, MemoryGB: 512},
+			{Count: 4, Cores: 8, MemoryGB: 128, Profile: lowPower},
+		},
+		VMs:     ConstantFleet(12, 1),
+		Horizon: 4 * time.Hour,
+		Manager: ManagerConfig{Policy: DPMS3},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 6 {
+		t.Fatalf("hosts = %d, want 6", res.Hosts)
+	}
+	// Weighted mean cores: (2*32 + 4*8)/6 = 16.
+	if res.HostCores != 16 {
+		t.Fatalf("mean cores = %v, want 16", res.HostCores)
+	}
+	if res.Satisfaction < 0.99 {
+		t.Fatalf("satisfaction = %v on heterogeneous fleet", res.Satisfaction)
+	}
+	// Light load (12 cores on 128): consolidation parks hosts.
+	if res.Sleeps == 0 {
+		t.Fatal("heterogeneous fleet never consolidated")
+	}
+}
+
+func TestHostClassesValidation(t *testing.T) {
+	sc := Scenario{
+		HostClasses: []HostClass{{Count: 0}},
+		VMs:         ConstantFleet(2, 1),
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("accepted zero-count host class")
+	}
+	// Classes alone (no Hosts) are sufficient.
+	sc = Scenario{
+		HostClasses: []HostClass{{Count: 2}},
+		VMs:         ConstantFleet(2, 1),
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("classes-only scenario rejected: %v", err)
+	}
+}
+
+func TestHostClassDefaults(t *testing.T) {
+	sc := Scenario{
+		HostClasses: []HostClass{{Count: 2}}, // default 16 cores / 256 GB
+		VMs:         ConstantFleet(4, 0.5),
+		Horizon:     time.Hour,
+		Manager:     ManagerConfig{Policy: Static},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 2 || res.HostCores != 16 {
+		t.Fatalf("defaults not applied: hosts=%d cores=%v", res.Hosts, res.HostCores)
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	sc := Scenario{
+		Hosts:   4,
+		Horizon: 6 * time.Hour,
+		Manager: ManagerConfig{Policy: DPMS3},
+		VMs:     DiurnalFleet(16, 1), // replaced per seed below
+	}
+	rep, err := sc.RunReplicated(Seeds(1, 4), func(seed uint64) []VMSpec {
+		return DiurnalFleet(16, seed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 4 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	if rep.EnergyKWh.N != 4 || rep.EnergyKWh.Mean <= 0 {
+		t.Fatalf("energy stat = %+v", rep.EnergyKWh)
+	}
+	// Different workload draws must actually differ.
+	if rep.EnergyKWh.Std == 0 {
+		t.Fatal("replicated runs identical; fleet regeneration broken")
+	}
+	if rep.EnergyKWh.Min > rep.EnergyKWh.Mean || rep.EnergyKWh.Max < rep.EnergyKWh.Mean {
+		t.Fatalf("stat bounds wrong: %+v", rep.EnergyKWh)
+	}
+	if rep.Satisfaction.Mean < 0.95 {
+		t.Fatalf("satisfaction = %v", rep.Satisfaction.Mean)
+	}
+}
+
+func TestRunReplicatedNeedsSeeds(t *testing.T) {
+	sc := smallScenario()
+	if _, err := sc.RunReplicated(nil, nil); err == nil {
+		t.Fatal("accepted empty seed list")
+	}
+}
+
+func TestSeedsHelper(t *testing.T) {
+	s := Seeds(10, 3)
+	if len(s) != 3 || s[0] != 10 || s[2] != 12 {
+		t.Fatalf("Seeds = %v", s)
+	}
+}
+
+func TestStatString(t *testing.T) {
+	st := newStat([]float64{1, 2, 3})
+	if st.Mean != 2 || st.N != 3 || st.Min != 1 || st.Max != 3 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if st.String() != "2.000 ± 1.000" {
+		t.Fatalf("String = %q", st.String())
+	}
+	if z := newStat(nil); z.N != 0 {
+		t.Fatal("empty stat nonzero")
+	}
+}

@@ -1,0 +1,422 @@
+// Package api exposes the simulator and manager over HTTP/JSON: a
+// small control plane for submitting scenario runs, browsing results,
+// and regenerating the paper's experiments remotely. It is the
+// operational wrapper a downstream user scripts against instead of
+// linking the library.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/experiments"
+	"agilepower/internal/report"
+)
+
+// Limits keep a single HTTP request from launching an unbounded
+// simulation.
+const (
+	maxHosts   = 2048
+	maxVMs     = 16384
+	maxHorizon = 30 * 24 * time.Hour
+)
+
+// RunRequest describes a scenario to execute.
+type RunRequest struct {
+	Name         string  `json:"name,omitempty"`
+	Hosts        int     `json:"hosts"`
+	HostCores    float64 `json:"hostCores,omitempty"`
+	HostMemoryGB float64 `json:"hostMemoryGB,omitempty"`
+
+	// Fleet selects a workload builder: diurnal, spiky, batch, mixed,
+	// flat.
+	Fleet string `json:"fleet"`
+	// VMs is the fleet size.
+	VMs int `json:"vms"`
+	// FlatDemand is the per-VM demand in cores for the flat fleet
+	// (default 1).
+	FlatDemand float64 `json:"flatDemand,omitempty"`
+
+	// Policy: static, nopm-drm, dpm-s5, dpm-s3 (default dpm-s3).
+	Policy string `json:"policy,omitempty"`
+	// HorizonHours is the simulated duration (default 24).
+	HorizonHours float64 `json:"horizonHours,omitempty"`
+	// PeriodMinutes is the control period (default 5).
+	PeriodMinutes float64 `json:"periodMinutes,omitempty"`
+	// TargetUtil is the packing headroom (default 0.70).
+	TargetUtil float64 `json:"targetUtil,omitempty"`
+	// SpareHosts keeps extra hosts awake (default 0).
+	SpareHosts int `json:"spareHosts,omitempty"`
+	// PredictiveWake enables the time-of-day demand predictor.
+	PredictiveWake bool   `json:"predictiveWake,omitempty"`
+	Seed           uint64 `json:"seed,omitempty"`
+	// Profile optionally overrides the server power calibration (the
+	// JSON format cmd/calibrate emits).
+	Profile json.RawMessage `json:"profile,omitempty"`
+
+	// Churn optionally adds dynamic arrivals.
+	Churn *ChurnRequest `json:"churn,omitempty"`
+}
+
+// ChurnRequest mirrors agilepower.ChurnSpec over JSON.
+type ChurnRequest struct {
+	ArrivalsPerHour   float64 `json:"arrivalsPerHour"`
+	MeanLifetimeHours float64 `json:"meanLifetimeHours,omitempty"`
+	DemandCores       float64 `json:"demandCores,omitempty"`
+}
+
+// RunResponse summarizes one completed run.
+type RunResponse struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	Policy   string  `json:"policy"`
+	Hosts    int     `json:"hosts"`
+	VMs      int     `json:"vms"`
+	HorizonH float64 `json:"horizonHours"`
+
+	EnergyKWh         float64 `json:"energyKWh"`
+	MeanPowerW        float64 `json:"meanPowerW"`
+	Satisfaction      float64 `json:"satisfaction"`
+	ViolationFraction float64 `json:"violationFraction"`
+	Migrations        int     `json:"migrations"`
+	Sleeps            int     `json:"sleeps"`
+	Wakes             int     `json:"wakes"`
+	OracleKWh         float64 `json:"oracleKWh,omitempty"`
+
+	ChurnArrived     int     `json:"churnArrived,omitempty"`
+	ChurnPlaced      int     `json:"churnPlaced,omitempty"`
+	ProvisionP95Secs float64 `json:"provisionP95Secs,omitempty"`
+}
+
+// Server is the HTTP control plane. The zero value is not usable; use
+// NewServer.
+type Server struct {
+	mu     sync.Mutex
+	nextID int
+	runs   map[int]*storedRun
+
+	sessions *sessionStore
+}
+
+type storedRun struct {
+	resp   RunResponse
+	result *agilepower.Result
+}
+
+// NewServer returns an empty control plane.
+func NewServer() *Server {
+	return &Server{nextID: 1, runs: make(map[int]*storedRun), sessions: newSessionStore()}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/policies", s.handlePolicies)
+	mux.HandleFunc("GET /api/profile", s.handleProfile)
+	mux.HandleFunc("POST /api/runs", s.handleCreateRun)
+	mux.HandleFunc("GET /api/runs", s.handleListRuns)
+	mux.HandleFunc("GET /api/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /api/runs/{id}/series", s.handleRunSeries)
+	mux.HandleFunc("GET /api/runs/{id}/events", s.handleRunEvents)
+	mux.HandleFunc("GET /api/experiments", s.handleListExperiments)
+	mux.HandleFunc("POST /api/experiments/{id}", s.handleRunExperiment)
+	s.registerSessionRoutes(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	type policyInfo struct {
+		Name        string `json:"name"`
+		LoadBalance bool   `json:"loadBalance"`
+		Consolidate bool   `json:"consolidate"`
+		PowerManage bool   `json:"powerManage"`
+		SleepState  string `json:"sleepState,omitempty"`
+	}
+	var out []policyInfo
+	for _, p := range agilepower.Policies() {
+		info := policyInfo{
+			Name:        p.Name,
+			LoadBalance: p.LoadBalance,
+			Consolidate: p.Consolidate,
+			PowerManage: p.PowerManage,
+		}
+		if p.PowerManage {
+			info.SleepState = p.SleepState.String()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p := agilepower.DefaultProfile()
+	type stateInfo struct {
+		PowerW     float64 `json:"powerW"`
+		EntrySecs  float64 `json:"entrySecs"`
+		ExitSecs   float64 `json:"exitSecs"`
+		BreakEvenS float64 `json:"breakEvenSecs"`
+	}
+	out := map[string]any{
+		"name":       p.Name,
+		"peakPowerW": float64(p.PeakPower),
+		"idlePowerW": float64(p.IdlePower),
+		"deepIdleW":  float64(p.DeepIdlePower),
+	}
+	states := map[string]stateInfo{}
+	for st, spec := range p.Sleep {
+		be, _ := p.BreakEven(st)
+		states[st.String()] = stateInfo{
+			PowerW:     float64(spec.Power),
+			EntrySecs:  spec.EntryLatency.Seconds(),
+			ExitSecs:   spec.ExitLatency.Seconds(),
+			BreakEvenS: be.Seconds(),
+		}
+	}
+	out["sleepStates"] = states
+	writeJSON(w, http.StatusOK, out)
+}
+
+// buildScenario converts a request into a runnable scenario.
+func buildScenario(req RunRequest) (agilepower.Scenario, error) {
+	if req.Hosts <= 0 || req.Hosts > maxHosts {
+		return agilepower.Scenario{}, fmt.Errorf("hosts must be in [1, %d]", maxHosts)
+	}
+	if req.VMs <= 0 || req.VMs > maxVMs {
+		return agilepower.Scenario{}, fmt.Errorf("vms must be in [1, %d]", maxVMs)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var fleet []agilepower.VMSpec
+	switch req.Fleet {
+	case "diurnal":
+		fleet = agilepower.DiurnalFleet(req.VMs, seed)
+	case "spiky":
+		fleet = agilepower.SpikyFleet(req.VMs, 4, seed)
+	case "batch":
+		fleet = agilepower.BatchFleet(req.VMs, seed)
+	case "mixed", "":
+		fleet = agilepower.MixedFleet(req.VMs, seed)
+	case "flat":
+		d := req.FlatDemand
+		if d <= 0 {
+			d = 1
+		}
+		fleet = agilepower.ConstantFleet(req.VMs, d)
+	default:
+		return agilepower.Scenario{}, fmt.Errorf("unknown fleet %q", req.Fleet)
+	}
+	var policy agilepower.Policy
+	found := false
+	name := req.Policy
+	if name == "" {
+		name = "dpm-s3"
+	}
+	for _, p := range agilepower.Policies() {
+		if p.Name == name {
+			policy = p
+			found = true
+		}
+	}
+	if !found {
+		return agilepower.Scenario{}, fmt.Errorf("unknown policy %q", name)
+	}
+	horizon := time.Duration(req.HorizonHours * float64(time.Hour))
+	if horizon == 0 {
+		horizon = 24 * time.Hour
+	}
+	if horizon < 0 || horizon > maxHorizon {
+		return agilepower.Scenario{}, fmt.Errorf("horizon must be in (0, %v]", maxHorizon)
+	}
+	var profile *agilepower.Profile
+	if len(req.Profile) > 0 {
+		profile = &agilepower.Profile{}
+		if err := json.Unmarshal(req.Profile, profile); err != nil {
+			return agilepower.Scenario{}, fmt.Errorf("profile: %w", err)
+		}
+	}
+	sc := agilepower.Scenario{
+		Name:         req.Name,
+		Hosts:        req.Hosts,
+		HostCores:    req.HostCores,
+		HostMemoryGB: req.HostMemoryGB,
+		Profile:      profile,
+		VMs:          fleet,
+		Horizon:      horizon,
+		Seed:         seed,
+		Manager: agilepower.ManagerConfig{
+			Policy:         policy,
+			Period:         time.Duration(req.PeriodMinutes * float64(time.Minute)),
+			TargetUtil:     req.TargetUtil,
+			SpareHosts:     req.SpareHosts,
+			PredictiveWake: req.PredictiveWake,
+		},
+	}
+	if req.Churn != nil {
+		sc.Churn = &agilepower.ChurnSpec{
+			ArrivalsPerHour: req.Churn.ArrivalsPerHour,
+			MeanLifetime:    time.Duration(req.Churn.MeanLifetimeHours * float64(time.Hour)),
+			DemandCores:     req.Churn.DemandCores,
+		}
+	}
+	return sc, nil
+}
+
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	sc, err := buildScenario(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := sc.Run()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "run failed: %v", err)
+		return
+	}
+	resp := RunResponse{
+		Name:              sc.Name,
+		Policy:            res.Policy,
+		Hosts:             res.Hosts,
+		VMs:               len(sc.VMs),
+		HorizonH:          res.Horizon.Hours(),
+		EnergyKWh:         res.EnergyKWh(),
+		MeanPowerW:        res.MeanPowerW,
+		Satisfaction:      res.Satisfaction,
+		ViolationFraction: res.ViolationFraction,
+		Migrations:        res.Migrations.Completed,
+		Sleeps:            res.Sleeps,
+		Wakes:             res.Wakes,
+		ChurnArrived:      res.Churn.Arrived,
+		ChurnPlaced:       res.Churn.Placed,
+		ProvisionP95Secs:  res.Churn.ProvisionP95.Seconds(),
+	}
+	if oracle, err := res.OracleEnergy(); err == nil {
+		resp.OracleKWh = oracle.KWh()
+	}
+	s.mu.Lock()
+	resp.ID = s.nextID
+	s.nextID++
+	s.runs[resp.ID] = &storedRun{resp: resp, result: res}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]RunResponse, 0, len(s.runs))
+	for _, run := range s.runs {
+		out = append(out, run.resp)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func atoiPath(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (s *Server) lookup(r *http.Request) (*storedRun, error) {
+	id, err := atoiPath(r)
+	if err != nil {
+		return nil, fmt.Errorf("bad run id %q", r.PathValue("id"))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("run %d not found", id)
+	}
+	return run, nil
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.resp)
+}
+
+func (s *Server) handleRunSeries(w http.ResponseWriter, r *http.Request) {
+	run, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	step := time.Minute
+	if q := r.URL.Query().Get("step"); q != "" {
+		step, err = time.ParseDuration(q)
+		if err != nil || step <= 0 {
+			writeError(w, http.StatusBadRequest, "bad step %q", q)
+			return
+		}
+	}
+	horizon := run.result.Horizon
+	w.Header().Set("Content-Type", "text/csv")
+	err = report.MultiSeriesCSV(w,
+		run.result.Demand.Downsample(step, horizon),
+		run.result.Power.Downsample(step, horizon),
+		run.result.Delivered.Downsample(step, horizon),
+		run.result.ActiveHosts.Downsample(step, horizon),
+	)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	run, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := run.result.Events.Write(w); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.IDs())
+}
+
+func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	opts := experiments.Options{Quick: r.URL.Query().Get("full") == ""}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := experiments.Run(id, w, opts); err != nil {
+		// Headers may already be out; report in-band.
+		fmt.Fprintf(w, "\nerror: %v\n", err)
+	}
+}

@@ -1,0 +1,180 @@
+package api
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func doDelete(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSessionLifecycleOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Create.
+	resp := postJSON(t, ts, "/api/sessions", `{"hosts":4,"vms":8,"fleet":"flat","flatDemand":0.5}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	st := decode[SessionStatus](t, resp)
+	if st.ID != 1 || st.NowHours != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Advance to 2h.
+	resp = postJSON(t, ts, "/api/sessions/1/advance", `{"toHours":2}`)
+	st = decode[SessionStatus](t, resp)
+	if st.NowHours != 2 {
+		t.Fatalf("nowHours = %v", st.NowHours)
+	}
+	if st.ActiveHosts < 1 || st.PowerW <= 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Advance by 1h more.
+	resp = postJSON(t, ts, "/api/sessions/1/advance", `{"byHours":1}`)
+	st = decode[SessionStatus](t, resp)
+	if st.NowHours != 3 {
+		t.Fatalf("nowHours = %v", st.NowHours)
+	}
+
+	// Backwards rejected.
+	resp = postJSON(t, ts, "/api/sessions/1/advance", `{"toHours":1}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("backwards advance status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Add a VM.
+	resp = postJSON(t, ts, "/api/sessions/1/vms", `{"name":"late","demandCores":1}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add vm status = %d", resp.StatusCode)
+	}
+	vmResp := decode[map[string]int](t, resp)
+	if vmResp["vmId"] == 0 {
+		t.Fatalf("vm id = %v", vmResp)
+	}
+
+	// Maintenance round trip.
+	resp = postJSON(t, ts, "/api/sessions/1/maintenance", `{"host":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maintenance status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts, "/api/sessions/1/advance", `{"byHours":1}`)
+	resp.Body.Close()
+	resp = postJSON(t, ts, "/api/sessions/1/maintenance", `{"host":1,"exit":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maintenance exit status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Events timeline.
+	resp, err := http.Get(ts.URL + "/api/sessions/1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "vm-placed") {
+		t.Fatalf("events missing placements:\n%s", raw)
+	}
+
+	// List shows it.
+	resp, err = http.Get(ts.URL + "/api/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]SessionStatus](t, resp)
+	if len(list) != 1 {
+		t.Fatalf("sessions = %d", len(list))
+	}
+
+	// Finalize: archived as a run, removed from live set.
+	resp = doDelete(t, ts, "/api/sessions/1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("finalize status = %d", resp.StatusCode)
+	}
+	run := decode[RunResponse](t, resp)
+	if run.EnergyKWh <= 0 || run.HorizonH != 4 {
+		t.Fatalf("final run = %+v", run)
+	}
+	resp, err = http.Get(ts.URL + "/api/sessions/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("finalized session still live: %d", resp.StatusCode)
+	}
+	// Archived run fetchable.
+	resp2, err := http.Get(ts.URL + "/api/runs/" + strconv.Itoa(run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("archived run missing: %d", resp2.StatusCode)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/api/sessions", `{`, http.StatusBadRequest},
+		{"POST", "/api/sessions", `{"hosts":0,"vms":2,"fleet":"flat"}`, http.StatusBadRequest},
+		{"GET", "/api/sessions/9", "", http.StatusNotFound},
+		{"POST", "/api/sessions/9/advance", `{"toHours":1}`, http.StatusNotFound},
+	} {
+		var resp *http.Response
+		var err error
+		if tc.method == "POST" {
+			resp = postJSON(t, ts, tc.path, tc.body)
+		} else {
+			resp, err = http.Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s → %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+	}
+	// Bad advance payloads on a real session.
+	resp := postJSON(t, ts, "/api/sessions", `{"hosts":2,"vms":2,"fleet":"flat"}`)
+	resp.Body.Close()
+	for _, body := range []string{`{}`, `{"toHours":-1}`, `{"toHours":1e9}`} {
+		resp := postJSON(t, ts, "/api/sessions/1/advance", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("advance %q → %d", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

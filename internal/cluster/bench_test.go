@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// BenchmarkSimulatedDay measures substrate throughput: one simulated
+// day of an 8-host / 40-VM cluster (no manager) per iteration.
+func BenchmarkSimulatedDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(1)
+		c, err := New(eng, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for h := 0; h < 8; h++ {
+			if _, err := c.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := sim.NewRNG(1)
+		for v := 0; v < 40; v++ {
+			tr := workload.Diurnal(rng.Fork(), workload.DiurnalSpec{BaseCores: 0.4, PeakCores: 3})
+			if _, err := c.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(v%8+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Start()
+		eng.RunUntil(24 * time.Hour)
+		c.Flush()
+		if c.TotalEnergy() <= 0 {
+			b.Fatal("no energy accounted")
+		}
+	}
+}
+
+// BenchmarkEvaluate measures one evaluation pass over a 32-host /
+// 160-VM cluster.
+func BenchmarkEvaluate(b *testing.B) {
+	eng := sim.NewEngine(1)
+	c, err := New(eng, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for h := 0; h < 32; h++ {
+		if _, err := c.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for v := 0; v < 160; v++ {
+		if _, err := c.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(1)}, host.ID(v%32+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.evaluate()
+	}
+}

@@ -1,0 +1,673 @@
+// Package cluster is the substrate the management layer operates on:
+// an inventory of hosts and VMs, the committed placement map, in-flight
+// migrations, and the periodic evaluation loop that turns VM demand
+// traces into delivered CPU, host utilization, power draw and SLA
+// accounting.
+//
+// The cluster is mechanism, not policy: it exposes the actuators the
+// paper's manager uses (migrate a VM, sleep a host, wake a host) and
+// faithfully charges their costs, but decides nothing itself.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"agilepower/internal/events"
+	"agilepower/internal/host"
+	"agilepower/internal/migrate"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/telemetry"
+	"agilepower/internal/vm"
+)
+
+// Config describes a cluster to create.
+type Config struct {
+	// EvalStep is the demand re-evaluation period (default 1 minute;
+	// should match the workload trace interval).
+	EvalStep time.Duration
+	// Migration is the live-migration model (default
+	// migrate.DefaultModel).
+	Migration *migrate.Model
+	// PerHostMigrationLimit caps concurrent migrations per host
+	// (default 4).
+	PerHostMigrationLimit int
+}
+
+// Cluster owns the simulated datacenter state.
+type Cluster struct {
+	eng  *sim.Engine
+	step time.Duration
+
+	hosts   map[host.ID]*host.Host
+	hostIDs []host.ID // insertion-ordered for determinism
+	vms     map[vm.ID]*vm.VM
+	vmIDs   []vm.ID
+	// placement maps each VM to the host where it currently runs.
+	placement map[vm.ID]host.ID
+
+	migrations *migrate.Manager
+
+	sla map[vm.ID]*telemetry.SLATracker
+	// current holds the allocation computed at the last evaluation;
+	// it is charged to the SLA trackers when the next evaluation
+	// closes the interval.
+	current  map[vm.ID]allocRecord
+	lastEval sim.Time
+
+	powerSeries     *telemetry.Series
+	demandSeries    *telemetry.Series
+	deliveredSeries *telemetry.Series
+	activeSeries    *telemetry.Series
+
+	onHostSettled   func(host.ID, power.State)
+	onMigrationDone func(vm.ID, host.ID)
+
+	// pending holds VMs that have arrived but are not yet placed on a
+	// host (dynamic provisioning). Their demand is charged as unserved
+	// until placement.
+	pending map[vm.ID]bool
+	// arrivedAt records when each pending VM arrived; provisionLat
+	// collects arrival→placement latencies.
+	arrivedAt    map[vm.ID]sim.Time
+	provisionLat []time.Duration
+
+	nextHostID host.ID
+	nextVMID   vm.ID
+	started    bool
+
+	departed int
+
+	log *events.Log
+}
+
+type allocRecord struct {
+	demand    float64
+	delivered float64
+	slo       float64
+}
+
+// New builds an empty cluster attached to the engine.
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	step := cfg.EvalStep
+	if step <= 0 {
+		step = time.Minute
+	}
+	model := migrate.DefaultModel()
+	if cfg.Migration != nil {
+		model = *cfg.Migration
+	}
+	mgr, err := migrate.NewManager(eng, model, cfg.PerHostMigrationLimit)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		eng:             eng,
+		step:            step,
+		hosts:           make(map[host.ID]*host.Host),
+		vms:             make(map[vm.ID]*vm.VM),
+		placement:       make(map[vm.ID]host.ID),
+		migrations:      mgr,
+		sla:             make(map[vm.ID]*telemetry.SLATracker),
+		current:         make(map[vm.ID]allocRecord),
+		powerSeries:     telemetry.NewSeries("cluster_power_w"),
+		demandSeries:    telemetry.NewSeries("cluster_demand_cores"),
+		deliveredSeries: telemetry.NewSeries("cluster_delivered_cores"),
+		activeSeries:    telemetry.NewSeries("active_hosts"),
+		pending:         make(map[vm.ID]bool),
+		arrivedAt:       make(map[vm.ID]sim.Time),
+		nextHostID:      1,
+		nextVMID:        1,
+		log:             events.NewLog(0),
+	}
+	mgr.OnComplete(c.finishMigration)
+	return c, nil
+}
+
+// Engine returns the simulation engine driving this cluster.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Events returns the cluster's audit log.
+func (c *Cluster) Events() *events.Log { return c.log }
+
+func (c *Cluster) record(kind events.Kind, vmID vm.ID, hostID host.ID, detail string) {
+	c.log.Append(events.Event{
+		At:     c.eng.Now(),
+		Kind:   kind,
+		VM:     int(vmID),
+		Host:   int(hostID),
+		Detail: detail,
+	})
+}
+
+// EvalStep returns the demand re-evaluation period.
+func (c *Cluster) EvalStep() time.Duration { return c.step }
+
+// Migrations returns the migration manager (read-only use).
+func (c *Cluster) Migrations() *migrate.Manager { return c.migrations }
+
+// AddHost creates a host. All hosts must be added before Start.
+func (c *Cluster) AddHost(cfg host.Config) (*host.Host, error) {
+	if c.started {
+		return nil, fmt.Errorf("cluster: cannot add hosts after Start")
+	}
+	id := c.nextHostID
+	h, err := host.New(c.eng, id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.nextHostID++
+	c.hosts[id] = h
+	c.hostIDs = append(c.hostIDs, id)
+	h.Machine().OnSettled(func(st power.State) { c.hostSettled(id, st) })
+	return h, nil
+}
+
+// AddVM creates a VM and places it on the given host.
+func (c *Cluster) AddVM(cfg vm.Config, on host.ID) (*vm.VM, error) {
+	h, ok := c.hosts[on]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown host %d", on)
+	}
+	id := c.nextVMID
+	v, err := vm.New(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.GroupConflict(on, v.Group(), id) {
+		return nil, fmt.Errorf("cluster: anti-affinity group %q conflict on host %d", v.Group(), on)
+	}
+	if err := h.Place(v); err != nil {
+		return nil, err
+	}
+	c.nextVMID++
+	c.vms[id] = v
+	c.vmIDs = append(c.vmIDs, id)
+	c.placement[id] = on
+	c.sla[id] = &telemetry.SLATracker{}
+	c.record(events.VMPlaced, id, on, "initial")
+	return v, nil
+}
+
+// AddPendingVM creates a VM that has arrived but is not yet placed —
+// dynamic provisioning. Its demand is charged as fully unserved until
+// the management layer places it with PlaceVM.
+func (c *Cluster) AddPendingVM(cfg vm.Config) (*vm.VM, error) {
+	id := c.nextVMID
+	v, err := vm.New(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.nextVMID++
+	c.vms[id] = v
+	c.vmIDs = append(c.vmIDs, id)
+	c.sla[id] = &telemetry.SLATracker{}
+	c.pending[id] = true
+	c.arrivedAt[id] = c.eng.Now()
+	c.record(events.VMArrived, id, 0, "")
+	c.evaluate()
+	return v, nil
+}
+
+// PlaceVM commits a pending VM onto a host, recording its provisioning
+// latency.
+func (c *Cluster) PlaceVM(id vm.ID, on host.ID) error {
+	if !c.pending[id] {
+		return fmt.Errorf("cluster: vm %d is not pending", id)
+	}
+	h, ok := c.hosts[on]
+	if !ok {
+		return fmt.Errorf("cluster: unknown host %d", on)
+	}
+	if !h.Available() {
+		return fmt.Errorf("cluster: host %d not available", on)
+	}
+	v := c.vms[id]
+	if c.GroupConflict(on, v.Group(), id) {
+		return fmt.Errorf("cluster: anti-affinity group %q conflict on host %d", v.Group(), on)
+	}
+	if err := h.Place(v); err != nil {
+		return err
+	}
+	delete(c.pending, id)
+	c.placement[id] = on
+	c.provisionLat = append(c.provisionLat, time.Duration(c.eng.Now()-c.arrivedAt[id]))
+	delete(c.arrivedAt, id)
+	c.record(events.VMPlaced, id, on, "provisioned")
+	c.evaluate()
+	return nil
+}
+
+// RemoveVM departs a VM (placed or pending). Migrating VMs cannot be
+// removed mid-flight; callers retry after the migration commits.
+func (c *Cluster) RemoveVM(id vm.ID) error {
+	v, ok := c.vms[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown vm %d", id)
+	}
+	if c.migrations.Migrating(id) {
+		return fmt.Errorf("cluster: vm %d is migrating; retry after it commits", id)
+	}
+	// Close the open accounting interval while the VM's allocation
+	// record still exists, so its final interval is charged.
+	c.evaluate()
+	if c.pending[id] {
+		delete(c.pending, id)
+		delete(c.arrivedAt, id)
+	} else if hid, ok := c.placement[id]; ok {
+		if err := c.hosts[hid].Remove(id); err != nil {
+			return err
+		}
+		delete(c.placement, id)
+	}
+	delete(c.vms, id)
+	for i, vid := range c.vmIDs {
+		if vid == id {
+			c.vmIDs = append(c.vmIDs[:i], c.vmIDs[i+1:]...)
+			break
+		}
+	}
+	delete(c.current, id)
+	// The SLA tracker stays in c.sla: departed VMs' service history
+	// still counts toward the run's aggregate.
+	c.departed++
+	_ = v
+	c.record(events.VMRemoved, id, 0, "")
+	c.evaluate()
+	return nil
+}
+
+// PendingVMs returns the IDs of arrived-but-unplaced VMs in arrival
+// order.
+func (c *Cluster) PendingVMs() []vm.ID {
+	var out []vm.ID
+	for _, id := range c.vmIDs {
+		if c.pending[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Departed returns how many VMs have left the cluster.
+func (c *Cluster) Departed() int { return c.departed }
+
+// ProvisionLatencies returns arrival→placement latencies of all VMs
+// placed so far (callers must not mutate).
+func (c *Cluster) ProvisionLatencies() []time.Duration { return c.provisionLat }
+
+// Start performs the initial evaluation and schedules the periodic
+// re-evaluation loop.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.lastEval = c.eng.Now()
+	c.evaluate()
+	var tick func()
+	tick = func() {
+		c.evaluate()
+		c.eng.After(c.step, tick)
+	}
+	c.eng.After(c.step, tick)
+}
+
+// Flush closes the accounting interval up to the current virtual time.
+// Call it after the final RunUntil so SLA and telemetry cover the whole
+// horizon.
+func (c *Cluster) Flush() { c.evaluate() }
+
+// evaluate closes the open accounting interval and recomputes
+// allocations, utilization and telemetry at the current time.
+func (c *Cluster) evaluate() {
+	now := c.eng.Now()
+	if dt := now - c.lastEval; dt > 0 {
+		for id, rec := range c.current {
+			c.sla[id].Record(dt, rec.demand, rec.delivered, rec.slo)
+		}
+	}
+	c.lastEval = now
+
+	totalPower := power.Watts(0)
+	totalDemand, totalDelivered := 0.0, 0.0
+	active := 0
+	for _, hid := range c.hostIDs {
+		h := c.hosts[hid]
+		demands := make(map[vm.ID]float64)
+		for _, vid := range h.VMs() {
+			demands[vid] = c.vms[vid].Demand(now)
+		}
+		alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(hid)))
+		h.Machine().SetUtilization(alloc.Utilization)
+		for _, vid := range h.VMs() {
+			v := c.vms[vid]
+			c.current[vid] = allocRecord{
+				demand:    demands[vid],
+				delivered: alloc.Delivered[vid],
+				slo:       v.SLOTarget(),
+			}
+		}
+		totalPower += h.Machine().Power()
+		totalDemand += alloc.TotalDemand
+		totalDelivered += alloc.TotalDelivered
+		if h.Available() {
+			active++
+		}
+	}
+	// Pending (unplaced) VMs demand but receive nothing — the cost of
+	// provisioning latency.
+	for _, vid := range c.vmIDs {
+		if !c.pending[vid] {
+			continue
+		}
+		v := c.vms[vid]
+		d := v.Demand(now)
+		c.current[vid] = allocRecord{demand: d, delivered: 0, slo: v.SLOTarget()}
+		totalDemand += d
+	}
+	c.powerSeries.Append(now, float64(totalPower))
+	c.demandSeries.Append(now, totalDemand)
+	c.deliveredSeries.Append(now, totalDelivered)
+	c.activeSeries.Append(now, float64(active))
+}
+
+// hostSettled runs when a host finishes a power transition.
+func (c *Cluster) hostSettled(id host.ID, st power.State) {
+	c.record(events.HostSettled, 0, id, st.String())
+	c.evaluate()
+	if c.onHostSettled != nil {
+		c.onHostSettled(id, st)
+	}
+}
+
+// OnHostSettled registers fn to run after any host completes a power
+// transition. The management layer uses this to react to wakes
+// immediately instead of waiting for its next control period.
+func (c *Cluster) OnHostSettled(fn func(host.ID, power.State)) { c.onHostSettled = fn }
+
+// Hosts returns all hosts in creation order.
+func (c *Cluster) Hosts() []*host.Host {
+	out := make([]*host.Host, len(c.hostIDs))
+	for i, id := range c.hostIDs {
+		out[i] = c.hosts[id]
+	}
+	return out
+}
+
+// Host returns a host by ID.
+func (c *Cluster) Host(id host.ID) (*host.Host, bool) {
+	h, ok := c.hosts[id]
+	return h, ok
+}
+
+// VMs returns all VMs in creation order.
+func (c *Cluster) VMs() []*vm.VM {
+	out := make([]*vm.VM, len(c.vmIDs))
+	for i, id := range c.vmIDs {
+		out[i] = c.vms[id]
+	}
+	return out
+}
+
+// VM returns a VM by ID.
+func (c *Cluster) VM(id vm.ID) (*vm.VM, bool) {
+	v, ok := c.vms[id]
+	return v, ok
+}
+
+// Placement returns the host a VM currently runs on.
+func (c *Cluster) Placement(id vm.ID) (host.ID, bool) {
+	h, ok := c.placement[id]
+	return h, ok
+}
+
+// Migrating reports whether the VM is in flight.
+func (c *Cluster) Migrating(id vm.ID) bool { return c.migrations.Migrating(id) }
+
+// GroupConflict reports whether placing a VM of the given
+// anti-affinity group on host h would violate the group: another
+// member is resident, or an in-flight migration is about to land one
+// there. An empty group never conflicts.
+func (c *Cluster) GroupConflict(h host.ID, group string, exclude vm.ID) bool {
+	if group == "" {
+		return false
+	}
+	hh, ok := c.hosts[h]
+	if !ok {
+		return false
+	}
+	for _, vid := range hh.VMs() {
+		if vid == exclude {
+			continue
+		}
+		if c.vms[vid].Group() == group {
+			return true
+		}
+	}
+	for _, mig := range c.migrations.Inflights() {
+		if host.ID(mig.Dst) != h || mig.VM == exclude {
+			continue
+		}
+		if v, ok := c.vms[mig.VM]; ok && v.Group() == group {
+			return true
+		}
+	}
+	return false
+}
+
+// StartMigration begins moving a VM to dst. The VM keeps running on
+// its source (with migration CPU overhead on both ends) until the
+// pre-copy completes; the final stop-and-copy downtime is charged to
+// the VM's SLA.
+func (c *Cluster) StartMigration(id vm.ID, dst host.ID) error {
+	v, ok := c.vms[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown vm %d", id)
+	}
+	src, ok := c.placement[id]
+	if !ok {
+		return fmt.Errorf("cluster: vm %d has no placement", id)
+	}
+	if src == dst {
+		return fmt.Errorf("cluster: vm %d already on host %d", id, dst)
+	}
+	dstHost, ok := c.hosts[dst]
+	if !ok {
+		return fmt.Errorf("cluster: unknown destination host %d", dst)
+	}
+	if !dstHost.Available() {
+		return fmt.Errorf("cluster: destination host %d not available (%v/%v)",
+			dst, dstHost.Machine().State(), dstHost.Machine().Phase())
+	}
+	if c.migrations.Migrating(id) {
+		return fmt.Errorf("cluster: vm %d already migrating", id)
+	}
+	if !c.migrations.CanStart(int(src), int(dst)) {
+		return fmt.Errorf("cluster: migration slots exhausted for %d→%d", src, dst)
+	}
+	if c.GroupConflict(dst, v.Group(), id) {
+		return fmt.Errorf("cluster: anti-affinity group %q conflict on host %d", v.Group(), dst)
+	}
+	if err := dstHost.Reserve(id, v.MemoryGB()); err != nil {
+		return err
+	}
+	if _, err := c.migrations.Start(id, int(src), int(dst), v.MemoryGB()); err != nil {
+		dstHost.ReleaseReservation(id)
+		return err
+	}
+	c.record(events.MigrationStarted, id, dst, fmt.Sprintf("%d→%d", src, dst))
+	c.evaluate() // migration overhead starts now
+	return nil
+}
+
+// finishMigration commits a completed migration.
+func (c *Cluster) finishMigration(mig *migrate.Migration) {
+	v := c.vms[mig.VM]
+	src := c.hosts[host.ID(mig.Src)]
+	dst := c.hosts[host.ID(mig.Dst)]
+	if err := src.Remove(mig.VM); err != nil {
+		panic(fmt.Sprintf("cluster: migration invariant broken: %v", err))
+	}
+	dst.ReleaseReservation(mig.VM)
+	if err := dst.Place(v); err != nil {
+		panic(fmt.Sprintf("cluster: migration reservation broken: %v", err))
+	}
+	c.placement[mig.VM] = host.ID(mig.Dst)
+	// The stop-and-copy pause fully blanks the VM.
+	c.sla[mig.VM].RecordOutage(mig.Plan.Downtime, v.Demand(c.eng.Now()))
+	c.record(events.MigrationCompleted, mig.VM, host.ID(mig.Dst),
+		fmt.Sprintf("%d→%d in %v", mig.Src, mig.Dst, mig.Plan.Duration.Round(time.Millisecond)))
+	c.evaluate()
+	if c.onMigrationDone != nil {
+		c.onMigrationDone(mig.VM, host.ID(mig.Dst))
+	}
+}
+
+// OnMigrationDone registers fn to run after each migration commits.
+// The management layer uses it to issue follow-up moves as soon as
+// migration slots free up, instead of waiting for the next control
+// period.
+func (c *Cluster) OnMigrationDone(fn func(vm.ID, host.ID)) { c.onMigrationDone = fn }
+
+// SleepHost parks an empty, available host in the given sleep state.
+func (c *Cluster) SleepHost(id host.ID, st power.State) error {
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown host %d", id)
+	}
+	if !h.Empty() {
+		return fmt.Errorf("cluster: host %d not empty (%d vms)", id, h.NumVMs())
+	}
+	if c.migrations.HostLoad(int(id)) > 0 {
+		return fmt.Errorf("cluster: host %d has in-flight migrations", id)
+	}
+	if err := h.Machine().Sleep(st); err != nil {
+		return err
+	}
+	c.record(events.HostSleeping, 0, id, st.String())
+	c.evaluate()
+	return nil
+}
+
+// WakeHost starts waking a sleeping host. The host becomes available
+// after its power state's exit latency; OnHostSettled fires then.
+func (c *Cluster) WakeHost(id host.ID) error {
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown host %d", id)
+	}
+	if err := h.Machine().Wake(); err != nil {
+		return err
+	}
+	c.record(events.HostWaking, 0, id, "")
+	c.evaluate()
+	return nil
+}
+
+// LastEvaluation returns the total demand and delivered CPU recorded
+// at the most recent evaluation — the monitoring signal the manager's
+// panic brake watches.
+func (c *Cluster) LastEvaluation() (demand, delivered float64) {
+	n := c.demandSeries.Len()
+	if n == 0 {
+		return 0, 0
+	}
+	return c.demandSeries.Points()[n-1].Value, c.deliveredSeries.Points()[n-1].Value
+}
+
+// TotalDemand returns the sum of all VM demands at the current time.
+func (c *Cluster) TotalDemand() float64 {
+	total := 0.0
+	now := c.eng.Now()
+	for _, id := range c.vmIDs {
+		total += c.vms[id].Demand(now)
+	}
+	return total
+}
+
+// TotalPower returns the instantaneous cluster draw.
+func (c *Cluster) TotalPower() power.Watts {
+	total := power.Watts(0)
+	for _, id := range c.hostIDs {
+		total += c.hosts[id].Machine().Power()
+	}
+	return total
+}
+
+// TotalEnergy returns the cluster energy consumed so far.
+func (c *Cluster) TotalEnergy() power.Joules {
+	total := power.Joules(0)
+	for _, id := range c.hostIDs {
+		total += c.hosts[id].Machine().Energy()
+	}
+	return total
+}
+
+// AvailableHosts returns hosts currently able to run VMs, in ID order.
+func (c *Cluster) AvailableHosts() []*host.Host {
+	var out []*host.Host
+	for _, id := range c.hostIDs {
+		if c.hosts[id].Available() {
+			out = append(out, c.hosts[id])
+		}
+	}
+	return out
+}
+
+// SLA returns the tracker of one VM.
+func (c *Cluster) SLA(id vm.ID) (*telemetry.SLATracker, bool) {
+	s, ok := c.sla[id]
+	return s, ok
+}
+
+// AggregateSLA merges all VM trackers into one cluster-wide view.
+func (c *Cluster) AggregateSLA() *telemetry.SLATracker {
+	agg := &telemetry.SLATracker{}
+	ids := make([]vm.ID, 0, len(c.sla))
+	for id := range c.sla {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		agg.Merge(c.sla[id])
+	}
+	return agg
+}
+
+// PowerSeries returns the sampled cluster power (watts).
+func (c *Cluster) PowerSeries() *telemetry.Series { return c.powerSeries }
+
+// DemandSeries returns the sampled total demand (cores).
+func (c *Cluster) DemandSeries() *telemetry.Series { return c.demandSeries }
+
+// DeliveredSeries returns the sampled delivered CPU (cores).
+func (c *Cluster) DeliveredSeries() *telemetry.Series { return c.deliveredSeries }
+
+// ActiveHostSeries returns the sampled count of available hosts.
+func (c *Cluster) ActiveHostSeries() *telemetry.Series { return c.activeSeries }
+
+// ResumeFailures returns total failed S3 resumes across all hosts.
+func (c *Cluster) ResumeFailures() int {
+	total := 0
+	for _, id := range c.hostIDs {
+		total += c.hosts[id].Machine().Stats().ResumeFailures
+	}
+	return total
+}
+
+// PowerActions returns total sleep entries and exits across all hosts.
+func (c *Cluster) PowerActions() (entries, exits int) {
+	for _, id := range c.hostIDs {
+		st := c.hosts[id].Machine().Stats()
+		for _, n := range st.Entries {
+			entries += n
+		}
+		for _, n := range st.Exits {
+			exits += n
+		}
+	}
+	return entries, exits
+}

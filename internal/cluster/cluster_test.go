@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func newTestCluster(t *testing.T, hosts int) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	c, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hosts; i++ {
+		if _, err := c.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, c
+}
+
+func addVM(t *testing.T, c *Cluster, on host.ID, demand float64) *vm.VM {
+	t.Helper()
+	v, err := c.AddVM(vm.Config{VCPUs: 8, MemoryGB: 8, Trace: workload.Constant(demand)}, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestAddHostAndVM(t *testing.T) {
+	_, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 2)
+	if len(c.Hosts()) != 2 || len(c.VMs()) != 1 {
+		t.Fatal("inventory wrong")
+	}
+	hid, ok := c.Placement(v.ID())
+	if !ok || hid != 1 {
+		t.Fatalf("placement = %v/%v", hid, ok)
+	}
+	h, _ := c.Host(1)
+	if h.NumVMs() != 1 {
+		t.Fatal("VM not on host")
+	}
+	if _, ok := c.VM(v.ID()); !ok {
+		t.Fatal("VM lookup failed")
+	}
+	if _, ok := c.SLA(v.ID()); !ok {
+		t.Fatal("SLA tracker missing")
+	}
+}
+
+func TestAddVMUnknownHost(t *testing.T) {
+	_, c := newTestCluster(t, 1)
+	if _, err := c.AddVM(vm.Config{VCPUs: 1, MemoryGB: 1, Trace: workload.Constant(1)}, 99); err == nil {
+		t.Fatal("accepted unknown host")
+	}
+}
+
+func TestAddHostAfterStartRejected(t *testing.T) {
+	_, c := newTestCluster(t, 1)
+	c.Start()
+	if _, err := c.AddHost(host.Config{Cores: 4, MemoryGB: 16}); err == nil {
+		t.Fatal("AddHost after Start accepted")
+	}
+}
+
+func TestSteadyStateEnergyAndSLA(t *testing.T) {
+	eng, c := newTestCluster(t, 1)
+	addVM(t, c, 1, 8) // util 0.5 → 200 W on default profile
+	c.Start()
+	eng.RunUntil(time.Hour)
+	c.Flush()
+
+	wantJ := 200.0 * 3600
+	if got := float64(c.TotalEnergy()); math.Abs(got-wantJ) > 1 {
+		t.Fatalf("energy = %v J, want %v J", got, wantJ)
+	}
+	agg := c.AggregateSLA()
+	if agg.Satisfaction() != 1 {
+		t.Fatalf("satisfaction = %v, want 1", agg.Satisfaction())
+	}
+	if agg.DemandCoreSeconds() != 8*3600 {
+		t.Fatalf("demand = %v core-s, want %v", agg.DemandCoreSeconds(), 8*3600)
+	}
+}
+
+func TestOversubscriptionCausesViolations(t *testing.T) {
+	eng, c := newTestCluster(t, 1)
+	// Three VMs × 8 cores demand on a 16-core host.
+	for i := 0; i < 3; i++ {
+		addVM(t, c, 1, 8)
+	}
+	c.Start()
+	eng.RunUntil(time.Hour)
+	c.Flush()
+	agg := c.AggregateSLA()
+	if got := agg.Satisfaction(); math.Abs(got-16.0/24) > 0.01 {
+		t.Fatalf("satisfaction = %v, want ~0.667", got)
+	}
+	if agg.ViolationFraction() < 0.99 {
+		t.Fatalf("violation fraction = %v, want ~1", agg.ViolationFraction())
+	}
+}
+
+func TestMigrationMovesVM(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 2)
+	c.Start()
+	eng.RunUntil(time.Minute)
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Migrating(v.ID()) {
+		t.Fatal("VM not marked migrating")
+	}
+	// 8 GB at 10 Gbps converges in well under a minute.
+	eng.RunUntil(3 * time.Minute)
+	if c.Migrating(v.ID()) {
+		t.Fatal("migration never completed")
+	}
+	hid, _ := c.Placement(v.ID())
+	if hid != 2 {
+		t.Fatalf("placement = %d, want 2", hid)
+	}
+	h1, _ := c.Host(1)
+	h2, _ := c.Host(2)
+	if h1.NumVMs() != 0 || h2.NumVMs() != 1 {
+		t.Fatal("hosts out of sync with placement")
+	}
+	if h2.MemFreeGB() != 64-8 {
+		t.Fatalf("dest memory = %v", h2.MemFreeGB())
+	}
+	st := c.Migrations().Stats()
+	if st.Completed != 1 || st.TotalDowntime <= 0 {
+		t.Fatalf("migration stats = %+v", st)
+	}
+	// Downtime was charged to the VM's SLA.
+	sla, _ := c.SLA(v.ID())
+	if sla.ViolationTime() < st.TotalDowntime {
+		t.Fatalf("downtime not charged: %v < %v", sla.ViolationTime(), st.TotalDowntime)
+	}
+}
+
+func TestMigrationRejectsBadRequests(t *testing.T) {
+	eng, c := newTestCluster(t, 3)
+	v := addVM(t, c, 1, 2)
+	c.Start()
+
+	if err := c.StartMigration(99, 2); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	if err := c.StartMigration(v.ID(), 99); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if err := c.StartMigration(v.ID(), 1); err == nil {
+		t.Fatal("same-host migration accepted")
+	}
+	// Sleeping destination.
+	if err := c.SleepHost(3, power.S3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMigration(v.ID(), 3); err == nil {
+		t.Fatal("migration to sleeping host accepted")
+	}
+	// Double migration.
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMigration(v.ID(), 2); err == nil {
+		t.Fatal("double migration accepted")
+	}
+	_ = eng
+}
+
+func TestMigrationReservesDestinationMemory(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	// Fill host 2 to 60/64 GB.
+	big, err := c.AddVM(vm.Config{VCPUs: 8, MemoryGB: 60, Trace: workload.Constant(1)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = big
+	v := addVM(t, c, 1, 1) // 8 GB on host 1
+	c.Start()
+	if err := c.StartMigration(v.ID(), 2); err == nil {
+		t.Fatal("migration accepted without destination memory")
+	}
+	_ = eng
+}
+
+func TestSleepRequiresEmptyHost(t *testing.T) {
+	_, c := newTestCluster(t, 2)
+	addVM(t, c, 1, 2)
+	c.Start()
+	if err := c.SleepHost(1, power.S3); err == nil {
+		t.Fatal("slept a host with VMs")
+	}
+	if err := c.SleepHost(2, power.S3); err != nil {
+		t.Fatalf("empty host refused to sleep: %v", err)
+	}
+	if err := c.SleepHost(99, power.S3); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestSleepRejectedWithInboundMigration(t *testing.T) {
+	_, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 2)
+	c.Start()
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Host 2 has no VMs yet but has an inbound reservation.
+	if err := c.SleepHost(2, power.S3); err == nil {
+		t.Fatal("slept a host with inbound migration")
+	}
+}
+
+func TestWakeHostLifecycleAndCallback(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	addVM(t, c, 1, 2)
+	c.Start()
+
+	var settled []host.ID
+	c.OnHostSettled(func(id host.ID, st power.State) {
+		if st == power.S0 {
+			settled = append(settled, id)
+		}
+	})
+
+	if err := c.SleepHost(2, power.S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * time.Second) // entry done at 8s
+	h2, _ := c.Host(2)
+	if h2.Machine().State() != power.S3 {
+		t.Fatalf("host 2 state = %v", h2.Machine().State())
+	}
+	if len(c.AvailableHosts()) != 1 {
+		t.Fatal("sleeping host counted available")
+	}
+	if err := c.WakeHost(2); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(30 * time.Second) // exit latency 15s
+	if !h2.Available() {
+		t.Fatal("host 2 not available after wake")
+	}
+	if len(settled) != 1 || settled[0] != 2 {
+		t.Fatalf("settle callbacks = %v", settled)
+	}
+	if err := c.WakeHost(99); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	entries, exits := c.PowerActions()
+	if entries != 1 || exits != 1 {
+		t.Fatalf("power actions = %d/%d", entries, exits)
+	}
+}
+
+func TestSleepingHostSavesEnergy(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	c.Start()
+	if err := c.SleepHost(2, power.S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Hour)
+	c.Flush()
+	h1, _ := c.Host(1)
+	h2, _ := c.Host(2)
+	if h2.Machine().Energy() >= h1.Machine().Energy() {
+		t.Fatalf("sleeping host used %v J vs awake %v J", h2.Machine().Energy(), h1.Machine().Energy())
+	}
+}
+
+func TestTelemetrySeriesPopulated(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	addVM(t, c, 1, 4)
+	c.Start()
+	eng.RunUntil(10 * time.Minute)
+	c.Flush()
+	if c.PowerSeries().Len() < 10 {
+		t.Fatalf("power series has %d samples", c.PowerSeries().Len())
+	}
+	if c.DemandSeries().At(5*time.Minute) != 4 {
+		t.Fatalf("demand series = %v", c.DemandSeries().At(5*time.Minute))
+	}
+	if c.DeliveredSeries().At(5*time.Minute) != 4 {
+		t.Fatalf("delivered series = %v", c.DeliveredSeries().At(5*time.Minute))
+	}
+	if c.ActiveHostSeries().At(5*time.Minute) != 2 {
+		t.Fatalf("active series = %v", c.ActiveHostSeries().At(5*time.Minute))
+	}
+	// Power series should match TotalPower at eval instants:
+	// host1 at util 4/16=0.25 → 175 W; host2 deep-idle 120 W.
+	if got := c.PowerSeries().At(5 * time.Minute); got != 295 {
+		t.Fatalf("power sample = %v, want 295", got)
+	}
+}
+
+func TestTotalsAndTimeVaryingDemand(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := workload.NewTrace(time.Minute, []float64{2, 6})
+	if _, err := c.AddVM(vm.Config{VCPUs: 8, MemoryGB: 8, Trace: tr}, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if c.TotalDemand() != 2 {
+		t.Fatalf("demand(0) = %v", c.TotalDemand())
+	}
+	eng.RunUntil(90 * time.Second)
+	if c.TotalDemand() != 6 {
+		t.Fatalf("demand(90s) = %v", c.TotalDemand())
+	}
+	c.Flush()
+	// Energy: first minute at util 2/16 → P=150+12.5=162.5; 30s at
+	// util 6/16 → 187.5.
+	want := 162.5*60 + 187.5*30
+	if got := float64(c.TotalEnergy()); math.Abs(got-want) > 1 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	if got := float64(c.TotalPower()); got != 187.5 {
+		t.Fatalf("power = %v, want 187.5", got)
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func groupVM(t *testing.T, c *Cluster, on host.ID, group string) *vm.VM {
+	t.Helper()
+	v, err := c.AddVM(vm.Config{
+		VCPUs: 2, MemoryGB: 4, Trace: workload.Constant(0.5), Group: group,
+	}, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestGroupConflictResident(t *testing.T) {
+	_, c := newTestCluster(t, 3)
+	v1 := groupVM(t, c, 1, "db")
+	c.Start()
+
+	if !c.GroupConflict(1, "db", 99) {
+		t.Fatal("resident member not detected")
+	}
+	if c.GroupConflict(2, "db", 99) {
+		t.Fatal("conflict on empty host")
+	}
+	if c.GroupConflict(1, "", 99) {
+		t.Fatal("empty group conflicts")
+	}
+	// The member itself is excluded.
+	if c.GroupConflict(1, "db", v1.ID()) {
+		t.Fatal("self-conflict")
+	}
+	if c.GroupConflict(99, "db", 0) {
+		t.Fatal("unknown host conflicts")
+	}
+}
+
+func TestGroupConflictInflightMigration(t *testing.T) {
+	eng, c := newTestCluster(t, 3)
+	v1 := groupVM(t, c, 1, "db")
+	c.Start()
+	if err := c.StartMigration(v1.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Host 2 will receive a "db" member: it already conflicts.
+	if !c.GroupConflict(2, "db", 99) {
+		t.Fatal("inbound migration member not detected")
+	}
+	eng.RunUntil(5 * time.Minute)
+	if !c.GroupConflict(2, "db", 99) {
+		t.Fatal("landed member not detected")
+	}
+	if c.GroupConflict(1, "db", 99) {
+		t.Fatal("source still conflicts after the move")
+	}
+}
+
+func TestGroupRejectionsAtClusterBoundary(t *testing.T) {
+	_, c := newTestCluster(t, 2)
+	groupVM(t, c, 1, "db")
+	c.Start()
+	// Second member on the same host via AddVM.
+	if _, err := c.AddVM(vm.Config{
+		VCPUs: 2, MemoryGB: 4, Trace: workload.Constant(0.5), Group: "db",
+	}, 1); err == nil {
+		t.Fatal("AddVM co-located a group")
+	}
+	// Via PlaceVM.
+	p, err := c.AddPendingVM(vm.Config{
+		VCPUs: 2, MemoryGB: 4, Trace: workload.Constant(0.5), Group: "db",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlaceVM(p.ID(), 1); err == nil {
+		t.Fatal("PlaceVM co-located a group")
+	}
+	if err := c.PlaceVM(p.ID(), 2); err != nil {
+		t.Fatalf("conflict-free placement rejected: %v", err)
+	}
+	// Via migration.
+	v3 := groupVM(t, c, 1, "db2")
+	_ = v3
+	if err := c.StartMigration(p.ID(), 1); err == nil {
+		t.Fatal("migration would co-locate a group")
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	eng, c := newTestCluster(t, 1)
+	if c.Engine() != eng {
+		t.Fatal("Engine accessor wrong")
+	}
+	if c.EvalStep() != time.Minute {
+		t.Fatalf("EvalStep = %v", c.EvalStep())
+	}
+	if c.Events() == nil {
+		t.Fatal("Events nil")
+	}
+	if c.ResumeFailures() != 0 {
+		t.Fatal("resume failures nonzero")
+	}
+	c.Start()
+	d, del := c.LastEvaluation()
+	if d != 0 || del != 0 {
+		t.Fatalf("LastEvaluation = %v/%v on idle cluster", d, del)
+	}
+	addVM(t, c, 1, 2)
+	eng.RunUntil(2 * time.Minute)
+	d, del = c.LastEvaluation()
+	if d != 2 || del != 2 {
+		t.Fatalf("LastEvaluation = %v/%v, want 2/2", d, del)
+	}
+}

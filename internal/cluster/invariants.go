@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"agilepower/internal/host"
+	"agilepower/internal/power"
+	"agilepower/internal/vm"
+)
+
+// CheckInvariants verifies the cluster's structural consistency. It is
+// meant for tests and debugging harnesses (the randomized stress tests
+// call it after every event), not for hot paths. It returns the first
+// violation found:
+//
+//   - the placement map and host containment agree bidirectionally,
+//   - every VM is placed on exactly one host or pending, never both,
+//   - per-host memory accounting matches the sum of resident VMs and
+//     inbound reservations and fits capacity,
+//   - migrating VMs are placed on their migration's source host,
+//   - sleeping or transitioning hosts hold no VMs,
+//   - power machines are in coherent state/phase combinations.
+func (c *Cluster) CheckInvariants() error {
+	// Placement → containment.
+	seenOn := make(map[vm.ID]host.ID)
+	for _, hid := range c.hostIDs {
+		h := c.hosts[hid]
+		memSum := 0.0
+		groups := make(map[string]vm.ID)
+		for _, vid := range h.VMs() {
+			v, ok := c.vms[vid]
+			if !ok {
+				return fmt.Errorf("host %d contains unknown vm %d", hid, vid)
+			}
+			if prev, dup := seenOn[vid]; dup {
+				return fmt.Errorf("vm %d resident on hosts %d and %d", vid, prev, hid)
+			}
+			seenOn[vid] = hid
+			if got, ok := c.placement[vid]; !ok || got != hid {
+				return fmt.Errorf("vm %d resident on host %d but placement says %v", vid, hid, got)
+			}
+			if c.pending[vid] {
+				return fmt.Errorf("vm %d is both resident and pending", vid)
+			}
+			if g := v.Group(); g != "" {
+				if other, dup := groups[g]; dup {
+					return fmt.Errorf("anti-affinity group %q violated: vms %d and %d share host %d", g, other, vid, hid)
+				}
+				groups[g] = vid
+			}
+			memSum += v.MemoryGB()
+		}
+		// CPU reservation admission must hold.
+		resSum := 0.0
+		for _, vid := range h.VMs() {
+			resSum += c.vms[vid].ReservedCores()
+		}
+		if h.CPUReservedCores() > h.Cores()+1e-9 {
+			return fmt.Errorf("host %d cpu reservations %v exceed capacity %v", hid, h.CPUReservedCores(), h.Cores())
+		}
+		if math.Abs(h.CPUReservedCores()-resSum) > 1e-9 {
+			return fmt.Errorf("host %d cpu reservation accounting %v != resident sum %v", hid, h.CPUReservedCores(), resSum)
+		}
+		// Host memory accounting: MemUsedGB includes reservations; the
+		// resident share must be consistent and total within capacity.
+		if h.MemUsedGB() > h.MemoryGB()+1e-9 {
+			return fmt.Errorf("host %d memory overcommitted: %v > %v", hid, h.MemUsedGB(), h.MemoryGB())
+		}
+		if h.MemUsedGB()+1e-9 < memSum {
+			return fmt.Errorf("host %d memory accounting below resident sum: %v < %v", hid, h.MemUsedGB(), memSum)
+		}
+		// Unavailable hosts must be empty of residents.
+		if !h.Available() && h.NumVMs() > 0 {
+			return fmt.Errorf("host %d (%v/%v) holds %d vms while unavailable",
+				hid, h.Machine().State(), h.Machine().Phase(), h.NumVMs())
+		}
+		// Machine coherence.
+		m := h.Machine()
+		switch m.Phase() {
+		case power.Settled:
+		case power.Entering:
+			if !m.Target().IsSleep() {
+				return fmt.Errorf("host %d entering non-sleep state %v", hid, m.Target())
+			}
+		case power.Exiting:
+			if m.Target() != power.S0 {
+				return fmt.Errorf("host %d exiting toward %v", hid, m.Target())
+			}
+		default:
+			return fmt.Errorf("host %d in unknown phase %v", hid, m.Phase())
+		}
+		if u := m.Utilization(); u < 0 || u > 1 || math.IsNaN(u) {
+			return fmt.Errorf("host %d utilization %v out of range", hid, u)
+		}
+	}
+	// Containment ← placement.
+	for vid, hid := range c.placement {
+		if _, ok := c.vms[vid]; !ok {
+			return fmt.Errorf("placement references unknown vm %d", vid)
+		}
+		h, ok := c.hosts[hid]
+		if !ok {
+			return fmt.Errorf("vm %d placed on unknown host %d", vid, hid)
+		}
+		if _, resident := h.Get(vid); !resident {
+			return fmt.Errorf("placement says vm %d on host %d but it is not resident", vid, hid)
+		}
+	}
+	// Pending VMs exist and have no placement.
+	for vid := range c.pending {
+		if _, ok := c.vms[vid]; !ok {
+			return fmt.Errorf("pending references unknown vm %d", vid)
+		}
+		if _, placed := c.placement[vid]; placed {
+			return fmt.Errorf("pending vm %d has a placement", vid)
+		}
+	}
+	// Migrating VMs run on their migration source.
+	for _, mig := range c.migrations.Inflights() {
+		hid, ok := c.placement[mig.VM]
+		if !ok {
+			return fmt.Errorf("migrating vm %d has no placement", mig.VM)
+		}
+		if int(hid) != mig.Src {
+			return fmt.Errorf("migrating vm %d placed on %d, migration source is %d", mig.VM, hid, mig.Src)
+		}
+		dst, ok := c.hosts[host.ID(mig.Dst)]
+		if !ok {
+			return fmt.Errorf("migration of vm %d targets unknown host %d", mig.VM, mig.Dst)
+		}
+		_ = dst
+	}
+	// Energy is finite and non-negative.
+	if e := float64(c.TotalEnergy()); e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+		return fmt.Errorf("total energy %v out of range", e)
+	}
+	return nil
+}

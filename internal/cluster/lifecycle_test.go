@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func TestPendingVMLifecycle(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	c.Start()
+	eng.RunUntil(10 * time.Minute)
+
+	v, err := c.AddPendingVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend := c.PendingVMs()
+	if len(pend) != 1 || pend[0] != v.ID() {
+		t.Fatalf("pending = %v", pend)
+	}
+	if _, placed := c.Placement(v.ID()); placed {
+		t.Fatal("pending VM has a placement")
+	}
+	// Pending demand is charged as unserved.
+	eng.RunUntil(20 * time.Minute)
+	c.Flush()
+	sla, _ := c.SLA(v.ID())
+	if sla.Satisfaction() != 0 {
+		t.Fatalf("pending VM satisfaction = %v, want 0", sla.Satisfaction())
+	}
+	if sla.ViolationTime() != 10*time.Minute {
+		t.Fatalf("pending violation time = %v, want 10m", sla.ViolationTime())
+	}
+	// Demand series includes the pending VM.
+	if got := c.DemandSeries().At(15 * time.Minute); got != 2 {
+		t.Fatalf("demand with pending VM = %v, want 2", got)
+	}
+
+	// Place it; provisioning latency is recorded.
+	if err := c.PlaceVM(v.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PendingVMs()) != 0 {
+		t.Fatal("still pending after placement")
+	}
+	lats := c.ProvisionLatencies()
+	if len(lats) != 1 || lats[0] != 10*time.Minute {
+		t.Fatalf("provision latencies = %v, want [10m]", lats)
+	}
+	hid, _ := c.Placement(v.ID())
+	if hid != 1 {
+		t.Fatalf("placement = %v", hid)
+	}
+	// Served from now on.
+	eng.RunUntil(30 * time.Minute)
+	c.Flush()
+	if got := c.DeliveredSeries().At(25 * time.Minute); got != 2 {
+		t.Fatalf("delivered = %v, want 2", got)
+	}
+}
+
+func TestPlaceVMErrors(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	c.Start()
+	placed := addVM(t, c, 1, 1)
+	if err := c.PlaceVM(placed.ID(), 2); err == nil {
+		t.Fatal("placed a non-pending VM")
+	}
+	v, _ := c.AddPendingVM(vm.Config{VCPUs: 1, MemoryGB: 8, Trace: workload.Constant(1)})
+	if err := c.PlaceVM(v.ID(), 99); err == nil {
+		t.Fatal("placed on unknown host")
+	}
+	// Sleeping host refused.
+	if err := c.SleepHost(2, 1 /* S3 */); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlaceVM(v.ID(), 2); err == nil {
+		t.Fatal("placed on sleeping host")
+	}
+	_ = eng
+}
+
+func TestPlaceVMMemoryAdmission(t *testing.T) {
+	_, c := newTestCluster(t, 1)
+	c.Start()
+	v, err := c.AddPendingVM(vm.Config{VCPUs: 1, MemoryGB: 100, Trace: workload.Constant(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PlaceVM(v.ID(), 1); err == nil {
+		t.Fatal("placed VM larger than host memory (64GB)")
+	}
+	if len(c.PendingVMs()) != 1 {
+		t.Fatal("failed placement should leave VM pending")
+	}
+}
+
+func TestRemoveVMPlaced(t *testing.T) {
+	eng, c := newTestCluster(t, 1)
+	v := addVM(t, c, 1, 4)
+	c.Start()
+	eng.RunUntil(10 * time.Minute)
+	if err := c.RemoveVM(v.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Departed() != 1 {
+		t.Fatalf("departed = %d", c.Departed())
+	}
+	if _, ok := c.VM(v.ID()); ok {
+		t.Fatal("VM still in inventory")
+	}
+	h, _ := c.Host(1)
+	if h.NumVMs() != 0 || h.MemFreeGB() != 64 {
+		t.Fatal("host not released")
+	}
+	// Final interval was charged before removal.
+	agg := c.AggregateSLA()
+	if agg.DemandCoreSeconds() != 4*600 {
+		t.Fatalf("departed VM demand = %v core-s, want %v", agg.DemandCoreSeconds(), 4*600)
+	}
+	// Demand drops after departure.
+	eng.RunUntil(20 * time.Minute)
+	c.Flush()
+	if got := c.DemandSeries().At(15 * time.Minute); got != 0 {
+		t.Fatalf("demand after departure = %v", got)
+	}
+}
+
+func TestRemoveVMPendingAndUnknown(t *testing.T) {
+	_, c := newTestCluster(t, 1)
+	c.Start()
+	v, _ := c.AddPendingVM(vm.Config{VCPUs: 1, MemoryGB: 8, Trace: workload.Constant(1)})
+	if err := c.RemoveVM(v.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PendingVMs()) != 0 {
+		t.Fatal("pending not cleared")
+	}
+	if err := c.RemoveVM(999); err == nil {
+		t.Fatal("removed unknown VM")
+	}
+}
+
+func TestRemoveVMRefusedWhileMigrating(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 2)
+	c.Start()
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveVM(v.ID()); err == nil {
+		t.Fatal("removed a migrating VM")
+	}
+	eng.RunUntil(5 * time.Minute) // migration commits
+	if err := c.RemoveVM(v.ID()); err != nil {
+		t.Fatalf("removal after migration failed: %v", err)
+	}
+}
+
+func TestHostConfigZeroValue(t *testing.T) {
+	// Regression guard: lifecycle tests rely on 16-core/64GB hosts from
+	// newTestCluster; make the assumption explicit.
+	eng, c := newTestCluster(t, 1)
+	h, _ := c.Host(1)
+	if h.Cores() != 16 || h.MemoryGB() != 64 {
+		t.Fatalf("test hosts changed: %v", h)
+	}
+	_ = eng
+	_ = host.Config{}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// TestInvariantsHoldOnQuietCluster is the baseline sanity check.
+func TestInvariantsHoldOnQuietCluster(t *testing.T) {
+	eng, c := newTestCluster(t, 3)
+	addVM(t, c, 1, 2)
+	c.Start()
+	eng.RunUntil(time.Hour)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressRandomOperations hammers the cluster with random
+// lifecycle, migration and power actions, checking every structural
+// invariant after each event. Operations are allowed to fail (the
+// cluster rejects invalid requests); corruption is not.
+func TestStressRandomOperations(t *testing.T) {
+	eng := sim.NewEngine(12345)
+	c, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hosts = 6
+	for i := 0; i < hosts; i++ {
+		if _, err := c.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(99)
+	var vms []vm.ID
+	for i := 0; i < 10; i++ {
+		v, err := c.AddVM(vm.Config{
+			VCPUs:    4,
+			MemoryGB: rng.Range(2, 12),
+			Trace:    workload.Constant(rng.Range(0, 3)),
+		}, host.ID(rng.Intn(hosts)+1))
+		if err == nil {
+			vms = append(vms, v.ID())
+		}
+	}
+	c.Start()
+
+	check := func(op string) {
+		t.Helper()
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("invariant broken after %s at %v: %v", op, eng.Now(), err)
+		}
+	}
+	check("setup")
+
+	for step := 0; step < 800; step++ {
+		eng.RunUntil(eng.Now() + time.Duration(rng.Intn(120)+1)*time.Second)
+		switch rng.Intn(7) {
+		case 0: // migrate a random VM somewhere
+			if len(vms) > 0 {
+				id := vms[rng.Intn(len(vms))]
+				dst := host.ID(rng.Intn(hosts) + 1)
+				_ = c.StartMigration(id, dst)
+			}
+		case 1: // sleep a random host
+			hid := host.ID(rng.Intn(hosts) + 1)
+			st := power.S3
+			if rng.Intn(2) == 0 {
+				st = power.S5
+			}
+			_ = c.SleepHost(hid, st)
+		case 2: // wake a random host
+			_ = c.WakeHost(host.ID(rng.Intn(hosts) + 1))
+		case 3: // new pending VM
+			v, err := c.AddPendingVM(vm.Config{
+				VCPUs:    4,
+				MemoryGB: rng.Range(2, 12),
+				Trace:    workload.Constant(rng.Range(0, 3)),
+			})
+			if err == nil {
+				vms = append(vms, v.ID())
+			}
+		case 4: // place a pending VM
+			if p := c.PendingVMs(); len(p) > 0 {
+				_ = c.PlaceVM(p[rng.Intn(len(p))], host.ID(rng.Intn(hosts)+1))
+			}
+		case 5: // remove a random VM
+			if len(vms) > 0 {
+				i := rng.Intn(len(vms))
+				if err := c.RemoveVM(vms[i]); err == nil {
+					vms = append(vms[:i], vms[i+1:]...)
+				}
+			}
+		case 6: // just advance time
+		}
+		check("op")
+	}
+	// Drain: let everything settle, then final check.
+	eng.RunUntil(eng.Now() + time.Hour)
+	c.Flush()
+	check("final")
+}
+
+// TestStressDeterminism runs the same stress sequence twice and
+// compares the outcome exactly.
+func TestStressDeterminism(t *testing.T) {
+	run := func() (float64, int) {
+		eng := sim.NewEngine(7)
+		c, _ := New(eng, Config{})
+		for i := 0; i < 4; i++ {
+			c.AddHost(host.Config{Cores: 16, MemoryGB: 64})
+		}
+		rng := sim.NewRNG(42)
+		var vms []vm.ID
+		for i := 0; i < 6; i++ {
+			v, err := c.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(rng.Range(0, 3))}, host.ID(i%4+1))
+			if err == nil {
+				vms = append(vms, v.ID())
+			}
+		}
+		c.Start()
+		for step := 0; step < 200; step++ {
+			eng.RunUntil(eng.Now() + time.Duration(rng.Intn(60)+1)*time.Second)
+			switch rng.Intn(3) {
+			case 0:
+				if len(vms) > 0 {
+					_ = c.StartMigration(vms[rng.Intn(len(vms))], host.ID(rng.Intn(4)+1))
+				}
+			case 1:
+				_ = c.SleepHost(host.ID(rng.Intn(4)+1), power.S3)
+			case 2:
+				_ = c.WakeHost(host.ID(rng.Intn(4) + 1))
+			}
+		}
+		c.Flush()
+		return float64(c.TotalEnergy()), c.Migrations().Stats().Completed
+	}
+	e1, m1 := run()
+	e2, m2 := run()
+	if e1 != e2 || m1 != m2 {
+		t.Fatalf("stress runs diverged: %v/%d vs %v/%d", e1, m1, e2, m2)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"agilepower/internal/sim"
+)
+
+func benchItems(n int, rng *sim.RNG) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Key:     i,
+			CPU:     rng.Range(0.2, 2.5),
+			MemGB:   rng.Range(2, 16),
+			Current: rng.Intn(32) + 1,
+		}
+	}
+	return items
+}
+
+func benchBins(n int) []Bin {
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i] = Bin{Key: i + 1, CPUCap: 16 * 0.7, MemCap: 256}
+	}
+	return bins
+}
+
+// BenchmarkPackFFD packs 200 VMs into 32 hosts, the planner's inner
+// loop at the paper's cluster scale.
+func BenchmarkPackFFD(b *testing.B) {
+	items := benchItems(200, sim.NewRNG(1))
+	bins := benchBins(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Pack(items, bins, PackFFD); !ok {
+			b.Fatal("pack failed")
+		}
+	}
+}
+
+// BenchmarkPackBFD is the best-fit variant of the same packing.
+func BenchmarkPackBFD(b *testing.B) {
+	items := benchItems(200, sim.NewRNG(1))
+	bins := benchBins(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Pack(items, bins, PackBFD); !ok {
+			b.Fatal("pack failed")
+		}
+	}
+}
+
+// BenchmarkMinBins measures the minimal-host search (the scale-down
+// decision) at 200 VMs / 32 hosts.
+func BenchmarkMinBins(b *testing.B) {
+	items := benchItems(200, sim.NewRNG(1))
+	bins := benchBins(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := MinBins(items, bins, PackFFD); !ok {
+			b.Fatal("minbins failed")
+		}
+	}
+}
+
+// BenchmarkPeakWindowForecast measures the forecaster's sliding-window
+// maintenance over a day of minute samples.
+func BenchmarkPeakWindowForecast(b *testing.B) {
+	rng := sim.NewRNG(1)
+	samples := make([]float64, 1440)
+	for i := range samples {
+		samples[i] = rng.Range(0, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _ := ForecastSpec{Kind: ForecastPeakWindow}.New()
+		for j, v := range samples {
+			f.Observe(sim.Time(j)*sim.Time(60_000_000_000), v)
+		}
+		if f.Forecast() < 0 {
+			b.Fatal("negative forecast")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/host"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func maintenanceSetup(t *testing.T, policy Policy) (*sim.Engine, *cluster.Cluster, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(1)}, host.ID(i%4+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{Policy: policy, Period: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	return eng, cl, m
+}
+
+func TestMaintenanceDrainsAndHolds(t *testing.T) {
+	eng, cl, m := maintenanceSetup(t, NoPM)
+	eng.RunUntil(5 * time.Minute)
+	if err := m.EnterMaintenance(1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.InMaintenance(1) {
+		t.Fatal("host not marked")
+	}
+	eng.RunUntil(30 * time.Minute)
+	h, _ := cl.Host(1)
+	if h.NumVMs() != 0 {
+		t.Fatalf("maintenance host still has %d VMs", h.NumVMs())
+	}
+	if !m.MaintenanceReady(1) {
+		t.Fatal("drained maintenance host not ready")
+	}
+	// Held out of service but NOT parked (operator wants it on).
+	if !h.Available() {
+		t.Fatalf("maintenance host was parked: %v/%v", h.Machine().State(), h.Machine().Phase())
+	}
+	// VMs all live elsewhere and are served.
+	agg := cl.AggregateSLA()
+	if agg.Satisfaction() < 0.99 {
+		t.Fatalf("satisfaction = %v during maintenance", agg.Satisfaction())
+	}
+}
+
+func TestMaintenanceNotParkedUnderDPM(t *testing.T) {
+	eng, cl, m := maintenanceSetup(t, DPMS3)
+	eng.RunUntil(5 * time.Minute)
+	// Under DPM consolidation some hosts are already parked; hold one
+	// that is still serving.
+	var target host.ID
+	for _, h := range cl.Hosts() {
+		if h.Available() {
+			target = h.ID()
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no available host to maintain")
+	}
+	if err := m.EnterMaintenance(target); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Hour)
+	h, _ := cl.Host(target)
+	if h.Machine().State() != power.S0 {
+		t.Fatalf("maintenance host parked in %v under DPM", h.Machine().State())
+	}
+	if h.NumVMs() != 0 {
+		t.Fatalf("maintenance host holds %d VMs", h.NumVMs())
+	}
+	if !m.MaintenanceReady(target) {
+		t.Fatal("not ready")
+	}
+}
+
+func TestMaintenanceNotReclaimedByScaleUp(t *testing.T) {
+	eng, cl, m := maintenanceSetup(t, DPMS3)
+	eng.RunUntil(5 * time.Minute)
+	if err := m.EnterMaintenance(1); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(20 * time.Minute)
+	// Force pressure: every remaining host oversubscribed would pull
+	// back evacuating hosts — but never a maintenance hold.
+	for i := 0; i < 12; i++ {
+		if _, err := cl.AddPendingVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(time.Hour)
+	h, _ := cl.Host(1)
+	if h.NumVMs() != 0 {
+		t.Fatalf("maintenance hold violated under pressure: %d VMs", h.NumVMs())
+	}
+	if !m.InMaintenance(1) {
+		t.Fatal("maintenance flag dropped")
+	}
+}
+
+func TestExitMaintenanceReturnsToService(t *testing.T) {
+	eng, cl, m := maintenanceSetup(t, NoPM)
+	eng.RunUntil(5 * time.Minute)
+	if err := m.EnterMaintenance(1); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(30 * time.Minute)
+	if err := m.ExitMaintenance(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.InMaintenance(1) || m.MaintenanceReady(1) {
+		t.Fatal("maintenance state not cleared")
+	}
+	// New arrivals may land on it again.
+	v, err := cl.AddPendingVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(40 * time.Minute)
+	if _, placed := cl.Placement(v.ID()); !placed {
+		t.Fatal("arrival not placed after maintenance exit")
+	}
+}
+
+func TestMaintenanceErrors(t *testing.T) {
+	eng, cl, m := maintenanceSetup(t, DPMS3)
+	if err := m.EnterMaintenance(99); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if err := m.ExitMaintenance(1); err == nil {
+		t.Fatal("exit without enter accepted")
+	}
+	// Sleeping host cannot enter maintenance (wake it first).
+	eng.RunUntil(time.Minute)
+	var parked host.ID
+	for _, h := range cl.Hosts() {
+		if h.Empty() && h.Available() {
+			parked = h.ID()
+			break
+		}
+	}
+	if parked != 0 {
+		if err := cl.SleepHost(parked, power.S3); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.EnterMaintenance(parked); err == nil {
+			t.Fatal("sleeping host accepted for maintenance")
+		}
+	}
+	if m.MaintenanceReady(99) {
+		t.Fatal("unknown host ready")
+	}
+}

@@ -1,0 +1,992 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/host"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+)
+
+// Stats are cumulative manager counters — the raw material for the
+// paper's management-overhead comparison (migrations and power actions
+// per hour, DPM vs base DRM).
+type Stats struct {
+	ControlSteps int
+	// MigrationsLB counts load-balancing moves (base DRM overhead).
+	MigrationsLB int
+	// MigrationsConsolidation counts packing/evacuation moves (the
+	// extra overhead power management adds).
+	MigrationsConsolidation int
+	// MigrationsFailed counts rejected migration requests (slots full,
+	// memory pressure) — retried on later steps.
+	MigrationsFailed int
+	Wakes            int
+	Sleeps           int
+	// Provisioned counts pending VMs placed onto hosts.
+	Provisioned int
+	// Panics counts emergency-brake activations (see
+	// Config.PanicShortfall).
+	Panics int
+	// FreqChanges counts DVFS adjustments.
+	FreqChanges int
+}
+
+// Manager is the power-aware virtualization manager: the paper's
+// contribution. It runs a periodic control loop over a cluster,
+// forecasting demand, balancing load, consolidating VMs, and driving
+// host power states.
+type Manager struct {
+	cl  *cluster.Cluster
+	cfg Config
+
+	forecasts map[vm.ID]Forecaster
+	// evacuating marks hosts being drained for parking. A host stays
+	// marked until it is parked or reclaimed by a scale-up.
+	evacuating map[host.ID]bool
+
+	// sleepDelay is the resolved flap-damping delay (see
+	// Config.SleepDelay); shrinkSince tracks how long a scale-down
+	// opportunity has persisted (negative = none open).
+	sleepDelay  time.Duration
+	shrinkSince sim.Time
+	shrinkOpen  bool
+	// wokeAt records each host's last settle into S0, for the park
+	// cooldown.
+	wokeAt map[host.ID]sim.Time
+	// maintenance marks hosts held out of service by an operator; they
+	// drain like evacuating hosts but are never parked or reclaimed by
+	// scale-up.
+	maintenance map[host.ID]bool
+	// Panic-brake state: consecutive over-shortfall ticks and the time
+	// until which scale-down is suspended.
+	panicTicks int
+	panicUntil sim.Time
+	// diurnal is the learned time-of-day demand model (nil unless
+	// Config.PredictiveWake).
+	diurnal *diurnalModel
+	// wakeLead is how far ahead predictive wake looks: the sleep
+	// state's exit latency plus one control period.
+	wakeLead time.Duration
+
+	stats   Stats
+	started bool
+}
+
+// NewManager builds a manager over the cluster. The cluster must not
+// have been started yet: the manager hooks host settle events.
+func NewManager(cl *cluster.Cluster, cfg Config) (*Manager, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cl:          cl,
+		cfg:         cfg,
+		forecasts:   make(map[vm.ID]Forecaster),
+		evacuating:  make(map[host.ID]bool),
+		wokeAt:      make(map[host.ID]sim.Time),
+		maintenance: make(map[host.ID]bool),
+	}
+	if cfg.PredictiveWake {
+		m.diurnal = newDiurnalModel(0.4)
+	}
+	cl.OnHostSettled(func(id host.ID, st power.State) {
+		// React to completed wakes immediately: the whole point of
+		// low-latency states is not waiting for the next period to use
+		// new capacity.
+		if st == power.S0 {
+			m.wokeAt[id] = m.cl.Engine().Now()
+			if m.started {
+				m.step()
+			}
+		}
+	})
+	cl.OnMigrationDone(func(vm.ID, host.ID) {
+		// Continue in-progress plans as slots free up: drains and
+		// rebalances issue follow-up moves immediately instead of
+		// trickling a few migrations per control period.
+		if m.started && (m.cfg.Policy.Consolidate || m.cfg.Policy.LoadBalance) {
+			m.continueMoves()
+		}
+	})
+	return m, nil
+}
+
+// continueMoves re-runs the migration-issuing phases with fresh
+// forecasts (no power decisions), used when migration slots free up.
+func (m *Manager) continueMoves() {
+	forecasts := m.observeAll()
+	m.drainEvacuating(forecasts)
+	if m.cfg.Policy.LoadBalance {
+		m.balanceLoad(forecasts)
+	}
+}
+
+// EnterMaintenance marks a host for evacuation and keeps it out of
+// service once drained: the operational "put host in maintenance mode"
+// flow, reusing the consolidation drain machinery. The host is not
+// parked; it sits available-but-unused (ready for firmware work) until
+// ExitMaintenance.
+func (m *Manager) EnterMaintenance(id host.ID) error {
+	h, ok := m.cl.Host(id)
+	if !ok {
+		return fmt.Errorf("core: unknown host %d", id)
+	}
+	if !h.Available() {
+		return fmt.Errorf("core: host %d is not available (%v/%v)", id, h.Machine().State(), h.Machine().Phase())
+	}
+	m.maintenance[id] = true
+	m.evacuating[id] = true
+	if m.started {
+		m.continueMoves()
+	}
+	return nil
+}
+
+// ExitMaintenance returns a host to service.
+func (m *Manager) ExitMaintenance(id host.ID) error {
+	if !m.maintenance[id] {
+		return fmt.Errorf("core: host %d is not in maintenance", id)
+	}
+	delete(m.maintenance, id)
+	delete(m.evacuating, id)
+	if m.started {
+		m.step()
+	}
+	return nil
+}
+
+// InMaintenance reports whether the host is held for maintenance.
+func (m *Manager) InMaintenance(id host.ID) bool { return m.maintenance[id] }
+
+// MaintenanceReady reports whether a maintenance host has fully
+// drained (safe to touch).
+func (m *Manager) MaintenanceReady(id host.ID) bool {
+	if !m.maintenance[id] {
+		return false
+	}
+	h, ok := m.cl.Host(id)
+	return ok && h.Empty() && m.cl.Migrations().HostLoad(int(id)) == 0
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Start schedules the periodic control loop plus, for power-managing
+// policies, a fast wake check every cluster evaluation step (the
+// monitoring plane raises pressure alarms far more often than the
+// placement optimizer runs). The Static policy schedules nothing: it
+// is the unmanaged baseline.
+func (m *Manager) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.resolveSleepDelay()
+	// Predictive wake looks ahead far enough to finish a wake (exit
+	// latency) plus two control periods of reaction slack before a
+	// learned ramp hits.
+	m.wakeLead = 2 * m.cfg.Period
+	if hosts := m.cl.Hosts(); len(hosts) > 0 && m.cfg.Policy.PowerManage {
+		if spec, ok := hosts[0].Machine().Profile().SleepSpec(m.cfg.Policy.SleepState); ok {
+			m.wakeLead += spec.ExitLatency
+		}
+	}
+	eng := m.cl.Engine()
+	var tick func()
+	tick = func() {
+		m.step()
+		eng.After(m.cfg.Period, tick)
+	}
+	eng.After(0, tick)
+	// The fast tick runs for every policy: provisioning monitoring
+	// (placing arrivals) is basic duty, not power management. Only the
+	// scale-up half inside wakeCheck is power-gated.
+	if m.cl.EvalStep() < m.cfg.Period {
+		var fast func()
+		fast = func() {
+			m.wakeCheck()
+			eng.After(m.cl.EvalStep(), fast)
+		}
+		eng.After(m.cl.EvalStep(), fast)
+	}
+}
+
+// resolveSleepDelay computes the latency-aware default scale-down
+// persistence: twice the sleep state's round-trip latency. Slow states
+// are parked cautiously; agile ones immediately. This is where the
+// paper's core argument lands in the controller: transition latency
+// sets how aggressive power management can afford to be.
+func (m *Manager) resolveSleepDelay() {
+	switch {
+	case m.cfg.SleepDelay > 0:
+		m.sleepDelay = m.cfg.SleepDelay
+	case m.cfg.SleepDelay < 0:
+		m.sleepDelay = 0
+	default:
+		hosts := m.cl.Hosts()
+		if len(hosts) == 0 || !m.cfg.Policy.PowerManage {
+			return
+		}
+		if spec, ok := hosts[0].Machine().Profile().SleepSpec(m.cfg.Policy.SleepState); ok {
+			m.sleepDelay = 2 * spec.CycleLatency()
+		}
+	}
+}
+
+// totalForecast sums forecasts in VM-ID order (map iteration order
+// would make the floating-point sum, and thus threshold decisions,
+// nondeterministic across runs).
+func (m *Manager) totalForecast(forecasts map[vm.ID]float64) float64 {
+	total := 0.0
+	for _, v := range m.cl.VMs() {
+		total += forecasts[v.ID()]
+	}
+	return total
+}
+
+// wakeCheck is the fast path: place arrivals and scale up if pressure
+// demands it, nothing else.
+func (m *Manager) wakeCheck() {
+	forecasts := m.observeAll()
+	m.placePending(forecasts)
+	if m.cfg.Policy.PowerManage {
+		m.checkPanic()
+		m.scaleUp(forecasts, m.takeCensus())
+	}
+	if m.cfg.Policy.DVFS {
+		m.adjustFrequencies(forecasts)
+	}
+}
+
+// checkPanic is the emergency brake: under sustained unserved demand
+// it wakes the whole fleet and suspends scale-down for PanicHold.
+func (m *Manager) checkPanic() {
+	if m.cfg.PanicShortfall <= 0 {
+		return
+	}
+	demand, delivered := m.cl.LastEvaluation()
+	if demand <= 0 || 1-delivered/demand <= m.cfg.PanicShortfall {
+		m.panicTicks = 0
+		return
+	}
+	m.panicTicks++
+	if m.panicTicks < 2 {
+		return
+	}
+	m.panicTicks = 0
+	m.stats.Panics++
+	m.panicUntil = m.cl.Engine().Now() + sim.Time(m.cfg.PanicHold)
+	// Everything wakes; evacuations (except operator maintenance)
+	// cancel.
+	for id := range m.evacuating {
+		if !m.maintenance[id] {
+			delete(m.evacuating, id)
+		}
+	}
+	for _, h := range m.cl.Hosts() {
+		if h.Machine().State().IsSleep() && h.Machine().Phase() == power.Settled {
+			if err := m.cl.WakeHost(h.ID()); err == nil {
+				m.stats.Wakes++
+			}
+		}
+	}
+}
+
+// placePending puts arrived-but-unplaced VMs onto the serving host
+// with the most forecast slack (respecting memory admission). VMs that
+// fit nowhere stay pending; their demand keeps pressure on scaleUp,
+// which wakes capacity for them.
+func (m *Manager) placePending(forecasts map[vm.ID]float64) {
+	pending := m.cl.PendingVMs()
+	if len(pending) == 0 {
+		return
+	}
+	c := m.takeCensus()
+	// Static policies have no census distinction; any available host
+	// (serving or evacuating) can take a new VM, preferring serving.
+	// Maintenance holds are respected.
+	candidates := append([]*host.Host(nil), c.serving...)
+	for _, h := range c.evacuating {
+		if !m.maintenance[h.ID()] {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	loads := m.hostForecastLoads(forecasts)
+	inboundMem := m.inboundMemory()
+	for _, vid := range pending {
+		v, ok := m.cl.VM(vid)
+		if !ok {
+			continue
+		}
+		var best *host.Host
+		bestSlack := 0.0
+		for _, h := range candidates {
+			memFree := h.MemFreeGB() - inboundMem[h.ID()]
+			if memFree < v.MemoryGB() {
+				continue
+			}
+			if m.cl.GroupConflict(h.ID(), v.Group(), vid) {
+				continue
+			}
+			slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()] - forecasts[vid]
+			if slack < 0 && loads[h.ID()]+forecasts[vid] > h.Cores() {
+				continue // would overload outright
+			}
+			if best == nil || slack > bestSlack {
+				best = h
+				bestSlack = slack
+			}
+		}
+		if best == nil {
+			continue
+		}
+		if err := m.cl.PlaceVM(vid, best.ID()); err != nil {
+			continue
+		}
+		m.stats.Provisioned++
+		loads[best.ID()] += forecasts[vid]
+		// A placed VM re-anchors an evacuating host into service.
+		delete(m.evacuating, best.ID())
+	}
+}
+
+// forecast returns the predicted demand of one VM, updating its
+// forecaster with the current observation first (callers must do this
+// once per step, via observeAll).
+func (m *Manager) observeAll() map[vm.ID]float64 {
+	now := m.cl.Engine().Now()
+	out := make(map[vm.ID]float64)
+	seen := make(map[vm.ID]bool, len(m.forecasts))
+	for _, v := range m.cl.VMs() {
+		f, ok := m.forecasts[v.ID()]
+		if !ok {
+			var err error
+			f, err = m.cfg.Forecast.New()
+			if err != nil {
+				// Config was validated at construction; a failure here
+				// is a programming error.
+				panic(fmt.Sprintf("core: forecaster construction: %v", err))
+			}
+			m.forecasts[v.ID()] = f
+		}
+		f.Observe(now, v.Demand(now))
+		fc := f.Forecast()
+		// Never forecast below the VM's cap nor above it.
+		if fc > v.VCPUs() {
+			fc = v.VCPUs()
+		}
+		out[v.ID()] = fc
+		seen[v.ID()] = true
+	}
+	// Drop forecasters of departed VMs.
+	for id := range m.forecasts {
+		if !seen[id] {
+			delete(m.forecasts, id)
+		}
+	}
+	if m.diurnal != nil {
+		total := 0.0
+		for _, v := range m.cl.VMs() {
+			total += v.Demand(now)
+		}
+		m.diurnal.Observe(now, total)
+	}
+	return out
+}
+
+// predictedDemand returns the learned demand peak within the wake-lead
+// window, or 0 when prediction is off or unprimed.
+func (m *Manager) predictedDemand() float64 {
+	if m.diurnal == nil {
+		return 0
+	}
+	v, ok := m.diurnal.PredictWindowMax(m.cl.Engine().Now(), m.wakeLead)
+	if !ok {
+		return 0
+	}
+	return v
+}
+
+// census classifies hosts by power condition.
+type census struct {
+	serving    []*host.Host // available and not marked evacuating
+	evacuating []*host.Host // available but being drained
+	waking     []*host.Host // exiting a sleep state
+	sleeping   []*host.Host // settled in S3/S5
+	entering   []*host.Host // on their way into a sleep state
+}
+
+func (m *Manager) takeCensus() census {
+	var c census
+	for _, h := range m.cl.Hosts() {
+		mach := h.Machine()
+		switch {
+		case mach.Available():
+			if m.evacuating[h.ID()] {
+				c.evacuating = append(c.evacuating, h)
+			} else {
+				c.serving = append(c.serving, h)
+			}
+		case mach.Phase() == power.Exiting:
+			c.waking = append(c.waking, h)
+		case mach.Phase() == power.Entering:
+			c.entering = append(c.entering, h)
+		case mach.State().IsSleep():
+			c.sleeping = append(c.sleeping, h)
+		}
+	}
+	return c
+}
+
+func coresOf(hs []*host.Host) float64 {
+	total := 0.0
+	for _, h := range hs {
+		total += h.Cores()
+	}
+	return total
+}
+
+// step runs one control period.
+func (m *Manager) step() {
+	m.stats.ControlSteps++
+	forecasts := m.observeAll()
+
+	// Provisioning is basic duty for every policy, including the
+	// static baseline: new VMs get placed; only *optimization* actions
+	// are policy-gated.
+	m.placePending(forecasts)
+	if m.cfg.Policy.PowerManage {
+		m.managePower(forecasts)
+	}
+	// Draining always runs: consolidation marks hosts only under those
+	// policies, but operator maintenance holds must drain under any
+	// policy.
+	m.drainEvacuating(forecasts)
+	if m.cfg.Policy.LoadBalance {
+		m.balanceLoad(forecasts)
+	}
+	if m.cfg.Policy.DVFS {
+		m.adjustFrequencies(forecasts)
+	}
+}
+
+// adjustFrequencies clocks each available host to its forecast load
+// plus the packing headroom (a software governor at management
+// granularity). Hosts whose profiles have no DVFS range are left
+// alone.
+func (m *Manager) adjustFrequencies(forecasts map[vm.ID]float64) {
+	loads := m.hostForecastLoads(forecasts)
+	for _, h := range m.cl.Hosts() {
+		if !h.Available() {
+			continue
+		}
+		fmin := h.Machine().Profile().FreqMin
+		if fmin <= 0 {
+			continue
+		}
+		f := loads[h.ID()] / (h.Cores() * m.cfg.TargetUtil)
+		if f < fmin {
+			f = fmin
+		}
+		if f > 1 {
+			f = 1
+		}
+		if err := h.SetFrequency(f); err == nil {
+			m.stats.FreqChanges++
+		}
+	}
+}
+
+// managePower decides the active host set: wake on pressure, evacuate
+// on slack, park drained hosts.
+func (m *Manager) managePower(forecasts map[vm.ID]float64) {
+	c := m.takeCensus()
+	if m.scaleUp(forecasts, c) {
+		m.shrinkOpen = false
+		return
+	}
+	if m.cl.Engine().Now() < m.panicUntil {
+		// Emergency brake engaged: no scale-down until the hold ends.
+		m.shrinkOpen = false
+		return
+	}
+	// Scale down: only with no wakes in flight (a wake in flight means
+	// we recently judged capacity short — parking now would flap).
+	if len(c.waking) == 0 && len(c.serving) > m.cfg.MinActive {
+		m.considerScaleDown(forecasts, c)
+	} else {
+		m.shrinkOpen = false
+	}
+}
+
+// scaleUp wakes capacity when forecast pressure exceeds the wake
+// threshold of what is (or will shortly be) available. It reports
+// whether it acted or pressure is high.
+func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
+	total := m.totalForecast(forecasts)
+	if p := m.predictedDemand(); p > total {
+		// Wake ahead of a learned recurring ramp.
+		total = p
+	}
+	servingCores := coresOf(c.serving)
+	incomingCores := coresOf(c.waking)
+	if total <= m.cfg.WakeThreshold*(servingCores+incomingCores) && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
+		return false
+	}
+	needCores := total / m.cfg.TargetUtil
+	haveCores := servingCores + incomingCores
+	// Cheapest capacity first: reclaim hosts being evacuated (they are
+	// on and serving already). Maintenance hosts are operator-held and
+	// never reclaimed.
+	for _, h := range c.evacuating {
+		if haveCores >= needCores && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
+			break
+		}
+		if m.maintenance[h.ID()] {
+			continue
+		}
+		delete(m.evacuating, h.ID())
+		c.serving = append(c.serving, h)
+		haveCores += h.Cores()
+	}
+	// Then wake sleepers, lowest ID first (deterministic).
+	for _, h := range c.sleeping {
+		if haveCores >= needCores && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
+			break
+		}
+		if err := m.cl.WakeHost(h.ID()); err == nil {
+			m.stats.Wakes++
+			haveCores += h.Cores()
+			c.waking = append(c.waking, h)
+		}
+	}
+	return true
+}
+
+// considerScaleDown checks whether the packing frees at least one
+// host, and acts once the opportunity has persisted for the
+// latency-aware sleep delay.
+func (m *Manager) considerScaleDown(forecasts map[vm.ID]float64, c census) {
+	hosts, k, ok := m.packServing(forecasts, c)
+	keep := k + m.cfg.SpareHosts
+	if keep < m.cfg.MinActive {
+		keep = m.cfg.MinActive
+	}
+	if p := m.predictedDemand(); p > 0 && len(hosts) > 0 {
+		avgCores := coresOf(hosts) / float64(len(hosts))
+		needed := int(p/(m.cfg.TargetUtil*avgCores)) + 1
+		if needed > keep {
+			keep = needed
+		}
+	}
+	if !ok || keep >= len(hosts) {
+		m.shrinkOpen = false
+		return
+	}
+	now := m.cl.Engine().Now()
+	if !m.shrinkOpen {
+		m.shrinkOpen = true
+		m.shrinkSince = now
+	}
+	if now-m.shrinkSince < m.sleepDelay {
+		return // opportunity must persist before we act
+	}
+	for _, h := range hosts[keep:] {
+		// Recently woken hosts are immune: parking them right after a
+		// surge faded is the definition of flapping.
+		if at, ok := m.wokeAt[h.ID()]; ok && now-at < m.cfg.ParkCooldown {
+			continue
+		}
+		m.evacuating[h.ID()] = true
+	}
+	m.shrinkOpen = false
+}
+
+// packServing orders serving hosts by forecast load (descending, so
+// the keep-set is the loaded prefix and migrations are minimized) and
+// returns the ordered hosts plus the minimal prefix length that packs
+// all VMs.
+func (m *Manager) packServing(forecasts map[vm.ID]float64, c census) ([]*host.Host, int, bool) {
+	items, exclude := m.buildItems(forecasts)
+	loads := make(map[host.ID]float64)
+	for _, v := range m.cl.VMs() {
+		if exclude[v.ID()] {
+			continue
+		}
+		if hid, ok := m.cl.Placement(v.ID()); ok {
+			loads[hid] += forecasts[v.ID()]
+		}
+	}
+	hosts := append([]*host.Host(nil), c.serving...)
+	sort.Slice(hosts, func(i, j int) bool {
+		li, lj := loads[hosts[i].ID()], loads[hosts[j].ID()]
+		if li != lj {
+			return li > lj
+		}
+		return hosts[i].ID() < hosts[j].ID()
+	})
+	bins := m.buildBins(hosts)
+	k, _, ok := MinBins(items, bins, m.cfg.Packing)
+	return hosts, k, ok
+}
+
+// buildItems converts non-migrating VMs into packing items. Migrating
+// VMs are excluded (their landing is already decided); exclude reports
+// which were skipped.
+func (m *Manager) buildItems(forecasts map[vm.ID]float64) (items []Item, exclude map[vm.ID]bool) {
+	exclude = make(map[vm.ID]bool)
+	for _, v := range m.cl.VMs() {
+		if m.cl.Migrating(v.ID()) {
+			exclude[v.ID()] = true
+			continue
+		}
+		cur := -1
+		if hid, ok := m.cl.Placement(v.ID()); ok {
+			cur = int(hid)
+		}
+		cpu := forecasts[v.ID()]
+		if r := v.ReservedCores(); r > cpu {
+			// A reservation is committed capacity whether or not the
+			// VM is using it right now.
+			cpu = r
+		}
+		items = append(items, Item{
+			Key:     int(v.ID()),
+			CPU:     cpu,
+			MemGB:   v.MemoryGB(),
+			Current: cur,
+			Group:   v.Group(),
+		})
+	}
+	return items, exclude
+}
+
+// buildBins converts hosts into packing bins, charging in-flight
+// inbound migrations against the destination's capacity.
+func (m *Manager) buildBins(hosts []*host.Host) []Bin {
+	inboundCPU := make(map[host.ID]float64)
+	inboundMem := make(map[host.ID]float64)
+	inboundGroups := make(map[host.ID][]string)
+	for _, mig := range m.cl.Migrations().Inflights() {
+		if v, ok := m.cl.VM(mig.VM); ok {
+			dst := host.ID(mig.Dst)
+			inboundCPU[dst] += v.Demand(m.cl.Engine().Now())
+			inboundMem[dst] += v.MemoryGB()
+			if g := v.Group(); g != "" {
+				inboundGroups[dst] = append(inboundGroups[dst], g)
+			}
+		}
+	}
+	bins := make([]Bin, len(hosts))
+	for i, h := range hosts {
+		cpu := h.Cores()*m.cfg.TargetUtil - inboundCPU[h.ID()]
+		mem := h.MemoryGB() - inboundMem[h.ID()]
+		if cpu < 0 {
+			cpu = 0
+		}
+		if mem < 0 {
+			mem = 0
+		}
+		bins[i] = Bin{Key: int(h.ID()), CPUCap: cpu, MemCap: mem, Groups: inboundGroups[h.ID()]}
+	}
+	return bins
+}
+
+// drainEvacuating moves VMs off hosts marked for evacuation and parks
+// the ones that are empty. Destinations come from a packing of the
+// evacuees into the residual capacity of the serving hosts, so drains
+// succeed even when serving hosts sit near the packing target; if the
+// evacuees genuinely do not fit, an evacuating host is reclaimed.
+func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
+	if len(m.evacuating) == 0 {
+		return
+	}
+	c := m.takeCensus()
+	assign, ok := m.planDrain(forecasts, c)
+	if !ok {
+		// Not enough room: reclaim the evacuating host with the most
+		// VMs (cheapest to bring back to service) and retry next step.
+		// Maintenance holds are operator decisions and stay.
+		var reclaim *host.Host
+		for _, h := range c.evacuating {
+			if m.maintenance[h.ID()] {
+				continue
+			}
+			if reclaim == nil || h.NumVMs() > reclaim.NumVMs() {
+				reclaim = h
+			}
+		}
+		if reclaim != nil {
+			delete(m.evacuating, reclaim.ID())
+		}
+		return
+	}
+	migrated := 0
+	for _, src := range c.evacuating {
+		for _, vid := range src.VMs() {
+			if m.cl.Migrating(vid) {
+				continue
+			}
+			if m.cfg.MaxMigrationsPerStep > 0 && migrated >= m.cfg.MaxMigrationsPerStep {
+				break
+			}
+			dstKey, planned := assign[int(vid)]
+			if !planned {
+				continue
+			}
+			if err := m.cl.StartMigration(vid, host.ID(dstKey)); err != nil {
+				m.stats.MigrationsFailed++
+				continue
+			}
+			m.stats.MigrationsConsolidation++
+			migrated++
+		}
+	}
+	// Park fully drained hosts.
+	ids := make([]host.ID, 0, len(m.evacuating))
+	for id := range m.evacuating {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if m.maintenance[id] {
+			// Drained maintenance hosts stay on and held, not parked.
+			continue
+		}
+		h, ok := m.cl.Host(id)
+		if !ok || !h.Available() || !h.Empty() {
+			continue
+		}
+		if m.cl.Migrations().HostLoad(int(id)) > 0 {
+			continue
+		}
+		if m.cfg.Policy.PowerManage {
+			if err := m.cl.SleepHost(id, m.cfg.Policy.SleepState); err == nil {
+				m.stats.Sleeps++
+				delete(m.evacuating, id)
+			}
+		}
+	}
+}
+
+// planDrain packs the VMs sitting on evacuating hosts into the
+// residual capacity of the serving hosts. Serving hosts' own VMs are
+// pre-charged against their bins (they stay put); only evacuees are
+// packing items.
+func (m *Manager) planDrain(forecasts map[vm.ID]float64, c census) (Assignment, bool) {
+	bins := m.buildBins(c.serving)
+	binIdx := make(map[int]int, len(bins))
+	for i, b := range bins {
+		binIdx[b.Key] = i
+	}
+	evacIDs := make(map[host.ID]bool, len(c.evacuating))
+	for _, h := range c.evacuating {
+		evacIDs[h.ID()] = true
+	}
+	var items []Item
+	for _, v := range m.cl.VMs() {
+		if m.cl.Migrating(v.ID()) {
+			continue
+		}
+		hid, ok := m.cl.Placement(v.ID())
+		if !ok {
+			continue
+		}
+		if evacIDs[hid] {
+			items = append(items, Item{
+				Key:     int(v.ID()),
+				CPU:     forecasts[v.ID()],
+				MemGB:   v.MemoryGB(),
+				Current: -1, // must move
+				Group:   v.Group(),
+			})
+			continue
+		}
+		if i, ok := binIdx[int(hid)]; ok {
+			bins[i].CPUCap -= forecasts[v.ID()]
+			bins[i].MemCap -= v.MemoryGB()
+			if bins[i].CPUCap < 0 {
+				bins[i].CPUCap = 0
+			}
+			if bins[i].MemCap < 0 {
+				bins[i].MemCap = 0
+			}
+			if g := v.Group(); g != "" {
+				bins[i].Groups = append(bins[i].Groups, g)
+			}
+		}
+	}
+	return Pack(items, bins, m.cfg.Packing)
+}
+
+// pickLBDestination picks the load-balancing target for one VM: the
+// serving host that ends up coolest after the move, provided the move
+// strictly improves balance (destination post-load below the source's
+// current load — which also rules out ping-pong) and does not push the
+// destination over its raw capacity. Unlike drain placement, no
+// target-util slack is demanded: on a cluster hotter than the packing
+// target, equalizing heat is still strictly better than leaving one
+// host saturated.
+func (m *Manager) pickLBDestination(vid vm.ID, src *host.Host, forecasts map[vm.ID]float64, loads map[host.ID]float64, serving []*host.Host) *host.Host {
+	v, ok := m.cl.VM(vid)
+	if !ok {
+		return nil
+	}
+	inboundMem := m.inboundMemory()
+	f := forecasts[vid]
+	var best *host.Host
+	bestPost := 0.0
+	for _, h := range serving {
+		if h.ID() == src.ID() {
+			continue
+		}
+		post := loads[h.ID()] + f
+		if post >= loads[src.ID()] { // no strict improvement
+			continue
+		}
+		if post > h.Cores() { // would overload the destination outright
+			continue
+		}
+		if h.MemFreeGB()-inboundMem[h.ID()] < v.MemoryGB() {
+			continue
+		}
+		if m.cl.GroupConflict(h.ID(), v.Group(), vid) {
+			continue
+		}
+		if !m.cl.Migrations().CanStart(int(src.ID()), int(h.ID())) {
+			continue
+		}
+		if best == nil || post < bestPost {
+			best = h
+			bestPost = post
+		}
+	}
+	return best
+}
+
+// pickDestination finds the serving host with the most forecast slack
+// that can take the VM (best-fit by slack keeps the packing tight
+// without starving any host).
+func (m *Manager) pickDestination(vid vm.ID, forecasts map[vm.ID]float64, serving []*host.Host) *host.Host {
+	v, ok := m.cl.VM(vid)
+	if !ok {
+		return nil
+	}
+	cur, _ := m.cl.Placement(vid)
+	loads := m.hostForecastLoads(forecasts)
+	inboundMem := m.inboundMemory()
+
+	var best *host.Host
+	bestSlack := 0.0
+	for _, h := range serving {
+		if h.ID() == cur {
+			continue
+		}
+		slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()] - forecasts[vid]
+		memFree := h.MemFreeGB() - inboundMem[h.ID()]
+		if slack < 0 || memFree < v.MemoryGB() {
+			continue
+		}
+		if m.cl.GroupConflict(h.ID(), v.Group(), vid) {
+			continue
+		}
+		if !m.cl.Migrations().CanStart(int(cur), int(h.ID())) {
+			continue
+		}
+		if best == nil || slack > bestSlack {
+			best = h
+			bestSlack = slack
+		}
+	}
+	return best
+}
+
+// hostForecastLoads sums forecast demand per host, charging in-flight
+// migrations to their destinations.
+func (m *Manager) hostForecastLoads(forecasts map[vm.ID]float64) map[host.ID]float64 {
+	loads := make(map[host.ID]float64)
+	migratingTo := make(map[vm.ID]host.ID)
+	for _, mig := range m.cl.Migrations().Inflights() {
+		migratingTo[mig.VM] = host.ID(mig.Dst)
+	}
+	for _, v := range m.cl.VMs() {
+		if dst, ok := migratingTo[v.ID()]; ok {
+			loads[dst] += forecasts[v.ID()]
+			continue
+		}
+		if hid, ok := m.cl.Placement(v.ID()); ok {
+			loads[hid] += forecasts[v.ID()]
+		}
+	}
+	return loads
+}
+
+// inboundMemory sums in-flight inbound migration memory per host
+// (beyond what the host already reserves itself, this is used for
+// planning against stale reads).
+func (m *Manager) inboundMemory() map[host.ID]float64 {
+	out := make(map[host.ID]float64)
+	for _, mig := range m.cl.Migrations().Inflights() {
+		if v, ok := m.cl.VM(mig.VM); ok {
+			out[host.ID(mig.Dst)] += v.MemoryGB()
+		}
+	}
+	return out
+}
+
+// balanceLoad is the base-DRM behaviour: offload hot hosts onto the
+// coolest serving hosts.
+func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
+	c := m.takeCensus()
+	if len(c.serving) < 2 {
+		return
+	}
+	loads := m.hostForecastLoads(forecasts)
+	for _, src := range c.serving {
+		// Hot when forecast exceeds the LB threshold of raw capacity.
+		if loads[src.ID()] <= m.cfg.LBThreshold*src.Cores() {
+			continue
+		}
+		// Move smallest VMs first: cheapest moves that relieve
+		// pressure with least disruption.
+		vids := src.VMs()
+		sort.Slice(vids, func(i, j int) bool {
+			fi, fj := forecasts[vids[i]], forecasts[vids[j]]
+			if fi != fj {
+				return fi < fj
+			}
+			return vids[i] < vids[j]
+		})
+		for _, vid := range vids {
+			if loads[src.ID()] <= m.cfg.TargetUtil*src.Cores() {
+				break
+			}
+			if m.cl.Migrating(vid) || forecasts[vid] <= 0 {
+				continue
+			}
+			dst := m.pickLBDestination(vid, src, forecasts, loads, c.serving)
+			if dst == nil {
+				continue
+			}
+			if err := m.cl.StartMigration(vid, dst.ID()); err != nil {
+				m.stats.MigrationsFailed++
+				continue
+			}
+			m.stats.MigrationsLB++
+			loads[src.ID()] -= forecasts[vid]
+			loads[dst.ID()] += forecasts[vid]
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// TestPredictiveWakePreArmsRamp runs two days of a steep workday
+// ramp under DPM-S3 with prediction: on day two the manager must have
+// capacity available *before* the 9:00 jump.
+func TestPredictiveWakePreArmsRamp(t *testing.T) {
+	eng := sim.NewEngine(3)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hosts = 6
+	for i := 0; i < hosts; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 24; i++ {
+		tr := workload.Workday(rng.Fork(), workload.WorkdaySpec{
+			Days: 2, LowCores: 0.3, HighCores: 3, OpenJitter: 2 * time.Minute,
+		})
+		if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(i%hosts+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3, PredictiveWake: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(48 * time.Hour)
+	cl.Flush()
+
+	// During day-2 night the cluster is consolidated…
+	nightActive := cl.ActiveHostSeries().At(24*time.Hour + 4*time.Hour)
+	if nightActive > 3 {
+		t.Fatalf("night active hosts = %v, expected consolidation", nightActive)
+	}
+	// …but just before the learned 9:00 ramp, capacity is pre-armed
+	// (wake lead = 2×period + exit ≈ 10 min).
+	preRamp := cl.ActiveHostSeries().At(24*time.Hour + 8*time.Hour + 57*time.Minute)
+	if preRamp <= nightActive {
+		t.Fatalf("no pre-arming: active at 8:57 = %v vs night %v", preRamp, nightActive)
+	}
+}
+
+// TestPredictiveWakeOffByDefault ensures the model is not built unless
+// asked.
+func TestPredictiveWakeOffByDefault(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl, _ := cluster.New(eng, cluster.Config{})
+	cl.AddHost(host.Config{Cores: 16, MemoryGB: 64})
+	m, err := NewManager(cl, Config{Policy: DPMS3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.diurnal != nil {
+		t.Fatal("diurnal model built without PredictiveWake")
+	}
+	if m.predictedDemand() != 0 {
+		t.Fatal("prediction nonzero when disabled")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower/internal/power"
+	"agilepower/internal/telemetry"
+)
+
+// Oracle computes the analytic lower bounds the paper compares
+// against: a perfect-knowledge power manager with zero-latency
+// transitions, and an ideally energy-proportional fleet. Both are
+// evaluated over a recorded cluster demand series rather than by
+// running a controller — the oracle, by definition, never mispredicts
+// and never pays transition costs.
+type Oracle struct {
+	// Hosts is the fleet size.
+	Hosts int
+	// HostCores is per-host CPU capacity.
+	HostCores float64
+	// Profile is the per-host power calibration.
+	Profile *power.Profile
+	// TargetUtil is the packing headroom the oracle honours (so it is
+	// comparable to the controller, which also refuses to run hosts
+	// flat out). Default 1.0 — a true lower bound.
+	TargetUtil float64
+	// SleepState is where inactive hosts park (default S3).
+	SleepState power.State
+}
+
+// Validate checks the oracle parameters.
+func (o *Oracle) Validate() error {
+	if o.Hosts <= 0 {
+		return fmt.Errorf("core: oracle needs hosts > 0, got %d", o.Hosts)
+	}
+	if o.HostCores <= 0 {
+		return fmt.Errorf("core: oracle needs host cores > 0, got %v", o.HostCores)
+	}
+	if o.Profile == nil {
+		return fmt.Errorf("core: oracle needs a power profile")
+	}
+	if err := o.Profile.Validate(); err != nil {
+		return err
+	}
+	if o.TargetUtil < 0 || o.TargetUtil > 1 {
+		return fmt.Errorf("core: oracle target util %v outside [0,1]", o.TargetUtil)
+	}
+	return nil
+}
+
+func (o *Oracle) defaults() Oracle {
+	out := *o
+	if out.TargetUtil == 0 {
+		out.TargetUtil = 1.0
+	}
+	if out.SleepState == power.S0 {
+		out.SleepState = power.S3
+	}
+	return out
+}
+
+// PowerAt returns the fleet draw of the ideal power manager at total
+// demand d: the fewest hosts that serve d within the headroom target,
+// evenly loaded, with the rest parked.
+func (o *Oracle) PowerAt(d float64) (power.Watts, error) {
+	oo := o.defaults()
+	if err := oo.Validate(); err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		d = 0
+	}
+	perHost := oo.HostCores * oo.TargetUtil
+	n := 0
+	if d > 0 {
+		n = int((d + perHost - 1e-9) / perHost)
+		if float64(n)*perHost < d {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1 // even an idle cluster keeps one host on
+	}
+	if n > oo.Hosts {
+		n = oo.Hosts
+	}
+	util := d / (float64(n) * oo.HostCores)
+	if util > 1 {
+		util = 1
+	}
+	active := power.Watts(float64(n)) * oo.Profile.ActivePower(util)
+	sleepP := power.Watts(0)
+	if spec, ok := oo.Profile.SleepSpec(oo.SleepState); ok {
+		sleepP = spec.Power
+	}
+	parked := power.Watts(float64(oo.Hosts-n)) * sleepP
+	return active + parked, nil
+}
+
+// Energy integrates the ideal power manager over a recorded demand
+// series up to horizon.
+func (o *Oracle) Energy(demand *telemetry.Series, horizon time.Duration) (power.Joules, error) {
+	oo := o.defaults()
+	if err := oo.Validate(); err != nil {
+		return 0, err
+	}
+	return integrate(demand, horizon, func(d float64) power.Watts {
+		w, _ := oo.PowerAt(d) // validated above
+		return w
+	})
+}
+
+// ProportionalEnergy integrates the ideal energy-proportional fleet:
+// power is exactly peak-per-core times used cores, zero at idle. This
+// is the absolute floor no real system reaches.
+func (o *Oracle) ProportionalEnergy(demand *telemetry.Series, horizon time.Duration) (power.Joules, error) {
+	oo := o.defaults()
+	if err := oo.Validate(); err != nil {
+		return 0, err
+	}
+	perCore := float64(oo.Profile.PeakPower) / oo.HostCores
+	totalCores := float64(oo.Hosts) * oo.HostCores
+	return integrate(demand, horizon, func(d float64) power.Watts {
+		if d > totalCores {
+			d = totalCores
+		}
+		return power.Watts(d * perCore)
+	})
+}
+
+// integrate walks the step-function series and accumulates f(value)
+// over time.
+func integrate(s *telemetry.Series, horizon time.Duration, f func(float64) power.Watts) (power.Joules, error) {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("core: empty demand series")
+	}
+	total := power.Joules(0)
+	for i, p := range pts {
+		start := p.At
+		end := horizon
+		if i+1 < len(pts) {
+			end = pts[i+1].At
+		}
+		if end > horizon {
+			end = horizon
+		}
+		if end > start {
+			total += power.WattSeconds(f(p.Value), end-start)
+		}
+	}
+	return total, nil
+}

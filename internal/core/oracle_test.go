@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agilepower/internal/power"
+	"agilepower/internal/telemetry"
+)
+
+func testOracle() *Oracle {
+	return &Oracle{
+		Hosts:     4,
+		HostCores: 16,
+		Profile:   power.DefaultProfile(),
+	}
+}
+
+func TestOracleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Oracle)
+	}{
+		{"zero hosts", func(o *Oracle) { o.Hosts = 0 }},
+		{"zero cores", func(o *Oracle) { o.HostCores = 0 }},
+		{"nil profile", func(o *Oracle) { o.Profile = nil }},
+		{"bad target", func(o *Oracle) { o.TargetUtil = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := testOracle()
+			tc.mut(o)
+			if err := o.Validate(); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestOraclePowerAtIdleKeepsOneHost(t *testing.T) {
+	o := testOracle()
+	got, err := o.PowerAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One host deep-idle (120 W) + three parked in S3 (12 W each).
+	want := power.Watts(120 + 3*12)
+	if got != want {
+		t.Fatalf("idle oracle power = %v, want %v", got, want)
+	}
+}
+
+func TestOraclePowerAtScalesHosts(t *testing.T) {
+	o := testOracle()
+	// Demand 16 cores needs exactly 1 host at full tilt (TargetUtil=1).
+	got, err := o.PowerAt(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := power.Watts(250 + 3*12)
+	if got != want {
+		t.Fatalf("power(16) = %v, want %v", got, want)
+	}
+	// Demand 17 cores needs 2 hosts at util 17/32.
+	got, err = o.PowerAt(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := 17.0 / 32
+	want = power.Watts(2)*o.Profile.ActivePower(util) + power.Watts(2*12)
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Fatalf("power(17) = %v, want %v", got, want)
+	}
+}
+
+func TestOraclePowerAtSaturates(t *testing.T) {
+	o := testOracle()
+	// Demand beyond the fleet: all hosts at peak.
+	got, err := o.PowerAt(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != power.Watts(4*250) {
+		t.Fatalf("saturated power = %v, want 1000", got)
+	}
+}
+
+func TestOracleHonoursTargetUtil(t *testing.T) {
+	o := testOracle()
+	o.TargetUtil = 0.5 // usable 8 cores per host
+	got, err := o.PowerAt(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 cores needs 2 hosts at util 9/32.
+	want := power.Watts(2)*o.Profile.ActivePower(9.0/32) + power.Watts(2*12)
+	if math.Abs(float64(got-want)) > 1e-9 {
+		t.Fatalf("power = %v, want %v", got, want)
+	}
+}
+
+func TestOracleEnergyIntegration(t *testing.T) {
+	o := testOracle()
+	s := telemetry.NewSeries("demand")
+	s.Append(0, 0)
+	s.Append(time.Hour, 16)
+	e, err := o.Energy(s, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hour 1: 156 W; hour 2: 286 W.
+	want := 156.0*3600 + 286.0*3600
+	if math.Abs(float64(e)-want) > 1 {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+}
+
+func TestOracleEnergyEmptySeries(t *testing.T) {
+	o := testOracle()
+	if _, err := o.Energy(telemetry.NewSeries("x"), time.Hour); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestProportionalEnergy(t *testing.T) {
+	o := testOracle()
+	s := telemetry.NewSeries("demand")
+	s.Append(0, 32) // half the 64-core fleet
+	e, err := o.ProportionalEnergy(s, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 cores × (250/16) W/core = 500 W for an hour.
+	if math.Abs(float64(e)-500*3600) > 1 {
+		t.Fatalf("proportional energy = %v, want %v", e, 500*3600)
+	}
+}
+
+func TestProportionalBelowOracle(t *testing.T) {
+	o := testOracle()
+	s := telemetry.NewSeries("demand")
+	s.Append(0, 5)
+	s.Append(6*time.Hour, 40)
+	s.Append(12*time.Hour, 10)
+	prop, err := o.ProportionalEnergy(s, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := o.Energy(s, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop >= ideal {
+		t.Fatalf("proportional %v should undercut oracle %v", prop, ideal)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The placement planner answers: given forecast per-VM demand, which
+// hosts should be active and where should each VM run? It is a
+// two-constraint (CPU with headroom, memory strict) bin-packing with a
+// minimal-moves bias: VMs stay where they are whenever their current
+// host is among the chosen bins and still fits, so consolidation churn
+// stays comparable to base DRM — the paper's "comparable overheads"
+// claim depends on this.
+
+// Item is one VM to place.
+type Item struct {
+	// Key identifies the VM.
+	Key int
+	// CPU is the forecast demand in cores.
+	CPU float64
+	// MemGB is the VM memory footprint.
+	MemGB float64
+	// Current is the bin key of the host the VM currently runs on
+	// (negative if none).
+	Current int
+	// Group is the item's anti-affinity group: two items with the same
+	// non-empty group never share a bin.
+	Group string
+}
+
+// Bin is one candidate host.
+type Bin struct {
+	// Key identifies the host.
+	Key int
+	// CPUCap is usable CPU: host cores × target utilization headroom.
+	CPUCap float64
+	// MemCap is usable memory in GB.
+	MemCap float64
+	// Groups lists anti-affinity groups already present on the host
+	// (from residents that are not packing items); items of these
+	// groups cannot land here.
+	Groups []string
+}
+
+// Assignment maps item keys to bin keys.
+type Assignment map[int]int
+
+// PackKind selects the bin-packing heuristic for items that must move.
+type PackKind int
+
+const (
+	// PackFFD is first-fit-decreasing: items in decreasing CPU order,
+	// each into the first bin with room.
+	PackFFD PackKind = iota
+	// PackBFD is best-fit-decreasing: each item into the feasible bin
+	// with the least CPU slack remaining.
+	PackBFD
+)
+
+// String names the heuristic.
+func (k PackKind) String() string {
+	switch k {
+	case PackFFD:
+		return "ffd"
+	case PackBFD:
+		return "bfd"
+	default:
+		return "pack?"
+	}
+}
+
+type binState struct {
+	bin     Bin
+	cpuUsed float64
+	memUsed float64
+	groups  map[string]bool
+}
+
+func (b *binState) fits(it Item) bool {
+	if it.Group != "" && b.groups[it.Group] {
+		return false
+	}
+	return b.cpuUsed+it.CPU <= b.bin.CPUCap+1e-9 && b.memUsed+it.MemGB <= b.bin.MemCap+1e-9
+}
+
+func (b *binState) add(it Item) {
+	b.cpuUsed += it.CPU
+	b.memUsed += it.MemGB
+	if it.Group != "" {
+		if b.groups == nil {
+			b.groups = make(map[string]bool)
+		}
+		b.groups[it.Group] = true
+	}
+}
+
+// Pack assigns every item to a bin, keeping items on their current bin
+// when possible and packing the rest with the chosen heuristic. It
+// reports ok=false if some item cannot be placed (the chosen bin set
+// is too small).
+func Pack(items []Item, bins []Bin, kind PackKind) (Assignment, bool) {
+	states := make([]*binState, len(bins))
+	byKey := make(map[int]*binState, len(bins))
+	for i, b := range bins {
+		st := &binState{bin: b}
+		for _, g := range b.Groups {
+			if st.groups == nil {
+				st.groups = make(map[string]bool)
+			}
+			st.groups[g] = true
+		}
+		states[i] = st
+		byKey[b.Key] = st
+	}
+	// Deterministic processing order: decreasing CPU, ties by key.
+	order := append([]Item(nil), items...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].CPU != order[j].CPU {
+			return order[i].CPU > order[j].CPU
+		}
+		return order[i].Key < order[j].Key
+	})
+
+	assign := make(Assignment, len(items))
+	var movers []Item
+	// Pass 1: sticky placement on the current bin.
+	for _, it := range order {
+		if st, ok := byKey[it.Current]; ok && st.fits(it) {
+			st.add(it)
+			assign[it.Key] = it.Current
+			continue
+		}
+		movers = append(movers, it)
+	}
+	// Pass 2: pack the movers.
+	for _, it := range movers {
+		var chosen *binState
+		switch kind {
+		case PackBFD:
+			bestSlack := 0.0
+			for _, st := range states {
+				if !st.fits(it) {
+					continue
+				}
+				slack := st.bin.CPUCap - st.cpuUsed - it.CPU
+				if chosen == nil || slack < bestSlack {
+					chosen = st
+					bestSlack = slack
+				}
+			}
+		default: // PackFFD
+			for _, st := range states {
+				if st.fits(it) {
+					chosen = st
+					break
+				}
+			}
+		}
+		if chosen == nil {
+			return nil, false
+		}
+		chosen.add(it)
+		assign[it.Key] = chosen.bin.Key
+	}
+	return assign, true
+}
+
+// Moves returns the item keys whose assignment differs from their
+// current bin, in deterministic (ascending key) order.
+func Moves(items []Item, assign Assignment) []int {
+	var out []int
+	for _, it := range items {
+		if to, ok := assign[it.Key]; ok && to != it.Current {
+			out = append(out, it.Key)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MinBins returns the smallest prefix length k of bins such that all
+// items pack into bins[:k], and the corresponding assignment. Bins
+// should be pre-ordered by preference (e.g. currently-loaded hosts
+// first to minimize migrations). Returns ok=false if even all bins are
+// insufficient.
+func MinBins(items []Item, bins []Bin, kind PackKind) (k int, assign Assignment, ok bool) {
+	if len(items) == 0 {
+		return 0, Assignment{}, true
+	}
+	// Lower bound from aggregate capacity, to skip infeasible prefixes.
+	needCPU, needMem := 0.0, 0.0
+	for _, it := range items {
+		needCPU += it.CPU
+		needMem += it.MemGB
+	}
+	cumCPU, cumMem := 0.0, 0.0
+	for k = 1; k <= len(bins); k++ {
+		cumCPU += bins[k-1].CPUCap
+		cumMem += bins[k-1].MemCap
+		if cumCPU+1e-9 < needCPU || cumMem+1e-9 < needMem {
+			continue
+		}
+		if a, ok := Pack(items, bins[:k], kind); ok {
+			return k, a, true
+		}
+	}
+	return len(bins), nil, false
+}
+
+// Validate sanity-checks the planner inputs.
+func Validate(items []Item, bins []Bin) error {
+	seen := make(map[int]bool, len(bins))
+	for _, b := range bins {
+		if b.CPUCap < 0 || b.MemCap < 0 {
+			return fmt.Errorf("core: bin %d has negative capacity", b.Key)
+		}
+		if seen[b.Key] {
+			return fmt.Errorf("core: duplicate bin key %d", b.Key)
+		}
+		seen[b.Key] = true
+	}
+	seenIt := make(map[int]bool, len(items))
+	for _, it := range items {
+		if it.CPU < 0 || it.MemGB < 0 {
+			return fmt.Errorf("core: item %d has negative size", it.Key)
+		}
+		if seenIt[it.Key] {
+			return fmt.Errorf("core: duplicate item key %d", it.Key)
+		}
+		seenIt[it.Key] = true
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+func TestPackGroupsNeverShareBin(t *testing.T) {
+	items := []Item{
+		{Key: 1, CPU: 1, MemGB: 1, Current: -1, Group: "db"},
+		{Key: 2, CPU: 1, MemGB: 1, Current: -1, Group: "db"},
+		{Key: 3, CPU: 1, MemGB: 1, Current: -1, Group: "db"},
+		{Key: 4, CPU: 1, MemGB: 1, Current: -1}, // unconstrained
+	}
+	assign, ok := Pack(items, bins(3, 10, 64), PackFFD)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	if assign[1] == assign[2] || assign[1] == assign[3] || assign[2] == assign[3] {
+		t.Fatalf("group members share a bin: %v", assign)
+	}
+}
+
+func TestPackGroupInfeasibleWhenBinsShort(t *testing.T) {
+	items := []Item{
+		{Key: 1, CPU: 1, MemGB: 1, Current: -1, Group: "db"},
+		{Key: 2, CPU: 1, MemGB: 1, Current: -1, Group: "db"},
+		{Key: 3, CPU: 1, MemGB: 1, Current: -1, Group: "db"},
+	}
+	if _, ok := Pack(items, bins(2, 100, 100), PackFFD); ok {
+		t.Fatal("3 replicas packed into 2 bins")
+	}
+}
+
+func TestPackStickyRespectsGroups(t *testing.T) {
+	// Both items claim bin 1 as home; only one may stay.
+	items := []Item{
+		{Key: 1, CPU: 1, MemGB: 1, Current: 1, Group: "db"},
+		{Key: 2, CPU: 1, MemGB: 1, Current: 1, Group: "db"},
+	}
+	assign, ok := Pack(items, bins(2, 10, 64), PackFFD)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	if assign[1] == assign[2] {
+		t.Fatalf("sticky pass co-located group: %v", assign)
+	}
+}
+
+func TestPackBinPreexistingGroups(t *testing.T) {
+	// Bin 1 already hosts a "db" member (not a packing item).
+	theBins := []Bin{
+		{Key: 1, CPUCap: 10, MemCap: 64, Groups: []string{"db"}},
+		{Key: 2, CPUCap: 10, MemCap: 64},
+	}
+	items := []Item{{Key: 1, CPU: 1, MemGB: 1, Current: -1, Group: "db"}}
+	assign, ok := Pack(items, theBins, PackFFD)
+	if !ok || assign[1] != 2 {
+		t.Fatalf("pre-existing group ignored: %v ok=%v", assign, ok)
+	}
+}
+
+func TestMinBinsGroupFloor(t *testing.T) {
+	// Tiny items, but 4 replicas force 4 bins regardless of capacity.
+	items := []Item{
+		{Key: 1, CPU: 0.1, MemGB: 1, Current: -1, Group: "svc"},
+		{Key: 2, CPU: 0.1, MemGB: 1, Current: -1, Group: "svc"},
+		{Key: 3, CPU: 0.1, MemGB: 1, Current: -1, Group: "svc"},
+		{Key: 4, CPU: 0.1, MemGB: 1, Current: -1, Group: "svc"},
+	}
+	k, _, ok := MinBins(items, bins(6, 10, 64), PackFFD)
+	if !ok || k != 4 {
+		t.Fatalf("MinBins = %d ok=%v, want floor 4", k, ok)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func bins(n int, cpu, mem float64) []Bin {
+	out := make([]Bin, n)
+	for i := range out {
+		out[i] = Bin{Key: i + 1, CPUCap: cpu, MemCap: mem}
+	}
+	return out
+}
+
+func TestPackStickyPlacement(t *testing.T) {
+	items := []Item{
+		{Key: 1, CPU: 4, MemGB: 8, Current: 2},
+		{Key: 2, CPU: 4, MemGB: 8, Current: 1},
+	}
+	assign, ok := Pack(items, bins(2, 10, 64), PackFFD)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	if assign[1] != 2 || assign[2] != 1 {
+		t.Fatalf("sticky placement broken: %v", assign)
+	}
+	if len(Moves(items, assign)) != 0 {
+		t.Fatal("no-op plan produced moves")
+	}
+}
+
+func TestPackMovesWhenCurrentGone(t *testing.T) {
+	items := []Item{
+		{Key: 1, CPU: 4, MemGB: 8, Current: 9}, // host 9 not in bins
+	}
+	assign, ok := Pack(items, bins(2, 10, 64), PackFFD)
+	if !ok {
+		t.Fatal("pack failed")
+	}
+	if assign[1] != 1 {
+		t.Fatalf("FFD should pick first bin: %v", assign)
+	}
+	moves := Moves(items, assign)
+	if len(moves) != 1 || moves[0] != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestPackRespectsCPUAndMemory(t *testing.T) {
+	// CPU-constrained: two 6-CPU items cannot share a 10-CPU bin.
+	items := []Item{
+		{Key: 1, CPU: 6, MemGB: 1, Current: -1},
+		{Key: 2, CPU: 6, MemGB: 1, Current: -1},
+	}
+	assign, ok := Pack(items, bins(2, 10, 64), PackFFD)
+	if !ok || assign[1] == assign[2] {
+		t.Fatalf("CPU constraint violated: %v ok=%v", assign, ok)
+	}
+	// Memory-constrained.
+	items = []Item{
+		{Key: 1, CPU: 1, MemGB: 40, Current: -1},
+		{Key: 2, CPU: 1, MemGB: 40, Current: -1},
+	}
+	assign, ok = Pack(items, bins(2, 10, 64), PackFFD)
+	if !ok || assign[1] == assign[2] {
+		t.Fatalf("memory constraint violated: %v ok=%v", assign, ok)
+	}
+}
+
+func TestPackInfeasible(t *testing.T) {
+	items := []Item{{Key: 1, CPU: 20, MemGB: 1, Current: -1}}
+	if _, ok := Pack(items, bins(3, 10, 64), PackFFD); ok {
+		t.Fatal("oversized item packed")
+	}
+}
+
+func TestPackBFDPrefersTightFit(t *testing.T) {
+	theBins := []Bin{
+		{Key: 1, CPUCap: 10, MemCap: 64},
+		{Key: 2, CPUCap: 4, MemCap: 64},
+	}
+	items := []Item{{Key: 1, CPU: 3.5, MemGB: 1, Current: -1}}
+	assign, ok := Pack(items, theBins, PackBFD)
+	if !ok || assign[1] != 2 {
+		t.Fatalf("BFD chose %v, want tight bin 2", assign)
+	}
+	// FFD takes the first bin instead.
+	assign, ok = Pack(items, theBins, PackFFD)
+	if !ok || assign[1] != 1 {
+		t.Fatalf("FFD chose %v, want first bin 1", assign)
+	}
+}
+
+func TestPackStickyYieldsToOversizedHome(t *testing.T) {
+	// Item's current bin exists but is already too small for it.
+	theBins := []Bin{
+		{Key: 1, CPUCap: 2, MemCap: 64},
+		{Key: 2, CPUCap: 10, MemCap: 64},
+	}
+	items := []Item{{Key: 1, CPU: 5, MemGB: 1, Current: 1}}
+	assign, ok := Pack(items, theBins, PackFFD)
+	if !ok || assign[1] != 2 {
+		t.Fatalf("assign = %v, want overflow to bin 2", assign)
+	}
+}
+
+func TestMinBinsFindsMinimum(t *testing.T) {
+	// 4 items of 5 CPU each; bins of 10 CPU → 2 bins suffice.
+	items := []Item{
+		{Key: 1, CPU: 5, MemGB: 1, Current: -1},
+		{Key: 2, CPU: 5, MemGB: 1, Current: -1},
+		{Key: 3, CPU: 5, MemGB: 1, Current: -1},
+		{Key: 4, CPU: 5, MemGB: 1, Current: -1},
+	}
+	k, assign, ok := MinBins(items, bins(5, 10, 64), PackFFD)
+	if !ok || k != 2 {
+		t.Fatalf("MinBins = %d ok=%v, want 2", k, ok)
+	}
+	if len(assign) != 4 {
+		t.Fatalf("assignment incomplete: %v", assign)
+	}
+}
+
+func TestMinBinsEmptyItems(t *testing.T) {
+	k, assign, ok := MinBins(nil, bins(3, 10, 64), PackFFD)
+	if !ok || k != 0 || len(assign) != 0 {
+		t.Fatalf("empty MinBins = %d %v %v", k, assign, ok)
+	}
+}
+
+func TestMinBinsInfeasible(t *testing.T) {
+	items := []Item{{Key: 1, CPU: 100, MemGB: 1, Current: -1}}
+	if _, _, ok := MinBins(items, bins(3, 10, 64), PackFFD); ok {
+		t.Fatal("infeasible MinBins succeeded")
+	}
+}
+
+func TestValidateInputs(t *testing.T) {
+	if err := Validate([]Item{{Key: 1, CPU: -1}}, nil); err == nil {
+		t.Error("negative item accepted")
+	}
+	if err := Validate(nil, []Bin{{Key: 1, CPUCap: -1}}); err == nil {
+		t.Error("negative bin accepted")
+	}
+	if err := Validate(nil, []Bin{{Key: 1}, {Key: 1}}); err == nil {
+		t.Error("duplicate bin keys accepted")
+	}
+	if err := Validate([]Item{{Key: 1}, {Key: 1}}, nil); err == nil {
+		t.Error("duplicate item keys accepted")
+	}
+	if err := Validate([]Item{{Key: 1, CPU: 1, MemGB: 1}}, bins(1, 10, 64)); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+func TestPackKindString(t *testing.T) {
+	if PackFFD.String() != "ffd" || PackBFD.String() != "bfd" || PackKind(9).String() != "pack?" {
+		t.Fatal("pack kind names wrong")
+	}
+}
+
+// Property: any successful packing respects every bin's CPU and memory
+// capacity and assigns every item exactly once.
+func TestPackCapacityProperty(t *testing.T) {
+	f := func(cpus []uint8, kindRaw bool) bool {
+		if len(cpus) == 0 || len(cpus) > 40 {
+			return true
+		}
+		kind := PackFFD
+		if kindRaw {
+			kind = PackBFD
+		}
+		items := make([]Item, len(cpus))
+		for i, c := range cpus {
+			items[i] = Item{
+				Key:     i,
+				CPU:     float64(c%12) / 2, // 0..5.5
+				MemGB:   float64(c%16) + 1, // 1..16
+				Current: i % 5,
+			}
+		}
+		theBins := bins(12, 11, 64)
+		assign, ok := Pack(items, theBins, kind)
+		if !ok {
+			return true // infeasible is allowed; capacity says nothing
+		}
+		if len(assign) != len(items) {
+			return false
+		}
+		cpuUsed := make(map[int]float64)
+		memUsed := make(map[int]float64)
+		for _, it := range items {
+			b, ok := assign[it.Key]
+			if !ok {
+				return false
+			}
+			cpuUsed[b] += it.CPU
+			memUsed[b] += it.MemGB
+		}
+		for _, b := range theBins {
+			if cpuUsed[b.Key] > b.CPUCap+1e-6 || memUsed[b.Key] > b.MemCap+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// panicScenario: light load that consolidates hard, then a demand wall
+// that overwhelms the packed hosts. The policy is DPM-S5: with S3 the
+// ordinary wake path clears the wall within a minute and the brake
+// never needs to fire (verified by TestPanicNeverNeededUnderS3), so
+// the brake's real constituency is slow states.
+func panicScenario(t *testing.T, panicShortfall float64) (*sim.Engine, *cluster.Cluster, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 0.25 cores for 2h, then 4 cores each (24 VMs × 4 = 96 on 96
+	// cores: the whole fleet is needed instantly).
+	samples := make([]float64, 8*60)
+	for i := range samples {
+		if i < 120 {
+			samples[i] = 0.25
+		} else {
+			samples[i] = 4
+		}
+	}
+	tr, _ := workload.NewTrace(time.Minute, samples)
+	for i := 0; i < 24; i++ {
+		if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(i%6+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{
+		Policy:         DPMS5,
+		PanicShortfall: panicShortfall,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	return eng, cl, m
+}
+
+func TestPanicBrakeFires(t *testing.T) {
+	eng, cl, m := panicScenario(t, 0.2)
+	eng.RunUntil(4 * time.Hour)
+	cl.Flush()
+	if m.Stats().Panics == 0 {
+		t.Fatal("brake never fired under a demand wall")
+	}
+	// After the wall, everything is awake and serving.
+	if got := len(cl.AvailableHosts()); got != 6 {
+		t.Fatalf("available hosts = %d after panic, want 6", got)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicSuspendsScaleDown(t *testing.T) {
+	eng, cl, m := panicScenario(t, 0.2)
+	// Run just past the wall so the panic fires, then check that the
+	// fleet stays awake through the hold even though forecast noise
+	// might suggest shrinking.
+	eng.RunUntil(2*time.Hour + 10*time.Minute)
+	if m.Stats().Panics == 0 {
+		t.Fatal("panic not fired by 2h10m")
+	}
+	fired := eng.Now()
+	eng.RunUntil(fired + 10*time.Minute) // inside the 15m hold
+	entries, _ := cl.PowerActions()
+	entriesAtHold := entries
+	eng.RunUntil(fired + 14*time.Minute)
+	entries2, _ := cl.PowerActions()
+	if entries2 != entriesAtHold {
+		t.Fatalf("hosts parked during panic hold: %d → %d", entriesAtHold, entries2)
+	}
+}
+
+// TestPanicNeverNeededUnderS3 documents the agility result: the same
+// demand wall under DPM-S3 is absorbed by the ordinary wake path
+// before the brake's two-tick trigger can fire.
+func TestPanicNeverNeededUnderS3(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples := make([]float64, 8*60)
+	for i := range samples {
+		if i < 120 {
+			samples[i] = 0.25
+		} else {
+			samples[i] = 4
+		}
+	}
+	tr, _ := workload.NewTrace(time.Minute, samples)
+	for i := 0; i < 24; i++ {
+		if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(i%6+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3, PanicShortfall: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(4 * time.Hour)
+	if m.Stats().Panics != 0 {
+		t.Fatalf("S3 needed the brake (%d panics); agility regressed", m.Stats().Panics)
+	}
+	d, del := cl.LastEvaluation()
+	if del < d-1e-6 {
+		t.Fatalf("demand not fully served at steady state: %v/%v", del, d)
+	}
+}
+
+func TestPanicDisabledByDefault(t *testing.T) {
+	_, _, m := panicScenario(t, 0)
+	if m.Config().PanicShortfall != 0 {
+		t.Fatal("panic enabled by default")
+	}
+	// checkPanic with the brake disarmed must be a no-op.
+	m.checkPanic()
+	if m.Stats().Panics != 0 {
+		t.Fatal("disabled brake fired")
+	}
+}
+
+func TestPanicConfigValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl, _ := cluster.New(eng, cluster.Config{})
+	if _, err := NewManager(cl, Config{Policy: DPMS3, PanicShortfall: 1.5}); err == nil {
+		t.Fatal("accepted shortfall > 1")
+	}
+	if _, err := NewManager(cl, Config{Policy: DPMS3, PanicHold: -time.Minute}); err == nil {
+		t.Fatal("accepted negative hold")
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3, PanicShortfall: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config().PanicHold != 15*time.Minute {
+		t.Fatalf("default hold = %v", m.Config().PanicHold)
+	}
+}

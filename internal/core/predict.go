@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+)
+
+// diurnalModel learns the cluster's demand by time of day: an EWMA per
+// half-hour bucket, updated as observations stream in. The manager's
+// predictive-wake feature reads the learned curve at (now + lead) to
+// wake capacity *ahead* of recurring ramps — the classic mitigation
+// for slow power states. It is deliberately blind to anything that
+// does not repeat daily (flash crowds), which is exactly the gap the
+// paper's low-latency states close.
+type diurnalModel struct {
+	alpha   float64
+	buckets [48]float64
+	primed  [48]bool
+	// seen counts fully primed buckets; predictions are unreliable
+	// until at least half the day has been observed once.
+	seen int
+}
+
+const diurnalBucket = 30 * time.Minute
+
+func newDiurnalModel(alpha float64) *diurnalModel {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.4
+	}
+	return &diurnalModel{alpha: alpha}
+}
+
+func bucketOf(at time.Duration) int {
+	day := 24 * time.Hour
+	inDay := at % day
+	return int(inDay / diurnalBucket)
+}
+
+// Observe feeds one total-demand sample.
+func (m *diurnalModel) Observe(at time.Duration, demand float64) {
+	b := bucketOf(at)
+	if !m.primed[b] {
+		m.buckets[b] = demand
+		m.primed[b] = true
+		m.seen++
+		return
+	}
+	m.buckets[b] = m.alpha*demand + (1-m.alpha)*m.buckets[b]
+}
+
+// Ready reports whether enough of the day has been observed for
+// predictions to mean anything.
+func (m *diurnalModel) Ready() bool { return m.seen >= 24 }
+
+// Predict returns the learned demand at time at (wrapping daily), and
+// false when the model is not ready or the bucket was never observed.
+func (m *diurnalModel) Predict(at time.Duration) (float64, bool) {
+	if !m.Ready() {
+		return 0, false
+	}
+	b := bucketOf(at)
+	if !m.primed[b] {
+		return 0, false
+	}
+	return m.buckets[b], true
+}
+
+// PredictWindowMax returns the maximum learned demand over [from,
+// from+window], the value a wake decision must cover.
+func (m *diurnalModel) PredictWindowMax(from time.Duration, window time.Duration) (float64, bool) {
+	if !m.Ready() {
+		return 0, false
+	}
+	max := 0.0
+	any := false
+	consider := func(at time.Duration) {
+		if v, ok := m.Predict(at); ok {
+			any = true
+			if v > max {
+				max = v
+			}
+		}
+	}
+	for at := from; at < from+window; at += diurnalBucket {
+		consider(at)
+	}
+	// Always sample the window endpoint: a steep ramp sitting just
+	// inside the horizon is exactly what the lookahead exists for.
+	consider(from + window)
+	return max, any
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDiurnalModelLearnsCurve(t *testing.T) {
+	m := newDiurnalModel(0.5)
+	// Two days of a simple curve: 10 cores at night, 40 by day.
+	demand := func(at time.Duration) float64 {
+		h := math.Mod(at.Hours(), 24)
+		if h >= 9 && h < 17 {
+			return 40
+		}
+		return 10
+	}
+	for at := time.Duration(0); at < 48*time.Hour; at += 15 * time.Minute {
+		m.Observe(at, demand(at))
+	}
+	if !m.Ready() {
+		t.Fatal("model not ready after two full days")
+	}
+	if v, ok := m.Predict(12 * time.Hour); !ok || math.Abs(v-40) > 1 {
+		t.Fatalf("midday prediction = %v/%v, want ~40", v, ok)
+	}
+	if v, ok := m.Predict(3 * time.Hour); !ok || math.Abs(v-10) > 1 {
+		t.Fatalf("night prediction = %v/%v, want ~10", v, ok)
+	}
+	// Predictions wrap daily.
+	if v, _ := m.Predict(27 * time.Hour); math.Abs(v-10) > 1 {
+		t.Fatalf("wrapped prediction = %v", v)
+	}
+}
+
+func TestDiurnalModelNotReadyEarly(t *testing.T) {
+	m := newDiurnalModel(0.4)
+	for at := time.Duration(0); at < 2*time.Hour; at += 15 * time.Minute {
+		m.Observe(at, 5)
+	}
+	if m.Ready() {
+		t.Fatal("model ready after 2 hours of one day")
+	}
+	if _, ok := m.Predict(time.Hour); ok {
+		t.Fatal("unready model predicted")
+	}
+	if _, ok := m.PredictWindowMax(0, time.Hour); ok {
+		t.Fatal("unready model predicted window")
+	}
+}
+
+func TestPredictWindowMaxCoversRamp(t *testing.T) {
+	m := newDiurnalModel(0.5)
+	for day := 0; day < 2; day++ {
+		for at := time.Duration(0); at < 24*time.Hour; at += 15 * time.Minute {
+			full := time.Duration(day)*24*time.Hour + at
+			v := 10.0
+			if at >= 8*time.Hour {
+				v = 50
+			}
+			m.Observe(full, v)
+		}
+	}
+	// At 7:40, a 30-minute lookahead must see the 8:00 jump.
+	v, ok := m.PredictWindowMax(2*24*time.Hour+7*time.Hour+40*time.Minute, 30*time.Minute)
+	if !ok || v < 45 {
+		t.Fatalf("window max = %v/%v, want ~50", v, ok)
+	}
+	// At 3:00 with a small window, still night.
+	v, ok = m.PredictWindowMax(2*24*time.Hour+3*time.Hour, 30*time.Minute)
+	if !ok || v > 15 {
+		t.Fatalf("night window max = %v/%v, want ~10", v, ok)
+	}
+}
+
+func TestDiurnalModelAlphaDefault(t *testing.T) {
+	m := newDiurnalModel(0) // invalid → default
+	if m.alpha != 0.4 {
+		t.Fatalf("alpha = %v", m.alpha)
+	}
+	m = newDiurnalModel(2)
+	if m.alpha != 0.4 {
+		t.Fatalf("alpha = %v for out-of-range input", m.alpha)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if bucketOf(0) != 0 {
+		t.Fatal("bucket(0)")
+	}
+	if bucketOf(30*time.Minute) != 1 {
+		t.Fatal("bucket(30m)")
+	}
+	if bucketOf(23*time.Hour+45*time.Minute) != 47 {
+		t.Fatal("bucket(23:45)")
+	}
+	if bucketOf(24*time.Hour) != 0 {
+		t.Fatal("bucket wraps")
+	}
+}

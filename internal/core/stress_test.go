@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// TestManagedStress runs the full manager (DPM-S3) over a volatile
+// workload with random VM churn and operator maintenance actions,
+// checking cluster invariants continuously. Any structural corruption
+// the manager could introduce — double placement, parking a loaded
+// host, leaking reservations — fails here.
+func TestManagedStress(t *testing.T) {
+	for _, policy := range []Policy{DPMS3, DPMS5, NoPM} {
+		t.Run(policy.Name, func(t *testing.T) {
+			eng := sim.NewEngine(2024)
+			cl, err := cluster.New(eng, cluster.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const hosts = 6
+			for i := 0; i < hosts; i++ {
+				if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 128}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := sim.NewRNG(5)
+			for i := 0; i < 18; i++ {
+				tr := workload.RandomWalk(rng.Fork(), workload.OUSpec{
+					MeanCores:  1.5,
+					Volatility: 0.8,
+					Length:     12 * time.Hour,
+				})
+				if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(i%hosts+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m, err := NewManager(cl, Config{Policy: policy, Period: 3 * time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.Start()
+			m.Start()
+
+			var vms []vm.ID
+			for _, v := range cl.VMs() {
+				vms = append(vms, v.ID())
+			}
+			inMaint := map[host.ID]bool{}
+			for step := 0; step < 300; step++ {
+				eng.RunUntil(eng.Now() + time.Duration(rng.Intn(150)+30)*time.Second)
+				switch rng.Intn(6) {
+				case 0: // arrival
+					v, err := cl.AddPendingVM(vm.Config{
+						VCPUs: 4, MemoryGB: rng.Range(4, 16),
+						Trace: workload.Constant(rng.Range(0.2, 3)),
+					})
+					if err == nil {
+						vms = append(vms, v.ID())
+					}
+				case 1: // departure
+					if len(vms) > 0 {
+						i := rng.Intn(len(vms))
+						if err := cl.RemoveVM(vms[i]); err == nil {
+							vms = append(vms[:i], vms[i+1:]...)
+						}
+					}
+				case 2: // operator maintenance toggle
+					hid := host.ID(rng.Intn(hosts) + 1)
+					if inMaint[hid] {
+						if err := m.ExitMaintenance(hid); err == nil {
+							delete(inMaint, hid)
+						}
+					} else if len(inMaint) == 0 { // at most one held at a time
+						if err := m.EnterMaintenance(hid); err == nil {
+							inMaint[hid] = true
+						}
+					}
+				default: // let the manager work
+				}
+				if err := cl.CheckInvariants(); err != nil {
+					t.Fatalf("step %d at %v: %v", step, eng.Now(), err)
+				}
+			}
+			eng.RunUntil(eng.Now() + time.Hour)
+			cl.Flush()
+			if err := cl.CheckInvariants(); err != nil {
+				t.Fatalf("final: %v", err)
+			}
+			// The run must have been lively, or the stress proves
+			// nothing.
+			if policy.PowerManage && m.Stats().Sleeps == 0 {
+				t.Fatal("power-managing stress run never slept a host")
+			}
+			if cl.Migrations().Stats().Completed == 0 {
+				t.Fatal("stress run never migrated")
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/report"
+)
+
+// Ablations — design-choice benches called out in DESIGN.md: demand
+// forecaster, packing heuristic, hysteresis band, and the spare-host
+// reserve, all on the DPM-S3 day workload.
+func Ablations(w io.Writer, opts Options) error {
+	base := dayScenario(opts)
+	staticRes, err := func() (*agilepower.Result, error) {
+		sc := base
+		sc.Manager.Policy = agilepower.Static
+		return sc.Run()
+	}()
+	if err != nil {
+		return err
+	}
+
+	type variant struct {
+		label string
+		mut   func(*agilepower.ManagerConfig)
+	}
+	variants := []variant{
+		{"baseline (peak-window, ffd, hysteresis, 0 spare)", func(c *agilepower.ManagerConfig) {}},
+		{"forecast: last-value", func(c *agilepower.ManagerConfig) {
+			c.Forecast = agilepower.ForecastSpec{Kind: agilepower.ForecastLastValue}
+		}},
+		{"forecast: ewma", func(c *agilepower.ManagerConfig) {
+			c.Forecast = agilepower.ForecastSpec{Kind: agilepower.ForecastEWMA}
+		}},
+		{"packing: bfd", func(c *agilepower.ManagerConfig) {
+			c.Packing = 1 // core.PackBFD
+		}},
+		{"sleep-delay: none", func(c *agilepower.ManagerConfig) {
+			c.SleepDelay = -1
+		}},
+		{"sleep-delay: 10m", func(c *agilepower.ManagerConfig) {
+			c.SleepDelay = 10 * time.Minute
+		}},
+		{"spare hosts: 1", func(c *agilepower.ManagerConfig) { c.SpareHosts = 1 }},
+		{"spare hosts: 2", func(c *agilepower.ManagerConfig) { c.SpareHosts = 2 }},
+	}
+
+	tbl := report.NewTable(
+		"Ablations: DPM-S3 design choices on the day workload",
+		"variant", "savings_vs_static", "violation_frac", "migrations", "power_actions")
+	for _, v := range variants {
+		sc := base
+		sc.Manager.Policy = agilepower.DPMS3
+		v.mut(&sc.Manager)
+		r, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(v.label, r.SavingsVs(staticRes), r.ViolationFraction,
+			r.Migrations.Completed, r.Sleeps+r.Wakes)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+
+	// Availability constraints: replicas with anti-affinity cannot be
+	// co-located, so the number of active hosts can never drop below
+	// the widest service. The sweep uses a lightly loaded cluster
+	// (packing optimum ~2-3 hosts) so the replica floor actually
+	// binds.
+	tblA := report.NewTable(
+		"Ablations: anti-affinity (replicas per service) vs consolidation (16 hosts, light load)",
+		"replicas", "savings_vs_static", "violation_frac", "mean_active_hosts")
+	aaHosts, aaVMs := 16, 24
+	if opts.Quick {
+		aaHosts, aaVMs = 8, 12
+	}
+	for _, replicas := range []int{1, 2, 6, 12} {
+		if replicas > aaVMs || replicas > aaHosts {
+			continue // a service wider than the fleet cannot be placed
+		}
+		sc := base
+		sc.Hosts = aaHosts
+		sc.VMs = agilepower.ReplicatedFleet(aaVMs/replicas, replicas, opts.seed())
+		staticRef := sc
+		staticRef.Manager.Policy = agilepower.Static
+		st, err := staticRef.Run()
+		if err != nil {
+			return err
+		}
+		sc.Manager.Policy = agilepower.DPMS3
+		r, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		tblA.AddRow(replicas, r.SavingsVs(st), r.ViolationFraction,
+			r.ActiveHosts.TimeMean(0, sc.Horizon))
+	}
+	if err := tblA.Write(w); err != nil {
+		return err
+	}
+
+	// Robustness: S3 resume failures (fallback to a full boot). The
+	// low-latency story must survive occasionally fragile resumes.
+	tblR := report.NewTable(
+		"Ablations: S3 resume-failure robustness",
+		"fail_prob", "savings_vs_static", "violation_frac", "resume_failures")
+	for _, prob := range []float64{0, 0.02, 0.10, 0.25} {
+		profile := agilepower.DefaultProfile()
+		profile.ResumeFailProb = prob
+		sc := base
+		sc.Profile = profile
+		sc.Manager.Policy = agilepower.DPMS3
+		r, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		tblR.AddRow(prob, r.SavingsVs(staticRes), r.ViolationFraction, r.ResumeFailures)
+	}
+	if err := tblR.Write(w); err != nil {
+		return err
+	}
+
+	// Wake-latency sensitivity: how would savings/violations move if
+	// S3 exit latency were worse or better than our calibration?
+	tblL := report.NewTable(
+		"Ablations: S3 exit-latency sensitivity",
+		"exit_latency", "savings_vs_static", "violation_frac")
+	for _, exit := range []time.Duration{5 * time.Second, 15 * time.Second, 60 * time.Second, 5 * time.Minute} {
+		profile := agilepower.DefaultProfile()
+		spec := profile.Sleep[agilepower.S3]
+		spec.ExitLatency = exit
+		profile.Sleep[agilepower.S3] = spec
+		sc := base
+		sc.Profile = profile
+		sc.Manager.Policy = agilepower.DPMS3
+		r, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		tblL.AddRow(exit.String(), r.SavingsVs(staticRes), r.ViolationFraction)
+	}
+	return tblL.Write(w)
+}

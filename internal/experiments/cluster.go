@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/report"
+	"agilepower/internal/telemetry"
+)
+
+// dayScenario is the shared end-to-end setup for F5/F6/F8/F9/T2
+// [reconstructed]: a 32-host cluster running 160 mixed enterprise VMs
+// (diurnal web + spiky API + batch) for a full day. Quick mode shrinks
+// to 8 hosts / 40 VMs / 8 hours.
+func dayScenario(opts Options) agilepower.Scenario {
+	hosts, vms := 32, 160
+	horizon := 24 * time.Hour
+	if opts.Quick {
+		hosts, vms = 8, 40
+		horizon = 8 * time.Hour
+	}
+	return agilepower.Scenario{
+		Name:    "datacenter-day",
+		Profile: opts.Profile,
+		Hosts:   hosts,
+		VMs:     agilepower.MixedFleet(vms, opts.seed()),
+		Horizon: horizon,
+		Seed:    opts.seed(),
+		Manager: agilepower.ManagerConfig{},
+	}
+}
+
+// F4 — cluster power versus offered load [reconstructed]: the
+// energy-proportionality curves. Steady aggregate load is swept from
+// 5% to 95% of fleet capacity; for each point every policy runs to
+// steady state and the mean cluster power is reported, alongside the
+// analytic oracle and ideal-proportional bounds.
+func F4(w io.Writer, opts Options) error {
+	hosts := 16
+	vmsN := 64
+	horizon := 4 * time.Hour
+	loads := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+	if opts.Quick {
+		hosts, vmsN = 8, 32
+		horizon = 2 * time.Hour
+		loads = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	totalCores := float64(hosts) * 16
+
+	tbl := report.NewTable(
+		"F4: mean cluster power (W) vs offered load — energy proportionality",
+		"load", "static", "nopm", "dpm_s5", "dpm_s3", "oracle", "proportional")
+	for _, load := range loads {
+		perVM := load * totalCores / float64(vmsN)
+		sc := agilepower.Scenario{
+			Name:    fmt.Sprintf("f4-load-%02.0f", load*100),
+			Hosts:   hosts,
+			VMs:     agilepower.ConstantFleet(vmsN, perVM),
+			Horizon: horizon,
+			Seed:    opts.seed(),
+		}
+		results, err := sc.RunPolicies(agilepower.Policies())
+		if err != nil {
+			return err
+		}
+		oracleE, err := results[0].OracleEnergy()
+		if err != nil {
+			return err
+		}
+		propE, err := results[0].ProportionalEnergy()
+		if err != nil {
+			return err
+		}
+		secs := horizon.Seconds()
+		tbl.AddRow(fmt.Sprintf("%.0f%%", load*100),
+			results[0].MeanPowerW, results[1].MeanPowerW,
+			results[2].MeanPowerW, results[3].MeanPowerW,
+			float64(oracleE)/secs, float64(propE)/secs)
+	}
+	return tbl.Write(w)
+}
+
+// F5 — day-long trace-driven run [reconstructed]: cluster demand and
+// per-policy power over a full day of mixed enterprise load. The
+// figure the paper uses to show DPM-S3 tracking the demand curve while
+// S5-based management lags the troughs.
+func F5(w io.Writer, opts Options) error {
+	sc := dayScenario(opts)
+	results, err := sc.RunPolicies(agilepower.Policies())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "F5: day-long run, %d hosts, %d VMs, horizon %.0fh\n",
+		sc.Hosts, len(sc.VMs), hours(sc.Horizon))
+
+	step := sc.Horizon / 24
+	demand := results[0].Demand.Downsample(step, sc.Horizon)
+	chart := report.Chart{Title: "cluster demand (cores)", Width: 40}
+	if err := chart.Write(w, demand); err != nil {
+		return err
+	}
+	for _, r := range results {
+		chart := report.Chart{Title: "power: " + r.Policy, Width: 40, YLabel: "W"}
+		if err := chart.Write(w, r.Power.Downsample(step, sc.Horizon)); err != nil {
+			return err
+		}
+	}
+	tbl := report.NewTable("F5 energy summary", "policy", "energy_kwh", "savings_vs_static", "mean_active_hosts")
+	for _, r := range results {
+		tbl.AddRow(r.Policy, r.EnergyKWh(), r.SavingsVs(results[0]),
+			r.ActiveHosts.TimeMean(0, sc.Horizon))
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	if opts.SVGDir != "" {
+		series := make([]*telemetry.Series, 0, len(results))
+		for _, r := range results {
+			ds := r.Power.Downsample(sc.Horizon/96, sc.Horizon)
+			ds.Name = "power:" + r.Policy
+			series = append(series, ds)
+		}
+		path := filepath.Join(opts.SVGDir, "f5_power.svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		chart := report.SVGChart{Title: "F5: cluster power over the day", YLabel: "W"}
+		if err := chart.Write(f, series...); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "svg written to %s\n", path)
+	}
+	return nil
+}
+
+// F6 — performance impact [reconstructed]: SLA violations and demand
+// satisfaction per policy on the day workload. This is where wake
+// latency bites: S5-based management strands demand for minutes during
+// surges; S3-based management stays near the NoPM baseline.
+func F6(w io.Writer, opts Options) error {
+	sc := dayScenario(opts)
+	results, err := sc.RunPolicies(agilepower.Policies())
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		"F6: performance impact over the day workload",
+		"policy", "satisfaction", "violation_frac", "unmet_core_hours")
+	for _, r := range results {
+		tbl.AddRow(r.Policy, r.Satisfaction, r.ViolationFraction, r.UnmetCoreHours)
+	}
+	return tbl.Write(w)
+}
+
+// F7 — scale-out simulation [reconstructed]: the paper's claim that
+// the approach holds at datacenter scale. Fleet sizes are swept and
+// DPM-S3 savings and overheads reported per size.
+func F7(w io.Writer, opts Options) error {
+	sizes := []int{8, 16, 32, 64, 128, 256}
+	horizon := 6 * time.Hour
+	if opts.Quick {
+		sizes = []int{8, 16, 32}
+		horizon = 3 * time.Hour
+	}
+	tbl := report.NewTable(
+		"F7: scale-out — DPM-S3 vs static across fleet sizes",
+		"hosts", "vms", "static_kwh", "dpm_s3_kwh", "savings", "satisfaction", "migrations", "power_actions")
+	for _, n := range sizes {
+		sc := agilepower.Scenario{
+			Name:    fmt.Sprintf("f7-%d", n),
+			Hosts:   n,
+			VMs:     agilepower.DiurnalFleet(n*5, opts.seed()),
+			Horizon: horizon,
+			Seed:    opts.seed(),
+		}
+		res, err := sc.RunPolicies([]agilepower.Policy{agilepower.Static, agilepower.DPMS3})
+		if err != nil {
+			return err
+		}
+		static, dpm := res[0], res[1]
+		tbl.AddRow(n, n*5, static.EnergyKWh(), dpm.EnergyKWh(),
+			dpm.SavingsVs(static), dpm.Satisfaction,
+			dpm.Migrations.Completed, dpm.Sleeps+dpm.Wakes)
+	}
+	return tbl.Write(w)
+}
+
+// F8 — management overhead [reconstructed]: migrations and power
+// actions per hour, DPM versus base DRM. The paper's "comparable
+// overheads" claim: power management with low-latency states should
+// not cost dramatically more actions than plain load balancing.
+func F8(w io.Writer, opts Options) error {
+	sc := dayScenario(opts)
+	results, err := sc.RunPolicies([]agilepower.Policy{
+		agilepower.NoPM, agilepower.DPMS5, agilepower.DPMS3,
+	})
+	if err != nil {
+		return err
+	}
+	h := hours(sc.Horizon)
+	tbl := report.NewTable(
+		"F8: management actions per hour",
+		"policy", "migr_lb_per_h", "migr_consol_per_h", "migr_total_per_h", "power_actions_per_h", "migr_downtime_s")
+	for _, r := range results {
+		tbl.AddRow(r.Policy,
+			float64(r.Manager.MigrationsLB)/h,
+			float64(r.Manager.MigrationsConsolidation)/h,
+			float64(r.Migrations.Completed)/h,
+			float64(r.Sleeps+r.Wakes)/h,
+			r.Migrations.TotalDowntime.Seconds())
+	}
+	return tbl.Write(w)
+}
+
+// F9 — sensitivity to the control period [reconstructed]: how agility
+// (short periods) trades against action churn and what it does to
+// energy and violations for DPM-S3.
+func F9(w io.Writer, opts Options) error {
+	periods := []time.Duration{time.Minute, 2 * time.Minute, 5 * time.Minute, 10 * time.Minute, 20 * time.Minute, 30 * time.Minute}
+	if opts.Quick {
+		periods = []time.Duration{2 * time.Minute, 10 * time.Minute, 30 * time.Minute}
+	}
+	base := dayScenario(opts)
+	staticRes, err := func() (*agilepower.Result, error) {
+		sc := base
+		sc.Manager.Policy = agilepower.Static
+		return sc.Run()
+	}()
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		"F9: DPM-S3 sensitivity to control period",
+		"period", "savings_vs_static", "violation_frac", "migrations", "power_actions")
+	for _, p := range periods {
+		sc := base
+		sc.Manager.Policy = agilepower.DPMS3
+		sc.Manager.Period = p
+		r, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(p.String(), r.SavingsVs(staticRes), r.ViolationFraction,
+			r.Migrations.Completed, r.Sleeps+r.Wakes)
+	}
+	return tbl.Write(w)
+}
+
+// F10 — energy-performance trade-off scatter [reconstructed]: each
+// configuration as a (savings, violation) point. The paper's closing
+// figure: DPM-S3 sits in the good corner (high savings, violations
+// near the DRM baseline), DPM-S5 trades one for the other.
+func F10(w io.Writer, opts Options) error {
+	base := dayScenario(opts)
+	staticRes, err := func() (*agilepower.Result, error) {
+		sc := base
+		sc.Manager.Policy = agilepower.Static
+		return sc.Run()
+	}()
+	if err != nil {
+		return err
+	}
+	type variant struct {
+		label string
+		mut   func(*agilepower.Scenario)
+	}
+	variants := []variant{
+		{"nopm", func(s *agilepower.Scenario) { s.Manager.Policy = agilepower.NoPM }},
+		{"dpm-s5", func(s *agilepower.Scenario) { s.Manager.Policy = agilepower.DPMS5 }},
+		{"dpm-s3", func(s *agilepower.Scenario) { s.Manager.Policy = agilepower.DPMS3 }},
+		{"dpm-s3/tight", func(s *agilepower.Scenario) {
+			s.Manager.Policy = agilepower.DPMS3
+			s.Manager.TargetUtil = 0.85
+			s.Manager.WakeThreshold = 0.92
+		}},
+		{"dpm-s3/spare1", func(s *agilepower.Scenario) {
+			s.Manager.Policy = agilepower.DPMS3
+			s.Manager.SpareHosts = 1
+		}},
+		{"dpm-s5/spare2", func(s *agilepower.Scenario) {
+			s.Manager.Policy = agilepower.DPMS5
+			s.Manager.SpareHosts = 2
+		}},
+	}
+	tbl := report.NewTable(
+		"F10: energy-performance trade-off (vs static provisioning)",
+		"config", "savings", "violation_frac", "satisfaction")
+	for _, v := range variants {
+		sc := base
+		v.mut(&sc)
+		r, err := sc.Run()
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(v.label, r.SavingsVs(staticRes), r.ViolationFraction, r.Satisfaction)
+	}
+	return tbl.Write(w)
+}
+
+// T2 — end-to-end summary table [reconstructed]: the paper's bottom
+// line per policy on the day workload.
+func T2(w io.Writer, opts Options) error {
+	sc := dayScenario(opts)
+	results, err := sc.RunPolicies(agilepower.Policies())
+	if err != nil {
+		return err
+	}
+	static := results[0]
+	oracleE, err := static.OracleEnergy()
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		"T2: end-to-end summary (day workload)",
+		"policy", "energy_kwh", "savings_vs_static", "satisfaction", "violation_frac",
+		"migrations", "sleeps", "wakes")
+	for _, r := range results {
+		tbl.AddRow(r.Policy, r.EnergyKWh(), r.SavingsVs(static),
+			r.Satisfaction, r.ViolationFraction,
+			r.Migrations.Completed, r.Sleeps, r.Wakes)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "oracle (zero-latency DPM) bound: %.2f kWh (savings %.3f vs static)\n",
+		oracleE.KWh(), 1-float64(oracleE)/float64(static.Energy)); err != nil {
+		return err
+	}
+	// A fairness-matched oracle honouring the controller's own packing
+	// headroom, so the gap attributable to latency/misprediction alone
+	// is visible.
+	fair := static.Oracle()
+	fair.TargetUtil = 0.70
+	fairE, err := fair.Energy(static.Demand, sc.Horizon)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "oracle@0.70 headroom: %.2f kWh (savings %.3f vs static)\n",
+		fairE.KWh(), 1-float64(fairE)/float64(static.Energy))
+	return err
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"io"
+
+	"agilepower"
+	"agilepower/internal/report"
+)
+
+// DVFS — processor-level scaling versus server-level sleep states
+// [reconstructed extension]. The paper's intro contrasts its approach
+// with DVFS: frequency scaling only touches dynamic power, so a fleet
+// of clocked-down but powered-on servers still burns its full static
+// draw. This experiment runs the day workload under (a) DVFS alone,
+// (b) consolidation + S3, and (c) both combined, against static
+// provisioning. Expected shape: DVFS alone saves a single-digit
+// percentage; S3-based DPM saves several times more; the combination
+// adds a couple of points on top of DPM by trimming the awake hosts.
+func DVFS(w io.Writer, opts Options) error {
+	sc := dayScenario(opts)
+	staticRes, err := func() (*agilepower.Result, error) {
+		s := sc
+		s.Manager.Policy = agilepower.Static
+		return s.Run()
+	}()
+	if err != nil {
+		return err
+	}
+
+	combined := agilepower.DPMS3
+	combined.Name = "dpm-s3+dvfs"
+	combined.DVFS = true
+
+	tbl := report.NewTable(
+		"DVFS: frequency scaling vs server sleep states (day workload)",
+		"policy", "energy_kwh", "savings_vs_static", "violation_frac", "freq_changes")
+	tbl.AddRow(staticRes.Policy, staticRes.EnergyKWh(), 0.0,
+		staticRes.ViolationFraction, staticRes.Manager.FreqChanges)
+	for _, p := range []agilepower.Policy{agilepower.DVFSOnly, agilepower.DPMS3, combined} {
+		s := sc
+		s.Manager.Policy = p
+		r, err := s.Run()
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(r.Policy, r.EnergyKWh(), r.SavingsVs(staticRes),
+			r.ViolationFraction, r.Manager.FreqChanges)
+	}
+	return tbl.Write(w)
+}

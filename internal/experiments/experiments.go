@@ -1,0 +1,126 @@
+// Package experiments implements the reproduction of every table and
+// figure in the paper's evaluation (reconstructed — see DESIGN.md).
+// Each experiment is a named function that runs the workload, prints
+// the same rows/series the paper reports, and returns the numbers for
+// programmatic checks. The cmd/powerbench and cmd/sweep binaries and
+// the root bench_test.go all drive this package, so the figures are
+// regenerated from exactly one implementation.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"agilepower/internal/power"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks horizons and fleet sizes so the full suite runs in
+	// seconds (used by `go test -bench`). Full mode reproduces the
+	// paper-scale parameters.
+	Quick bool
+	// Seed drives workload generation (default 1).
+	Seed uint64
+	// SVGDir, when non-empty, makes figure experiments also write SVG
+	// charts into this directory (currently F5).
+	SVGDir string
+	// Profile overrides the server power calibration (default
+	// power.DefaultProfile). Characterization and cluster experiments
+	// both honour it, so alternative platforms can be explored from
+	// the CLIs.
+	Profile *power.Profile
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) profile() *power.Profile {
+	if o.Profile != nil {
+		return o.Profile
+	}
+	return power.DefaultProfile()
+}
+
+// Runner executes one experiment, writing its report to w.
+type Runner func(w io.Writer, opts Options) error
+
+var registry = map[string]Runner{
+	"t1":      T1,
+	"f2":      F2,
+	"f3":      F3,
+	"f4":      F4,
+	"f5":      F5,
+	"f6":      F6,
+	"f7":      F7,
+	"f8":      F8,
+	"f9":      F9,
+	"f10":     F10,
+	"t2":      T2,
+	"prov":    Prov,
+	"predict": Predict,
+	"dvfs":    DVFS,
+	"ablate":  Ablations,
+}
+
+// IDs returns all experiment identifiers in run order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+func orderKey(id string) string {
+	// t1 first, then f2..f10 numerically, then t2, then ablate.
+	switch id {
+	case "t1":
+		return "00"
+	case "t2":
+		return "90"
+	case "prov":
+		return "95"
+	case "predict":
+		return "96"
+	case "dvfs":
+		return "97"
+	case "ablate":
+		return "99"
+	default:
+		if len(id) == 2 {
+			return "0" + id[1:]
+		}
+		return id[1:]
+	}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, w io.Writer, opts Options) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(w, opts)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, opts Options) error {
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "\n=== experiment %s ===\n", id)
+		if err := Run(id, w, opts); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// hours is a small helper for report durations.
+func hours(d time.Duration) float64 { return d.Hours() }

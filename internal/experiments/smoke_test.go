@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The smoke tests run every experiment in Quick mode and check the
+// qualitative shapes the paper reports, not absolute numbers.
+
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, &buf, Options{Quick: true}); err != nil {
+		t.Fatalf("experiment %s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "ablate"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, Options{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestT1ContainsStates(t *testing.T) {
+	out := runExp(t, "t1")
+	for _, want := range []string{"S0 peak", "S0 idle", "C6", "S3", "S5", "breakeven"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("T1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF2ShowsCycle(t *testing.T) {
+	out := runExp(t, "f2")
+	if !strings.Contains(out, "suspend/resume") || !strings.Contains(out, "total energy") {
+		t.Fatalf("F2 output:\n%s", out)
+	}
+	// The parked segment should show low power (bars collapse to ~12W
+	// rows somewhere).
+	if !strings.Contains(out, "12") {
+		t.Fatalf("F2 never shows parked power:\n%s", out)
+	}
+}
+
+func TestF3ShapeS3BeatsS5(t *testing.T) {
+	out := runExp(t, "f3")
+	if !strings.Contains(out, "break-even: S3") {
+		t.Fatalf("F3 missing break-even line:\n%s", out)
+	}
+	// At a 1-minute gap S3 must save and S5 must not.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1m0s") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				t.Fatalf("bad F3 row: %q", line)
+			}
+			if fields[1] == "0" {
+				t.Fatalf("S3 saves nothing at 1m gap: %q", line)
+			}
+			if fields[2] != "0" {
+				t.Fatalf("S5 should save nothing at 1m gap: %q", line)
+			}
+			return
+		}
+	}
+	t.Fatalf("no 1m row in F3:\n%s", out)
+}
+
+func TestF4Runs(t *testing.T) {
+	out := runExp(t, "f4")
+	if !strings.Contains(out, "energy proportionality") || !strings.Contains(out, "90%") {
+		t.Fatalf("F4 output:\n%s", out)
+	}
+}
+
+func TestF5Runs(t *testing.T) {
+	out := runExp(t, "f5")
+	if !strings.Contains(out, "day-long run") || !strings.Contains(out, "savings_vs_static") {
+		t.Fatalf("F5 output:\n%s", out)
+	}
+}
+
+func TestF6Runs(t *testing.T) {
+	out := runExp(t, "f6")
+	if !strings.Contains(out, "satisfaction") {
+		t.Fatalf("F6 output:\n%s", out)
+	}
+}
+
+func TestF7Runs(t *testing.T) {
+	out := runExp(t, "f7")
+	if !strings.Contains(out, "scale-out") {
+		t.Fatalf("F7 output:\n%s", out)
+	}
+}
+
+func TestF8Runs(t *testing.T) {
+	out := runExp(t, "f8")
+	if !strings.Contains(out, "actions per hour") {
+		t.Fatalf("F8 output:\n%s", out)
+	}
+}
+
+func TestF9Runs(t *testing.T) {
+	out := runExp(t, "f9")
+	if !strings.Contains(out, "control period") {
+		t.Fatalf("F9 output:\n%s", out)
+	}
+}
+
+func TestF10Runs(t *testing.T) {
+	out := runExp(t, "f10")
+	if !strings.Contains(out, "trade-off") {
+		t.Fatalf("F10 output:\n%s", out)
+	}
+}
+
+func TestT2Runs(t *testing.T) {
+	out := runExp(t, "t2")
+	if !strings.Contains(out, "end-to-end summary") || !strings.Contains(out, "oracle") {
+		t.Fatalf("T2 output:\n%s", out)
+	}
+}
+
+func TestProvRuns(t *testing.T) {
+	out := runExp(t, "prov")
+	if !strings.Contains(out, "dynamic provisioning") || !strings.Contains(out, "prov_p95") {
+		t.Fatalf("prov output:\n%s", out)
+	}
+}
+
+func TestPredictRuns(t *testing.T) {
+	out := runExp(t, "predict")
+	if !strings.Contains(out, "predictive wake") {
+		t.Fatalf("predict output:\n%s", out)
+	}
+}
+
+func TestDVFSRuns(t *testing.T) {
+	out := runExp(t, "dvfs")
+	if !strings.Contains(out, "frequency scaling") || !strings.Contains(out, "dpm-s3+dvfs") {
+		t.Fatalf("dvfs output:\n%s", out)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	out := runExp(t, "ablate")
+	if !strings.Contains(out, "design choices") || !strings.Contains(out, "exit-latency") {
+		t.Fatalf("ablations output:\n%s", out)
+	}
+}

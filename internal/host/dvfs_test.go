@@ -1,0 +1,52 @@
+package host
+
+import (
+	"agilepower/internal/vm"
+	"math"
+	"testing"
+)
+
+func TestHostSetFrequencyShrinksCapacity(t *testing.T) {
+	_, h := newTestHost(t) // 16 cores
+	h.Place(testVM(t, 1, 16, 8, 0))
+	if err := h.SetFrequency(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if h.EffectiveCores() != 8 {
+		t.Fatalf("effective cores = %v, want 8", h.EffectiveCores())
+	}
+	// Demand 12 on 8 effective cores: only 8 delivered.
+	alloc := h.Schedule(map[vm.ID]float64{1: 12}, 0)
+	if math.Abs(alloc.Delivered[1]-8) > 1e-9 {
+		t.Fatalf("delivered = %v, want 8 at half clock", alloc.Delivered[1])
+	}
+	// Power utilization is the full-speed fraction: 8/16 = 0.5.
+	if alloc.Utilization != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", alloc.Utilization)
+	}
+}
+
+func TestHostFrequencyBackToFull(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 16, 8, 0))
+	if err := h.SetFrequency(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetFrequency(1); err != nil {
+		t.Fatal(err)
+	}
+	alloc := h.Schedule(map[vm.ID]float64{1: 12}, 0)
+	if alloc.Delivered[1] != 12 {
+		t.Fatalf("delivered = %v after restoring full clock", alloc.Delivered[1])
+	}
+}
+
+func TestHostFrequencyValidation(t *testing.T) {
+	_, h := newTestHost(t)
+	if err := h.SetFrequency(0.1); err == nil {
+		t.Fatal("accepted frequency below profile minimum")
+	}
+	if h.Frequency() != 1 {
+		t.Fatalf("failed change mutated frequency: %v", h.Frequency())
+	}
+}

@@ -1,0 +1,390 @@
+// Package host models a physical virtualization host: its CPU and
+// memory capacity, the VMs placed on it, a work-conserving
+// proportional-share CPU scheduler that decides how much of each VM's
+// demand is actually delivered, and the platform power state machine
+// from internal/power.
+package host
+
+import (
+	"fmt"
+	"sort"
+
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+)
+
+// ID identifies a host within a cluster.
+type ID int
+
+// Config describes a host to create.
+type Config struct {
+	Name string
+	// Cores is CPU capacity in cores.
+	Cores float64
+	// MemoryGB is RAM capacity.
+	MemoryGB float64
+	// Profile is the power calibration; nil selects
+	// power.DefaultProfile.
+	Profile *power.Profile
+}
+
+// Host is one physical server.
+type Host struct {
+	id      ID
+	name    string
+	cores   float64
+	memGB   float64
+	machine *power.Machine
+
+	// freq is the DVFS operating point: effective capacity is
+	// freq × cores.
+	freq float64
+
+	vms      map[vm.ID]*vm.VM
+	memUsed  float64
+	reserved map[vm.ID]float64 // inbound migration memory reservations
+	// cpuReserved sums resident VMs' guaranteed CPU minimums; new
+	// placements are admitted only while it fits capacity.
+	cpuReserved float64
+}
+
+// New validates cfg and builds a host attached to the engine.
+func New(eng *sim.Engine, id ID, cfg Config) (*Host, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("host %q: cores %v must be positive", cfg.Name, cfg.Cores)
+	}
+	if cfg.MemoryGB <= 0 {
+		return nil, fmt.Errorf("host %q: memory %v GB must be positive", cfg.Name, cfg.MemoryGB)
+	}
+	profile := cfg.Profile
+	if profile == nil {
+		profile = power.DefaultProfile()
+	}
+	machine, err := power.NewMachine(eng, profile)
+	if err != nil {
+		return nil, fmt.Errorf("host %q: %w", cfg.Name, err)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("host-%d", id)
+	}
+	return &Host{
+		id:       id,
+		name:     name,
+		cores:    cfg.Cores,
+		memGB:    cfg.MemoryGB,
+		freq:     1,
+		machine:  machine,
+		vms:      make(map[vm.ID]*vm.VM),
+		reserved: make(map[vm.ID]float64),
+	}, nil
+}
+
+// ID returns the host identifier.
+func (h *Host) ID() ID { return h.id }
+
+// Name returns the host's display name.
+func (h *Host) Name() string { return h.name }
+
+// Cores returns CPU capacity.
+func (h *Host) Cores() float64 { return h.cores }
+
+// MemoryGB returns RAM capacity.
+func (h *Host) MemoryGB() float64 { return h.memGB }
+
+// Machine returns the power state machine.
+func (h *Host) Machine() *power.Machine { return h.machine }
+
+// Available reports whether the host can serve VMs right now.
+func (h *Host) Available() bool { return h.machine.Available() }
+
+// Frequency returns the DVFS operating point.
+func (h *Host) Frequency() float64 { return h.freq }
+
+// SetFrequency changes the DVFS operating point: effective CPU
+// capacity becomes f × cores and the power machine's dynamic power
+// scales accordingly.
+func (h *Host) SetFrequency(f float64) error {
+	if err := h.machine.SetFrequency(f); err != nil {
+		return err
+	}
+	h.freq = f
+	return nil
+}
+
+// EffectiveCores returns capacity at the current frequency.
+func (h *Host) EffectiveCores() float64 { return h.freq * h.cores }
+
+// VMs returns the IDs of placed VMs in ascending order (deterministic
+// iteration for reproducible simulations).
+func (h *Host) VMs() []vm.ID {
+	ids := make([]vm.ID, 0, len(h.vms))
+	for id := range h.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumVMs returns the count of placed VMs.
+func (h *Host) NumVMs() int { return len(h.vms) }
+
+// Empty reports whether the host has no VMs and no inbound
+// reservations — the precondition for parking it.
+func (h *Host) Empty() bool { return len(h.vms) == 0 && len(h.reserved) == 0 }
+
+// MemUsedGB returns committed memory including inbound reservations.
+func (h *Host) MemUsedGB() float64 {
+	total := h.memUsed
+	// Sum reservations in key order: map iteration order must not
+	// leak into floating-point results.
+	ids := make([]vm.ID, 0, len(h.reserved))
+	for id := range h.reserved {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		total += h.reserved[id]
+	}
+	return total
+}
+
+// CPUReservedCores returns the sum of resident VMs' guaranteed CPU.
+func (h *Host) CPUReservedCores() float64 { return h.cpuReserved }
+
+// MemFreeGB returns uncommitted memory.
+func (h *Host) MemFreeGB() float64 { return h.memGB - h.MemUsedGB() }
+
+// CanFit reports whether a VM with memGB of memory fits.
+func (h *Host) CanFit(memGB float64) bool { return memGB <= h.MemFreeGB() }
+
+// Place puts the VM on this host. Memory and CPU reservations are
+// strictly admission controlled; CPU beyond reservations may be
+// oversubscribed (the scheduler then shares it by weight).
+func (h *Host) Place(v *vm.VM) error {
+	if _, ok := h.vms[v.ID()]; ok {
+		return fmt.Errorf("host %s: vm %s already placed", h.name, v.Name())
+	}
+	if !h.CanFit(v.MemoryGB()) {
+		return fmt.Errorf("host %s: no memory for vm %s (%v GB free, %v GB needed)",
+			h.name, v.Name(), h.MemFreeGB(), v.MemoryGB())
+	}
+	if h.cpuReserved+v.ReservedCores() > h.cores+1e-9 {
+		return fmt.Errorf("host %s: cpu reservations exhausted for vm %s (%v reserved of %v cores, %v needed)",
+			h.name, v.Name(), h.cpuReserved, h.cores, v.ReservedCores())
+	}
+	h.vms[v.ID()] = v
+	h.memUsed += v.MemoryGB()
+	h.cpuReserved += v.ReservedCores()
+	return nil
+}
+
+// Remove takes the VM off this host.
+func (h *Host) Remove(id vm.ID) error {
+	v, ok := h.vms[id]
+	if !ok {
+		return fmt.Errorf("host %s: vm %d not placed here", h.name, id)
+	}
+	delete(h.vms, id)
+	h.memUsed -= v.MemoryGB()
+	h.cpuReserved -= v.ReservedCores()
+	return nil
+}
+
+// Get returns a placed VM.
+func (h *Host) Get(id vm.ID) (*vm.VM, bool) {
+	v, ok := h.vms[id]
+	return v, ok
+}
+
+// Reserve holds memory for an inbound migration of the VM. The
+// reservation converts to a placement via Place after
+// ReleaseReservation, or is dropped if the migration is abandoned.
+func (h *Host) Reserve(id vm.ID, memGB float64) error {
+	if _, ok := h.reserved[id]; ok {
+		return fmt.Errorf("host %s: vm %d already reserved", h.name, id)
+	}
+	if !h.CanFit(memGB) {
+		return fmt.Errorf("host %s: no memory to reserve %v GB for vm %d", h.name, memGB, id)
+	}
+	h.reserved[id] = memGB
+	return nil
+}
+
+// ReleaseReservation drops an inbound reservation.
+func (h *Host) ReleaseReservation(id vm.ID) {
+	delete(h.reserved, id)
+}
+
+// Allocation is the scheduler's verdict for one interval.
+type Allocation struct {
+	// Delivered maps each placed VM to the cores it receives.
+	Delivered map[vm.ID]float64
+	// TotalDemand is the sum of VM demands.
+	TotalDemand float64
+	// TotalDelivered is the sum of delivered cores.
+	TotalDelivered float64
+	// Utilization is busy cores (delivered + overhead) over capacity,
+	// in [0,1].
+	Utilization float64
+}
+
+// Schedule runs the weighted proportional-share scheduler: given each
+// placed VM's demand and an additional overhead (cores consumed by
+// in-flight migrations), it computes what each VM receives. The
+// scheduler is work-conserving: if total demand plus overhead fits,
+// everyone gets what they asked; otherwise capacity is divided in
+// proportion to demand × shares, water-filling so that no VM receives
+// more than its demand (hypervisor-style resource shares; with equal
+// shares this reduces to plain demand-proportional scaling). Overhead
+// is served first, as hypervisor management traffic effectively
+// preempts guest CPU.
+//
+// If the host is not available (asleep or transitioning), every VM
+// receives zero.
+func (h *Host) Schedule(demands map[vm.ID]float64, overheadCores float64) Allocation {
+	alloc := Allocation{Delivered: make(map[vm.ID]float64, len(h.vms))}
+	// All iteration is in ascending VM-ID order: floating-point sums
+	// must not depend on map iteration order, or identical runs
+	// diverge by ULPs.
+	ids := h.VMs()
+	clean := make(map[vm.ID]float64, len(h.vms))
+	for _, id := range ids {
+		d := demands[id]
+		if d < 0 {
+			d = 0
+		}
+		clean[id] = d
+		alloc.TotalDemand += d
+	}
+	if !h.Available() {
+		for _, id := range ids {
+			alloc.Delivered[id] = 0
+		}
+		return alloc
+	}
+	capacity := h.freq * h.cores
+	if overheadCores < 0 {
+		overheadCores = 0
+	}
+	if overheadCores > capacity {
+		overheadCores = capacity
+	}
+	available := capacity - overheadCores
+
+	if alloc.TotalDemand <= available {
+		// Undersubscribed: everyone gets their ask.
+		for _, id := range ids {
+			d := clean[id]
+			alloc.Delivered[id] = d
+			alloc.TotalDelivered += d
+		}
+	} else {
+		// Phase 0: honour reservations — each VM is guaranteed
+		// min(demand, reservation) before shares divide the rest. If
+		// migration overhead squeezed capacity below the sum of
+		// reservations, they scale down proportionally.
+		resWant := make(map[vm.ID]float64, len(clean))
+		totalRes := 0.0
+		for _, id := range ids {
+			d := clean[id]
+			r := h.vms[id].ReservedCores()
+			if r > d {
+				r = d
+			}
+			resWant[id] = r
+			totalRes += r
+		}
+		resScale := 1.0
+		if totalRes > available && totalRes > 0 {
+			resScale = available / totalRes
+		}
+		granted := make(map[vm.ID]float64, len(clean))
+		remainingAfterRes := available
+		for _, id := range ids {
+			g := resWant[id] * resScale
+			granted[id] = g
+			remainingAfterRes -= g
+		}
+		// Phase 1+: water-fill the residual demands by shares.
+		residual := make(map[vm.ID]float64, len(clean))
+		for _, id := range ids {
+			residual[id] = clean[id] - granted[id]
+		}
+		fillByShares(h, ids, residual, remainingAfterRes, granted)
+		for _, id := range ids {
+			alloc.Delivered[id] = granted[id]
+			alloc.TotalDelivered += granted[id]
+		}
+	}
+
+	// Utilization is the busy fraction of *full-speed* capacity: the
+	// power machine scales the dynamic portion by frequency itself.
+	busy := alloc.TotalDelivered + overheadCores
+	alloc.Utilization = busy / h.cores
+	if alloc.Utilization > 1 {
+		alloc.Utilization = 1
+	}
+	return alloc
+}
+
+// fillByShares water-fills `remaining` capacity over residual demands
+// in proportion to demand × shares, capping each VM at its residual
+// and redistributing surplus. Results accumulate into granted. ids
+// fixes the iteration order so the arithmetic is deterministic.
+func fillByShares(h *Host, ids []vm.ID, residual map[vm.ID]float64, remaining float64, granted map[vm.ID]float64) {
+	unsat := make(map[vm.ID]bool, len(residual))
+	n := 0
+	for _, id := range ids {
+		if residual[id] > 1e-12 {
+			unsat[id] = true
+			n++
+		}
+	}
+	for n > 0 && remaining > 1e-12 {
+		totalW := 0.0
+		for _, id := range ids {
+			if unsat[id] {
+				totalW += residual[id] * float64(h.vms[id].Shares())
+			}
+		}
+		if totalW <= 0 {
+			break
+		}
+		capped := false
+		for _, id := range ids {
+			if !unsat[id] {
+				continue
+			}
+			w := residual[id] * float64(h.vms[id].Shares())
+			slice := remaining * w / totalW
+			if slice >= residual[id] {
+				granted[id] += residual[id]
+				remaining -= residual[id]
+				residual[id] = 0
+				delete(unsat, id)
+				n--
+				capped = true
+			}
+		}
+		if capped {
+			continue
+		}
+		for _, id := range ids {
+			if !unsat[id] {
+				continue
+			}
+			w := residual[id] * float64(h.vms[id].Shares())
+			granted[id] += remaining * w / totalW
+			delete(unsat, id)
+			n--
+		}
+		remaining = 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (h *Host) String() string {
+	return fmt.Sprintf("%s(%gc,%gGB,%v,%d vms)", h.name, h.cores, h.memGB, h.machine.State(), len(h.vms))
+}

@@ -1,0 +1,292 @@
+package host
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func testVM(t *testing.T, id vm.ID, vcpus, memGB, demand float64) *vm.VM {
+	t.Helper()
+	v, err := vm.New(id, vm.Config{
+		VCPUs:    vcpus,
+		MemoryGB: memGB,
+		Trace:    workload.Constant(demand),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func newTestHost(t *testing.T) (*sim.Engine, *Host) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	h, err := New(eng, 1, Config{Cores: 16, MemoryGB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, h
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if _, err := New(eng, 1, Config{Cores: 0, MemoryGB: 64}); err == nil {
+		t.Error("accepted zero cores")
+	}
+	if _, err := New(eng, 1, Config{Cores: 16, MemoryGB: 0}); err == nil {
+		t.Error("accepted zero memory")
+	}
+	bad := power.DefaultProfile()
+	bad.PeakPower = -1
+	if _, err := New(eng, 1, Config{Cores: 16, MemoryGB: 64, Profile: bad}); err == nil {
+		t.Error("accepted invalid profile")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h, err := New(eng, 3, Config{Cores: 8, MemoryGB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "host-3" {
+		t.Fatalf("default name = %q", h.Name())
+	}
+	if h.Machine().Profile().Name != power.DefaultProfile().Name {
+		t.Fatal("default profile not applied")
+	}
+	if !h.Available() || !h.Empty() {
+		t.Fatal("new host should be available and empty")
+	}
+}
+
+func TestPlaceRemoveMemoryAccounting(t *testing.T) {
+	_, h := newTestHost(t)
+	v1 := testVM(t, 1, 4, 24, 1)
+	v2 := testVM(t, 2, 4, 24, 1)
+	v3 := testVM(t, 3, 4, 24, 1)
+	if err := h.Place(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(v2); err != nil {
+		t.Fatal(err)
+	}
+	if h.MemFreeGB() != 16 {
+		t.Fatalf("free mem = %v, want 16", h.MemFreeGB())
+	}
+	// Third 24GB VM exceeds 64GB capacity.
+	if err := h.Place(v3); err == nil {
+		t.Fatal("overcommitted memory accepted")
+	}
+	if err := h.Remove(v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(v3); err != nil {
+		t.Fatalf("place after remove failed: %v", err)
+	}
+	if h.NumVMs() != 2 {
+		t.Fatalf("NumVMs = %d", h.NumVMs())
+	}
+}
+
+func TestPlaceDuplicateRejected(t *testing.T) {
+	_, h := newTestHost(t)
+	v := testVM(t, 1, 4, 8, 1)
+	if err := h.Place(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(v); err == nil {
+		t.Fatal("duplicate placement accepted")
+	}
+}
+
+func TestRemoveMissingRejected(t *testing.T) {
+	_, h := newTestHost(t)
+	if err := h.Remove(99); err == nil {
+		t.Fatal("removing absent VM succeeded")
+	}
+}
+
+func TestVMsSortedAndGet(t *testing.T) {
+	_, h := newTestHost(t)
+	for _, id := range []vm.ID{5, 2, 9} {
+		if err := h.Place(testVM(t, id, 1, 1, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := h.VMs()
+	if len(ids) != 3 || ids[0] != 2 || ids[1] != 5 || ids[2] != 9 {
+		t.Fatalf("VMs = %v, want sorted [2 5 9]", ids)
+	}
+	if _, ok := h.Get(5); !ok {
+		t.Fatal("Get(5) missed")
+	}
+	if _, ok := h.Get(7); ok {
+		t.Fatal("Get(7) hit")
+	}
+}
+
+func TestReservations(t *testing.T) {
+	_, h := newTestHost(t)
+	if err := h.Reserve(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if h.Empty() {
+		t.Fatal("host with reservation reported empty")
+	}
+	if err := h.Reserve(1, 10); err == nil {
+		t.Fatal("duplicate reservation accepted")
+	}
+	// 40 reserved of 64: a 30GB reservation must fail.
+	if err := h.Reserve(2, 30); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	if h.MemFreeGB() != 24 {
+		t.Fatalf("free = %v, want 24", h.MemFreeGB())
+	}
+	h.ReleaseReservation(1)
+	if !h.Empty() || h.MemFreeGB() != 64 {
+		t.Fatal("reservation not released")
+	}
+}
+
+func TestScheduleUndersubscribed(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 4, 8, 0))
+	h.Place(testVM(t, 2, 4, 8, 0))
+	alloc := h.Schedule(map[vm.ID]float64{1: 3, 2: 5}, 0)
+	if alloc.Delivered[1] != 3 || alloc.Delivered[2] != 5 {
+		t.Fatalf("delivered = %v", alloc.Delivered)
+	}
+	if alloc.TotalDelivered != 8 || alloc.TotalDemand != 8 {
+		t.Fatalf("totals = %v/%v", alloc.TotalDelivered, alloc.TotalDemand)
+	}
+	if alloc.Utilization != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", alloc.Utilization)
+	}
+}
+
+func TestScheduleOversubscribedProportional(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 16, 8, 0))
+	h.Place(testVM(t, 2, 16, 8, 0))
+	// Demand 24 on 16 cores: each gets 2/3 of its ask.
+	alloc := h.Schedule(map[vm.ID]float64{1: 16, 2: 8}, 0)
+	if math.Abs(alloc.Delivered[1]-16.0*2/3) > 1e-9 {
+		t.Fatalf("vm1 delivered = %v", alloc.Delivered[1])
+	}
+	if math.Abs(alloc.Delivered[2]-8.0*2/3) > 1e-9 {
+		t.Fatalf("vm2 delivered = %v", alloc.Delivered[2])
+	}
+	if alloc.Utilization != 1 {
+		t.Fatalf("utilization = %v, want 1", alloc.Utilization)
+	}
+}
+
+func TestScheduleOverheadPreempts(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 16, 8, 0))
+	// 16 demanded, 2 cores of migration overhead: VM gets 14.
+	alloc := h.Schedule(map[vm.ID]float64{1: 16}, 2)
+	if math.Abs(alloc.Delivered[1]-14) > 1e-9 {
+		t.Fatalf("delivered = %v, want 14", alloc.Delivered[1])
+	}
+	if alloc.Utilization != 1 {
+		t.Fatalf("utilization = %v", alloc.Utilization)
+	}
+}
+
+func TestScheduleUnavailableHostDeliversNothing(t *testing.T) {
+	eng, h := newTestHost(t)
+	h.Place(testVM(t, 1, 4, 8, 0))
+	if err := h.Machine().Sleep(power.S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Second) // mid-transition
+	alloc := h.Schedule(map[vm.ID]float64{1: 4}, 0)
+	if alloc.Delivered[1] != 0 || alloc.TotalDelivered != 0 {
+		t.Fatalf("sleeping host delivered %v", alloc.Delivered)
+	}
+	if alloc.TotalDemand != 4 {
+		t.Fatalf("demand should still be recorded: %v", alloc.TotalDemand)
+	}
+}
+
+func TestScheduleClampsInputs(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 4, 8, 0))
+	alloc := h.Schedule(map[vm.ID]float64{1: -5}, -3)
+	if alloc.Delivered[1] != 0 || alloc.TotalDemand != 0 {
+		t.Fatalf("negative demand not clamped: %+v", alloc)
+	}
+	// Overhead beyond capacity starves VMs entirely but does not go
+	// negative.
+	alloc = h.Schedule(map[vm.ID]float64{1: 4}, 100)
+	if alloc.Delivered[1] != 0 {
+		t.Fatalf("delivered %v with saturating overhead", alloc.Delivered[1])
+	}
+	if alloc.Utilization != 1 {
+		t.Fatalf("utilization = %v", alloc.Utilization)
+	}
+}
+
+func TestScheduleMissingDemandDefaultsZero(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 4, 8, 0))
+	alloc := h.Schedule(map[vm.ID]float64{}, 0)
+	if alloc.Delivered[1] != 0 {
+		t.Fatalf("delivered = %v for missing demand", alloc.Delivered[1])
+	}
+}
+
+// Property: the scheduler never delivers more than demanded per VM,
+// never exceeds capacity in total, and is work-conserving (delivers
+// min(demand, available) in aggregate).
+func TestScheduleProperty(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := func(d1Raw, d2Raw, d3Raw, ovRaw uint8) bool {
+		h, err := New(eng, 1, Config{Cores: 8, MemoryGB: 64})
+		if err != nil {
+			return false
+		}
+		for i := vm.ID(1); i <= 3; i++ {
+			v, _ := vm.New(i, vm.Config{VCPUs: 8, MemoryGB: 4, Trace: workload.Constant(1)})
+			if err := h.Place(v); err != nil {
+				return false
+			}
+		}
+		demands := map[vm.ID]float64{
+			1: float64(d1Raw) / 16,
+			2: float64(d2Raw) / 16,
+			3: float64(d3Raw) / 16,
+		}
+		overhead := float64(ovRaw) / 64
+		alloc := h.Schedule(demands, overhead)
+		total := 0.0
+		for id, got := range alloc.Delivered {
+			if got > demands[id]+1e-9 || got < 0 {
+				return false
+			}
+			total += got
+		}
+		if total > h.Cores()-overhead+1e-9 {
+			return false
+		}
+		available := h.Cores() - overhead
+		wantTotal := alloc.TotalDemand
+		if wantTotal > available {
+			wantTotal = available
+		}
+		return math.Abs(total-wantTotal) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

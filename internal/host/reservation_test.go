@@ -1,0 +1,123 @@
+package host
+
+import (
+	"math"
+	"testing"
+
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func resVM(t *testing.T, id vm.ID, reserved, limit float64) *vm.VM {
+	t.Helper()
+	v, err := vm.New(id, vm.Config{
+		VCPUs:         8,
+		MemoryGB:      8,
+		Trace:         workload.Constant(1),
+		ReservedCores: reserved,
+		LimitCores:    limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestReservationValidation(t *testing.T) {
+	if _, err := vm.New(1, vm.Config{VCPUs: 4, MemoryGB: 1, Trace: workload.Constant(1), ReservedCores: 5}); err == nil {
+		t.Error("reservation above vcpus accepted")
+	}
+	if _, err := vm.New(1, vm.Config{VCPUs: 4, MemoryGB: 1, Trace: workload.Constant(1), ReservedCores: -1}); err == nil {
+		t.Error("negative reservation accepted")
+	}
+	if _, err := vm.New(1, vm.Config{VCPUs: 4, MemoryGB: 1, Trace: workload.Constant(1), LimitCores: 5}); err == nil {
+		t.Error("limit above vcpus accepted")
+	}
+	if _, err := vm.New(1, vm.Config{VCPUs: 4, MemoryGB: 1, Trace: workload.Constant(1), ReservedCores: 3, LimitCores: 2}); err == nil {
+		t.Error("reservation above limit accepted")
+	}
+}
+
+func TestLimitCapsDemand(t *testing.T) {
+	v, err := vm.New(1, vm.Config{VCPUs: 8, MemoryGB: 1, Trace: workload.Constant(6), LimitCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Demand(0); got != 2 {
+		t.Fatalf("limited demand = %v, want 2", got)
+	}
+}
+
+func TestReservationAdmissionControl(t *testing.T) {
+	_, h := newTestHost(t) // 16 cores
+	if err := h.Place(resVM(t, 1, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(resVM(t, 2, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if h.CPUReservedCores() != 16 {
+		t.Fatalf("reserved = %v", h.CPUReservedCores())
+	}
+	// A third reservation exceeds 16 cores.
+	if err := h.Place(resVM(t, 3, 1, 0)); err == nil {
+		t.Fatal("overcommitted reservations accepted")
+	}
+	// Unreserved VMs still land (CPU oversubscription is allowed).
+	if err := h.Place(resVM(t, 4, 0, 0)); err != nil {
+		t.Fatalf("unreserved VM rejected: %v", err)
+	}
+	// Removal releases the budget.
+	if err := h.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Place(resVM(t, 3, 1, 0)); err != nil {
+		t.Fatalf("reservation budget not released: %v", err)
+	}
+}
+
+func TestReservationHonoredUnderContention(t *testing.T) {
+	_, h := newTestHost(t)     // 16 cores
+	h.Place(resVM(t, 1, 6, 0)) // guaranteed 6
+	h.Place(resVM(t, 2, 0, 0))
+	h.Place(resVM(t, 3, 0, 0))
+	// All demand 8: total 24 on 16 cores. VM1 gets its 6 plus a share
+	// of the rest; VMs 2-3 split what remains.
+	alloc := h.Schedule(map[vm.ID]float64{1: 8, 2: 8, 3: 8}, 0)
+	if alloc.Delivered[1] < 6 {
+		t.Fatalf("reserved VM got %v, guaranteed 6", alloc.Delivered[1])
+	}
+	if math.Abs(alloc.TotalDelivered-16) > 1e-9 {
+		t.Fatalf("not work-conserving: %v", alloc.TotalDelivered)
+	}
+	// Equal residual demands and shares → VMs 2,3 equal.
+	if math.Abs(alloc.Delivered[2]-alloc.Delivered[3]) > 1e-9 {
+		t.Fatalf("unreserved peers diverged: %v vs %v", alloc.Delivered[2], alloc.Delivered[3])
+	}
+}
+
+func TestReservationCappedAtDemand(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(resVM(t, 1, 8, 0)) // reserves 8 but asks 1
+	h.Place(resVM(t, 2, 0, 0))
+	alloc := h.Schedule(map[vm.ID]float64{1: 1, 2: 20}, 0)
+	if alloc.Delivered[1] != 1 {
+		t.Fatalf("idle reserved VM got %v, want its ask 1", alloc.Delivered[1])
+	}
+	// The unused reservation is work-conserving: VM2 gets the rest.
+	if math.Abs(alloc.Delivered[2]-15) > 1e-9 {
+		t.Fatalf("vm2 got %v, want 15", alloc.Delivered[2])
+	}
+}
+
+func TestReservationsScaleWhenOverheadSqueezes(t *testing.T) {
+	_, h := newTestHost(t) // 16 cores
+	h.Place(resVM(t, 1, 8, 0))
+	h.Place(resVM(t, 2, 8, 0))
+	// 8 cores of migration overhead leave 8 for 16 of reservations:
+	// both scale to 4.
+	alloc := h.Schedule(map[vm.ID]float64{1: 8, 2: 8}, 8)
+	if math.Abs(alloc.Delivered[1]-4) > 1e-9 || math.Abs(alloc.Delivered[2]-4) > 1e-9 {
+		t.Fatalf("squeezed reservations = %v / %v, want 4 / 4", alloc.Delivered[1], alloc.Delivered[2])
+	}
+}

@@ -1,0 +1,138 @@
+package host
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+func sharesVM(t *testing.T, id vm.ID, shares int) *vm.VM {
+	t.Helper()
+	v, err := vm.New(id, vm.Config{
+		VCPUs:    16,
+		MemoryGB: 8,
+		Trace:    workload.Constant(1),
+		Shares:   shares,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSharesWeightContention(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(sharesVM(t, 1, 2000)) // high priority
+	h.Place(sharesVM(t, 2, 1000)) // normal
+	// Both demand 12 on a 16-core host: weighted slices 2:1.
+	alloc := h.Schedule(map[vm.ID]float64{1: 12, 2: 12}, 0)
+	if math.Abs(alloc.Delivered[1]-16.0*2/3) > 1e-9 {
+		t.Fatalf("high-shares VM got %v, want %v", alloc.Delivered[1], 16.0*2/3)
+	}
+	if math.Abs(alloc.Delivered[2]-16.0*1/3) > 1e-9 {
+		t.Fatalf("normal VM got %v, want %v", alloc.Delivered[2], 16.0/3)
+	}
+}
+
+func TestSharesWaterFillingCapsAtDemand(t *testing.T) {
+	_, h := newTestHost(t)
+	h.Place(sharesVM(t, 1, 8000)) // huge priority, small ask
+	h.Place(sharesVM(t, 2, 1000))
+	h.Place(sharesVM(t, 3, 1000))
+	// VM1 asks 2; its weighted slice would far exceed that. Surplus
+	// goes to the others.
+	alloc := h.Schedule(map[vm.ID]float64{1: 2, 2: 12, 3: 12}, 0)
+	if alloc.Delivered[1] != 2 {
+		t.Fatalf("capped VM got %v, want its full ask 2", alloc.Delivered[1])
+	}
+	// Remaining 14 split evenly (equal demand × equal shares).
+	if math.Abs(alloc.Delivered[2]-7) > 1e-9 || math.Abs(alloc.Delivered[3]-7) > 1e-9 {
+		t.Fatalf("redistribution wrong: %v / %v", alloc.Delivered[2], alloc.Delivered[3])
+	}
+	if math.Abs(alloc.TotalDelivered-16) > 1e-9 {
+		t.Fatalf("not work-conserving: delivered %v of 16", alloc.TotalDelivered)
+	}
+}
+
+func TestEqualSharesMatchesProportional(t *testing.T) {
+	// With default shares the scheduler must reduce exactly to
+	// demand-proportional scaling (the original model).
+	_, h := newTestHost(t)
+	h.Place(testVM(t, 1, 16, 8, 0))
+	h.Place(testVM(t, 2, 16, 8, 0))
+	alloc := h.Schedule(map[vm.ID]float64{1: 16, 2: 8}, 0)
+	if math.Abs(alloc.Delivered[1]-16.0*2/3) > 1e-9 || math.Abs(alloc.Delivered[2]-8.0*2/3) > 1e-9 {
+		t.Fatalf("equal-shares allocation diverged: %v", alloc.Delivered)
+	}
+}
+
+// Property: for any demands and shares, the scheduler never delivers
+// more than demanded per VM, never exceeds capacity in total, and is
+// work-conserving (min(total demand, available) is delivered).
+func TestSharesScheduleProperty(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := func(d1, d2, d3 uint8, s1, s2, s3 uint16, ovRaw uint8) bool {
+		h, err := New(eng, 1, Config{Cores: 8, MemoryGB: 64})
+		if err != nil {
+			return false
+		}
+		shares := []int{int(s1%4000) + 1, int(s2%4000) + 1, int(s3%4000) + 1}
+		for i := vm.ID(1); i <= 3; i++ {
+			v, err := vm.New(i, vm.Config{
+				VCPUs: 8, MemoryGB: 4,
+				Trace:  workload.Constant(1),
+				Shares: shares[i-1],
+			})
+			if err != nil {
+				return false
+			}
+			if err := h.Place(v); err != nil {
+				return false
+			}
+		}
+		demands := map[vm.ID]float64{
+			1: float64(d1) / 32,
+			2: float64(d2) / 32,
+			3: float64(d3) / 32,
+		}
+		overhead := float64(ovRaw) / 64
+		alloc := h.Schedule(demands, overhead)
+		total := 0.0
+		for id, got := range alloc.Delivered {
+			if got > demands[id]+1e-9 || got < -1e-12 {
+				return false
+			}
+			total += got
+		}
+		available := h.Cores() - overhead
+		if total > available+1e-9 {
+			return false
+		}
+		want := alloc.TotalDemand
+		if want > available {
+			want = available
+		}
+		return math.Abs(total-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharesValidation(t *testing.T) {
+	_, err := vm.New(1, vm.Config{VCPUs: 1, MemoryGB: 1, Trace: workload.Constant(1), Shares: -5})
+	if err == nil {
+		t.Fatal("negative shares accepted")
+	}
+	v, err := vm.New(1, vm.Config{VCPUs: 1, MemoryGB: 1, Trace: workload.Constant(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Shares() != 1000 {
+		t.Fatalf("default shares = %d", v.Shares())
+	}
+}

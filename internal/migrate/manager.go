@@ -1,0 +1,180 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+)
+
+// Manager errors.
+var (
+	// ErrHostSaturated — starting the migration would exceed a host's
+	// concurrent-migration limit.
+	ErrHostSaturated = errors.New("migrate: host at concurrent migration limit")
+	// ErrAlreadyMigrating — the VM is already in flight.
+	ErrAlreadyMigrating = errors.New("migrate: vm already migrating")
+	// ErrSamePlace — source equals destination.
+	ErrSamePlace = errors.New("migrate: source and destination are the same host")
+)
+
+// Migration is one in-flight (or completed) VM move. Hosts are
+// identified by opaque ints supplied by the caller (the cluster layer).
+type Migration struct {
+	VM       vm.ID
+	Src, Dst int
+	Start    sim.Time
+	End      sim.Time
+	Plan     Plan
+}
+
+// Stats are cumulative manager counters.
+type Stats struct {
+	Started   int
+	Completed int
+	TrafficGB float64
+	// TotalDowntime is the sum of stop-and-copy pauses across all
+	// completed migrations — direct SLA impact of management actions.
+	TotalDowntime time.Duration
+	// TotalDuration is the sum of wall durations of completed moves.
+	TotalDuration time.Duration
+}
+
+// Manager tracks in-flight migrations, enforces per-host concurrency
+// limits, and fires a completion callback through the simulation
+// engine when each move finishes.
+type Manager struct {
+	eng   *sim.Engine
+	model Model
+	// perHostLimit caps concurrent migrations touching one host
+	// (inbound plus outbound), as real hypervisors do.
+	perHostLimit int
+
+	inflight map[vm.ID]*Migration
+	perHost  map[int]int
+	stats    Stats
+
+	onComplete func(*Migration)
+}
+
+// NewManager builds a manager. perHostLimit ≤ 0 selects the default
+// of 4 concurrent migrations per host (the order of what enterprise
+// hypervisors allow on a 10 GbE migration network).
+func NewManager(eng *sim.Engine, model Model, perHostLimit int) (*Manager, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if perHostLimit <= 0 {
+		perHostLimit = 4
+	}
+	return &Manager{
+		eng:          eng,
+		model:        model,
+		perHostLimit: perHostLimit,
+		inflight:     make(map[vm.ID]*Migration),
+		perHost:      make(map[int]int),
+	}, nil
+}
+
+// Model returns the manager's migration model.
+func (m *Manager) Model() Model { return m.model }
+
+// OnComplete registers fn to run when any migration completes.
+func (m *Manager) OnComplete(fn func(*Migration)) { m.onComplete = fn }
+
+// Inflight returns the number of migrations currently in flight.
+func (m *Manager) Inflight() int { return len(m.inflight) }
+
+// Migrating reports whether the VM is currently in flight.
+func (m *Manager) Migrating(id vm.ID) bool {
+	_, ok := m.inflight[id]
+	return ok
+}
+
+// HostLoad returns how many in-flight migrations touch host h.
+func (m *Manager) HostLoad(h int) int { return m.perHost[h] }
+
+// Inflights returns the in-flight migrations ordered by VM ID, for
+// deterministic planning by the management layer.
+func (m *Manager) Inflights() []*Migration {
+	out := make([]*Migration, 0, len(m.inflight))
+	for _, mig := range m.inflight {
+		out = append(out, mig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VM < out[j].VM })
+	return out
+}
+
+// CanStart reports whether a src→dst migration would be admitted.
+func (m *Manager) CanStart(src, dst int) bool {
+	return src != dst &&
+		m.perHost[src] < m.perHostLimit &&
+		m.perHost[dst] < m.perHostLimit
+}
+
+// Start begins migrating the VM with the given memory footprint from
+// src to dst. The returned Migration completes (callback fires) after
+// the planned duration.
+func (m *Manager) Start(id vm.ID, src, dst int, memGB float64) (*Migration, error) {
+	if src == dst {
+		return nil, fmt.Errorf("%w: host %d", ErrSamePlace, src)
+	}
+	if m.Migrating(id) {
+		return nil, fmt.Errorf("%w: vm %d", ErrAlreadyMigrating, id)
+	}
+	if m.perHost[src] >= m.perHostLimit {
+		return nil, fmt.Errorf("%w: source %d", ErrHostSaturated, src)
+	}
+	if m.perHost[dst] >= m.perHostLimit {
+		return nil, fmt.Errorf("%w: destination %d", ErrHostSaturated, dst)
+	}
+	plan, err := m.model.Plan(memGB)
+	if err != nil {
+		return nil, err
+	}
+	mig := &Migration{
+		VM:    id,
+		Src:   src,
+		Dst:   dst,
+		Start: m.eng.Now(),
+		End:   m.eng.Now() + plan.Duration,
+		Plan:  plan,
+	}
+	m.inflight[id] = mig
+	m.perHost[src]++
+	m.perHost[dst]++
+	m.stats.Started++
+	m.eng.Schedule(mig.End, func() { m.complete(mig) })
+	return mig, nil
+}
+
+func (m *Manager) complete(mig *Migration) {
+	delete(m.inflight, mig.VM)
+	m.perHost[mig.Src]--
+	m.perHost[mig.Dst]--
+	if m.perHost[mig.Src] == 0 {
+		delete(m.perHost, mig.Src)
+	}
+	if m.perHost[mig.Dst] == 0 {
+		delete(m.perHost, mig.Dst)
+	}
+	m.stats.Completed++
+	m.stats.TrafficGB += mig.Plan.TrafficGB
+	m.stats.TotalDowntime += mig.Plan.Downtime
+	m.stats.TotalDuration += mig.Plan.Duration
+	if m.onComplete != nil {
+		m.onComplete(mig)
+	}
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// CPUOverhead returns the extra cores consumed on host h right now by
+// in-flight migrations.
+func (m *Manager) CPUOverhead(h int) float64 {
+	return float64(m.perHost[h]) * m.model.CPUOverheadCores
+}

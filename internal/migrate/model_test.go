@@ -1,0 +1,170 @@
+package migrate
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Model)
+	}{
+		{"zero bandwidth", func(m *Model) { m.BandwidthGbps = 0 }},
+		{"negative dirty", func(m *Model) { m.DirtyFracPerSec = -1 }},
+		{"zero threshold", func(m *Model) { m.StopCopyThresholdGB = 0 }},
+		{"zero iterations", func(m *Model) { m.MaxIterations = 0 }},
+		{"negative overhead", func(m *Model) { m.CPUOverheadCores = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := DefaultModel()
+			tc.mut(&m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestPlanScalesWithMemory(t *testing.T) {
+	m := DefaultModel()
+	small, err := m.Plan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := m.Plan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Duration <= small.Duration {
+		t.Fatalf("16GB migration (%v) not longer than 2GB (%v)", large.Duration, small.Duration)
+	}
+	// 10 Gbps = 1.25 GB/s, so 16 GB takes ≥ 12.8s for the first copy.
+	if large.Duration < 12*time.Second {
+		t.Fatalf("16GB duration = %v, implausibly fast", large.Duration)
+	}
+}
+
+func TestPlanDowntimeSmall(t *testing.T) {
+	m := DefaultModel()
+	p, err := m.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converged pre-copy ends with ≤ threshold remaining: downtime is
+	// threshold/bandwidth at most (64MB over 1.25GB/s = 50ms).
+	if p.Downtime > 100*time.Millisecond {
+		t.Fatalf("downtime = %v, want under 100ms for converging pre-copy", p.Downtime)
+	}
+	if p.Downtime <= 0 {
+		t.Fatal("downtime should be positive")
+	}
+}
+
+func TestPlanNonConvergingForcesStopCopy(t *testing.T) {
+	m := DefaultModel()
+	m.BandwidthGbps = 1       // 0.125 GB/s
+	m.DirtyFracPerSec = 0.125 // 8GB VM dirties 1 GB/s >> bandwidth
+	p, err := m.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterations > 2 {
+		t.Fatalf("non-converging migration ran %d iterations, want early stop-and-copy", p.Iterations)
+	}
+	// Whole memory gets re-copied in the final pause.
+	if p.Downtime < 10*time.Second {
+		t.Fatalf("downtime = %v, want large forced stop-and-copy", p.Downtime)
+	}
+}
+
+func TestPlanMaxIterationsCap(t *testing.T) {
+	m := DefaultModel()
+	m.MaxIterations = 3
+	m.StopCopyThresholdGB = 1e-9 // force hitting the cap
+	p, err := m.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterations != 3 {
+		t.Fatalf("iterations = %d, want cap 3", p.Iterations)
+	}
+}
+
+func TestPlanRejectsNonPositiveMemory(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.Plan(0); err == nil {
+		t.Fatal("Plan accepted zero memory")
+	}
+	if _, err := m.Plan(-4); err == nil {
+		t.Fatal("Plan accepted negative memory")
+	}
+}
+
+func TestPlanTrafficAtLeastMemory(t *testing.T) {
+	m := DefaultModel()
+	p, err := m.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TrafficGB < 8 {
+		t.Fatalf("traffic %v GB less than memory 8 GB", p.TrafficGB)
+	}
+}
+
+func TestZeroDirtyRateSingleIteration(t *testing.T) {
+	m := DefaultModel()
+	m.DirtyFracPerSec = 0
+	p, err := m.Plan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterations != 1 {
+		t.Fatalf("iterations = %d with no dirtying, want 1", p.Iterations)
+	}
+	// 8 GB at 1.25 GB/s = 6.4s plus negligible stop-copy.
+	if p.Duration < 6*time.Second || p.Duration > 7*time.Second {
+		t.Fatalf("duration = %v, want ~6.4s", p.Duration)
+	}
+}
+
+// Properties: duration/downtime/traffic are positive and downtime ≤
+// duration for any memory size; in the converging pre-copy regime
+// (dirty rate well below bandwidth) duration is also monotone in
+// memory. Monotonicity deliberately excludes the convergence boundary:
+// a VM whose dirty rate reaches link bandwidth falls back to an early
+// forced stop-and-copy, which can finish *sooner* (with much larger
+// downtime) than a slightly smaller VM that pre-copies for many rounds.
+func TestPlanProperties(t *testing.T) {
+	m := DefaultModel()
+	bwGBps := m.BandwidthGbps / 8
+	f := func(memRaw uint16) bool {
+		mem := 0.5 + float64(memRaw%512)/4 // 0.5 .. 128.25 GB
+		p, err := m.Plan(mem)
+		if err != nil {
+			return false
+		}
+		if !(p.Duration > 0 && p.Downtime > 0 && p.Downtime <= p.Duration && p.TrafficGB >= mem) {
+			return false
+		}
+		// Monotone only where both sizes converge comfortably.
+		if m.DirtyFracPerSec*(mem+1) < 0.5*bwGBps {
+			p2, err := m.Plan(mem + 1)
+			if err != nil || p2.Duration < p.Duration {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+// BenchmarkMachineCycle measures one full suspend/park/resume cycle
+// including event scheduling and energy accrual.
+func BenchmarkMachineCycle(b *testing.B) {
+	eng := sim.NewEngine(1)
+	m, err := NewMachine(eng, DefaultProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Sleep(S3); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		if err := m.Wake(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkActivePowerCurve measures curve interpolation.
+func BenchmarkActivePowerCurve(b *testing.B) {
+	p := DefaultProfile()
+	p.Curve = []Watts{100, 130, 150, 165, 178, 190, 201, 212, 224, 237, 250}
+	var sink Watts
+	for i := 0; i < b.N; i++ {
+		sink += p.ActivePower(float64(i%100) / 100)
+	}
+	_ = sink
+}
+
+// BenchmarkFitCurve measures calibration fitting from 2000 samples.
+func BenchmarkFitCurve(b *testing.B) {
+	rng := sim.NewRNG(1)
+	ms := make([]Measurement, 2000)
+	for i := range ms {
+		u := rng.Float64()
+		ms[i] = Measurement{Util: u, Power: Watts(100 + 150*u + rng.Norm(0, 5))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitCurve(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBreakEven measures the analytic break-even solver.
+func BenchmarkBreakEven(b *testing.B) {
+	p := DefaultProfile()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		be, _ := p.BreakEven(S3)
+		sink += be
+	}
+	_ = sink
+}

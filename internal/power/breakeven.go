@@ -1,0 +1,74 @@
+package power
+
+import "time"
+
+// The break-even analysis answers the question at the heart of the
+// paper's motivation: for an idle gap of a given length, does parking
+// the server in a sleep state save energy once the transition energy
+// and unavailability are paid? Traditional S5 breaks even only for
+// gaps of many minutes, which is why prior DPM saw limited adoption;
+// S3 breaks even within tens of seconds.
+
+// GapEnergyIdle is the energy of riding out a gap of length d idling
+// in S0 (with deep C-states if the profile has them).
+func (p *Profile) GapEnergyIdle(d time.Duration) Joules {
+	return WattSeconds(p.ActivePower(0), d)
+}
+
+// GapEnergySleep is the energy of handling a gap of length d by
+// entering the sleep state st, parking, and resuming so the server is
+// available again exactly at the end of the gap. If the gap is shorter
+// than the state's cycle latency, parking is infeasible and the result
+// is the idle energy (the server cannot complete the round trip).
+func (p *Profile) GapEnergySleep(st State, d time.Duration) (Joules, bool) {
+	spec, ok := p.Sleep[st]
+	if !ok {
+		return 0, false
+	}
+	cycle := spec.CycleLatency()
+	if d < cycle {
+		return p.GapEnergyIdle(d), false
+	}
+	parked := d - cycle
+	return spec.CycleEnergy() + WattSeconds(spec.Power, parked), true
+}
+
+// BreakEven returns the shortest gap length for which parking in st
+// consumes no more energy than idling, and whether such a gap exists.
+// Solved analytically: idle power × d ≥ cycle energy + sleep power ×
+// (d − cycle latency).
+func (p *Profile) BreakEven(st State) (time.Duration, bool) {
+	spec, ok := p.Sleep[st]
+	if !ok {
+		return 0, false
+	}
+	idle := float64(p.ActivePower(0))
+	sleep := float64(spec.Power)
+	if idle <= sleep {
+		return 0, false
+	}
+	cycleE := float64(spec.CycleEnergy())
+	cycleL := spec.CycleLatency().Seconds()
+	// idle*d = cycleE + sleep*(d - cycleL)  =>  d = (cycleE - sleep*cycleL) / (idle - sleep)
+	d := (cycleE - sleep*cycleL) / (idle - sleep)
+	if d < cycleL {
+		// The cycle itself is the binding constraint: any gap long
+		// enough to complete the round trip already saves energy.
+		d = cycleL
+	}
+	return time.Duration(d * float64(time.Second)), true
+}
+
+// GapSavings returns the fraction of idle energy saved by parking in
+// st for a gap of length d (0 when parking is infeasible or loses).
+func (p *Profile) GapSavings(st State, d time.Duration) float64 {
+	idle := p.GapEnergyIdle(d)
+	if idle <= 0 {
+		return 0
+	}
+	sleep, feasible := p.GapEnergySleep(st, d)
+	if !feasible || sleep >= idle {
+		return 0
+	}
+	return float64(idle-sleep) / float64(idle)
+}

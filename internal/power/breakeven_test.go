@@ -1,0 +1,137 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBreakEvenS3FasterThanS5(t *testing.T) {
+	p := DefaultProfile()
+	s3, ok := p.BreakEven(S3)
+	if !ok {
+		t.Fatal("no S3 break-even")
+	}
+	s5, ok := p.BreakEven(S5)
+	if !ok {
+		t.Fatal("no S5 break-even")
+	}
+	if s3 >= s5 {
+		t.Fatalf("S3 break-even %v should be well below S5 %v", s3, s5)
+	}
+	// The paper's headline shape: S3 pays off in tens of seconds, S5
+	// needs minutes.
+	if s3 > time.Minute {
+		t.Fatalf("S3 break-even %v, expected tens of seconds", s3)
+	}
+	if s5 < 2*time.Minute {
+		t.Fatalf("S5 break-even %v, expected minutes", s5)
+	}
+}
+
+func TestBreakEvenIsActuallyBreakEven(t *testing.T) {
+	p := DefaultProfile()
+	for _, st := range []State{S3, S5} {
+		be, ok := p.BreakEven(st)
+		if !ok {
+			t.Fatalf("no break-even for %v", st)
+		}
+		idle := p.GapEnergyIdle(be)
+		sleep, feasible := p.GapEnergySleep(st, be)
+		if !feasible {
+			t.Fatalf("%v: break-even gap %v not feasible", st, be)
+		}
+		if sleep > idle+1 { // 1 J tolerance for rounding to ns
+			t.Fatalf("%v: at break-even %v sleeping costs %v > idling %v", st, be, sleep, idle)
+		}
+		// Just before break-even (and above cycle latency) sleeping
+		// must not win, unless the cycle latency itself is binding.
+		spec := p.Sleep[st]
+		if be > spec.CycleLatency() {
+			short := be - time.Second
+			idleS := p.GapEnergyIdle(short)
+			sleepS, f := p.GapEnergySleep(st, short)
+			if f && sleepS < idleS {
+				t.Fatalf("%v: gap %v below break-even still saves energy", st, short)
+			}
+		}
+	}
+}
+
+func TestGapEnergySleepInfeasibleShortGap(t *testing.T) {
+	p := DefaultProfile()
+	// S3 cycle is 23s; a 10s gap cannot complete the round trip.
+	e, feasible := p.GapEnergySleep(S3, 10*time.Second)
+	if feasible {
+		t.Fatal("10s gap reported feasible for S3")
+	}
+	if e != p.GapEnergyIdle(10*time.Second) {
+		t.Fatal("infeasible gap should cost idle energy")
+	}
+}
+
+func TestGapEnergySleepUnsupportedState(t *testing.T) {
+	p := DefaultProfile()
+	delete(p.Sleep, S5)
+	if _, ok := p.GapEnergySleep(S5, time.Hour); ok {
+		t.Fatal("unsupported state reported feasible")
+	}
+	if _, ok := p.BreakEven(S5); ok {
+		t.Fatal("unsupported state has break-even")
+	}
+}
+
+func TestBreakEvenNoneWhenSleepNotCheaper(t *testing.T) {
+	p := DefaultProfile()
+	s := p.Sleep[S3]
+	s.Power = p.IdlePower // sleeping draws as much as idling
+	p.DeepIdlePower = 0
+	p.Sleep[S3] = s
+	if _, ok := p.BreakEven(S3); ok {
+		t.Fatal("break-even exists although sleep saves nothing")
+	}
+}
+
+func TestGapSavingsMonotoneInGapLength(t *testing.T) {
+	p := DefaultProfile()
+	prev := -1.0
+	for _, d := range []time.Duration{10 * time.Second, time.Minute, 5 * time.Minute, time.Hour} {
+		s := p.GapSavings(S3, d)
+		if s < prev {
+			t.Fatalf("savings not monotone: %v at %v after %v", s, d, prev)
+		}
+		prev = s
+	}
+	// Savings approach (idle - sleep)/idle for long gaps.
+	limit := 1 - float64(p.Sleep[S3].Power)/float64(p.ActivePower(0))
+	if got := p.GapSavings(S3, 24*time.Hour); math.Abs(got-limit) > 0.01 {
+		t.Fatalf("asymptotic savings = %v, want ~%v", got, limit)
+	}
+}
+
+func TestGapSavingsZeroForShortGaps(t *testing.T) {
+	p := DefaultProfile()
+	if s := p.GapSavings(S3, time.Second); s != 0 {
+		t.Fatalf("1s gap savings = %v, want 0", s)
+	}
+	if s := p.GapSavings(S3, 0); s != 0 {
+		t.Fatalf("0 gap savings = %v, want 0", s)
+	}
+}
+
+// Property: for any gap, parked energy never exceeds idle energy at or
+// beyond the break-even point.
+func TestBreakEvenProperty(t *testing.T) {
+	p := DefaultProfile()
+	be, _ := p.BreakEven(S3)
+	f := func(extraSecs uint16) bool {
+		d := be + time.Duration(extraSecs)*time.Second
+		idle := p.GapEnergyIdle(d)
+		sleep, feasible := p.GapEnergySleep(S3, d)
+		return feasible && sleep <= idle+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+func TestActivePowerAtFreqFullSpeedIdentity(t *testing.T) {
+	p := DefaultProfile()
+	for _, u := range []float64{0, 0.25, 0.5, 1} {
+		if p.ActivePowerAtFreq(u, 1) != p.ActivePower(u) {
+			t.Fatalf("f=1 diverges at u=%v", u)
+		}
+	}
+}
+
+func TestActivePowerAtFreqScalesDynamicOnly(t *testing.T) {
+	p := DefaultProfile()
+	// At u=0.5, base = 200 W: 150 static + 50 dynamic. At f=0.5 the
+	// dynamic part scales by 0.25 → 162.5 W.
+	got := p.ActivePowerAtFreq(0.5, 0.5)
+	if math.Abs(float64(got-162.5)) > 1e-9 {
+		t.Fatalf("P(0.5, f=0.5) = %v, want 162.5", got)
+	}
+	// Idle power is untouched by frequency (static dominated).
+	if p.ActivePowerAtFreq(0, 0.4) != p.ActivePower(0) {
+		t.Fatal("idle power changed with frequency")
+	}
+}
+
+func TestActivePowerAtFreqMonotoneInF(t *testing.T) {
+	p := DefaultProfile()
+	prev := Watts(0)
+	for i, f := range []float64{0.4, 0.6, 0.8, 1.0} {
+		got := p.ActivePowerAtFreq(0.7, f)
+		if i > 0 && got < prev {
+			t.Fatalf("power decreased with rising frequency: %v at f=%v", got, f)
+		}
+		prev = got
+	}
+}
+
+func TestFreqMinValidation(t *testing.T) {
+	p := DefaultProfile()
+	p.FreqMin = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted FreqMin > 1")
+	}
+	p.FreqMin = -0.1
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted negative FreqMin")
+	}
+}
+
+func TestMachineSetFrequency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m, err := NewMachine(eng, DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frequency() != 1 {
+		t.Fatalf("initial frequency = %v", m.Frequency())
+	}
+	m.SetUtilization(0.5)
+	if err := m.SetFrequency(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Power() != 162.5 {
+		t.Fatalf("power at half clock = %v, want 162.5", m.Power())
+	}
+	if err := m.SetFrequency(0.2); err == nil {
+		t.Fatal("accepted frequency below FreqMin")
+	}
+	if err := m.SetFrequency(1.1); err == nil {
+		t.Fatal("accepted frequency above 1")
+	}
+}
+
+func TestMachineSetFrequencyRejectedWithoutDVFS(t *testing.T) {
+	p := DefaultProfile()
+	p.FreqMin = 0
+	m, err := NewMachine(sim.NewEngine(1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetFrequency(0.8); err == nil {
+		t.Fatal("accepted frequency change without a DVFS range")
+	}
+}
+
+func TestFrequencyEnergyAccrual(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m, err := NewMachine(eng, DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetUtilization(0.5) // 200 W at f=1
+	eng.RunUntil(10 * time.Second)
+	if err := m.SetFrequency(0.5); err != nil { // 162.5 W
+		t.Fatal(err)
+	}
+	eng.RunUntil(20 * time.Second)
+	want := 200.0*10 + 162.5*10
+	if got := float64(m.Energy()); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,70 @@
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Facility models datacenter infrastructure overhead on top of IT
+// power: power delivery losses and cooling. It is an affine model —
+// a fixed overhead that burns regardless of IT load (CRAC fans, UPS
+// losses, lighting) plus a component proportional to IT draw
+// (conversion losses, heat removal). Server consolidation results are
+// usually reported at the IT meter; the facility view shows what the
+// utility bill sees, and the fixed term means facility-level *relative*
+// savings are always a bit smaller than IT-level savings.
+type Facility struct {
+	// Name labels the model in reports.
+	Name string
+	// FixedW is load-independent overhead.
+	FixedW Watts
+	// Proportional multiplies IT power into its delivery+cooling cost:
+	// total = FixedW + Proportional × IT. A Proportional of 1.25 means
+	// every IT watt costs 1.25 W at the meter before fixed overhead.
+	Proportional float64
+}
+
+// DefaultFacility returns a mid-efficiency enterprise room: 1.25×
+// proportional overhead plus 2 kW fixed — about PUE 1.55 at a 10 kW IT
+// load, improving as IT load grows.
+func DefaultFacility() Facility {
+	return Facility{Name: "enterprise-room", FixedW: 2000, Proportional: 1.25}
+}
+
+// Validate checks the model.
+func (f Facility) Validate() error {
+	if f.FixedW < 0 {
+		return fmt.Errorf("power: facility %q: negative fixed overhead %v", f.Name, f.FixedW)
+	}
+	if f.Proportional < 1 {
+		return fmt.Errorf("power: facility %q: proportional factor %v must be ≥1 (IT power passes through)", f.Name, f.Proportional)
+	}
+	return nil
+}
+
+// TotalPower returns the meter draw for a given IT draw.
+func (f Facility) TotalPower(it Watts) Watts {
+	if it < 0 {
+		it = 0
+	}
+	return f.FixedW + Watts(f.Proportional)*it
+}
+
+// PUE returns total/IT at the given IT draw (infinite at zero IT load;
+// returns 0 in that degenerate case).
+func (f Facility) PUE(it Watts) float64 {
+	if it <= 0 {
+		return 0
+	}
+	return float64(f.TotalPower(it)) / float64(it)
+}
+
+// Energy converts IT energy consumed over duration d into facility
+// energy, assuming the IT draw profile that produced it (the affine
+// model only needs the mean: fixed × time + proportional × IT energy).
+func (f Facility) Energy(it Joules, d time.Duration) Joules {
+	if it < 0 {
+		it = 0
+	}
+	return WattSeconds(f.FixedW, d) + Joules(f.Proportional)*it
+}

@@ -1,0 +1,78 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFacilityValidate(t *testing.T) {
+	if err := DefaultFacility().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Facility{FixedW: -1, Proportional: 1.2}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted negative fixed overhead")
+	}
+	bad = Facility{FixedW: 100, Proportional: 0.9}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted proportional < 1")
+	}
+}
+
+func TestFacilityTotalPower(t *testing.T) {
+	f := DefaultFacility()
+	if got := f.TotalPower(10000); got != 2000+12500 {
+		t.Fatalf("total = %v, want 14500", got)
+	}
+	if got := f.TotalPower(-5); got != 2000 {
+		t.Fatalf("negative IT clamps: %v", got)
+	}
+}
+
+func TestFacilityPUEImprovesWithLoad(t *testing.T) {
+	f := DefaultFacility()
+	low := f.PUE(1000)
+	high := f.PUE(20000)
+	if low <= high {
+		t.Fatalf("PUE should fall with load: %v vs %v", low, high)
+	}
+	// At 10 kW: (2000+12500)/10000 = 1.45.
+	if got := f.PUE(10000); math.Abs(got-1.45) > 1e-9 {
+		t.Fatalf("PUE(10kW) = %v, want 1.45", got)
+	}
+	if f.PUE(0) != 0 {
+		t.Fatal("degenerate PUE not 0")
+	}
+}
+
+func TestFacilityEnergy(t *testing.T) {
+	f := DefaultFacility()
+	// 1 hour at 10 kW IT: 36 MJ IT → facility = 2kW×3600 + 1.25×36MJ.
+	it := Joules(36e6)
+	got := f.Energy(it, time.Hour)
+	want := Joules(2000*3600) + 1.25*it
+	if math.Abs(float64(got-want)) > 1 {
+		t.Fatalf("facility energy = %v, want %v", got, want)
+	}
+	if f.Energy(-5, time.Hour) != Joules(2000*3600) {
+		t.Fatal("negative IT energy not clamped")
+	}
+}
+
+// The facility view shrinks relative savings: fixed overhead dilutes
+// any IT-level reduction.
+func TestFacilityDilutesSavings(t *testing.T) {
+	f := DefaultFacility()
+	staticIT := Joules(100e6)
+	dpmIT := Joules(70e6) // 30% IT savings
+	d := 24 * time.Hour
+	itSavings := 1 - float64(dpmIT)/float64(staticIT)
+	facSavings := 1 - float64(f.Energy(dpmIT, d))/float64(f.Energy(staticIT, d))
+	if facSavings >= itSavings {
+		t.Fatalf("facility savings %v should be below IT savings %v", facSavings, itSavings)
+	}
+	if facSavings <= 0 {
+		t.Fatal("facility savings vanished entirely")
+	}
+}

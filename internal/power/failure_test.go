@@ -1,0 +1,149 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+func TestResumeFailProbValidation(t *testing.T) {
+	p := DefaultProfile()
+	p.ResumeFailProb = -0.1
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted negative failure probability")
+	}
+	p.ResumeFailProb = 1.1
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted probability > 1")
+	}
+	p.ResumeFailProb = 0.5
+	if err := p.Validate(); err != nil {
+		t.Fatalf("rejected valid probability: %v", err)
+	}
+}
+
+func TestResumeAlwaysFailsFallsBackToBoot(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := DefaultProfile()
+	p.ResumeFailProb = 1
+	m, err := NewMachine(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(8 * time.Second)
+	start := eng.Now()
+	if err := m.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	// Exit = S3 exit (15s) + S5 exit (190s).
+	want := start + 205*time.Second
+	if m.TransitionEnd() != want {
+		t.Fatalf("failed-resume end = %v, want %v", m.TransitionEnd(), want)
+	}
+	eng.RunUntil(want)
+	if !m.Available() {
+		t.Fatal("machine not available after fallback boot")
+	}
+	if got := m.Stats().ResumeFailures; got != 1 {
+		t.Fatalf("resume failures = %d, want 1", got)
+	}
+}
+
+func TestResumeNeverFailsByDefault(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m, err := NewMachine(eng, DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := m.Sleep(S3); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if err := m.Wake(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	if got := m.Stats().ResumeFailures; got != 0 {
+		t.Fatalf("resume failures = %d with zero probability", got)
+	}
+}
+
+func TestResumeFailureRateStatistical(t *testing.T) {
+	eng := sim.NewEngine(7)
+	p := DefaultProfile()
+	p.ResumeFailProb = 0.3
+	m, err := NewMachine(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 500
+	for i := 0; i < cycles; i++ {
+		if err := m.Sleep(S3); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if err := m.Wake(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	fails := m.Stats().ResumeFailures
+	rate := float64(fails) / float64(cycles)
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("failure rate = %v over %d cycles, want ~0.3", rate, cycles)
+	}
+}
+
+func TestResumeFailureWithoutS5Calibration(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := DefaultProfile()
+	p.ResumeFailProb = 1
+	delete(p.Sleep, S5)
+	m, err := NewMachine(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	start := eng.Now()
+	if err := m.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	// 10× the S3 exit latency when no S5 path is calibrated.
+	if m.TransitionEnd() != start+150*time.Second {
+		t.Fatalf("fallback without S5 = %v, want %v", m.TransitionEnd()-start, 150*time.Second)
+	}
+}
+
+func TestS5ExitNeverFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := DefaultProfile()
+	p.ResumeFailProb = 1
+	m, err := NewMachine(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sleep(S5); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	start := eng.Now()
+	if err := m.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	// A boot is a boot: injection only applies to S3 resume.
+	if m.TransitionEnd() != start+190*time.Second {
+		t.Fatalf("S5 exit affected by resume injection: %v", m.TransitionEnd()-start)
+	}
+	if m.Stats().ResumeFailures != 0 {
+		t.Fatal("S5 exit counted as resume failure")
+	}
+}

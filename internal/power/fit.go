@@ -1,0 +1,147 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Measurement is one (utilization, watts) observation from a wall
+// power meter — the raw material of a SPECpower-style calibration run
+// on a prototype.
+type Measurement struct {
+	// Util is CPU utilization in [0,1].
+	Util float64
+	// Power is the measured draw.
+	Power Watts
+}
+
+// FitCurve builds the 11-point utilization→power curve (draws at 0%,
+// 10%, …, 100%) from scattered measurements, the way the paper's
+// prototype characterization would be folded into a reusable profile:
+//
+//  1. measurements are averaged into the nearest decile bucket,
+//  2. empty buckets are filled by linear interpolation (endpoints
+//     extrapolate flat),
+//  3. the result is made monotone non-decreasing by pooling adjacent
+//     violators (noise can otherwise produce a locally decreasing
+//     curve, which Validate rejects).
+func FitCurve(ms []Measurement) ([]Watts, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("power: no measurements to fit")
+	}
+	sums := make([]float64, 11)
+	counts := make([]int, 11)
+	for i, m := range ms {
+		if m.Util < 0 || m.Util > 1 {
+			return nil, fmt.Errorf("power: measurement %d utilization %v outside [0,1]", i, m.Util)
+		}
+		if m.Power < 0 {
+			return nil, fmt.Errorf("power: measurement %d negative power %v", i, m.Power)
+		}
+		b := int(m.Util*10 + 0.5)
+		sums[b] += float64(m.Power)
+		counts[b]++
+	}
+	filled := 0
+	curve := make([]float64, 11)
+	for i := range curve {
+		if counts[i] > 0 {
+			curve[i] = sums[i] / float64(counts[i])
+			filled++
+		}
+	}
+	if filled < 2 {
+		return nil, fmt.Errorf("power: measurements cover %d utilization decile(s), need ≥2", filled)
+	}
+	interpolateGaps(curve, counts)
+	isotonic(curve)
+	out := make([]Watts, 11)
+	for i, v := range curve {
+		out[i] = Watts(v)
+	}
+	return out, nil
+}
+
+// interpolateGaps fills empty buckets linearly between the nearest
+// filled neighbours; leading/trailing gaps copy the nearest value.
+func interpolateGaps(curve []float64, counts []int) {
+	var idx []int
+	for i, c := range counts {
+		if c > 0 {
+			idx = append(idx, i)
+		}
+	}
+	for i := 0; i < idx[0]; i++ {
+		curve[i] = curve[idx[0]]
+	}
+	for k := 0; k+1 < len(idx); k++ {
+		lo, hi := idx[k], idx[k+1]
+		for i := lo + 1; i < hi; i++ {
+			frac := float64(i-lo) / float64(hi-lo)
+			curve[i] = curve[lo] + frac*(curve[hi]-curve[lo])
+		}
+	}
+	for i := idx[len(idx)-1] + 1; i < len(curve); i++ {
+		curve[i] = curve[idx[len(idx)-1]]
+	}
+}
+
+// isotonic enforces monotone non-decreasing values via the
+// pool-adjacent-violators algorithm.
+func isotonic(v []float64) {
+	n := len(v)
+	vals := make([]float64, 0, n)
+	weights := make([]int, 0, n)
+	for _, x := range v {
+		vals = append(vals, x)
+		weights = append(weights, 1)
+		for len(vals) > 1 && vals[len(vals)-2] > vals[len(vals)-1] {
+			a, b := len(vals)-2, len(vals)-1
+			merged := (vals[a]*float64(weights[a]) + vals[b]*float64(weights[b])) /
+				float64(weights[a]+weights[b])
+			weights[a] += weights[b]
+			vals[a] = merged
+			vals = vals[:b]
+			weights = weights[:b]
+		}
+	}
+	i := 0
+	for k, w := range weights {
+		for j := 0; j < w; j++ {
+			v[i] = vals[k]
+			i++
+		}
+	}
+}
+
+// CalibrateProfile builds a complete profile from prototype
+// measurements: a fitted utilization curve plus measured sleep-state
+// specs. Idle and peak power come from the curve endpoints.
+func CalibrateProfile(name string, ms []Measurement, deepIdle Watts, sleep map[State]StateSpec) (*Profile, error) {
+	curve, err := FitCurve(ms)
+	if err != nil {
+		return nil, err
+	}
+	sleepCopy := make(map[State]StateSpec, len(sleep))
+	for k, v := range sleep {
+		sleepCopy[k] = v
+	}
+	p := &Profile{
+		Name:          name,
+		PeakPower:     curve[10],
+		IdlePower:     curve[0],
+		DeepIdlePower: deepIdle,
+		Curve:         curve,
+		Sleep:         sleepCopy,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SortMeasurements orders measurements by utilization (a convenience
+// for displaying calibration runs).
+func SortMeasurements(ms []Measurement) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Util < ms[j].Util })
+}

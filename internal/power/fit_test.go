@@ -1,0 +1,184 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agilepower/internal/sim"
+)
+
+func TestFitCurveRecoversLinear(t *testing.T) {
+	var ms []Measurement
+	for u := 0.0; u <= 1.001; u += 0.05 {
+		ms = append(ms, Measurement{Util: math.Min(u, 1), Power: Watts(100 + 150*u)})
+	}
+	curve, err := FitCurve(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 11 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	if math.Abs(float64(curve[0]-100)) > 5 || math.Abs(float64(curve[10]-250)) > 5 {
+		t.Fatalf("endpoints = %v / %v, want ~100 / ~250", curve[0], curve[10])
+	}
+	if math.Abs(float64(curve[5]-175)) > 5 {
+		t.Fatalf("midpoint = %v, want ~175", curve[5])
+	}
+}
+
+func TestFitCurveAveragesNoise(t *testing.T) {
+	rng := sim.NewRNG(1)
+	var ms []Measurement
+	for i := 0; i < 2000; i++ {
+		u := rng.Float64()
+		w := 100 + 150*u + rng.Norm(0, 8)
+		if w < 0 {
+			w = 0
+		}
+		ms = append(ms, Measurement{Util: u, Power: Watts(w)})
+	}
+	curve, err := FitCurve(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("fitted curve not monotone at %d: %v", i, curve)
+		}
+	}
+	if math.Abs(float64(curve[5]-175)) > 10 {
+		t.Fatalf("noisy midpoint = %v, want ~175", curve[5])
+	}
+}
+
+func TestFitCurveInterpolatesGaps(t *testing.T) {
+	// Only idle and peak measured: everything between interpolates.
+	ms := []Measurement{
+		{Util: 0, Power: 100},
+		{Util: 1, Power: 300},
+	}
+	curve, err := FitCurve(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[5] != 200 {
+		t.Fatalf("interpolated midpoint = %v, want 200", curve[5])
+	}
+}
+
+func TestFitCurveRejectsBadInput(t *testing.T) {
+	if _, err := FitCurve(nil); err == nil {
+		t.Error("accepted empty measurements")
+	}
+	if _, err := FitCurve([]Measurement{{Util: 2, Power: 10}}); err == nil {
+		t.Error("accepted out-of-range utilization")
+	}
+	if _, err := FitCurve([]Measurement{{Util: 0.5, Power: -1}, {Util: 1, Power: 10}}); err == nil {
+		t.Error("accepted negative power")
+	}
+	// A single decile cannot define a curve.
+	if _, err := FitCurve([]Measurement{{Util: 0.5, Power: 10}, {Util: 0.52, Power: 11}}); err == nil {
+		t.Error("accepted single-decile coverage")
+	}
+}
+
+func TestIsotonicPAV(t *testing.T) {
+	v := []float64{1, 3, 2, 2, 5, 4}
+	isotonic(v)
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			t.Fatalf("isotonic output decreasing: %v", v)
+		}
+	}
+	// PAV pools violators to their mean: {3,2,2} → 7/3.
+	if math.Abs(v[1]-7.0/3) > 1e-9 {
+		t.Fatalf("pooled value = %v, want 7/3", v[1])
+	}
+}
+
+// Property: FitCurve output is always 11 monotone points within the
+// measured power range.
+func TestFitCurveProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 5
+		rng := sim.NewRNG(seed)
+		ms := make([]Measurement, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range ms {
+			u := rng.Float64()
+			w := rng.Range(50, 400)
+			ms[i] = Measurement{Util: u, Power: Watts(w)}
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		curve, err := FitCurve(ms)
+		if err != nil {
+			// Single-decile coverage is a legitimate rejection.
+			return true
+		}
+		for i, v := range curve {
+			if float64(v) < lo-1e-9 || float64(v) > hi+1e-9 {
+				return false
+			}
+			if i > 0 && v < curve[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateProfile(t *testing.T) {
+	ms := []Measurement{
+		{Util: 0, Power: 110},
+		{Util: 0.5, Power: 190},
+		{Util: 1, Power: 260},
+	}
+	p, err := CalibrateProfile("fitted", ms, 90, DefaultProfile().Sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakPower != 260 || p.IdlePower != 110 || p.DeepIdlePower != 90 {
+		t.Fatalf("calibrated profile = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated profile drives a machine like any other.
+	eng := sim.NewEngine(1)
+	if _, err := NewMachine(eng, p); err != nil {
+		t.Fatal(err)
+	}
+	// Sleep map is copied, not shared.
+	src := DefaultProfile().Sleep
+	s := src[S3]
+	s.Power = 1
+	src[S3] = s
+	if p.Sleep[S3].Power == 1 {
+		t.Fatal("CalibrateProfile shares the sleep map")
+	}
+}
+
+func TestCalibrateProfileRejectsDeepIdleAboveIdle(t *testing.T) {
+	ms := []Measurement{{Util: 0, Power: 100}, {Util: 1, Power: 200}}
+	if _, err := CalibrateProfile("bad", ms, 150, nil); err == nil {
+		t.Fatal("accepted deep idle above fitted idle")
+	}
+}
+
+func TestSortMeasurements(t *testing.T) {
+	ms := []Measurement{{Util: 0.9}, {Util: 0.1}, {Util: 0.5}}
+	SortMeasurements(ms)
+	if ms[0].Util != 0.1 || ms[2].Util != 0.9 {
+		t.Fatalf("not sorted: %v", ms)
+	}
+}

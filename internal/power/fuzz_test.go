@@ -1,0 +1,58 @@
+package power
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzProfileUnmarshal hardens the profile decoder: arbitrary JSON
+// must either yield a validated profile or an error — never panic,
+// never produce a profile that its own Validate rejects.
+func FuzzProfileUnmarshal(f *testing.F) {
+	if seed, err := json.Marshal(DefaultProfile()); err == nil {
+		f.Add(string(seed))
+	}
+	f.Add(`{"name":"x","peakPowerW":200,"idlePowerW":100}`)
+	f.Add(`{"name":"x","peakPowerW":-1}`)
+	f.Add(`{"sleep":{"S3":{"entryLatency":"nope"}}}`)
+	f.Add(`{`)
+	f.Add(`{"curveW":[1,2,3]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var p Profile
+		if err := json.Unmarshal([]byte(input), &p); err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid profile: %v", err)
+		}
+		// Power queries on a valid profile never go out of range.
+		for _, u := range []float64{-1, 0, 0.33, 1, 2} {
+			w := p.ActivePower(u)
+			if w < 0 || w > p.PeakPower {
+				t.Fatalf("ActivePower(%v) = %v outside [0, %v]", u, w, p.PeakPower)
+			}
+		}
+	})
+}
+
+// FuzzFitCurve hardens the calibration fitter against arbitrary
+// measurement sets.
+func FuzzFitCurve(f *testing.F) {
+	f.Add(0.0, 100.0, 1.0, 250.0)
+	f.Add(0.5, 50.0, 0.5, 60.0)
+	f.Fuzz(func(t *testing.T, u1, w1, u2, w2 float64) {
+		ms := []Measurement{{Util: u1, Power: Watts(w1)}, {Util: u2, Power: Watts(w2)}}
+		curve, err := FitCurve(ms)
+		if err != nil {
+			return
+		}
+		if len(curve) != 11 {
+			t.Fatalf("curve length %d", len(curve))
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] < curve[i-1] {
+				t.Fatalf("fitted curve not monotone: %v", curve)
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Profiles serialize to JSON so calibrations can live in config files
+// and travel between the calibrate CLI, the API and the library. Sleep
+// states are keyed by name ("S3", "S5") and durations are strings
+// ("15s"), which keeps the files human-editable.
+
+type profileJSON struct {
+	Name           string                   `json:"name"`
+	PeakPowerW     float64                  `json:"peakPowerW"`
+	IdlePowerW     float64                  `json:"idlePowerW"`
+	DeepIdlePowerW float64                  `json:"deepIdlePowerW,omitempty"`
+	CurveW         []float64                `json:"curveW,omitempty"`
+	Sleep          map[string]stateSpecJSON `json:"sleep,omitempty"`
+	ResumeFailProb float64                  `json:"resumeFailProb,omitempty"`
+}
+
+type stateSpecJSON struct {
+	PowerW       float64 `json:"powerW"`
+	EntryLatency string  `json:"entryLatency"`
+	ExitLatency  string  `json:"exitLatency"`
+	EntryPowerW  float64 `json:"entryPowerW"`
+	ExitPowerW   float64 `json:"exitPowerW"`
+}
+
+func stateByName(name string) (State, error) {
+	switch name {
+	case "S3":
+		return S3, nil
+	case "S5":
+		return S5, nil
+	default:
+		return S0, fmt.Errorf("power: unknown sleep state %q (want S3 or S5)", name)
+	}
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	out := profileJSON{
+		Name:           p.Name,
+		PeakPowerW:     float64(p.PeakPower),
+		IdlePowerW:     float64(p.IdlePower),
+		DeepIdlePowerW: float64(p.DeepIdlePower),
+		ResumeFailProb: p.ResumeFailProb,
+	}
+	for _, w := range p.Curve {
+		out.CurveW = append(out.CurveW, float64(w))
+	}
+	if len(p.Sleep) > 0 {
+		out.Sleep = make(map[string]stateSpecJSON, len(p.Sleep))
+		for st, spec := range p.Sleep {
+			out.Sleep[st.String()] = stateSpecJSON{
+				PowerW:       float64(spec.Power),
+				EntryLatency: spec.EntryLatency.String(),
+				ExitLatency:  spec.ExitLatency.String(),
+				EntryPowerW:  float64(spec.EntryPower),
+				ExitPowerW:   float64(spec.ExitPower),
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded profile is
+// validated.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var in profileJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("power: decoding profile: %w", err)
+	}
+	out := Profile{
+		Name:           in.Name,
+		PeakPower:      Watts(in.PeakPowerW),
+		IdlePower:      Watts(in.IdlePowerW),
+		DeepIdlePower:  Watts(in.DeepIdlePowerW),
+		ResumeFailProb: in.ResumeFailProb,
+	}
+	for _, w := range in.CurveW {
+		out.Curve = append(out.Curve, Watts(w))
+	}
+	if len(in.Sleep) > 0 {
+		out.Sleep = make(map[State]StateSpec, len(in.Sleep))
+		for name, spec := range in.Sleep {
+			st, err := stateByName(name)
+			if err != nil {
+				return err
+			}
+			entry, err := time.ParseDuration(spec.EntryLatency)
+			if err != nil {
+				return fmt.Errorf("power: %s entry latency: %w", name, err)
+			}
+			exit, err := time.ParseDuration(spec.ExitLatency)
+			if err != nil {
+				return fmt.Errorf("power: %s exit latency: %w", name, err)
+			}
+			out.Sleep[st] = StateSpec{
+				Power:        Watts(spec.PowerW),
+				EntryLatency: entry,
+				ExitLatency:  exit,
+				EntryPower:   Watts(spec.EntryPowerW),
+				ExitPower:    Watts(spec.ExitPowerW),
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*p = out
+	return nil
+}

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	orig := DefaultProfile()
+	orig.Curve = []Watts{100, 130, 150, 165, 178, 190, 201, 212, 224, 237, 250}
+	orig.IdlePower = 100
+	orig.DeepIdlePower = 90
+	orig.ResumeFailProb = 0.05
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Profile
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.PeakPower != orig.PeakPower ||
+		got.IdlePower != orig.IdlePower || got.DeepIdlePower != orig.DeepIdlePower ||
+		got.ResumeFailProb != orig.ResumeFailProb {
+		t.Fatalf("scalar mismatch: %+v vs %+v", got, orig)
+	}
+	if len(got.Curve) != 11 || got.Curve[5] != orig.Curve[5] {
+		t.Fatalf("curve mismatch: %v", got.Curve)
+	}
+	for st, want := range orig.Sleep {
+		have, ok := got.Sleep[st]
+		if !ok || have != want {
+			t.Fatalf("sleep %v mismatch: %+v vs %+v", st, have, want)
+		}
+	}
+}
+
+func TestProfileJSONHumanReadable(t *testing.T) {
+	data, err := json.Marshal(DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"S3"`, `"S5"`, `"15s"`, `"3m10s"`, `"peakPowerW":250`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("json missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProfileJSONRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"unknown state", `{"name":"x","peakPowerW":200,"idlePowerW":100,"sleep":{"S9":{"powerW":1,"entryLatency":"1s","exitLatency":"1s"}}}`},
+		{"bad duration", `{"name":"x","peakPowerW":200,"idlePowerW":100,"sleep":{"S3":{"powerW":1,"entryLatency":"soon","exitLatency":"1s"}}}`},
+		{"fails validation", `{"name":"x","peakPowerW":-5,"idlePowerW":100}`},
+		{"idle above peak", `{"name":"x","peakPowerW":100,"idlePowerW":200}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p Profile
+			if err := json.Unmarshal([]byte(tc.in), &p); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestProfileJSONMinimal(t *testing.T) {
+	var p Profile
+	in := `{"name":"simple","peakPowerW":200,"idlePowerW":120}`
+	if err := json.Unmarshal([]byte(in), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ActivePower(1) != 200 || p.ActivePower(0) != 120 {
+		t.Fatalf("minimal profile curve wrong: %v/%v", p.ActivePower(0), p.ActivePower(1))
+	}
+	if len(p.Sleep) != 0 {
+		t.Fatal("minimal profile has sleep states")
+	}
+}

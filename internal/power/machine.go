@@ -1,0 +1,272 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+// Transition errors returned by Machine.
+var (
+	// ErrBusy — a transition is already in flight. Real platforms
+	// cannot abort a suspend or boot halfway; callers must wait for the
+	// completion callback.
+	ErrBusy = errors.New("power: transition in progress")
+	// ErrUnsupported — the profile has no spec for the requested state.
+	ErrUnsupported = errors.New("power: state not supported by profile")
+	// ErrNotOn — sleep was requested while not in S0, or wake while
+	// already on.
+	ErrNotOn = errors.New("power: invalid state for request")
+)
+
+// Stats are cumulative counters a Machine maintains for reporting.
+type Stats struct {
+	Energy      Joules                  // total energy consumed
+	TimeIn      map[State]time.Duration // settled time per state
+	TransitTime time.Duration           // time spent transitioning
+	Entries     map[State]int           // sleep entries per state
+	Exits       map[State]int           // sleep exits per state
+	TransitionE Joules                  // energy spent in transitions
+	// ResumeFailures counts S3 resumes that failed and fell back to a
+	// full boot.
+	ResumeFailures int
+}
+
+// Machine is the power state machine of one server, driven by the
+// simulation engine. It integrates energy exactly: every change of
+// utilization or state accrues the interval since the previous change
+// at the previous draw.
+type Machine struct {
+	eng     *sim.Engine
+	profile *Profile
+
+	state State
+	phase Phase
+	// target is the state being entered/exited toward while phase is
+	// not Settled.
+	target State
+	// doneAt is when the in-flight transition completes.
+	doneAt sim.Time
+
+	util        float64
+	freq        float64
+	lastAccrual sim.Time
+	stats       Stats
+
+	// onSettled, when non-nil, runs after every completed transition
+	// with the newly settled state.
+	onSettled func(State)
+}
+
+// NewMachine returns a machine settled in S0 at zero utilization.
+func NewMachine(eng *sim.Engine, profile *Profile) (*Machine, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		eng:         eng,
+		profile:     profile,
+		state:       S0,
+		phase:       Settled,
+		freq:        1,
+		lastAccrual: eng.Now(),
+		stats: Stats{
+			TimeIn:  make(map[State]time.Duration),
+			Entries: make(map[State]int),
+			Exits:   make(map[State]int),
+		},
+	}, nil
+}
+
+// Profile returns the machine's calibration.
+func (m *Machine) Profile() *Profile { return m.profile }
+
+// State returns the settled state (or, during a transition, the state
+// being left).
+func (m *Machine) State() State { return m.state }
+
+// Phase returns whether the machine is settled or transitioning.
+func (m *Machine) Phase() Phase { return m.phase }
+
+// Target returns the destination of an in-flight transition; it is
+// meaningful only when Phase() != Settled.
+func (m *Machine) Target() State { return m.target }
+
+// TransitionEnd returns when the in-flight transition completes; it is
+// meaningful only when Phase() != Settled.
+func (m *Machine) TransitionEnd() sim.Time { return m.doneAt }
+
+// Available reports whether the server can run VM load right now.
+func (m *Machine) Available() bool { return m.state == S0 && m.phase == Settled }
+
+// OnSettled registers fn to run after every completed transition.
+func (m *Machine) OnSettled(fn func(State)) { m.onSettled = fn }
+
+// Power returns the instantaneous draw.
+func (m *Machine) Power() Watts {
+	switch m.phase {
+	case Entering:
+		return m.profile.Sleep[m.target].EntryPower
+	case Exiting:
+		return m.profile.Sleep[m.state].ExitPower
+	}
+	if m.state == S0 {
+		return m.profile.ActivePowerAtFreq(m.util, m.freq)
+	}
+	return m.profile.Sleep[m.state].Power
+}
+
+// Frequency returns the current DVFS frequency factor (1 when DVFS is
+// unused).
+func (m *Machine) Frequency() float64 { return m.freq }
+
+// SetFrequency changes the DVFS operating point, accruing energy for
+// the elapsed interval first. It fails when the profile has no DVFS
+// range or f is outside [FreqMin, 1].
+func (m *Machine) SetFrequency(f float64) error {
+	if m.profile.FreqMin <= 0 {
+		return fmt.Errorf("power: profile %q has no DVFS range", m.profile.Name)
+	}
+	if f < m.profile.FreqMin || f > 1 {
+		return fmt.Errorf("power: frequency %v outside [%v, 1]", f, m.profile.FreqMin)
+	}
+	m.accrue()
+	m.freq = f
+	return nil
+}
+
+// Utilization returns the current CPU utilization signal in [0,1].
+func (m *Machine) Utilization() float64 { return m.util }
+
+// SetUtilization updates the CPU utilization signal, accruing energy
+// for the elapsed interval first. Utilization on a sleeping or
+// transitioning machine is forced to zero.
+func (m *Machine) SetUtilization(u float64) {
+	m.accrue()
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	if !m.Available() {
+		u = 0
+	}
+	m.util = u
+}
+
+// accrue charges the interval since the last accrual at the current
+// draw and attributes settled/transition time.
+func (m *Machine) accrue() {
+	now := m.eng.Now()
+	dt := now - m.lastAccrual
+	if dt <= 0 {
+		return
+	}
+	e := WattSeconds(m.Power(), dt)
+	m.stats.Energy += e
+	if m.phase == Settled {
+		m.stats.TimeIn[m.state] += dt
+	} else {
+		m.stats.TransitTime += dt
+		m.stats.TransitionE += e
+	}
+	m.lastAccrual = now
+}
+
+// Sleep starts a transition from S0 into the given sleep state. The
+// machine becomes unavailable immediately; after the state's entry
+// latency it settles and the OnSettled callback fires.
+func (m *Machine) Sleep(st State) error {
+	if !st.IsSleep() {
+		return fmt.Errorf("%w: %v", ErrNotOn, st)
+	}
+	if _, ok := m.profile.Sleep[st]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnsupported, st)
+	}
+	if m.phase != Settled {
+		return ErrBusy
+	}
+	if m.state != S0 {
+		return fmt.Errorf("%w: sleep from %v", ErrNotOn, m.state)
+	}
+	m.accrue()
+	m.util = 0
+	m.phase = Entering
+	m.target = st
+	spec := m.profile.Sleep[st]
+	m.doneAt = m.eng.Now() + spec.EntryLatency
+	m.stats.Entries[st]++
+	m.eng.Schedule(m.doneAt, func() { m.settle(st) })
+	return nil
+}
+
+// Wake starts a transition from the current sleep state back to S0.
+// After the state's exit latency the machine settles in S0.
+func (m *Machine) Wake() error {
+	if m.phase != Settled {
+		return ErrBusy
+	}
+	if !m.state.IsSleep() {
+		return fmt.Errorf("%w: wake from %v", ErrNotOn, m.state)
+	}
+	m.accrue()
+	from := m.state
+	m.phase = Exiting
+	m.target = S0
+	spec := m.profile.Sleep[from]
+	exit := spec.ExitLatency
+	// A failed S3 resume falls back to a power cycle plus full boot:
+	// the S5 exit path (or 10x the S3 exit when the profile has no S5
+	// calibration).
+	if from == S3 && m.profile.ResumeFailProb > 0 && m.eng.RNG().Float64() < m.profile.ResumeFailProb {
+		if s5, ok := m.profile.Sleep[S5]; ok {
+			exit += s5.ExitLatency
+		} else {
+			exit += 9 * spec.ExitLatency
+		}
+		m.stats.ResumeFailures++
+	}
+	m.doneAt = m.eng.Now() + exit
+	m.stats.Exits[from]++
+	m.eng.Schedule(m.doneAt, func() { m.settle(S0) })
+	return nil
+}
+
+// settle completes the in-flight transition.
+func (m *Machine) settle(st State) {
+	m.accrue()
+	m.state = st
+	m.phase = Settled
+	if m.onSettled != nil {
+		m.onSettled(st)
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters, accrued up to
+// the current virtual time.
+func (m *Machine) Stats() Stats {
+	m.accrue()
+	out := m.stats
+	out.TimeIn = make(map[State]time.Duration, len(m.stats.TimeIn))
+	for k, v := range m.stats.TimeIn {
+		out.TimeIn[k] = v
+	}
+	out.Entries = make(map[State]int, len(m.stats.Entries))
+	for k, v := range m.stats.Entries {
+		out.Entries[k] = v
+	}
+	out.Exits = make(map[State]int, len(m.stats.Exits))
+	for k, v := range m.stats.Exits {
+		out.Exits[k] = v
+	}
+	return out
+}
+
+// Energy returns total energy consumed up to the current virtual time.
+func (m *Machine) Energy() Joules {
+	m.accrue()
+	return m.stats.Energy
+}

@@ -1,0 +1,244 @@
+// Package power models enterprise-server power behaviour: the
+// utilization→power curve of a running server and the ACPI-style sleep
+// states the paper's prototypes demonstrate, with their per-state power
+// draws, transition latencies and transition energies.
+//
+// This package is the reproduction's substitute for the paper's
+// hardware prototypes (IBM System x servers with firmware support for
+// S3 suspend-to-RAM). The management layer above only observes state
+// availability, latency and power, so a calibrated state machine
+// exercises the same decision paths as real hardware.
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Watts is electrical power.
+type Watts float64
+
+// Joules is energy. One Watt sustained for one second is one Joule.
+type Joules float64
+
+// WattSeconds returns the energy of drawing p for d.
+func WattSeconds(p Watts, d time.Duration) Joules {
+	return Joules(float64(p) * d.Seconds())
+}
+
+// KWh converts energy to kilowatt-hours for reporting.
+func (j Joules) KWh() float64 { return float64(j) / 3.6e6 }
+
+// StateSpec describes one sleep state of a server platform.
+type StateSpec struct {
+	// Power is the draw while parked in the state.
+	Power Watts
+	// EntryLatency is how long the platform takes to enter the state,
+	// during which it is unavailable and draws EntryPower.
+	EntryLatency time.Duration
+	// ExitLatency is how long the platform takes to come back to S0,
+	// during which it is unavailable and draws ExitPower.
+	ExitLatency time.Duration
+	// EntryPower and ExitPower are the draws during transitions. Exit
+	// (resume/boot) typically runs near peak power.
+	EntryPower Watts
+	ExitPower  Watts
+}
+
+// EntryEnergy is the energy spent entering the state.
+func (s StateSpec) EntryEnergy() Joules { return WattSeconds(s.EntryPower, s.EntryLatency) }
+
+// ExitEnergy is the energy spent leaving the state.
+func (s StateSpec) ExitEnergy() Joules { return WattSeconds(s.ExitPower, s.ExitLatency) }
+
+// CycleLatency is the total unavailability of one park/unpark cycle.
+func (s StateSpec) CycleLatency() time.Duration { return s.EntryLatency + s.ExitLatency }
+
+// CycleEnergy is the total transition energy of one park/unpark cycle.
+func (s StateSpec) CycleEnergy() Joules { return s.EntryEnergy() + s.ExitEnergy() }
+
+// Profile is the full power calibration of one server model.
+type Profile struct {
+	// Name identifies the calibration in reports.
+	Name string
+	// PeakPower is the draw at 100% utilization in S0.
+	PeakPower Watts
+	// IdlePower is the draw at 0% utilization in S0 with only shallow
+	// (C1-class) idle states — the energy-proportionality gap the paper
+	// motivates with.
+	IdlePower Watts
+	// DeepIdlePower, when >0, is the draw at 0% utilization with deep
+	// package C-states (C6-class) enabled. Deep C-state transitions are
+	// microseconds–milliseconds, invisible at management time scale, so
+	// they are folded into the idle point of the curve rather than
+	// modelled as explicit transitions.
+	DeepIdlePower Watts
+	// Curve optionally gives a SPECpower-style piecewise-linear
+	// utilization→power curve as draws at 0%,10%,…,100% utilization
+	// (11 points). When nil, the curve is linear between IdlePower and
+	// PeakPower.
+	Curve []Watts
+	// Sleep holds the platform's reachable sleep states.
+	Sleep map[State]StateSpec
+	// FreqMin, when >0, enables DVFS: the platform can run at any
+	// frequency factor in [FreqMin, 1]. Dynamic power scales ~f² per
+	// unit of work (f³ at constant utilization), static/idle power is
+	// unaffected — which is exactly why DVFS alone cannot approach
+	// energy proportionality and the paper reaches for server-level
+	// sleep states instead.
+	FreqMin float64
+	// ResumeFailProb is the probability that an S3 resume fails and
+	// the platform falls back to a power-cycle plus full boot (S5 exit
+	// path). Suspend-to-RAM resume is the one fragile step of the
+	// low-latency state story, so robustness experiments inject
+	// failures here. Zero for a healthy platform.
+	ResumeFailProb float64
+}
+
+// DefaultProfile returns the reproduction's calibration anchors for a
+// 2-socket enterprise server (see DESIGN.md "Calibrated power-state
+// parameters"). These stand in for the paper's prototype measurements.
+func DefaultProfile() *Profile {
+	return &Profile{
+		Name:          "enterprise-2s",
+		PeakPower:     250,
+		IdlePower:     150,
+		DeepIdlePower: 120,
+		FreqMin:       0.4,
+		Sleep: map[State]StateSpec{
+			S3: {
+				Power:        12,
+				EntryLatency: 8 * time.Second,
+				ExitLatency:  15 * time.Second,
+				EntryPower:   150,
+				ExitPower:    220,
+			},
+			S5: {
+				Power:        4,
+				EntryLatency: 45 * time.Second,
+				ExitLatency:  190 * time.Second,
+				EntryPower:   150,
+				ExitPower:    230,
+			},
+		},
+	}
+}
+
+// Validate checks the profile for internal consistency.
+func (p *Profile) Validate() error {
+	if p.PeakPower <= 0 {
+		return fmt.Errorf("power: profile %q: peak power %v must be positive", p.Name, p.PeakPower)
+	}
+	if p.IdlePower < 0 || p.IdlePower > p.PeakPower {
+		return fmt.Errorf("power: profile %q: idle power %v outside [0, peak=%v]", p.Name, p.IdlePower, p.PeakPower)
+	}
+	if p.DeepIdlePower < 0 || p.DeepIdlePower > p.IdlePower {
+		return fmt.Errorf("power: profile %q: deep-idle power %v outside [0, idle=%v]", p.Name, p.DeepIdlePower, p.IdlePower)
+	}
+	if p.Curve != nil && len(p.Curve) != 11 {
+		return fmt.Errorf("power: profile %q: curve has %d points, want 11", p.Name, len(p.Curve))
+	}
+	for i := 1; i < len(p.Curve); i++ {
+		if p.Curve[i] < p.Curve[i-1] {
+			return fmt.Errorf("power: profile %q: curve not monotonic at point %d", p.Name, i)
+		}
+	}
+	if p.ResumeFailProb < 0 || p.ResumeFailProb > 1 {
+		return fmt.Errorf("power: profile %q: resume failure probability %v outside [0,1]", p.Name, p.ResumeFailProb)
+	}
+	if p.FreqMin < 0 || p.FreqMin > 1 {
+		return fmt.Errorf("power: profile %q: minimum frequency %v outside [0,1]", p.Name, p.FreqMin)
+	}
+	for st, spec := range p.Sleep {
+		if !st.IsSleep() {
+			return fmt.Errorf("power: profile %q: %v is not a sleep state", p.Name, st)
+		}
+		if spec.Power < 0 || spec.Power > p.IdlePower {
+			return fmt.Errorf("power: profile %q: %v power %v outside [0, idle=%v]", p.Name, st, spec.Power, p.IdlePower)
+		}
+		if spec.EntryLatency < 0 || spec.ExitLatency < 0 {
+			return fmt.Errorf("power: profile %q: %v has negative latency", p.Name, st)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy that can be mutated independently.
+func (p *Profile) Clone() *Profile {
+	q := *p
+	if p.Curve != nil {
+		q.Curve = append([]Watts(nil), p.Curve...)
+	}
+	q.Sleep = make(map[State]StateSpec, len(p.Sleep))
+	for k, v := range p.Sleep {
+		q.Sleep[k] = v
+	}
+	return &q
+}
+
+// ActivePower returns the S0 draw at CPU utilization u in [0,1],
+// interpolating the piecewise curve if present and otherwise the
+// linear idle–peak model. Utilization is clamped to [0,1]. The u==0
+// point reflects DeepIdlePower when configured: deep C-states engage
+// whenever the server is truly idle.
+func (p *Profile) ActivePower(u float64) Watts {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	if u == 0 && p.DeepIdlePower > 0 {
+		return p.DeepIdlePower
+	}
+	if p.Curve != nil {
+		pos := u * 10
+		i := int(pos)
+		if i >= 10 {
+			return p.Curve[10]
+		}
+		frac := pos - float64(i)
+		return p.Curve[i] + Watts(frac)*(p.Curve[i+1]-p.Curve[i])
+	}
+	return p.IdlePower + Watts(u)*(p.PeakPower-p.IdlePower)
+}
+
+// ActivePowerAtFreq returns the S0 draw when the host is busy with a
+// u fraction of its *full-speed* capacity while clocked at frequency
+// factor f ∈ (0,1]: static power stays, the dynamic portion scales by
+// f² (same work, quadratically less switching power).
+func (p *Profile) ActivePowerAtFreq(u, f float64) Watts {
+	if f >= 1 || f <= 0 {
+		return p.ActivePower(u)
+	}
+	base := p.ActivePower(u)
+	static := p.IdlePower
+	if u == 0 && p.DeepIdlePower > 0 {
+		static = p.DeepIdlePower
+	}
+	dyn := base - static
+	if dyn < 0 {
+		dyn = 0
+	}
+	return static + Watts(f*f)*dyn
+}
+
+// SleepSpec returns the spec of a sleep state and whether the platform
+// supports it.
+func (p *Profile) SleepSpec(st State) (StateSpec, bool) {
+	spec, ok := p.Sleep[st]
+	return spec, ok
+}
+
+// ProportionalPower is the draw an ideal energy-proportional server
+// would have at utilization u: zero at idle, peak at full load. It is
+// the lower bound the paper's Oracle policy is compared against.
+func (p *Profile) ProportionalPower(u float64) Watts {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return Watts(u) * p.PeakPower
+}

@@ -1,0 +1,198 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"zero peak", func(p *Profile) { p.PeakPower = 0 }},
+		{"idle above peak", func(p *Profile) { p.IdlePower = p.PeakPower + 1 }},
+		{"negative idle", func(p *Profile) { p.IdlePower = -1 }},
+		{"deep idle above idle", func(p *Profile) { p.DeepIdlePower = p.IdlePower + 1 }},
+		{"short curve", func(p *Profile) { p.Curve = []Watts{1, 2, 3} }},
+		{"non-monotonic curve", func(p *Profile) {
+			p.Curve = []Watts{100, 120, 110, 130, 140, 150, 160, 170, 180, 190, 200}
+		}},
+		{"sleep above idle", func(p *Profile) {
+			s := p.Sleep[S3]
+			s.Power = p.IdlePower + 1
+			p.Sleep[S3] = s
+		}},
+		{"negative latency", func(p *Profile) {
+			s := p.Sleep[S3]
+			s.EntryLatency = -time.Second
+			p.Sleep[S3] = s
+		}},
+		{"non-sleep key", func(p *Profile) { p.Sleep[S0] = StateSpec{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultProfile()
+			tc.mut(p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate accepted profile with %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestActivePowerLinearEndpoints(t *testing.T) {
+	p := DefaultProfile()
+	p.DeepIdlePower = 0 // isolate the linear model
+	if got := p.ActivePower(0); got != p.IdlePower {
+		t.Fatalf("P(0) = %v, want idle %v", got, p.IdlePower)
+	}
+	if got := p.ActivePower(1); got != p.PeakPower {
+		t.Fatalf("P(1) = %v, want peak %v", got, p.PeakPower)
+	}
+	if got := p.ActivePower(0.5); got != 200 {
+		t.Fatalf("P(0.5) = %v, want 200 (150+0.5*100)", got)
+	}
+}
+
+func TestActivePowerClamps(t *testing.T) {
+	p := DefaultProfile()
+	if p.ActivePower(-0.5) != p.ActivePower(0) {
+		t.Fatal("negative utilization not clamped to 0")
+	}
+	if p.ActivePower(1.5) != p.PeakPower {
+		t.Fatal("utilization >1 not clamped to 1")
+	}
+}
+
+func TestActivePowerDeepIdleKicksInAtZero(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.ActivePower(0); got != p.DeepIdlePower {
+		t.Fatalf("P(0) with deep idle = %v, want %v", got, p.DeepIdlePower)
+	}
+	// Any nonzero utilization must leave deep idle.
+	if got := p.ActivePower(0.001); got < p.IdlePower {
+		t.Fatalf("P(0.001) = %v, below idle %v", got, p.IdlePower)
+	}
+}
+
+func TestActivePowerPiecewiseCurve(t *testing.T) {
+	p := DefaultProfile()
+	p.DeepIdlePower = 0
+	// A convex SPECpower-like curve.
+	p.Curve = []Watts{100, 130, 150, 165, 178, 190, 201, 212, 224, 237, 250}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ActivePower(0); got != 100 {
+		t.Fatalf("curve P(0) = %v, want 100", got)
+	}
+	if got := p.ActivePower(1); got != 250 {
+		t.Fatalf("curve P(1) = %v, want 250", got)
+	}
+	if got := p.ActivePower(0.1); got != 130 {
+		t.Fatalf("curve P(0.1) = %v, want 130", got)
+	}
+	// Midpoint of a segment interpolates.
+	if got := p.ActivePower(0.05); math.Abs(float64(got-115)) > 1e-9 {
+		t.Fatalf("curve P(0.05) = %v, want 115", got)
+	}
+}
+
+// Property: the power curve is monotonically non-decreasing in
+// utilization, for both linear and piecewise models.
+func TestActivePowerMonotoneProperty(t *testing.T) {
+	p := DefaultProfile()
+	f := func(a, b float64) bool {
+		ua, ub := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return p.ActivePower(ua) <= p.ActivePower(ub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalPower(t *testing.T) {
+	p := DefaultProfile()
+	if p.ProportionalPower(0) != 0 {
+		t.Fatal("proportional power at idle should be 0")
+	}
+	if p.ProportionalPower(1) != p.PeakPower {
+		t.Fatal("proportional power at peak should equal peak")
+	}
+	if p.ProportionalPower(0.4) != 100 {
+		t.Fatalf("proportional P(0.4) = %v, want 100", p.ProportionalPower(0.4))
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := DefaultProfile()
+	q := p.Clone()
+	s := q.Sleep[S3]
+	s.Power = 99
+	q.Sleep[S3] = s
+	q.PeakPower = 1
+	if p.Sleep[S3].Power == 99 || p.PeakPower == 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestStateSpecEnergies(t *testing.T) {
+	spec := StateSpec{
+		Power:        10,
+		EntryLatency: 10 * time.Second,
+		ExitLatency:  20 * time.Second,
+		EntryPower:   100,
+		ExitPower:    200,
+	}
+	if spec.EntryEnergy() != 1000 {
+		t.Fatalf("entry energy = %v, want 1000 J", spec.EntryEnergy())
+	}
+	if spec.ExitEnergy() != 4000 {
+		t.Fatalf("exit energy = %v, want 4000 J", spec.ExitEnergy())
+	}
+	if spec.CycleEnergy() != 5000 {
+		t.Fatalf("cycle energy = %v, want 5000 J", spec.CycleEnergy())
+	}
+	if spec.CycleLatency() != 30*time.Second {
+		t.Fatalf("cycle latency = %v, want 30s", spec.CycleLatency())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if S0.String() != "S0" || S3.String() != "S3" || S5.String() != "S5" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() != "S?" {
+		t.Fatal("unknown state should print S?")
+	}
+	if S0.IsSleep() || !S3.IsSleep() || !S5.IsSleep() {
+		t.Fatal("IsSleep classification wrong")
+	}
+	if Settled.String() != "settled" || Entering.String() != "entering" || Exiting.String() != "exiting" {
+		t.Fatal("phase names wrong")
+	}
+}
+
+func TestKWhConversion(t *testing.T) {
+	if Joules(3.6e6).KWh() != 1 {
+		t.Fatal("3.6 MJ should be 1 kWh")
+	}
+}
+
+func TestWattSeconds(t *testing.T) {
+	if WattSeconds(100, 90*time.Second) != 9000 {
+		t.Fatalf("WattSeconds(100, 90s) = %v", WattSeconds(100, 90*time.Second))
+	}
+}

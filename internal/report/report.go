@@ -1,0 +1,186 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV, and simple text charts — the output layer of the benchmark
+// harness that regenerates the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"agilepower/internal/telemetry"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals,
+// otherwise 3 significant decimals.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (no title line).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRec := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRec(t.Headers)
+	for _, row := range t.rows {
+		writeRec(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Chart renders a time series as a horizontal-bar ASCII chart, one row
+// per sample: the textual stand-in for the paper's figures.
+type Chart struct {
+	Title string
+	// Width is the bar width in characters (default 50).
+	Width int
+	// YLabel names the value axis.
+	YLabel string
+}
+
+// Write renders the series. Bars are scaled to the series maximum.
+func (c *Chart) Write(w io.Writer, s *telemetry.Series) error {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := s.Max()
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s", c.Title)
+		if c.YLabel != "" {
+			fmt.Fprintf(&b, "  (%s, max=%s)", c.YLabel, formatFloat(max))
+		}
+		b.WriteString("\n")
+	}
+	for _, p := range s.Points() {
+		n := 0
+		if max > 0 {
+			n = int(p.Value / max * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%10s |%s%s %s\n",
+			fmtDur(p.At), strings.Repeat("#", n), strings.Repeat(" ", width-n), formatFloat(p.Value))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MultiSeries renders several series as CSV columns sharing a time
+// axis (sampled at each series' own points, aligned by downsampling
+// callers do beforehand).
+func MultiSeriesCSV(w io.Writer, series ...*telemetry.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	var b strings.Builder
+	b.WriteString("offset_seconds")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteString("\n")
+	// Use the first series' time axis; read others as step functions.
+	for _, p := range series[0].Points() {
+		fmt.Fprintf(&b, "%.0f", p.At.Seconds())
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%s", formatFloat(s.At(p.At)))
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtDur(d interface{ Hours() float64 }) string {
+	h := d.Hours()
+	return fmt.Sprintf("%05.2fh", h)
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"agilepower/internal/telemetry"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("T1", "state", "power_w", "latency")
+	tbl.AddRow("S3", 12.0, "8s")
+	tbl.AddRow("S5", 4.5, "190s")
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "T1\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "state") || !strings.Contains(lines[1], "power_w") {
+		t.Fatalf("header wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "12") || !strings.Contains(lines[4], "4.500") {
+		t.Fatalf("rows wrong: %q", out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := NewTable("", "name", "note")
+	tbl.AddRow("a,b", `say "hi"`)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(3) != "3" {
+		t.Fatalf("int float = %q", formatFloat(3))
+	}
+	if formatFloat(3.14159) != "3.142" {
+		t.Fatalf("frac float = %q", formatFloat(3.14159))
+	}
+}
+
+func TestChartRendersBars(t *testing.T) {
+	s := telemetry.NewSeries("power")
+	s.Append(0, 50)
+	s.Append(time.Hour, 100)
+	var buf bytes.Buffer
+	c := Chart{Title: "F4", Width: 10, YLabel: "W"}
+	if err := c.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "F4") || !strings.Contains(out, "max=100") {
+		t.Fatalf("chart header wrong: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d", len(lines))
+	}
+	// Half-value bar should be 5 hashes; full 10.
+	if strings.Count(lines[1], "#") != 5 || strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("bar scaling wrong: %q", out)
+	}
+}
+
+func TestChartEmptySeriesSafe(t *testing.T) {
+	var buf bytes.Buffer
+	c := Chart{}
+	if err := c.Write(&buf, telemetry.NewSeries("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiSeriesCSV(t *testing.T) {
+	a := telemetry.NewSeries("demand")
+	a.Append(0, 1)
+	a.Append(time.Minute, 2)
+	b := telemetry.NewSeries("power")
+	b.Append(0, 100)
+	b.Append(time.Minute, 200)
+	var buf bytes.Buffer
+	if err := MultiSeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "offset_seconds,demand,power\n0,1,100\n60,2,200\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+	if err := MultiSeriesCSV(&buf); err == nil {
+		t.Fatal("accepted zero series")
+	}
+}

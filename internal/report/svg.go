@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"agilepower/internal/telemetry"
+)
+
+// SVGChart renders one or more time series as a standalone SVG line
+// chart — the figure-regeneration artifact (`cmd/sweep -svg`). Pure
+// string assembly, no dependencies.
+type SVGChart struct {
+	Title  string
+	YLabel string
+	// Width and Height are the canvas size in pixels (defaults
+	// 720×360).
+	Width, Height int
+}
+
+// svgPalette cycles for multiple series.
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const svgMargin = 50
+
+// Write renders the chart with one polyline per series. All series
+// share the time axis of the longest one; the y-axis spans [0, max].
+func (c SVGChart) Write(w io.Writer, series ...*telemetry.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: svg chart needs at least one series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 360
+	}
+	plotW := float64(width - 2*svgMargin)
+	plotH := float64(height - 2*svgMargin)
+
+	var maxT time.Duration
+	maxV := 0.0
+	for _, s := range series {
+		pts := s.Points()
+		if len(pts) > 0 {
+			if t := pts[len(pts)-1].At; t > maxT {
+				maxT = t
+			}
+		}
+		if v := s.Max(); v > maxV {
+			maxV = v
+		}
+	}
+	if maxT == 0 || maxV == 0 {
+		return fmt.Errorf("report: svg chart has no drawable data")
+	}
+
+	x := func(at time.Duration) float64 {
+		return svgMargin + plotW*float64(at)/float64(maxT)
+	}
+	y := func(v float64) float64 {
+		return svgMargin + plotH*(1-v/maxV)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16">%s</text>`+"\n", svgMargin, escapeXML(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgMargin, height-svgMargin, width-svgMargin, height-svgMargin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgMargin, svgMargin, svgMargin, height-svgMargin)
+	// Y ticks at quarters.
+	for i := 0; i <= 4; i++ {
+		v := maxV * float64(i) / 4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			svgMargin, yy, width-svgMargin, yy)
+		fmt.Fprintf(&b, `<text x="4" y="%.1f">%s</text>`+"\n", yy+4, formatFloat(v))
+	}
+	// X ticks at quarters (hours).
+	for i := 0; i <= 4; i++ {
+		at := time.Duration(float64(maxT) * float64(i) / 4)
+		xx := x(at)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%.1fh</text>`+"\n", xx-12, height-svgMargin+18, at.Hours())
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", svgMargin-10, escapeXML(c.YLabel))
+	}
+	// Series polylines + legend.
+	for i, s := range series {
+		color := svgPalette[i%len(svgPalette)]
+		var pl strings.Builder
+		for _, p := range s.Points() {
+			fmt.Fprintf(&pl, "%.1f,%.1f ", x(p.At), y(p.Value))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pl.String()), color)
+		lx := width - svgMargin - 150
+		ly := svgMargin + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, ly, lx+20, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+26, ly+4, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

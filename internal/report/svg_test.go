@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"agilepower/internal/telemetry"
+)
+
+func demoSeries(name string, scale float64) *telemetry.Series {
+	s := telemetry.NewSeries(name)
+	for h := 0; h <= 24; h++ {
+		s.Append(time.Duration(h)*time.Hour, scale*float64(h%12))
+	}
+	return s
+}
+
+func TestSVGChartRenders(t *testing.T) {
+	var buf bytes.Buffer
+	c := SVGChart{Title: "power <vs> demand", YLabel: "W"}
+	if err := c.Write(&buf, demoSeries("power_w", 100), demoSeries("demand", 40)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not a complete svg: %q...", out[:60])
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(out, "<polyline"))
+	}
+	// Title is XML-escaped.
+	if !strings.Contains(out, "power &lt;vs&gt; demand") {
+		t.Fatal("title not escaped")
+	}
+	// Legend entries for both series.
+	if !strings.Contains(out, ">power_w<") || !strings.Contains(out, ">demand<") {
+		t.Fatal("legend missing series names")
+	}
+	// Axis ticks exist.
+	if !strings.Contains(out, "6.0h") || !strings.Contains(out, "24.0h") {
+		t.Fatalf("time ticks missing:\n%s", out)
+	}
+}
+
+func TestSVGChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (SVGChart{}).Write(&buf); err == nil {
+		t.Fatal("accepted zero series")
+	}
+	empty := telemetry.NewSeries("x")
+	if err := (SVGChart{}).Write(&buf, empty); err == nil {
+		t.Fatal("accepted empty series")
+	}
+	zero := telemetry.NewSeries("z")
+	zero.Append(0, 0)
+	if err := (SVGChart{}).Write(&buf, zero); err == nil {
+		t.Fatal("accepted all-zero single-point series")
+	}
+}
+
+func TestSVGChartCoordinatesInCanvas(t *testing.T) {
+	var buf bytes.Buffer
+	c := SVGChart{Width: 400, Height: 200}
+	if err := c.Write(&buf, demoSeries("s", 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Crude bounds check: no polyline coordinate beyond the canvas.
+	out := buf.String()
+	start := strings.Index(out, `<polyline points="`) + len(`<polyline points="`)
+	end := strings.Index(out[start:], `"`)
+	for _, pair := range strings.Fields(out[start : start+end]) {
+		parts := strings.Split(pair, ",")
+		if len(parts) != 2 {
+			t.Fatalf("bad point %q", pair)
+		}
+		x, err1 := strconv.ParseFloat(parts[0], 64)
+		y, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad point %q: %v %v", pair, err1, err2)
+		}
+		if x < 0 || x > 400 || y < 0 || y > 200 {
+			t.Fatalf("point %q outside canvas", pair)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, a priority event queue, and a reproducible random
+// number generator. All other substrates (power state machines, hosts,
+// migrations, the management control loop) are driven by this kernel.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the
+// start of the simulation. Using time.Duration keeps arithmetic exact
+// (integer nanoseconds) and lets callers use natural literals such as
+// 5*time.Minute.
+type Time = time.Duration
+
+// Infinity is a sentinel time later than any event a simulation will
+// schedule. It is used for "never" deadlines.
+const Infinity Time = 1<<63 - 1
+
+// Clock tracks the current virtual time. It only moves forward.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// advance moves the clock to t. It panics if t is in the past, because
+// a backwards clock means the event queue invariant was violated and
+// all downstream accounting would silently corrupt.
+func (c *Clock) advance(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Seconds converts a virtual time to float64 seconds, the unit used in
+// reports and power/energy math.
+func Seconds(t Time) float64 { return t.Seconds() }
+
+// FromSeconds converts float64 seconds to a virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(time.Second)) }

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is the discrete-event simulation core. It owns the clock, the
+// event queue, and a deterministic RNG. Engines are not safe for
+// concurrent use; a simulation is a single logical thread of control.
+type Engine struct {
+	clock Clock
+	queue eventQueue
+	rng   *RNG
+	seq   uint64
+
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and a deterministic
+// RNG derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.clock.Now() }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in
+// the past panics: it indicates a logic error in the caller.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.clock.Now() {
+		panic(fmt.Sprintf("sim: scheduling event in the past: at=%v now=%v", at, e.clock.Now()))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.clock.Now()+d, fn)
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and executes the next event. It reports false when the
+// queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.clock.advance(ev.at)
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain
+// queued so the simulation can be resumed.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.peek()
+		if next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && deadline > e.clock.Now() {
+		e.clock.advance(deadline)
+	}
+}
+
+// peek returns the earliest non-cancelled queued event, or nil. It
+// lazily discards cancelled events at the head of the queue.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// NextEventTime returns the time of the earliest queued event, or
+// Infinity when the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	ev := e.peek()
+	if ev == nil {
+		return Infinity
+	}
+	return ev.at
+}

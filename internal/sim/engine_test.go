@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(5*time.Second, func() {
+		e.After(2*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7*time.Second {
+		t.Fatalf("After fired at %v, want 7s", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5*time.Second, func() {})
+	})
+	e.Run()
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.Schedule(time.Second, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	later := e.Schedule(2*time.Second, func() { ran = true })
+	e.Schedule(1*time.Second, func() { later.Cancel() })
+	e.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still executed")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by 3s, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v after RunUntil(3s)", e.Now())
+	}
+	// Resume: the remaining events must still be there.
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock = %v after RunUntil(10s)", e.Now())
+	}
+}
+
+func TestRunUntilAdvancesEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Fatalf("clock = %v, want 1m", e.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("executed %d events after Stop, want 4", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine(1)
+	if e.NextEventTime() != Infinity {
+		t.Fatal("empty queue should report Infinity")
+	}
+	ev := e.Schedule(4*time.Second, func() {})
+	e.Schedule(9*time.Second, func() {})
+	if e.NextEventTime() != 4*time.Second {
+		t.Fatalf("next = %v, want 4s", e.NextEventTime())
+	}
+	ev.Cancel()
+	if e.NextEventTime() != 9*time.Second {
+		t.Fatalf("next after cancel = %v, want 9s", e.NextEventTime())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(42*time.Second, func() {})
+	if ev.At() != 42*time.Second {
+		t.Fatalf("At = %v, want 42s", ev.At())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event chain where each event schedules the next should run to
+	// completion in order.
+	e := NewEngine(1)
+	depth := 0
+	var next func()
+	next = func() {
+		depth++
+		if depth < 100 {
+			e.After(time.Second, next)
+		}
+	}
+	e.After(time.Second, next)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("chain depth = %d, want 100", depth)
+	}
+	if e.Now() != 100*time.Second {
+		t.Fatalf("clock = %v, want 100s", e.Now())
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if Seconds(90*time.Second) != 90 {
+		t.Fatal("Seconds(90s) != 90")
+	}
+	if FromSeconds(2.5) != 2500*time.Millisecond {
+		t.Fatalf("FromSeconds(2.5) = %v", FromSeconds(2.5))
+	}
+}
+
+// Property: events always execute in non-decreasing time order,
+// regardless of insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var times []Time
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. The callback runs with the engine's
+// clock set to the event's time.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among same-time events
+	index  int    // heap index; -1 when not queued
+	fn     func()
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel marks the event so its callback will not run. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// eventQueue is a min-heap of events ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

@@ -1,0 +1,174 @@
+// Package telemetry collects and summarizes simulation measurements:
+// time series (power, demand, host counts), distribution summaries
+// (percentiles), and SLA accounting of demanded-versus-delivered CPU.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is an append-only time series. Samples must be appended in
+// non-decreasing time order (simulations are single-threaded and move
+// forward).
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append adds a sample. It panics on time going backwards, which would
+// mean the simulation's causality was violated.
+func (s *Series) Append(at time.Duration, v float64) {
+	if n := len(s.points); n > 0 && at < s.points[n-1].At {
+		panic(fmt.Sprintf("telemetry: series %q time going backwards: %v after %v", s.Name, at, s.points[n-1].At))
+	}
+	s.points = append(s.points, Point{At: at, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the underlying samples (callers must not mutate).
+func (s *Series) Points() []Point { return s.points }
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// At returns the value in effect at time at, treating the series as a
+// step function (last sample at or before at). Returns 0 before the
+// first sample.
+func (s *Series) At(at time.Duration) float64 {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > at })
+	if i == 0 {
+		return 0
+	}
+	return s.points[i-1].Value
+}
+
+// Integrate returns the time integral of the step function over
+// [from, to] in value·seconds. A power series in watts integrates to
+// joules.
+func (s *Series) Integrate(from, to time.Duration) float64 {
+	if to <= from || len(s.points) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, p := range s.points {
+		segStart := p.At
+		var segEnd time.Duration
+		if i+1 < len(s.points) {
+			segEnd = s.points[i+1].At
+		} else {
+			segEnd = to
+		}
+		if segStart < from {
+			segStart = from
+		}
+		if segEnd > to {
+			segEnd = to
+		}
+		if segEnd > segStart {
+			total += p.Value * (segEnd - segStart).Seconds()
+		}
+	}
+	return total
+}
+
+// TimeMean returns the time-weighted mean over [from, to].
+func (s *Series) TimeMean(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return s.Integrate(from, to) / (to - from).Seconds()
+}
+
+// Max returns the maximum sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	max := 0.0
+	for i, p := range s.points {
+		if i == 0 || p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// Downsample returns a new series with one time-weighted mean sample
+// per bucket of width step, covering [0, horizon). Reports shrink
+// day-long minute-resolution series to plottable sizes with this.
+func (s *Series) Downsample(step, horizon time.Duration) *Series {
+	out := NewSeries(s.Name)
+	for start := time.Duration(0); start < horizon; start += step {
+		end := start + step
+		if end > horizon {
+			end = horizon
+		}
+		out.Append(start, s.TimeMean(start, end))
+	}
+	return out
+}
+
+// Summary describes a sample distribution.
+type Summary struct {
+	Count              int
+	Mean, Min, Max     float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes distribution statistics of values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   percentile(sorted, 0.50),
+		P90:   percentile(sorted, 0.90),
+		P95:   percentile(sorted, 0.95),
+		P99:   percentile(sorted, 0.99),
+	}
+}
+
+// percentile interpolates the p-th percentile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesAppendAndAt(t *testing.T) {
+	s := NewSeries("power")
+	s.Append(0, 100)
+	s.Append(10*time.Second, 200)
+	s.Append(20*time.Second, 50)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100},
+		{5 * time.Second, 100},
+		{10 * time.Second, 200},
+		{15 * time.Second, 200},
+		{25 * time.Second, 50},
+	}
+	for _, c := range cases {
+		if got := s.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if s.At(-time.Second) != 0 {
+		t.Error("At before first sample should be 0")
+	}
+}
+
+func TestSeriesAppendBackwardsPanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(10*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards append did not panic")
+		}
+	}()
+	s.Append(5*time.Second, 2)
+}
+
+func TestSeriesIntegrate(t *testing.T) {
+	s := NewSeries("power")
+	s.Append(0, 100)
+	s.Append(10*time.Second, 200)
+	// 10s at 100W + 10s at 200W = 3000 J over [0, 20s].
+	if got := s.Integrate(0, 20*time.Second); got != 3000 {
+		t.Fatalf("Integrate = %v, want 3000", got)
+	}
+	// Partial window [5s, 15s]: 5s*100 + 5s*200 = 1500.
+	if got := s.Integrate(5*time.Second, 15*time.Second); got != 1500 {
+		t.Fatalf("partial Integrate = %v, want 1500", got)
+	}
+	if got := s.Integrate(10*time.Second, 10*time.Second); got != 0 {
+		t.Fatalf("empty window = %v, want 0", got)
+	}
+	if got := (&Series{}).Integrate(0, time.Second); got != 0 {
+		t.Fatalf("empty series = %v, want 0", got)
+	}
+}
+
+func TestSeriesTimeMean(t *testing.T) {
+	s := NewSeries("p")
+	s.Append(0, 100)
+	s.Append(10*time.Second, 200)
+	if got := s.TimeMean(0, 20*time.Second); got != 150 {
+		t.Fatalf("TimeMean = %v, want 150", got)
+	}
+	if got := s.TimeMean(5*time.Second, 5*time.Second); got != 0 {
+		t.Fatalf("degenerate TimeMean = %v", got)
+	}
+}
+
+func TestSeriesMax(t *testing.T) {
+	s := NewSeries("p")
+	if s.Max() != 0 {
+		t.Fatal("empty Max != 0")
+	}
+	s.Append(0, -5)
+	s.Append(time.Second, -2)
+	if s.Max() != -2 {
+		t.Fatalf("Max = %v, want -2 (all-negative series)", s.Max())
+	}
+	s.Append(2*time.Second, 7)
+	if s.Max() != 7 {
+		t.Fatalf("Max = %v, want 7", s.Max())
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("p")
+	s.Append(0, 100)
+	s.Append(30*time.Second, 200)
+	d := s.Downsample(time.Minute, 2*time.Minute)
+	if d.Len() != 2 {
+		t.Fatalf("downsample len = %d, want 2", d.Len())
+	}
+	if d.Points()[0].Value != 150 {
+		t.Fatalf("bucket 0 = %v, want 150", d.Points()[0].Value)
+	}
+	if d.Points()[1].Value != 200 {
+		t.Fatalf("bucket 1 = %v, want 200", d.Points()[1].Value)
+	}
+}
+
+func TestSeriesValues(t *testing.T) {
+	s := NewSeries("p")
+	s.Append(0, 1)
+	s.Append(time.Second, 2)
+	v := s.Values()
+	if len(v) != 2 || v[0] != 1 || v[1] != 2 {
+		t.Fatalf("Values = %v", v)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]float64{4, 1, 3, 2, 5})
+	if sum.Count != 5 || sum.Mean != 3 || sum.Min != 1 || sum.Max != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P50 != 3 {
+		t.Fatalf("P50 = %v, want 3", sum.P50)
+	}
+	if sum.P90 != 4.6 {
+		t.Fatalf("P90 = %v, want 4.6", sum.P90)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+	s := Summarize([]float64{42})
+	if s.P50 != 42 || s.P99 != 42 || s.Mean != 42 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+// Property: percentiles are ordered and bounded by min/max.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Telemetry values are physical quantities (watts, cores);
+			// keep inputs in a range where naive summation cannot
+			// overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P95 &&
+			s.P95 <= s.P99 && s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integrating a step series over its full span equals the
+// sum of per-segment areas computed independently.
+func TestIntegrateProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		s := NewSeries("x")
+		for i, v := range vals {
+			s.Append(time.Duration(i)*time.Second, float64(v))
+		}
+		end := time.Duration(len(vals)) * time.Second
+		got := s.Integrate(0, end)
+		want := 0.0
+		for _, v := range vals {
+			want += float64(v)
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := percentile(sorted, 0.5); p != 5 {
+		t.Fatalf("percentile(0.5) = %v, want 5", p)
+	}
+	many := make([]float64, 101)
+	for i := range many {
+		many[i] = float64(i)
+	}
+	sort.Float64s(many)
+	if p := percentile(many, 0.99); p != 99 {
+		t.Fatalf("P99 of 0..100 = %v, want 99", p)
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import "time"
+
+// SLATracker scores delivered CPU against demand. The cluster calls
+// Record once per interval per VM with what the VM wanted and what the
+// host scheduler actually gave it; the tracker accumulates the SLA
+// picture the paper's performance-overhead results are built from.
+type SLATracker struct {
+	demandCoreSec    float64
+	deliveredCoreSec float64
+
+	// violationTime accumulates wall time during which delivery was
+	// below the SLO target fraction of demand.
+	violationTime time.Duration
+	// unmetCoreSec accumulates the raw shortfall.
+	unmetCoreSec float64
+	// observedTime is total recorded time (for normalizing).
+	observedTime time.Duration
+	// intervals counts Record calls with nonzero demand.
+	intervals int
+	violated  int
+}
+
+// Record scores one interval of length dt where demanded cores were
+// requested and delivered cores were provided, against an SLO target
+// fraction (delivered/demanded below target counts as violation).
+func (s *SLATracker) Record(dt time.Duration, demanded, delivered, sloTarget float64) {
+	if dt <= 0 {
+		return
+	}
+	if delivered > demanded {
+		delivered = demanded
+	}
+	if delivered < 0 {
+		delivered = 0
+	}
+	secs := dt.Seconds()
+	s.demandCoreSec += demanded * secs
+	s.deliveredCoreSec += delivered * secs
+	s.observedTime += dt
+	if demanded <= 0 {
+		return
+	}
+	s.intervals++
+	if delivered < sloTarget*demanded {
+		s.violationTime += dt
+		s.violated++
+	}
+	if shortfall := demanded - delivered; shortfall > 0 {
+		s.unmetCoreSec += shortfall * secs
+	}
+}
+
+// RecordOutage scores an interval in which the VM was completely
+// unserved (e.g. migration downtime, or its host is asleep while it is
+// queued): full demand, zero delivery.
+func (s *SLATracker) RecordOutage(dt time.Duration, demanded float64) {
+	s.Record(dt, demanded, 0, 1)
+}
+
+// Satisfaction returns delivered/demanded core-seconds in [0,1]
+// (1 when nothing was demanded).
+func (s *SLATracker) Satisfaction() float64 {
+	if s.demandCoreSec <= 0 {
+		return 1
+	}
+	return s.deliveredCoreSec / s.demandCoreSec
+}
+
+// ViolationTime returns total time spent below the SLO target.
+func (s *SLATracker) ViolationTime() time.Duration { return s.violationTime }
+
+// ViolationFraction returns the fraction of observed time in
+// violation.
+func (s *SLATracker) ViolationFraction() float64 {
+	if s.observedTime <= 0 {
+		return 0
+	}
+	return float64(s.violationTime) / float64(s.observedTime)
+}
+
+// UnmetCoreSeconds returns the accumulated raw shortfall.
+func (s *SLATracker) UnmetCoreSeconds() float64 { return s.unmetCoreSec }
+
+// DemandCoreSeconds returns total demanded work.
+func (s *SLATracker) DemandCoreSeconds() float64 { return s.demandCoreSec }
+
+// DeliveredCoreSeconds returns total delivered work.
+func (s *SLATracker) DeliveredCoreSeconds() float64 { return s.deliveredCoreSec }
+
+// Intervals returns (recorded, violated) interval counts.
+func (s *SLATracker) Intervals() (total, violated int) { return s.intervals, s.violated }
+
+// Merge folds other into s, combining trackers from multiple VMs into
+// a cluster-wide view. Observed time sums, so the merged
+// ViolationFraction is violation VM-time over total VM-time — the
+// average violation fraction across the fleet.
+func (s *SLATracker) Merge(other *SLATracker) {
+	s.demandCoreSec += other.demandCoreSec
+	s.deliveredCoreSec += other.deliveredCoreSec
+	s.violationTime += other.violationTime
+	s.unmetCoreSec += other.unmetCoreSec
+	s.observedTime += other.observedTime
+	s.intervals += other.intervals
+	s.violated += other.violated
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSLAFullSatisfaction(t *testing.T) {
+	var s SLATracker
+	s.Record(time.Minute, 4, 4, 0.95)
+	if s.Satisfaction() != 1 {
+		t.Fatalf("satisfaction = %v, want 1", s.Satisfaction())
+	}
+	if s.ViolationTime() != 0 {
+		t.Fatal("violation recorded for full delivery")
+	}
+	if s.UnmetCoreSeconds() != 0 {
+		t.Fatal("unmet work recorded for full delivery")
+	}
+}
+
+func TestSLAViolationAccounting(t *testing.T) {
+	var s SLATracker
+	s.Record(time.Minute, 4, 2, 0.95) // 50% delivery: violation
+	s.Record(time.Minute, 4, 4, 0.95) // fine
+	if s.ViolationTime() != time.Minute {
+		t.Fatalf("violation time = %v, want 1m", s.ViolationTime())
+	}
+	if got := s.ViolationFraction(); got != 0.5 {
+		t.Fatalf("violation fraction = %v, want 0.5", got)
+	}
+	if got := s.Satisfaction(); got != 0.75 {
+		t.Fatalf("satisfaction = %v, want 0.75", got)
+	}
+	// Shortfall: 2 cores for 60s.
+	if got := s.UnmetCoreSeconds(); got != 120 {
+		t.Fatalf("unmet = %v, want 120", got)
+	}
+	total, violated := s.Intervals()
+	if total != 2 || violated != 1 {
+		t.Fatalf("intervals = %d/%d, want 2/1", violated, total)
+	}
+}
+
+func TestSLASLOTargetBoundary(t *testing.T) {
+	var s SLATracker
+	// Exactly at target: not a violation.
+	s.Record(time.Minute, 10, 9.5, 0.95)
+	if s.ViolationTime() != 0 {
+		t.Fatal("delivery exactly at target counted as violation")
+	}
+	// Just below target: violation.
+	s.Record(time.Minute, 10, 9.4, 0.95)
+	if s.ViolationTime() != time.Minute {
+		t.Fatal("delivery below target not counted")
+	}
+}
+
+func TestSLAZeroDemandIsHealthy(t *testing.T) {
+	var s SLATracker
+	s.Record(time.Hour, 0, 0, 0.95)
+	if s.Satisfaction() != 1 || s.ViolationTime() != 0 {
+		t.Fatal("idle VM scored unhealthy")
+	}
+	total, _ := s.Intervals()
+	if total != 0 {
+		t.Fatal("zero-demand interval counted")
+	}
+}
+
+func TestSLADeliveryClamped(t *testing.T) {
+	var s SLATracker
+	s.Record(time.Minute, 2, 5, 0.95) // over-delivery clamps to demand
+	if s.Satisfaction() != 1 {
+		t.Fatalf("satisfaction = %v, want 1 after clamping", s.Satisfaction())
+	}
+	s.Record(time.Minute, 2, -3, 0.95) // negative clamps to 0
+	if got := s.Satisfaction(); got != 0.5 {
+		t.Fatalf("satisfaction = %v, want 0.5", got)
+	}
+}
+
+func TestSLARecordOutage(t *testing.T) {
+	var s SLATracker
+	s.RecordOutage(30*time.Second, 4)
+	if s.ViolationTime() != 30*time.Second {
+		t.Fatalf("outage violation = %v", s.ViolationTime())
+	}
+	if s.UnmetCoreSeconds() != 120 {
+		t.Fatalf("outage unmet = %v, want 120", s.UnmetCoreSeconds())
+	}
+}
+
+func TestSLAIgnoresNonPositiveDt(t *testing.T) {
+	var s SLATracker
+	s.Record(0, 4, 0, 0.95)
+	s.Record(-time.Second, 4, 0, 0.95)
+	if s.ViolationTime() != 0 || s.DemandCoreSeconds() != 0 {
+		t.Fatal("non-positive dt recorded")
+	}
+}
+
+func TestSLAMerge(t *testing.T) {
+	var a, b SLATracker
+	a.Record(time.Minute, 4, 2, 0.95)
+	b.Record(2*time.Minute, 4, 4, 0.95)
+	a.Merge(&b)
+	if a.DemandCoreSeconds() != 4*60+4*120 {
+		t.Fatalf("merged demand = %v", a.DemandCoreSeconds())
+	}
+	if a.DeliveredCoreSeconds() != 2*60+4*120 {
+		t.Fatalf("merged delivered = %v", a.DeliveredCoreSeconds())
+	}
+	// Observed time sums: the merged fraction is violation VM-time
+	// over total VM-time (1m violated of 3m observed).
+	if got := a.ViolationFraction(); got != 1.0/3 {
+		t.Fatalf("merged violation fraction = %v, want 1m/3m", got)
+	}
+	total, violated := a.Intervals()
+	if total != 2 || violated != 1 {
+		t.Fatalf("merged intervals = %d/%d", violated, total)
+	}
+}
+
+func TestSLASatisfactionPrecision(t *testing.T) {
+	var s SLATracker
+	for i := 0; i < 1000; i++ {
+		s.Record(time.Second, 1, 0.9, 0.95)
+	}
+	if math.Abs(s.Satisfaction()-0.9) > 1e-9 {
+		t.Fatalf("satisfaction drifted: %v", s.Satisfaction())
+	}
+}

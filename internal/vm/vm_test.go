@@ -1,0 +1,117 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/workload"
+)
+
+func validConfig() Config {
+	return Config{
+		Name:     "web-1",
+		VCPUs:    4,
+		MemoryGB: 8,
+		Trace:    workload.Constant(2),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero vcpus", func(c *Config) { c.VCPUs = 0 }},
+		{"negative vcpus", func(c *Config) { c.VCPUs = -1 }},
+		{"zero memory", func(c *Config) { c.MemoryGB = 0 }},
+		{"nil trace", func(c *Config) { c.Trace = nil }},
+		{"slo above 1", func(c *Config) { c.SLOTarget = 1.5 }},
+		{"negative slo", func(c *Config) { c.SLOTarget = -0.1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validConfig()
+			tc.mut(&c)
+			if _, err := New(1, c); err == nil {
+				t.Errorf("New accepted config with %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	c := validConfig()
+	c.Name = ""
+	v, err := New(7, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "vm-7" {
+		t.Fatalf("default name = %q", v.Name())
+	}
+	if v.SLOTarget() != 0.95 {
+		t.Fatalf("default SLO = %v, want 0.95", v.SLOTarget())
+	}
+	if v.ID() != 7 {
+		t.Fatalf("ID = %v", v.ID())
+	}
+}
+
+func TestDemandCappedAtVCPUs(t *testing.T) {
+	c := validConfig()
+	c.Trace = workload.Constant(100) // demands far more than 4 vcpus
+	v, err := New(1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Demand(0); got != 4 {
+		t.Fatalf("demand = %v, want cap at 4", got)
+	}
+}
+
+func TestDemandFollowsTrace(t *testing.T) {
+	tr, _ := workload.NewTrace(time.Minute, []float64{1, 3})
+	c := validConfig()
+	c.Trace = tr
+	v, _ := New(1, c)
+	if v.Demand(0) != 1 {
+		t.Fatalf("demand(0) = %v", v.Demand(0))
+	}
+	if v.Demand(time.Minute) != 3 {
+		t.Fatalf("demand(1m) = %v", v.Demand(time.Minute))
+	}
+	if v.NextDemandChange(30*time.Second) != time.Minute {
+		t.Fatalf("next change = %v", v.NextDemandChange(30*time.Second))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	v, _ := New(3, validConfig())
+	if v.VCPUs() != 4 || v.MemoryGB() != 8 || v.Name() != "web-1" {
+		t.Fatal("accessors return wrong values")
+	}
+	if v.Trace() == nil {
+		t.Fatal("Trace() nil")
+	}
+	if v.String() != "web-1(4vcpu,8GB)" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestResourceTripleAccessors(t *testing.T) {
+	c := validConfig()
+	c.Shares = 2000
+	c.Group = "db"
+	c.ReservedCores = 1.5
+	c.LimitCores = 3
+	v, err := New(9, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Shares() != 2000 || v.Group() != "db" {
+		t.Fatalf("shares/group = %d/%q", v.Shares(), v.Group())
+	}
+	if v.ReservedCores() != 1.5 || v.LimitCores() != 3 {
+		t.Fatalf("reservation/limit = %v/%v", v.ReservedCores(), v.LimitCores())
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes the trace as rows of (offset_seconds, demand_cores)
+// with a header, the interchange format for bringing external
+// utilization traces into the simulator.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"offset_seconds", "demand_cores"}); err != nil {
+		return err
+	}
+	for i, s := range t.Samples {
+		off := time.Duration(i) * t.Interval
+		rec := []string{
+			strconv.FormatFloat(off.Seconds(), 'f', 0, 64),
+			strconv.FormatFloat(s, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any CSV with the same
+// two columns). Rows must be evenly spaced; the interval is inferred
+// from the first two rows.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace csv: %w", err)
+	}
+	if len(recs) < 3 { // header + at least two samples to infer interval
+		return nil, fmt.Errorf("workload: trace csv needs a header and ≥2 rows, got %d", len(recs))
+	}
+	recs = recs[1:] // drop header
+	offs := make([]float64, len(recs))
+	samples := make([]float64, len(recs))
+	for i, rec := range recs {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("workload: row %d has %d columns, want 2", i+2, len(rec))
+		}
+		off, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d offset: %w", i+2, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d demand: %w", i+2, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("workload: row %d negative demand %v", i+2, v)
+		}
+		offs[i] = off
+		samples[i] = v
+	}
+	interval := time.Duration((offs[1] - offs[0]) * float64(time.Second))
+	if interval <= 0 {
+		return nil, fmt.Errorf("workload: non-increasing offsets in rows 2-3")
+	}
+	for i := 1; i < len(offs); i++ {
+		want := offs[0] + float64(i)*interval.Seconds()
+		if diff := offs[i] - want; diff > 0.5 || diff < -0.5 {
+			return nil, fmt.Errorf("workload: row %d offset %v not evenly spaced (want %v)", i+2, offs[i], want)
+		}
+	}
+	return NewTrace(interval, samples)
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, _ := NewTrace(time.Minute, []float64{0, 1.5, 3.25, 2})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != orig.Interval {
+		t.Fatalf("interval = %v, want %v", got.Interval, orig.Interval)
+	}
+	if len(got.Samples) != len(orig.Samples) {
+		t.Fatalf("samples = %d, want %d", len(got.Samples), len(orig.Samples))
+	}
+	for i := range orig.Samples {
+		if got.Samples[i] != orig.Samples[i] {
+			t.Fatalf("sample %d = %v, want %v", i, got.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"too short", "offset_seconds,demand_cores\n0,1\n"},
+		{"bad offset", "h,d\nx,1\n60,2\n"},
+		{"bad demand", "h,d\n0,x\n60,2\n"},
+		{"negative demand", "h,d\n0,-1\n60,2\n"},
+		{"uneven spacing", "h,d\n0,1\n60,2\n200,3\n"},
+		{"non-increasing", "h,d\n60,1\n60,2\n"},
+		{"missing column", "h,d\n0\n60,2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadCSV accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestReadCSVInfersInterval(t *testing.T) {
+	in := "offset_seconds,demand_cores\n0,1\n300,2\n600,3\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Interval != 5*time.Minute {
+		t.Fatalf("interval = %v, want 5m", tr.Interval)
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser: arbitrary input must either
+// parse into a valid trace or return an error — never panic, never
+// yield a trace that violates its own invariants.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("offset_seconds,demand_cores\n0,1\n60,2\n")
+	f.Add("h,d\n0,0\n300,1.5\n600,0\n")
+	f.Add("offset_seconds,demand_cores\n0,1\n60,-2\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Add("a,b\n1e300,1\n2e300,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tr.Interval <= 0 {
+			t.Fatalf("parsed trace with interval %v", tr.Interval)
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("parsed empty trace")
+		}
+		for _, s := range tr.Samples {
+			if s < 0 {
+				t.Fatalf("parsed negative demand %v", s)
+			}
+		}
+		// A parsed trace must round-trip.
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+	})
+}

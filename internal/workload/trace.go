@@ -1,0 +1,128 @@
+// Package workload provides demand traces and synthetic trace
+// generators. It is the reproduction's substitute for the production
+// enterprise utilization traces the paper's evaluation is driven by:
+// the policies' behaviour depends on trough depth, spike steepness and
+// diurnal period, which are all first-class generator parameters here.
+//
+// A trace is a step function of CPU demand (in cores) sampled at a
+// fixed interval. Demand is what the VM *wants*; what it receives is
+// decided by the host scheduler in internal/host.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Trace is a fixed-interval step function of CPU demand in cores.
+type Trace struct {
+	// Interval is the sampling period.
+	Interval time.Duration
+	// Samples holds the demand (cores) for each interval. The trace
+	// repeats cyclically after the last sample, so a 24-hour trace
+	// drives simulations of any length.
+	Samples []float64
+}
+
+// NewTrace validates and wraps samples.
+func NewTrace(interval time.Duration, samples []float64) (*Trace, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("workload: non-positive interval %v", interval)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	for i, s := range samples {
+		if s < 0 {
+			return nil, fmt.Errorf("workload: negative demand %v at sample %d", s, i)
+		}
+	}
+	return &Trace{Interval: interval, Samples: samples}, nil
+}
+
+// Constant returns a trace that always demands d cores.
+func Constant(d float64) *Trace {
+	return &Trace{Interval: time.Minute, Samples: []float64{d}}
+}
+
+// Duration is the length of one cycle of the trace.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(len(t.Samples)) * t.Interval
+}
+
+// At returns the demand at virtual time at, wrapping cyclically.
+func (t *Trace) At(at time.Duration) float64 {
+	if at < 0 {
+		at = 0
+	}
+	idx := int(at/t.Interval) % len(t.Samples)
+	return t.Samples[idx]
+}
+
+// NextChange returns the time of the next sample boundary strictly
+// after at. Simulations use it to schedule demand re-evaluation only
+// when something can change.
+func (t *Trace) NextChange(at time.Duration) time.Duration {
+	return (at/t.Interval + 1) * t.Interval
+}
+
+// Peak returns the maximum demand in the trace.
+func (t *Trace) Peak() float64 {
+	max := 0.0
+	for _, s := range t.Samples {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Mean returns the average demand over one cycle.
+func (t *Trace) Mean() float64 {
+	sum := 0.0
+	for _, s := range t.Samples {
+		sum += s
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// Scale returns a copy with every sample multiplied by f (f ≥ 0).
+func (t *Trace) Scale(f float64) *Trace {
+	if f < 0 {
+		f = 0
+	}
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s * f
+	}
+	return &Trace{Interval: t.Interval, Samples: out}
+}
+
+// Clamp returns a copy with every sample limited to at most max.
+func (t *Trace) Clamp(max float64) *Trace {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		if s > max {
+			s = max
+		}
+		out[i] = s
+	}
+	return &Trace{Interval: t.Interval, Samples: out}
+}
+
+// Add returns the pointwise sum of two traces with the same interval,
+// wrapping the shorter one cyclically to the length of the longer.
+func Add(a, b *Trace) (*Trace, error) {
+	if a.Interval != b.Interval {
+		return nil, fmt.Errorf("workload: interval mismatch %v vs %v", a.Interval, b.Interval)
+	}
+	n := len(a.Samples)
+	if len(b.Samples) > n {
+		n = len(b.Samples)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a.Samples[i%len(a.Samples)] + b.Samples[i%len(b.Samples)]
+	}
+	return &Trace{Interval: a.Interval, Samples: out}, nil
+}

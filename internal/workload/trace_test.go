@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(0, []float64{1}); err == nil {
+		t.Error("accepted zero interval")
+	}
+	if _, err := NewTrace(time.Minute, nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+	if _, err := NewTrace(time.Minute, []float64{1, -2}); err == nil {
+		t.Error("accepted negative demand")
+	}
+	if _, err := NewTrace(time.Minute, []float64{1, 2}); err != nil {
+		t.Errorf("rejected valid trace: %v", err)
+	}
+}
+
+func TestAtStepsAndWraps(t *testing.T) {
+	tr, _ := NewTrace(time.Minute, []float64{1, 2, 3})
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1},
+		{30 * time.Second, 1},
+		{time.Minute, 2},
+		{2*time.Minute + 59*time.Second, 3},
+		{3 * time.Minute, 1}, // wrap
+		{7 * time.Minute, 2}, // wrap twice
+		{-time.Minute, 1},    // clamp negative
+	}
+	for _, c := range cases {
+		if got := tr.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestNextChange(t *testing.T) {
+	tr, _ := NewTrace(time.Minute, []float64{1, 2})
+	if got := tr.NextChange(0); got != time.Minute {
+		t.Fatalf("NextChange(0) = %v", got)
+	}
+	if got := tr.NextChange(59 * time.Second); got != time.Minute {
+		t.Fatalf("NextChange(59s) = %v", got)
+	}
+	if got := tr.NextChange(time.Minute); got != 2*time.Minute {
+		t.Fatalf("NextChange(1m) = %v", got)
+	}
+}
+
+func TestPeakMeanDuration(t *testing.T) {
+	tr, _ := NewTrace(time.Minute, []float64{1, 3, 2})
+	if tr.Peak() != 3 {
+		t.Fatalf("Peak = %v", tr.Peak())
+	}
+	if tr.Mean() != 2 {
+		t.Fatalf("Mean = %v", tr.Mean())
+	}
+	if tr.Duration() != 3*time.Minute {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestScaleClamp(t *testing.T) {
+	tr, _ := NewTrace(time.Minute, []float64{1, 2, 4})
+	s := tr.Scale(2)
+	if s.Samples[2] != 8 {
+		t.Fatalf("Scale: %v", s.Samples)
+	}
+	if tr.Samples[2] != 4 {
+		t.Fatal("Scale mutated the original")
+	}
+	c := tr.Clamp(1.5)
+	if c.Samples[0] != 1 || c.Samples[1] != 1.5 || c.Samples[2] != 1.5 {
+		t.Fatalf("Clamp: %v", c.Samples)
+	}
+	n := tr.Scale(-1)
+	for _, v := range n.Samples {
+		if v != 0 {
+			t.Fatal("negative scale should floor at 0")
+		}
+	}
+}
+
+func TestAddCyclicExtension(t *testing.T) {
+	a, _ := NewTrace(time.Minute, []float64{1, 1, 1, 1})
+	b, _ := NewTrace(time.Minute, []float64{10, 20})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 21, 11, 21}
+	for i := range want {
+		if sum.Samples[i] != want[i] {
+			t.Fatalf("Add = %v, want %v", sum.Samples, want)
+		}
+	}
+}
+
+func TestAddIntervalMismatch(t *testing.T) {
+	a, _ := NewTrace(time.Minute, []float64{1})
+	b, _ := NewTrace(time.Second, []float64{1})
+	if _, err := Add(a, b); err == nil {
+		t.Fatal("Add accepted interval mismatch")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	tr := Constant(2.5)
+	if tr.At(0) != 2.5 || tr.At(100*time.Hour) != 2.5 {
+		t.Fatal("Constant trace not constant")
+	}
+}
+
+// Property: At() always returns one of the trace's sample values and
+// never negative.
+func TestAtProperty(t *testing.T) {
+	tr, _ := NewTrace(time.Minute, []float64{0, 1.5, 7, 0.25})
+	inSet := map[float64]bool{0: true, 1.5: true, 7: true, 0.25: true}
+	f := func(secs uint32) bool {
+		v := tr.At(time.Duration(secs) * time.Second)
+		return v >= 0 && inSet[v]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean scales linearly with Scale.
+func TestScaleMeanProperty(t *testing.T) {
+	tr, _ := NewTrace(time.Minute, []float64{1, 2, 3, 4, 5})
+	f := func(fRaw uint8) bool {
+		factor := float64(fRaw) / 16
+		s := tr.Scale(factor)
+		return math.Abs(s.Mean()-tr.Mean()*factor) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+func TestWorkdayShape(t *testing.T) {
+	tr := Workday(sim.NewRNG(1), WorkdaySpec{LowCores: 0.5, HighCores: 4})
+	if tr.Duration() != 24*time.Hour {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	if got := tr.At(3 * time.Hour); got != 0.5 {
+		t.Fatalf("night demand = %v, want 0.5", got)
+	}
+	if got := tr.At(12 * time.Hour); got != 4 {
+		t.Fatalf("midday demand = %v, want 4", got)
+	}
+	if got := tr.At(20 * time.Hour); got != 0.5 {
+		t.Fatalf("evening demand = %v, want 0.5", got)
+	}
+}
+
+func TestWorkdayRampIsSteep(t *testing.T) {
+	tr := Workday(sim.NewRNG(1), WorkdaySpec{LowCores: 0, HighCores: 10, JumpLen: 2 * time.Minute})
+	// At 8:59 still low; by 9:03 fully high.
+	if tr.At(8*time.Hour+59*time.Minute) != 0 {
+		t.Fatal("demand rose before open")
+	}
+	if tr.At(9*time.Hour+3*time.Minute) != 10 {
+		t.Fatal("demand not at high 3 minutes after open")
+	}
+	// Mid-ramp sample exists.
+	mid := tr.At(9*time.Hour + 1*time.Minute)
+	if mid <= 0 || mid >= 10 {
+		t.Fatalf("mid-ramp = %v", mid)
+	}
+}
+
+func TestWorkdayMultiDayRepeats(t *testing.T) {
+	tr := Workday(sim.NewRNG(1), WorkdaySpec{Days: 3, LowCores: 1, HighCores: 5})
+	if tr.Duration() != 72*time.Hour {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	for day := 0; day < 3; day++ {
+		at := time.Duration(day)*24*time.Hour + 12*time.Hour
+		if tr.At(at) != 5 {
+			t.Fatalf("day %d midday = %v", day, tr.At(at))
+		}
+	}
+}
+
+func TestWorkdayJitterShiftsOpen(t *testing.T) {
+	shifted := false
+	for seed := uint64(0); seed < 10; seed++ {
+		tr := Workday(sim.NewRNG(seed), WorkdaySpec{
+			LowCores: 0, HighCores: 10, OpenJitter: 10 * time.Minute,
+		})
+		// With jitter, the 9:00 sharp boundary moves: some seeds are
+		// still ramping (or already done) at 9:00 exactly.
+		if tr.At(9*time.Hour) != tr.At(9*time.Hour+20*time.Minute) {
+			shifted = true
+		}
+	}
+	if !shifted {
+		t.Fatal("jitter never moved the open boundary")
+	}
+}
+
+func TestWorkdayNoiseNonNegative(t *testing.T) {
+	tr := Workday(sim.NewRNG(3), WorkdaySpec{LowCores: 0.1, HighCores: 3, NoiseFrac: 0.5})
+	for i, s := range tr.Samples {
+		if s < 0 {
+			t.Fatalf("negative sample %v at %d", s, i)
+		}
+	}
+}
+
+func TestWorkdayWeekends(t *testing.T) {
+	tr := Workday(sim.NewRNG(1), WorkdaySpec{
+		Days: 7, LowCores: 0.5, HighCores: 4, Weekends: true,
+	})
+	// Friday (day 5) midday is busy; Saturday (day 6) midday is not.
+	fri := 4*24*time.Hour + 12*time.Hour
+	sat := 5*24*time.Hour + 12*time.Hour
+	sun := 6*24*time.Hour + 12*time.Hour
+	if tr.At(fri) != 4 {
+		t.Fatalf("friday midday = %v", tr.At(fri))
+	}
+	if tr.At(sat) != 0.5 || tr.At(sun) != 0.5 {
+		t.Fatalf("weekend midday = %v / %v, want 0.5", tr.At(sat), tr.At(sun))
+	}
+}
+
+func TestDiurnalWeekendScale(t *testing.T) {
+	tr := Diurnal(sim.NewRNG(1), DiurnalSpec{
+		Days: 7, BaseCores: 1, PeakCores: 5, WeekendScale: 0.3,
+	})
+	mon := 14 * time.Hour
+	sat := 5*24*time.Hour + 14*time.Hour
+	ratio := tr.At(sat) / tr.At(mon)
+	if ratio < 0.25 || ratio > 0.35 {
+		t.Fatalf("weekend/weekday ratio = %v, want ~0.3", ratio)
+	}
+}

@@ -1,0 +1,103 @@
+package agilepower
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stat summarizes one metric across replicated runs.
+type Stat struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+func newStat(vals []float64) Stat {
+	if len(vals) == 0 {
+		return Stat{}
+	}
+	s := Stat{N: len(vals), Min: vals[0], Max: vals[0]}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	if len(vals) > 1 {
+		ss := 0.0
+		for _, v := range vals {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	return s
+}
+
+// String renders "mean ± std".
+func (s Stat) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.Std)
+}
+
+// Replication aggregates one scenario run under several seeds — the
+// statistical-rigor companion to single runs: simulation conclusions
+// should not hinge on one random workload draw.
+type Replication struct {
+	Runs []*Result
+
+	EnergyKWh         Stat
+	Satisfaction      Stat
+	ViolationFraction Stat
+	Migrations        Stat
+	PowerActions      Stat
+}
+
+// RunReplicated executes the scenario once per seed. When fleet is
+// non-nil it regenerates the VM population for each seed (fleet
+// builders like DiurnalFleet are deterministic in their seed); when
+// nil, the same VMs are reused and only engine-driven randomness
+// (churn, jitter) varies.
+func (s Scenario) RunReplicated(seeds []uint64, fleet func(seed uint64) []VMSpec) (*Replication, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("agilepower: replication needs at least one seed")
+	}
+	rep := &Replication{}
+	var energy, sat, viol, migr, actions []float64
+	for _, seed := range seeds {
+		sc := s
+		sc.Seed = seed
+		if fleet != nil {
+			sc.VMs = fleet(seed)
+		}
+		res, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		energy = append(energy, res.EnergyKWh())
+		sat = append(sat, res.Satisfaction)
+		viol = append(viol, res.ViolationFraction)
+		migr = append(migr, float64(res.Migrations.Completed))
+		actions = append(actions, float64(res.Sleeps+res.Wakes))
+	}
+	rep.EnergyKWh = newStat(energy)
+	rep.Satisfaction = newStat(sat)
+	rep.ViolationFraction = newStat(viol)
+	rep.Migrations = newStat(migr)
+	rep.PowerActions = newStat(actions)
+	return rep, nil
+}
+
+// Seeds returns [base, base+1, …, base+n-1], a convenient seed list
+// for replication.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}

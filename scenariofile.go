@@ -1,0 +1,226 @@
+package agilepower
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ScenarioFile is the declarative JSON form of a Scenario, the format
+// `agilepm -config` loads. Fleets are described by builder kind and
+// parameters rather than per-VM traces, so files stay small and
+// reproducible from their seeds.
+//
+//	{
+//	  "name": "my-day",
+//	  "hosts": 32,
+//	  "fleets": [
+//	    {"kind": "diurnal", "count": 96},
+//	    {"kind": "spiky", "count": 40, "spikes": 4},
+//	    {"kind": "replicated", "services": 8, "replicas": 3}
+//	  ],
+//	  "horizonHours": 24,
+//	  "policy": "dpm-s3",
+//	  "manager": {"periodMinutes": 5, "targetUtil": 0.7, "predictiveWake": true}
+//	}
+type ScenarioFile struct {
+	Name         string  `json:"name,omitempty"`
+	Hosts        int     `json:"hosts"`
+	HostCores    float64 `json:"hostCores,omitempty"`
+	HostMemoryGB float64 `json:"hostMemoryGB,omitempty"`
+	// HostClasses optionally builds a heterogeneous fleet.
+	HostClasses []HostClassFile `json:"hostClasses,omitempty"`
+	// Profile optionally embeds a power calibration (the JSON
+	// cmd/calibrate emits).
+	Profile *Profile `json:"profile,omitempty"`
+
+	Fleets []FleetFile `json:"fleets"`
+
+	HorizonHours float64      `json:"horizonHours,omitempty"`
+	Policy       string       `json:"policy,omitempty"`
+	Manager      *ManagerFile `json:"manager,omitempty"`
+	Churn        *ChurnFile   `json:"churn,omitempty"`
+	Seed         uint64       `json:"seed,omitempty"`
+}
+
+// HostClassFile mirrors HostClass in JSON.
+type HostClassFile struct {
+	Count    int     `json:"count"`
+	Cores    float64 `json:"cores,omitempty"`
+	MemoryGB float64 `json:"memoryGB,omitempty"`
+}
+
+// FleetFile selects a fleet builder.
+type FleetFile struct {
+	// Kind: diurnal, spiky, batch, mixed, workday, flat, replicated.
+	Kind  string `json:"kind"`
+	Count int    `json:"count,omitempty"`
+	// Demand is the per-VM cores for flat fleets (default 1).
+	Demand float64 `json:"demand,omitempty"`
+	// Spikes per day for spiky fleets (default 4).
+	Spikes int `json:"spikes,omitempty"`
+	// Days for workday fleets (default 1).
+	Days int `json:"days,omitempty"`
+	// Services and Replicas for replicated fleets.
+	Services int `json:"services,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
+	// Seed offsets the scenario seed for this fleet (so two fleets of
+	// the same kind differ).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ManagerFile mirrors the tunable subset of ManagerConfig in JSON.
+type ManagerFile struct {
+	PeriodMinutes  float64 `json:"periodMinutes,omitempty"`
+	TargetUtil     float64 `json:"targetUtil,omitempty"`
+	WakeThreshold  float64 `json:"wakeThreshold,omitempty"`
+	SpareHosts     int     `json:"spareHosts,omitempty"`
+	MinActive      int     `json:"minActive,omitempty"`
+	PredictiveWake bool    `json:"predictiveWake,omitempty"`
+	PanicShortfall float64 `json:"panicShortfall,omitempty"`
+	Forecast       string  `json:"forecast,omitempty"` // last-value, ewma, peak-window
+}
+
+// ChurnFile mirrors ChurnSpec in JSON.
+type ChurnFile struct {
+	ArrivalsPerHour   float64 `json:"arrivalsPerHour"`
+	MeanLifetimeHours float64 `json:"meanLifetimeHours,omitempty"`
+	DemandCores       float64 `json:"demandCores,omitempty"`
+	VCPUs             float64 `json:"vcpus,omitempty"`
+	MemoryGB          float64 `json:"memoryGB,omitempty"`
+}
+
+// ParseScenario decodes and materializes a scenario file.
+func ParseScenario(data []byte) (Scenario, error) {
+	var f ScenarioFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Scenario{}, fmt.Errorf("agilepower: decoding scenario file: %w", err)
+	}
+	return f.Build()
+}
+
+// Build materializes the file into a runnable Scenario.
+func (f ScenarioFile) Build() (Scenario, error) {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var fleet []VMSpec
+	for i, ff := range f.Fleets {
+		fseed := seed + ff.Seed + uint64(i)*1000
+		vms, err := buildFleetFile(ff, fseed)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("agilepower: fleet %d: %w", i, err)
+		}
+		fleet = append(fleet, vms...)
+	}
+	if len(fleet) == 0 {
+		return Scenario{}, fmt.Errorf("agilepower: scenario file has no fleets")
+	}
+
+	sc := Scenario{
+		Name:         f.Name,
+		Hosts:        f.Hosts,
+		HostCores:    f.HostCores,
+		HostMemoryGB: f.HostMemoryGB,
+		Profile:      f.Profile,
+		VMs:          fleet,
+		Horizon:      time.Duration(f.HorizonHours * float64(time.Hour)),
+		Seed:         seed,
+	}
+	for _, hc := range f.HostClasses {
+		sc.HostClasses = append(sc.HostClasses, HostClass{
+			Count:    hc.Count,
+			Cores:    hc.Cores,
+			MemoryGB: hc.MemoryGB,
+		})
+	}
+	if f.Policy != "" {
+		found := false
+		for _, p := range Policies() {
+			if p.Name == f.Policy {
+				sc.Manager.Policy = p
+				found = true
+			}
+		}
+		if !found {
+			return Scenario{}, fmt.Errorf("agilepower: unknown policy %q", f.Policy)
+		}
+	}
+	if m := f.Manager; m != nil {
+		sc.Manager.Period = time.Duration(m.PeriodMinutes * float64(time.Minute))
+		sc.Manager.TargetUtil = m.TargetUtil
+		sc.Manager.WakeThreshold = m.WakeThreshold
+		sc.Manager.SpareHosts = m.SpareHosts
+		sc.Manager.MinActive = m.MinActive
+		sc.Manager.PredictiveWake = m.PredictiveWake
+		sc.Manager.PanicShortfall = m.PanicShortfall
+		switch m.Forecast {
+		case "":
+		case "last-value":
+			sc.Manager.Forecast = ForecastSpec{Kind: ForecastLastValue}
+		case "ewma":
+			sc.Manager.Forecast = ForecastSpec{Kind: ForecastEWMA}
+		case "peak-window":
+			sc.Manager.Forecast = ForecastSpec{Kind: ForecastPeakWindow}
+		default:
+			return Scenario{}, fmt.Errorf("agilepower: unknown forecast %q", m.Forecast)
+		}
+	}
+	if c := f.Churn; c != nil {
+		sc.Churn = &ChurnSpec{
+			ArrivalsPerHour: c.ArrivalsPerHour,
+			MeanLifetime:    time.Duration(c.MeanLifetimeHours * float64(time.Hour)),
+			DemandCores:     c.DemandCores,
+			VCPUs:           c.VCPUs,
+			MemoryGB:        c.MemoryGB,
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+func buildFleetFile(ff FleetFile, seed uint64) ([]VMSpec, error) {
+	switch ff.Kind {
+	case "diurnal":
+		return DiurnalFleet(max1(ff.Count), seed), nil
+	case "spiky":
+		spikes := ff.Spikes
+		if spikes == 0 {
+			spikes = 4
+		}
+		return SpikyFleet(max1(ff.Count), spikes, seed), nil
+	case "batch":
+		return BatchFleet(max1(ff.Count), seed), nil
+	case "mixed":
+		return MixedFleet(max1(ff.Count), seed), nil
+	case "workday":
+		days := ff.Days
+		if days == 0 {
+			days = 1
+		}
+		return WorkdayFleet(max1(ff.Count), days, seed), nil
+	case "flat":
+		d := ff.Demand
+		if d == 0 {
+			d = 1
+		}
+		return ConstantFleet(max1(ff.Count), d), nil
+	case "replicated":
+		if ff.Services <= 0 || ff.Replicas <= 0 {
+			return nil, fmt.Errorf("replicated fleet needs services and replicas")
+		}
+		return ReplicatedFleet(ff.Services, ff.Replicas, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown fleet kind %q", ff.Kind)
+	}
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

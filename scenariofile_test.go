@@ -1,0 +1,127 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+const sampleScenarioFile = `{
+  "name": "file-test",
+  "hosts": 8,
+  "fleets": [
+    {"kind": "diurnal", "count": 16},
+    {"kind": "spiky", "count": 8, "spikes": 2},
+    {"kind": "replicated", "services": 2, "replicas": 3}
+  ],
+  "horizonHours": 6,
+  "policy": "dpm-s3",
+  "manager": {"periodMinutes": 3, "targetUtil": 0.65, "predictiveWake": true, "forecast": "ewma"},
+  "churn": {"arrivalsPerHour": 2, "meanLifetimeHours": 1},
+  "seed": 5
+}`
+
+func TestParseScenarioFull(t *testing.T) {
+	sc, err := ParseScenario([]byte(sampleScenarioFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "file-test" || sc.Hosts != 8 || sc.Seed != 5 {
+		t.Fatalf("header: %+v", sc)
+	}
+	if len(sc.VMs) != 16+8+6 {
+		t.Fatalf("fleet size = %d", len(sc.VMs))
+	}
+	if sc.Horizon != 6*time.Hour {
+		t.Fatalf("horizon = %v", sc.Horizon)
+	}
+	if sc.Manager.Policy.Name != "dpm-s3" {
+		t.Fatalf("policy = %q", sc.Manager.Policy.Name)
+	}
+	if sc.Manager.Period != 3*time.Minute || sc.Manager.TargetUtil != 0.65 {
+		t.Fatalf("manager: %+v", sc.Manager)
+	}
+	if !sc.Manager.PredictiveWake {
+		t.Fatal("predictive not set")
+	}
+	if sc.Manager.Forecast.Kind != ForecastEWMA {
+		t.Fatalf("forecast = %v", sc.Manager.Forecast.Kind)
+	}
+	if sc.Churn == nil || sc.Churn.ArrivalsPerHour != 2 || sc.Churn.MeanLifetime != time.Hour {
+		t.Fatalf("churn: %+v", sc.Churn)
+	}
+	// And it runs.
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy <= 0 {
+		t.Fatal("no energy")
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"no fleets", `{"hosts":4,"fleets":[]}`},
+		{"bad fleet kind", `{"hosts":4,"fleets":[{"kind":"quantum","count":2}]}`},
+		{"bad policy", `{"hosts":4,"policy":"yolo","fleets":[{"kind":"flat","count":2}]}`},
+		{"bad forecast", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"manager":{"forecast":"crystal-ball"}}`},
+		{"replicated missing params", `{"hosts":4,"fleets":[{"kind":"replicated"}]}`},
+		{"no hosts", `{"fleets":[{"kind":"flat","count":2}]}`},
+		{"bad churn", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"churn":{"arrivalsPerHour":-1}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScenario([]byte(tc.in)); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseScenarioHostClasses(t *testing.T) {
+	in := `{
+	  "hostClasses": [{"count": 2, "cores": 32}, {"count": 4}],
+	  "fleets": [{"kind": "flat", "count": 6, "demand": 0.5}],
+	  "horizonHours": 1
+	}`
+	sc, err := ParseScenario([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 6 {
+		t.Fatalf("hosts = %d", res.Hosts)
+	}
+}
+
+func TestParseScenarioDeterministicFleets(t *testing.T) {
+	a, err := ParseScenario([]byte(sampleScenarioFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseScenario([]byte(sampleScenarioFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.VMs {
+		if a.VMs[i].Trace.At(3*time.Hour) != b.VMs[i].Trace.At(3*time.Hour) {
+			t.Fatal("scenario file fleets not deterministic")
+		}
+	}
+	// Two fleets of the same kind in one file must differ.
+	in := `{"hosts":4,"fleets":[{"kind":"diurnal","count":2},{"kind":"diurnal","count":2}],"horizonHours":1}`
+	sc, err := ParseScenario([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.VMs[0].Trace.At(6*time.Hour) == sc.VMs[2].Trace.At(6*time.Hour) {
+		t.Fatal("same-kind fleets share a seed")
+	}
+}

@@ -1,0 +1,70 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+// End-to-end conservation properties over full runs: the recorded
+// series must obey physics and accounting at every sample, for every
+// policy.
+func TestRunSeriesConservationProperties(t *testing.T) {
+	sc := Scenario{
+		Hosts:   6,
+		VMs:     MixedFleet(24, 9),
+		Horizon: 10 * time.Hour,
+		Seed:    9,
+	}
+	for _, p := range Policies() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			s := sc
+			s.Manager.Policy = p
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			peakFleet := float64(res.Hosts) * 250 // peak watts per host
+			for _, pt := range res.Delivered.Points() {
+				demand := res.Demand.At(pt.At)
+				if pt.Value > demand+1e-6 {
+					t.Fatalf("delivered %v > demand %v at %v", pt.Value, demand, pt.At)
+				}
+				if pt.Value < 0 {
+					t.Fatalf("negative delivery at %v", pt.At)
+				}
+			}
+			for _, pt := range res.Power.Points() {
+				if pt.Value <= 0 || pt.Value > peakFleet {
+					t.Fatalf("power %v outside (0, %v] at %v", pt.Value, peakFleet, pt.At)
+				}
+			}
+			for _, pt := range res.ActiveHosts.Points() {
+				if pt.Value < 0 || pt.Value > float64(res.Hosts) {
+					t.Fatalf("active hosts %v outside [0,%d] at %v", pt.Value, res.Hosts, pt.At)
+				}
+			}
+			// Energy equals the integral of the power series within
+			// sampling error (series samples at each evaluation, and
+			// every power change triggers an evaluation, so this must
+			// be nearly exact).
+			integrated := res.Power.Integrate(0, res.Horizon)
+			if diff := abs(integrated-float64(res.Energy)) / float64(res.Energy); diff > 0.01 {
+				t.Fatalf("power series integral %v vs accounted energy %v (%.2f%% off)",
+					integrated, float64(res.Energy), diff*100)
+			}
+			// Satisfaction and violation are coherent.
+			if res.Satisfaction < 0 || res.Satisfaction > 1 ||
+				res.ViolationFraction < 0 || res.ViolationFraction > 1 {
+				t.Fatalf("SLA metrics out of range: %v / %v", res.Satisfaction, res.ViolationFraction)
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

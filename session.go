@@ -1,0 +1,266 @@
+package agilepower
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/core"
+	"agilepower/internal/host"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+)
+
+// Session is a live simulation: the clock is stepped explicitly, and
+// operator actions (maintenance, manual queries) interleave with the
+// manager's control loop. Scenario.Run is the one-shot convenience
+// wrapper around Start → RunUntil(Horizon) → Result.
+type Session struct {
+	scenario Scenario
+	eng      *sim.Engine
+	cl       *cluster.Cluster
+	mgr      *core.Manager
+	churn    ChurnStats
+	profile  *Profile
+	hosts    int
+	cores    float64
+	finished bool
+}
+
+// Start builds the scenario's cluster and manager and performs the
+// initial evaluation, leaving the clock at zero.
+func (s Scenario) Start() (*Session, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(s.Seed)
+	cl, err := cluster.New(eng, cluster.Config{
+		EvalStep:  s.EvalStep,
+		Migration: s.Migration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	profile := s.Profile
+	if profile == nil {
+		profile = power.DefaultProfile()
+	}
+	totalHosts, meanCores, err := buildHosts(cl, s, profile)
+	if err != nil {
+		return nil, err
+	}
+	if err := placeInitial(cl, s.VMs); err != nil {
+		return nil, err
+	}
+	mgr, err := core.NewManager(cl, s.Manager)
+	if err != nil {
+		return nil, err
+	}
+	se := &Session{
+		scenario: s,
+		eng:      eng,
+		cl:       cl,
+		mgr:      mgr,
+		profile:  profile,
+		hosts:    totalHosts,
+		cores:    meanCores,
+	}
+	if s.Churn != nil {
+		scheduleChurn(eng, cl, *s.Churn, s.Horizon, &se.churn)
+	}
+	cl.Start()
+	mgr.Start()
+	return se, nil
+}
+
+// Now returns the current virtual time.
+func (se *Session) Now() time.Duration { return time.Duration(se.eng.Now()) }
+
+// RunUntil advances virtual time to at (absolute).
+func (se *Session) RunUntil(at time.Duration) error {
+	if se.finished {
+		return fmt.Errorf("agilepower: session already finished")
+	}
+	if at < se.Now() {
+		return fmt.Errorf("agilepower: cannot run to %v, already at %v", at, se.Now())
+	}
+	se.eng.RunUntil(at)
+	return nil
+}
+
+// Step advances virtual time by d.
+func (se *Session) Step(d time.Duration) error { return se.RunUntil(se.Now() + d) }
+
+// EnterMaintenance drains host id and holds it out of service.
+func (se *Session) EnterMaintenance(id int) error {
+	return se.mgr.EnterMaintenance(host.ID(id))
+}
+
+// ExitMaintenance returns host id to service.
+func (se *Session) ExitMaintenance(id int) error {
+	return se.mgr.ExitMaintenance(host.ID(id))
+}
+
+// MaintenanceReady reports whether host id has fully drained.
+func (se *Session) MaintenanceReady(id int) bool {
+	return se.mgr.MaintenanceReady(host.ID(id))
+}
+
+// RemoveVM departs a VM immediately (operator decommission).
+func (se *Session) RemoveVM(id int) error { return se.cl.RemoveVM(vm.ID(id)) }
+
+// AddVM submits a new VM for provisioning; it is placed by the manager
+// within a monitoring tick. Returns the VM's id.
+func (se *Session) AddVM(spec VMSpec) (int, error) {
+	if spec.Trace == nil {
+		return 0, fmt.Errorf("agilepower: vm needs a trace")
+	}
+	v, err := se.cl.AddPendingVM(vm.Config{
+		Name:          spec.Name,
+		VCPUs:         spec.VCPUs,
+		MemoryGB:      spec.MemoryGB,
+		Trace:         spec.Trace,
+		SLOTarget:     spec.SLOTarget,
+		Shares:        spec.Shares,
+		Group:         spec.Group,
+		ReservedCores: spec.ReservedCores,
+		LimitCores:    spec.LimitCores,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(v.ID()), nil
+}
+
+// ActiveHosts returns how many hosts can serve right now.
+func (se *Session) ActiveHosts() int { return len(se.cl.AvailableHosts()) }
+
+// PowerW returns the instantaneous cluster draw in watts.
+func (se *Session) PowerW() float64 { return float64(se.cl.TotalPower()) }
+
+// DemandCores returns the instantaneous total demand.
+func (se *Session) DemandCores() float64 { return se.cl.TotalDemand() }
+
+// Events returns the audit log so far.
+func (se *Session) Events() *EventLog { return se.cl.Events() }
+
+// CheckInvariants verifies structural consistency (for tests and
+// debugging).
+func (se *Session) CheckInvariants() error { return se.cl.CheckInvariants() }
+
+// Result finalizes accounting at the current time and collects the
+// outcome. The session cannot be advanced afterwards.
+func (se *Session) Result() *Result {
+	se.cl.Flush()
+	se.finished = true
+	horizon := se.Now()
+	if horizon == 0 {
+		horizon = time.Nanosecond // avoid division by zero on empty runs
+	}
+	churnStatsFrom(se.cl, &se.churn)
+	agg := se.cl.AggregateSLA()
+	entries, exits := se.cl.PowerActions()
+	return &Result{
+		Scenario:          se.scenario.Name,
+		Policy:            se.mgr.Config().Policy.Name,
+		Horizon:           horizon,
+		Energy:            se.cl.TotalEnergy(),
+		MeanPowerW:        float64(se.cl.TotalEnergy()) / horizon.Seconds(),
+		PeakPowerW:        se.cl.PowerSeries().Max(),
+		Satisfaction:      agg.Satisfaction(),
+		ViolationFraction: agg.ViolationFraction(),
+		UnmetCoreHours:    agg.UnmetCoreSeconds() / 3600,
+		Manager:           se.mgr.Stats(),
+		Migrations:        se.cl.Migrations().Stats(),
+		Sleeps:            entries,
+		Wakes:             exits,
+		ResumeFailures:    se.cl.ResumeFailures(),
+		Churn:             se.churn,
+		Events:            se.cl.Events(),
+		Power:             se.cl.PowerSeries(),
+		Demand:            se.cl.DemandSeries(),
+		Delivered:         se.cl.DeliveredSeries(),
+		ActiveHosts:       se.cl.ActiveHostSeries(),
+		Hosts:             se.hosts,
+		HostCores:         se.cores,
+		Profile:           se.profile,
+	}
+}
+
+// buildHosts creates the host fleet from the scenario (classes or
+// homogeneous) and returns (count, mean cores).
+func buildHosts(cl *cluster.Cluster, s Scenario, profile *Profile) (int, float64, error) {
+	if len(s.HostClasses) > 0 {
+		totalHosts, meanCores := 0, 0.0
+		for _, hc := range s.HostClasses {
+			cores := hc.Cores
+			if cores == 0 {
+				cores = 16
+			}
+			mem := hc.MemoryGB
+			if mem == 0 {
+				mem = 256
+			}
+			prof := hc.Profile
+			if prof == nil {
+				prof = profile
+			}
+			for i := 0; i < hc.Count; i++ {
+				if _, err := cl.AddHost(host.Config{
+					Cores:    cores,
+					MemoryGB: mem,
+					Profile:  prof.Clone(),
+				}); err != nil {
+					return 0, 0, err
+				}
+			}
+			totalHosts += hc.Count
+			meanCores += cores * float64(hc.Count)
+		}
+		return totalHosts, meanCores / float64(totalHosts), nil
+	}
+	for i := 0; i < s.Hosts; i++ {
+		if _, err := cl.AddHost(host.Config{
+			Cores:    s.HostCores,
+			MemoryGB: s.HostMemoryGB,
+			Profile:  profile.Clone(),
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+	return s.Hosts, s.HostCores, nil
+}
+
+// placeInitial spreads the fleet round-robin, retrying forward on
+// memory or anti-affinity conflicts.
+func placeInitial(cl *cluster.Cluster, specs []VMSpec) error {
+	hosts := cl.Hosts()
+	for i, spec := range specs {
+		cfg := vm.Config{
+			Name:          spec.Name,
+			VCPUs:         spec.VCPUs,
+			MemoryGB:      spec.MemoryGB,
+			Trace:         spec.Trace,
+			SLOTarget:     spec.SLOTarget,
+			Shares:        spec.Shares,
+			Group:         spec.Group,
+			ReservedCores: spec.ReservedCores,
+			LimitCores:    spec.LimitCores,
+		}
+		var lastErr error
+		placed := false
+		for try := 0; try < len(hosts); try++ {
+			on := hosts[(i+try)%len(hosts)].ID()
+			if _, lastErr = cl.AddVM(cfg, on); lastErr == nil {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("agilepower: placing vm %d (%s): %w", i, spec.Name, lastErr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/events"
+)
+
+func TestSessionStepAndInspect(t *testing.T) {
+	se, err := Scenario{
+		Hosts:   4,
+		VMs:     ConstantFleet(8, 0.5),
+		Manager: ManagerConfig{Policy: DPMS3},
+	}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Now() != 0 {
+		t.Fatalf("start time = %v", se.Now())
+	}
+	if err := se.Step(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if se.Now() != 2*time.Hour {
+		t.Fatalf("now = %v", se.Now())
+	}
+	if se.ActiveHosts() < 1 || se.ActiveHosts() > 4 {
+		t.Fatalf("active = %d", se.ActiveHosts())
+	}
+	if se.PowerW() <= 0 {
+		t.Fatal("no power draw")
+	}
+	if se.DemandCores() != 4 {
+		t.Fatalf("demand = %v", se.DemandCores())
+	}
+	if err := se.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res := se.Result()
+	if res.Horizon != 2*time.Hour || res.Energy <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	// Finished sessions refuse to advance.
+	if err := se.Step(time.Hour); err == nil {
+		t.Fatal("stepped a finished session")
+	}
+}
+
+func TestSessionRunMatchesScenarioRun(t *testing.T) {
+	sc := Scenario{
+		Hosts:   4,
+		VMs:     DiurnalFleet(12, 3),
+		Horizon: 6 * time.Hour,
+		Manager: ManagerConfig{Policy: DPMS3},
+		Seed:    3,
+	}
+	direct, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := sc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step in uneven chunks: the outcome must be identical (the event
+	// queue, not the stepping pattern, defines behaviour).
+	for _, at := range []time.Duration{37 * time.Minute, 2 * time.Hour, 5*time.Hour + 13*time.Minute, 6 * time.Hour} {
+		if err := se.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepped := se.Result()
+	if direct.Energy != stepped.Energy || direct.Migrations.Completed != stepped.Migrations.Completed ||
+		direct.Satisfaction != stepped.Satisfaction {
+		t.Fatalf("stepped session diverged: %v/%v vs %v/%v",
+			direct.Energy, direct.Migrations.Completed, stepped.Energy, stepped.Migrations.Completed)
+	}
+}
+
+func TestSessionMaintenanceFlow(t *testing.T) {
+	se, err := Scenario{
+		Hosts:   4,
+		VMs:     ConstantFleet(8, 1),
+		Manager: ManagerConfig{Policy: NoPM, Period: 2 * time.Minute},
+	}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Step(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.EnterMaintenance(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Step(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !se.MaintenanceReady(1) {
+		t.Fatal("host 1 not drained")
+	}
+	if err := se.ExitMaintenance(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res := se.Result()
+	if res.Migrations.Completed == 0 {
+		t.Fatal("maintenance drained nothing")
+	}
+}
+
+func TestSessionAddRemoveVM(t *testing.T) {
+	se, err := Scenario{
+		Hosts:   2,
+		VMs:     ConstantFleet(2, 0.5),
+		Manager: ManagerConfig{Policy: NoPM},
+	}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := se.AddVM(VMSpec{Name: "late", VCPUs: 2, MemoryGB: 4, Trace: ConstantTrace(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.AddVM(VMSpec{Name: "broken", VCPUs: 2, MemoryGB: 4}); err == nil {
+		t.Fatal("VM without trace accepted")
+	}
+	if err := se.Step(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Placed by the fast tick.
+	placed := se.Events().Filter(events.OfKind(events.VMPlaced), events.ForVM(id))
+	if len(placed) != 1 {
+		t.Fatalf("placement events = %d", len(placed))
+	}
+	if err := se.RemoveVM(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Step(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if se.DemandCores() != 1 {
+		t.Fatalf("demand after removal = %v", se.DemandCores())
+	}
+}
+
+func TestSessionRunUntilBackwardsRejected(t *testing.T) {
+	se, err := Scenario{Hosts: 1, VMs: ConstantFleet(1, 0.1)}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Step(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.RunUntil(30 * time.Minute); err == nil {
+		t.Fatal("ran backwards")
+	}
+}
