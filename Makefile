@@ -1,0 +1,36 @@
+# Developer entry points. The simulator is pure Go with no
+# dependencies, so every target below is just the go tool.
+
+GO ?= go
+
+.PHONY: build test race bench bench-baseline sweep-quick clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite, including the parallel-runner
+# smoke tests. CI should treat this as tier-1 alongside `make test`.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 .
+
+# Record a labelled benchmark run into BENCH_parallel.json (appends to
+# any runs already in the file). Override LABEL to name the run:
+#
+#	make bench-baseline LABEL=sequential-baseline
+bench-baseline: LABEL ?= parallel
+bench-baseline:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_parallel.json
+
+# Fast end-to-end smoke: the whole paper reproduction in quick mode.
+sweep-quick:
+	$(GO) run ./cmd/sweep -exp all -quick
+
+clean:
+	$(GO) clean ./...

@@ -21,12 +21,14 @@
 package agilepower
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"agilepower/internal/core"
 	"agilepower/internal/events"
 	"agilepower/internal/migrate"
+	"agilepower/internal/parallel"
 	"agilepower/internal/power"
 	"agilepower/internal/telemetry"
 	"agilepower/internal/workload"
@@ -284,19 +286,31 @@ func (s Scenario) Run() (*Result, error) {
 }
 
 // RunPolicies runs the scenario once per policy (same workload, same
-// seed) and returns results in the given order.
+// seed) and returns results in the given order. The runs are
+// independent simulations and execute concurrently on up to
+// GOMAXPROCS workers; results are identical to a sequential loop (use
+// RunPoliciesWorkers to pin the worker count).
 func (s Scenario) RunPolicies(policies []Policy) ([]*Result, error) {
-	out := make([]*Result, 0, len(policies))
-	for _, p := range policies {
-		sc := s
-		sc.Manager.Policy = p
-		res, err := sc.Run()
-		if err != nil {
-			return nil, fmt.Errorf("policy %q: %w", p.Name, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return s.RunPoliciesWorkers(0, policies)
+}
+
+// RunPoliciesWorkers is RunPolicies with an explicit concurrency
+// bound (workers <= 0 means GOMAXPROCS, 1 means sequential). Every
+// worker builds its own engine, cluster, and host fleet from the
+// shared read-only scenario inputs (traces, profiles, policy table),
+// so results — and any report rendered from them in policy order —
+// are byte-identical for every worker count.
+func (s Scenario) RunPoliciesWorkers(workers int, policies []Policy) ([]*Result, error) {
+	return parallel.Map(context.Background(), len(policies), workers,
+		func(_ context.Context, i int) (*Result, error) {
+			sc := s
+			sc.Manager.Policy = policies[i]
+			res, err := sc.Run()
+			if err != nil {
+				return nil, fmt.Errorf("policy %q: %w", policies[i].Name, err)
+			}
+			return res, nil
+		})
 }
 
 // TotalMigrations returns all completed migrations.

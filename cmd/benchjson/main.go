@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark artifact so performance has a recorded trajectory across
+// PRs. It reads the bench output on stdin, aggregates the -count
+// repetitions per benchmark (min and mean ns/op; min B/op and
+// allocs/op, which are stable across runs), and appends one labelled
+// run to the artifact:
+//
+//	go test -run '^$' -bench=. -benchmem -count=3 . |
+//	    go run ./cmd/benchjson -label parallel -out BENCH_parallel.json
+//
+// The artifact accumulates runs, so a later PR can diff its numbers
+// against any recorded baseline (see Makefile target bench-baseline).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Bench is one benchmark aggregated over its -count repetitions.
+type Bench struct {
+	Name      string  `json:"name"`
+	Samples   int     `json:"samples"`
+	NsOpMin   float64 `json:"ns_op_min"`
+	NsOpMean  float64 `json:"ns_op_mean"`
+	BOp       int64   `json:"b_op,omitempty"`
+	AllocsOp  int64   `json:"allocs_op,omitempty"`
+	Iterations int64  `json:"iterations"`
+}
+
+// Run is one labelled invocation of the benchmark suite.
+type Run struct {
+	Label      string  `json:"label"`
+	RecordedAt string  `json:"recorded_at"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Artifact is the file format: an append-only list of runs.
+type Artifact struct {
+	Runs []Run `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "run", "label for this benchmark run (e.g. sequential-baseline, parallel)")
+	out := flag.String("out", "BENCH_parallel.json", "artifact path; existing runs are kept and this run appended")
+	flag.Parse()
+
+	type agg struct {
+		samples  int
+		nsSum    float64
+		nsMin    float64
+		bOp      int64
+		allocsOp int64
+		iters    int64
+	}
+	byName := map[string]*agg{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		a := byName[name]
+		if a == nil {
+			a = &agg{nsMin: ns}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.samples++
+		a.nsSum += ns
+		a.iters += iters
+		if ns < a.nsMin {
+			a.nsMin = ns
+		}
+		if m[4] != "" {
+			b, _ := strconv.ParseInt(m[4], 10, 64)
+			if a.bOp == 0 || b < a.bOp {
+				a.bOp = b
+			}
+		}
+		if m[5] != "" {
+			al, _ := strconv.ParseInt(m[5], 10, 64)
+			if a.allocsOp == 0 || al < a.allocsOp {
+				a.allocsOp = al
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	run := Run{
+		Label:      *label,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, name := range order {
+		a := byName[name]
+		run.Benchmarks = append(run.Benchmarks, Bench{
+			Name:       name,
+			Samples:    a.samples,
+			NsOpMin:    a.nsMin,
+			NsOpMean:   a.nsSum / float64(a.samples),
+			BOp:        a.bOp,
+			AllocsOp:   a.allocsOp,
+			Iterations: a.iters,
+		})
+	}
+
+	var art Artifact
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &art); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a benchmark artifact: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	art.Runs = append(art.Runs, run)
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded run %q (%d benchmarks) into %s\n",
+		*label, len(run.Benchmarks), *out)
+}

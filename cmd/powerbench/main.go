@@ -11,18 +11,22 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"agilepower/internal/experiments"
+	"agilepower/internal/parallel"
 	"agilepower/internal/power"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "t1, f2, f3 or all")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("parallel", 0, "max concurrent experiments (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	peak := flag.Float64("peak-w", 250, "S0 peak power (W)")
 	idle := flag.Float64("idle-w", 150, "S0 idle power (W)")
 	deepIdle := flag.Float64("deepidle-w", 120, "C6 deep-idle power (W), 0 to disable")
@@ -53,7 +57,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := experiments.Options{Seed: *seed, Profile: profile}
+	opts := experiments.Options{Seed: *seed, Profile: profile, Workers: *workers}
 	ids := []string{"t1", "f2", "f3"}
 	if *exp != "all" {
 		ids = []string{*exp}
@@ -65,10 +69,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3)\n", id)
 			os.Exit(1)
 		}
-		fmt.Printf("\n=== %s ===\n", id)
-		if err := experiments.Run(id, os.Stdout, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "powerbench:", err)
-			os.Exit(1)
-		}
+	}
+	// Each experiment renders into its own buffer; stitching in id
+	// order keeps stdout identical for every worker count.
+	bufs, err := parallel.Map(context.Background(), len(ids), *workers,
+		func(_ context.Context, i int) (*bytes.Buffer, error) {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "\n=== %s ===\n", ids[i])
+			if err := experiments.Run(ids[i], &buf, opts); err != nil {
+				return nil, err
+			}
+			return &buf, nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench:", err)
+		os.Exit(1)
+	}
+	for _, buf := range bufs {
+		os.Stdout.Write(buf.Bytes())
 	}
 }

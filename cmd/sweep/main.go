@@ -21,6 +21,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink horizons and fleets for a fast run")
 	seed := flag.Uint64("seed", 1, "workload generation seed")
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,9 +37,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, SVGDir: *svgDir}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel}
 	var err error
 	if *exp == "all" {
+		// Long runs stay observable: per-experiment wall times go to
+		// stderr while the stitched report goes to stdout.
+		opts.Progress = os.Stderr
 		err = experiments.RunAll(os.Stdout, opts)
 	} else {
 		err = experiments.Run(*exp, os.Stdout, opts)

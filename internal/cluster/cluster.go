@@ -34,6 +34,12 @@ type Config struct {
 	// PerHostMigrationLimit caps concurrent migrations per host
 	// (default 4).
 	PerHostMigrationLimit int
+	// Horizon, when positive, is the expected simulated duration. It
+	// is only a capacity hint: the telemetry series are preallocated
+	// for Horizon/EvalStep samples so the per-tick recording path does
+	// not grow slices from nil on every run. Running past the horizon
+	// stays correct, just reallocates.
+	Horizon time.Duration
 }
 
 // Cluster owns the simulated datacenter state.
@@ -103,6 +109,12 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Preallocate one slot per evaluation tick (plus slack for the
+	// start/flush samples) when the caller told us the horizon.
+	seriesCap := 0
+	if cfg.Horizon > 0 {
+		seriesCap = int(cfg.Horizon/step) + 2
+	}
 	c := &Cluster{
 		eng:             eng,
 		step:            step,
@@ -112,10 +124,10 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		migrations:      mgr,
 		sla:             make(map[vm.ID]*telemetry.SLATracker),
 		current:         make(map[vm.ID]allocRecord),
-		powerSeries:     telemetry.NewSeries("cluster_power_w"),
-		demandSeries:    telemetry.NewSeries("cluster_demand_cores"),
-		deliveredSeries: telemetry.NewSeries("cluster_delivered_cores"),
-		activeSeries:    telemetry.NewSeries("active_hosts"),
+		powerSeries:     telemetry.NewSeriesCap("cluster_power_w", seriesCap),
+		demandSeries:    telemetry.NewSeriesCap("cluster_demand_cores", seriesCap),
+		deliveredSeries: telemetry.NewSeriesCap("cluster_delivered_cores", seriesCap),
+		activeSeries:    telemetry.NewSeriesCap("active_hosts", seriesCap),
 		pending:         make(map[vm.ID]bool),
 		arrivedAt:       make(map[vm.ID]sim.Time),
 		nextHostID:      1,

@@ -1,26 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"agilepower"
+	"agilepower/internal/parallel"
 	"agilepower/internal/report"
 )
 
 // Ablations — design-choice benches called out in DESIGN.md: demand
 // forecaster, packing heuristic, hysteresis band, and the spare-host
-// reserve, all on the DPM-S3 day workload.
+// reserve, all on the DPM-S3 day workload. Each table's variants are
+// independent simulations and run through the worker pool; rows are
+// emitted in variant order so the report does not depend on the
+// worker count.
 func Ablations(w io.Writer, opts Options) error {
 	base := dayScenario(opts)
-	staticRes, err := func() (*agilepower.Result, error) {
-		sc := base
-		sc.Manager.Policy = agilepower.Static
-		return sc.Run()
-	}()
-	if err != nil {
-		return err
-	}
 
 	type variant struct {
 		label string
@@ -47,17 +44,29 @@ func Ablations(w io.Writer, opts Options) error {
 		{"spare hosts: 2", func(c *agilepower.ManagerConfig) { c.SpareHosts = 2 }},
 	}
 
+	// Index 0 is the static reference shared by the variant, robustness
+	// and latency tables; the rest are the design-choice variants.
+	results, err := parallel.Map(context.Background(), 1+len(variants), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			sc := base
+			if i == 0 {
+				sc.Manager.Policy = agilepower.Static
+			} else {
+				sc.Manager.Policy = agilepower.DPMS3
+				variants[i-1].mut(&sc.Manager)
+			}
+			return sc.Run()
+		})
+	if err != nil {
+		return err
+	}
+	staticRes := results[0]
+
 	tbl := report.NewTable(
 		"Ablations: DPM-S3 design choices on the day workload",
 		"variant", "savings_vs_static", "violation_frac", "migrations", "power_actions")
-	for _, v := range variants {
-		sc := base
-		sc.Manager.Policy = agilepower.DPMS3
-		v.mut(&sc.Manager)
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for i, v := range variants {
+		r := results[i+1]
 		tbl.AddRow(v.label, r.SavingsVs(staticRes), r.ViolationFraction,
 			r.Migrations.Completed, r.Sleeps+r.Wakes)
 	}
@@ -69,7 +78,8 @@ func Ablations(w io.Writer, opts Options) error {
 	// co-located, so the number of active hosts can never drop below
 	// the widest service. The sweep uses a lightly loaded cluster
 	// (packing optimum ~2-3 hosts) so the replica floor actually
-	// binds.
+	// binds. Each replica count needs its own static reference (the
+	// fleet changes), so every row runs a [static, dpm-s3] pair.
 	tblA := report.NewTable(
 		"Ablations: anti-affinity (replicas per service) vs consolidation (16 hosts, light load)",
 		"replicas", "savings_vs_static", "violation_frac", "mean_active_hosts")
@@ -77,26 +87,33 @@ func Ablations(w io.Writer, opts Options) error {
 	if opts.Quick {
 		aaHosts, aaVMs = 8, 12
 	}
+	var replicaCounts []int
 	for _, replicas := range []int{1, 2, 6, 12} {
 		if replicas > aaVMs || replicas > aaHosts {
 			continue // a service wider than the fleet cannot be placed
 		}
-		sc := base
-		sc.Hosts = aaHosts
-		sc.VMs = agilepower.ReplicatedFleet(aaVMs/replicas, replicas, opts.seed())
-		staticRef := sc
-		staticRef.Manager.Policy = agilepower.Static
-		st, err := staticRef.Run()
-		if err != nil {
-			return err
-		}
-		sc.Manager.Policy = agilepower.DPMS3
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
-		tblA.AddRow(replicas, r.SavingsVs(st), r.ViolationFraction,
-			r.ActiveHosts.TimeMean(0, sc.Horizon))
+		replicaCounts = append(replicaCounts, replicas)
+	}
+	rowsA, err := parallel.Map(context.Background(), len(replicaCounts), opts.workers(),
+		func(_ context.Context, i int) ([]any, error) {
+			replicas := replicaCounts[i]
+			sc := base
+			sc.Hosts = aaHosts
+			sc.VMs = agilepower.ReplicatedFleet(aaVMs/replicas, replicas, opts.seed())
+			res, err := sc.RunPoliciesWorkers(opts.workers(),
+				[]agilepower.Policy{agilepower.Static, agilepower.DPMS3})
+			if err != nil {
+				return nil, err
+			}
+			st, r := res[0], res[1]
+			return []any{replicas, r.SavingsVs(st), r.ViolationFraction,
+				r.ActiveHosts.TimeMean(0, sc.Horizon)}, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, row := range rowsA {
+		tblA.AddRow(row...)
 	}
 	if err := tblA.Write(w); err != nil {
 		return err
@@ -104,19 +121,24 @@ func Ablations(w io.Writer, opts Options) error {
 
 	// Robustness: S3 resume failures (fallback to a full boot). The
 	// low-latency story must survive occasionally fragile resumes.
+	failProbs := []float64{0, 0.02, 0.10, 0.25}
+	resR, err := parallel.Map(context.Background(), len(failProbs), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			profile := agilepower.DefaultProfile()
+			profile.ResumeFailProb = failProbs[i]
+			sc := base
+			sc.Profile = profile
+			sc.Manager.Policy = agilepower.DPMS3
+			return sc.Run()
+		})
+	if err != nil {
+		return err
+	}
 	tblR := report.NewTable(
 		"Ablations: S3 resume-failure robustness",
 		"fail_prob", "savings_vs_static", "violation_frac", "resume_failures")
-	for _, prob := range []float64{0, 0.02, 0.10, 0.25} {
-		profile := agilepower.DefaultProfile()
-		profile.ResumeFailProb = prob
-		sc := base
-		sc.Profile = profile
-		sc.Manager.Policy = agilepower.DPMS3
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for i, prob := range failProbs {
+		r := resR[i]
 		tblR.AddRow(prob, r.SavingsVs(staticRes), r.ViolationFraction, r.ResumeFailures)
 	}
 	if err := tblR.Write(w); err != nil {
@@ -125,21 +147,26 @@ func Ablations(w io.Writer, opts Options) error {
 
 	// Wake-latency sensitivity: how would savings/violations move if
 	// S3 exit latency were worse or better than our calibration?
+	exits := []time.Duration{5 * time.Second, 15 * time.Second, 60 * time.Second, 5 * time.Minute}
+	resL, err := parallel.Map(context.Background(), len(exits), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			profile := agilepower.DefaultProfile()
+			spec := profile.Sleep[agilepower.S3]
+			spec.ExitLatency = exits[i]
+			profile.Sleep[agilepower.S3] = spec
+			sc := base
+			sc.Profile = profile
+			sc.Manager.Policy = agilepower.DPMS3
+			return sc.Run()
+		})
+	if err != nil {
+		return err
+	}
 	tblL := report.NewTable(
 		"Ablations: S3 exit-latency sensitivity",
 		"exit_latency", "savings_vs_static", "violation_frac")
-	for _, exit := range []time.Duration{5 * time.Second, 15 * time.Second, 60 * time.Second, 5 * time.Minute} {
-		profile := agilepower.DefaultProfile()
-		spec := profile.Sleep[agilepower.S3]
-		spec.ExitLatency = exit
-		profile.Sleep[agilepower.S3] = spec
-		sc := base
-		sc.Profile = profile
-		sc.Manager.Policy = agilepower.DPMS3
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for i, exit := range exits {
+		r := resL[i]
 		tblL.AddRow(exit.String(), r.SavingsVs(staticRes), r.ViolationFraction)
 	}
 	return tblL.Write(w)

@@ -79,7 +79,9 @@ func F2(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	series := telemetry.NewSeries("host_power_w")
+	// ~73 meter samples over the 360s script plus a handful of
+	// event-driven ones.
+	series := telemetry.NewSeriesCap("host_power_w", 96)
 	sample := func() { series.Append(eng.Now(), float64(m.Power())) }
 
 	// Script: 0-60s busy at 70%; 60s idle; at 120s suspend; park until

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"agilepower"
+	"agilepower/internal/parallel"
 	"agilepower/internal/report"
 	"agilepower/internal/telemetry"
 )
@@ -54,32 +56,40 @@ func F4(w io.Writer, opts Options) error {
 	tbl := report.NewTable(
 		"F4: mean cluster power (W) vs offered load — energy proportionality",
 		"load", "static", "nopm", "dpm_s5", "dpm_s3", "oracle", "proportional")
-	for _, load := range loads {
-		perVM := load * totalCores / float64(vmsN)
-		sc := agilepower.Scenario{
-			Name:    fmt.Sprintf("f4-load-%02.0f", load*100),
-			Hosts:   hosts,
-			VMs:     agilepower.ConstantFleet(vmsN, perVM),
-			Horizon: horizon,
-			Seed:    opts.seed(),
-		}
-		results, err := sc.RunPolicies(agilepower.Policies())
-		if err != nil {
-			return err
-		}
-		oracleE, err := results[0].OracleEnergy()
-		if err != nil {
-			return err
-		}
-		propE, err := results[0].ProportionalEnergy()
-		if err != nil {
-			return err
-		}
-		secs := horizon.Seconds()
-		tbl.AddRow(fmt.Sprintf("%.0f%%", load*100),
-			results[0].MeanPowerW, results[1].MeanPowerW,
-			results[2].MeanPowerW, results[3].MeanPowerW,
-			float64(oracleE)/secs, float64(propE)/secs)
+	rows, err := parallel.Map(context.Background(), len(loads), opts.workers(),
+		func(_ context.Context, i int) ([]any, error) {
+			load := loads[i]
+			perVM := load * totalCores / float64(vmsN)
+			sc := agilepower.Scenario{
+				Name:    fmt.Sprintf("f4-load-%02.0f", load*100),
+				Hosts:   hosts,
+				VMs:     agilepower.ConstantFleet(vmsN, perVM),
+				Horizon: horizon,
+				Seed:    opts.seed(),
+			}
+			results, err := sc.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
+			if err != nil {
+				return nil, err
+			}
+			oracleE, err := results[0].OracleEnergy()
+			if err != nil {
+				return nil, err
+			}
+			propE, err := results[0].ProportionalEnergy()
+			if err != nil {
+				return nil, err
+			}
+			secs := horizon.Seconds()
+			return []any{fmt.Sprintf("%.0f%%", load*100),
+				results[0].MeanPowerW, results[1].MeanPowerW,
+				results[2].MeanPowerW, results[3].MeanPowerW,
+				float64(oracleE) / secs, float64(propE) / secs}, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl.Write(w)
 }
@@ -90,22 +100,24 @@ func F4(w io.Writer, opts Options) error {
 // S5-based management lags the troughs.
 func F5(w io.Writer, opts Options) error {
 	sc := dayScenario(opts)
-	results, err := sc.RunPolicies(agilepower.Policies())
+	results, err := sc.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "F5: day-long run, %d hosts, %d VMs, horizon %.0fh\n",
 		sc.Hosts, len(sc.VMs), hours(sc.Horizon))
 
+	// The demand chart and the four power charts all downsample to the
+	// same 24 buckets; one scratch series serves them all.
 	step := sc.Horizon / 24
-	demand := results[0].Demand.Downsample(step, sc.Horizon)
+	scratch := telemetry.NewSeriesCap("downsampled", 24)
 	chart := report.Chart{Title: "cluster demand (cores)", Width: 40}
-	if err := chart.Write(w, demand); err != nil {
+	if err := chart.Write(w, results[0].Demand.DownsampleInto(scratch, step, sc.Horizon)); err != nil {
 		return err
 	}
 	for _, r := range results {
 		chart := report.Chart{Title: "power: " + r.Policy, Width: 40, YLabel: "W"}
-		if err := chart.Write(w, r.Power.Downsample(step, sc.Horizon)); err != nil {
+		if err := chart.Write(w, r.Power.DownsampleInto(scratch, step, sc.Horizon)); err != nil {
 			return err
 		}
 	}
@@ -145,7 +157,7 @@ func F5(w io.Writer, opts Options) error {
 // surges; S3-based management stays near the NoPM baseline.
 func F6(w io.Writer, opts Options) error {
 	sc := dayScenario(opts)
-	results, err := sc.RunPolicies(agilepower.Policies())
+	results, err := sc.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
 	if err != nil {
 		return err
 	}
@@ -171,22 +183,30 @@ func F7(w io.Writer, opts Options) error {
 	tbl := report.NewTable(
 		"F7: scale-out — DPM-S3 vs static across fleet sizes",
 		"hosts", "vms", "static_kwh", "dpm_s3_kwh", "savings", "satisfaction", "migrations", "power_actions")
-	for _, n := range sizes {
-		sc := agilepower.Scenario{
-			Name:    fmt.Sprintf("f7-%d", n),
-			Hosts:   n,
-			VMs:     agilepower.DiurnalFleet(n*5, opts.seed()),
-			Horizon: horizon,
-			Seed:    opts.seed(),
-		}
-		res, err := sc.RunPolicies([]agilepower.Policy{agilepower.Static, agilepower.DPMS3})
-		if err != nil {
-			return err
-		}
-		static, dpm := res[0], res[1]
-		tbl.AddRow(n, n*5, static.EnergyKWh(), dpm.EnergyKWh(),
-			dpm.SavingsVs(static), dpm.Satisfaction,
-			dpm.Migrations.Completed, dpm.Sleeps+dpm.Wakes)
+	rows, err := parallel.Map(context.Background(), len(sizes), opts.workers(),
+		func(_ context.Context, i int) ([]any, error) {
+			n := sizes[i]
+			sc := agilepower.Scenario{
+				Name:    fmt.Sprintf("f7-%d", n),
+				Hosts:   n,
+				VMs:     agilepower.DiurnalFleet(n*5, opts.seed()),
+				Horizon: horizon,
+				Seed:    opts.seed(),
+			}
+			res, err := sc.RunPoliciesWorkers(opts.workers(), []agilepower.Policy{agilepower.Static, agilepower.DPMS3})
+			if err != nil {
+				return nil, err
+			}
+			static, dpm := res[0], res[1]
+			return []any{n, n * 5, static.EnergyKWh(), dpm.EnergyKWh(),
+				dpm.SavingsVs(static), dpm.Satisfaction,
+				dpm.Migrations.Completed, dpm.Sleeps + dpm.Wakes}, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl.Write(w)
 }
@@ -197,7 +217,7 @@ func F7(w io.Writer, opts Options) error {
 // not cost dramatically more actions than plain load balancing.
 func F8(w io.Writer, opts Options) error {
 	sc := dayScenario(opts)
-	results, err := sc.RunPolicies([]agilepower.Policy{
+	results, err := sc.RunPoliciesWorkers(opts.workers(), []agilepower.Policy{
 		agilepower.NoPM, agilepower.DPMS5, agilepower.DPMS3,
 	})
 	if err != nil {
@@ -227,25 +247,29 @@ func F9(w io.Writer, opts Options) error {
 		periods = []time.Duration{2 * time.Minute, 10 * time.Minute, 30 * time.Minute}
 	}
 	base := dayScenario(opts)
-	staticRes, err := func() (*agilepower.Result, error) {
-		sc := base
-		sc.Manager.Policy = agilepower.Static
-		return sc.Run()
-	}()
+	// Index 0 is the static reference every row is normalized against;
+	// the remaining indices are one DPM-S3 run per control period. All
+	// run through one pool so the reference overlaps the sweep.
+	results, err := parallel.Map(context.Background(), 1+len(periods), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			sc := base
+			if i == 0 {
+				sc.Manager.Policy = agilepower.Static
+			} else {
+				sc.Manager.Policy = agilepower.DPMS3
+				sc.Manager.Period = periods[i-1]
+			}
+			return sc.Run()
+		})
 	if err != nil {
 		return err
 	}
+	staticRes := results[0]
 	tbl := report.NewTable(
 		"F9: DPM-S3 sensitivity to control period",
 		"period", "savings_vs_static", "violation_frac", "migrations", "power_actions")
-	for _, p := range periods {
-		sc := base
-		sc.Manager.Policy = agilepower.DPMS3
-		sc.Manager.Period = p
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for i, p := range periods {
+		r := results[i+1]
 		tbl.AddRow(p.String(), r.SavingsVs(staticRes), r.ViolationFraction,
 			r.Migrations.Completed, r.Sleeps+r.Wakes)
 	}
@@ -258,14 +282,6 @@ func F9(w io.Writer, opts Options) error {
 // near the DRM baseline), DPM-S5 trades one for the other.
 func F10(w io.Writer, opts Options) error {
 	base := dayScenario(opts)
-	staticRes, err := func() (*agilepower.Result, error) {
-		sc := base
-		sc.Manager.Policy = agilepower.Static
-		return sc.Run()
-	}()
-	if err != nil {
-		return err
-	}
 	type variant struct {
 		label string
 		mut   func(*agilepower.Scenario)
@@ -288,16 +304,26 @@ func F10(w io.Writer, opts Options) error {
 			s.Manager.SpareHosts = 2
 		}},
 	}
+	// Index 0 is the static reference; the rest are the scatter points.
+	results, err := parallel.Map(context.Background(), 1+len(variants), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			sc := base
+			if i == 0 {
+				sc.Manager.Policy = agilepower.Static
+			} else {
+				variants[i-1].mut(&sc)
+			}
+			return sc.Run()
+		})
+	if err != nil {
+		return err
+	}
+	staticRes := results[0]
 	tbl := report.NewTable(
 		"F10: energy-performance trade-off (vs static provisioning)",
 		"config", "savings", "violation_frac", "satisfaction")
-	for _, v := range variants {
-		sc := base
-		v.mut(&sc)
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for i, v := range variants {
+		r := results[i+1]
 		tbl.AddRow(v.label, r.SavingsVs(staticRes), r.ViolationFraction, r.Satisfaction)
 	}
 	return tbl.Write(w)
@@ -307,7 +333,7 @@ func F10(w io.Writer, opts Options) error {
 // line per policy on the day workload.
 func T2(w io.Writer, opts Options) error {
 	sc := dayScenario(opts)
-	results, err := sc.RunPolicies(agilepower.Policies())
+	results, err := sc.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"agilepower"
+	"agilepower/internal/parallel"
 	"agilepower/internal/report"
 )
 
@@ -18,31 +20,29 @@ import (
 // adds a couple of points on top of DPM by trimming the awake hosts.
 func DVFS(w io.Writer, opts Options) error {
 	sc := dayScenario(opts)
-	staticRes, err := func() (*agilepower.Result, error) {
-		s := sc
-		s.Manager.Policy = agilepower.Static
-		return s.Run()
-	}()
-	if err != nil {
-		return err
-	}
 
 	combined := agilepower.DPMS3
 	combined.Name = "dpm-s3+dvfs"
 	combined.DVFS = true
+
+	policies := []agilepower.Policy{agilepower.Static, agilepower.DVFSOnly, agilepower.DPMS3, combined}
+	results, err := parallel.Map(context.Background(), len(policies), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			s := sc
+			s.Manager.Policy = policies[i]
+			return s.Run()
+		})
+	if err != nil {
+		return err
+	}
+	staticRes := results[0]
 
 	tbl := report.NewTable(
 		"DVFS: frequency scaling vs server sleep states (day workload)",
 		"policy", "energy_kwh", "savings_vs_static", "violation_frac", "freq_changes")
 	tbl.AddRow(staticRes.Policy, staticRes.EnergyKWh(), 0.0,
 		staticRes.ViolationFraction, staticRes.Manager.FreqChanges)
-	for _, p := range []agilepower.Policy{agilepower.DVFSOnly, agilepower.DPMS3, combined} {
-		s := sc
-		s.Manager.Policy = p
-		r, err := s.Run()
-		if err != nil {
-			return err
-		}
+	for _, r := range results[1:] {
 		tbl.AddRow(r.Policy, r.EnergyKWh(), r.SavingsVs(staticRes),
 			r.ViolationFraction, r.Manager.FreqChanges)
 	}

@@ -8,11 +8,15 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
+	"agilepower/internal/parallel"
 	"agilepower/internal/power"
 )
 
@@ -32,6 +36,18 @@ type Options struct {
 	// both honour it, so alternative platforms can be explored from
 	// the CLIs.
 	Profile *power.Profile
+	// Workers bounds the number of simulations run concurrently inside
+	// an experiment's fan-out (per-policy, per-load, per-period, …) and
+	// across experiments in RunAll. 0 means GOMAXPROCS; 1 runs fully
+	// sequentially. Every report is byte-identical for every value:
+	// each simulation renders into its own slot and the rows/sections
+	// are stitched in experiment order.
+	Workers int
+	// Progress, when non-nil, receives one line per completed
+	// experiment in RunAll (id + wall time). It is kept separate from
+	// the report writer so long runs are observable on stderr without
+	// polluting the stdout report. Lines appear in completion order.
+	Progress io.Writer
 }
 
 func (o Options) seed() uint64 {
@@ -46,6 +62,13 @@ func (o Options) profile() *power.Profile {
 		return o.Profile
 	}
 	return power.DefaultProfile()
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return o.Workers
 }
 
 // Runner executes one experiment, writing its report to w.
@@ -111,13 +134,43 @@ func Run(id string, w io.Writer, opts Options) error {
 	return r(w, opts)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment and writes the reports in
+// experiment order. Experiments run concurrently on up to
+// opts.Workers workers (0 = GOMAXPROCS), each rendering into its own
+// buffer; the stitched output is byte-identical to a sequential run.
+// When opts.Progress is non-nil, one line per experiment (id + wall
+// time) is written there as runs complete.
 func RunAll(w io.Writer, opts Options) error {
-	for _, id := range IDs() {
-		fmt.Fprintf(w, "\n=== experiment %s ===\n", id)
-		if err := Run(id, w, opts); err != nil {
-			return fmt.Errorf("experiment %s: %w", id, err)
+	ids := IDs()
+	start := time.Now()
+	var progressMu sync.Mutex
+	bufs, err := parallel.Map(context.Background(), len(ids), opts.Workers,
+		func(_ context.Context, i int) (*bytes.Buffer, error) {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "\n=== experiment %s ===\n", ids[i])
+			expStart := time.Now()
+			if err := Run(ids[i], &buf, opts); err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", ids[i], err)
+			}
+			if opts.Progress != nil {
+				progressMu.Lock()
+				fmt.Fprintf(opts.Progress, "experiment %-8s done in %8.2fs\n",
+					ids[i], time.Since(expStart).Seconds())
+				progressMu.Unlock()
+			}
+			return &buf, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, buf := range bufs {
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
 		}
+	}
+	if opts.Progress != nil {
+		fmt.Fprintf(opts.Progress, "all %d experiments done in %.2fs (workers=%d)\n",
+			len(ids), time.Since(start).Seconds(), opts.workers())
 	}
 	return nil
 }

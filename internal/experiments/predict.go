@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"agilepower"
+	"agilepower/internal/parallel"
 	"agilepower/internal/report"
 	"agilepower/internal/sim"
 	"agilepower/internal/workload"
@@ -42,30 +44,41 @@ func Predict(w io.Writer, opts Options) error {
 		Horizon: horizon,
 		Seed:    opts.seed(),
 	}
-	staticRes, err := func() (*agilepower.Result, error) {
-		sc := base
-		sc.Manager.Policy = agilepower.Static
-		return sc.Run()
-	}()
+	// The grid is (policy × predictive) plus the static reference at
+	// index 0; all five simulations run through one pool.
+	type combo struct {
+		policy     agilepower.Policy
+		predictive bool
+	}
+	var combos []combo
+	for _, p := range []agilepower.Policy{agilepower.DPMS5, agilepower.DPMS3} {
+		for _, predictive := range []bool{false, true} {
+			combos = append(combos, combo{p, predictive})
+		}
+	}
+	results, err := parallel.Map(context.Background(), 1+len(combos), opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			sc := base
+			if i == 0 {
+				sc.Manager.Policy = agilepower.Static
+			} else {
+				sc.Manager.Policy = combos[i-1].policy
+				sc.Manager.PredictiveWake = combos[i-1].predictive
+			}
+			return sc.Run()
+		})
 	if err != nil {
 		return err
 	}
+	staticRes := results[0]
 
 	tbl := report.NewTable(
 		fmt.Sprintf("Predict: predictive wake over %d days (diurnal ramps repeat, flash crowds do not)", days),
 		"policy", "predictive", "savings_vs_static", "violation_frac", "unmet_core_h", "wakes")
-	for _, p := range []agilepower.Policy{agilepower.DPMS5, agilepower.DPMS3} {
-		for _, predictive := range []bool{false, true} {
-			sc := base
-			sc.Manager.Policy = p
-			sc.Manager.PredictiveWake = predictive
-			r, err := sc.Run()
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(r.Policy, fmt.Sprintf("%v", predictive),
-				r.SavingsVs(staticRes), r.ViolationFraction, r.UnmetCoreHours, r.Wakes)
-		}
+	for i, c := range combos {
+		r := results[i+1]
+		tbl.AddRow(r.Policy, fmt.Sprintf("%v", c.predictive),
+			r.SavingsVs(staticRes), r.ViolationFraction, r.UnmetCoreHours, r.Wakes)
 	}
 	if err := tbl.Write(w); err != nil {
 		return err
@@ -88,25 +101,29 @@ func Predict(w io.Writer, opts Options) error {
 		Horizon: time.Duration(weekDays) * 24 * time.Hour,
 		Seed:    opts.seed(),
 	}
-	weekStatic, err := func() (*agilepower.Result, error) {
-		sc := weekBase
-		sc.Manager.Policy = agilepower.Static
-		return sc.Run()
-	}()
+	// Index 0 static reference, indices 1-2 DPM-S3 without/with the
+	// predictor.
+	weekResults, err := parallel.Map(context.Background(), 3, opts.workers(),
+		func(_ context.Context, i int) (*agilepower.Result, error) {
+			sc := weekBase
+			switch i {
+			case 0:
+				sc.Manager.Policy = agilepower.Static
+			default:
+				sc.Manager.Policy = agilepower.DPMS3
+				sc.Manager.PredictiveWake = i == 2
+			}
+			return sc.Run()
+		})
 	if err != nil {
 		return err
 	}
+	weekStatic := weekResults[0]
 	tblW := report.NewTable(
 		"Predict: a week with quiet weekends (daily predictor pre-arms for ramps that never come)",
 		"policy", "predictive", "savings_vs_static", "violation_frac", "weekend_mean_active")
-	for _, predictive := range []bool{false, true} {
-		sc := weekBase
-		sc.Manager.Policy = agilepower.DPMS3
-		sc.Manager.PredictiveWake = predictive
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for i, predictive := range []bool{false, true} {
+		r := weekResults[i+1]
 		// Saturday 8:00–12:00 of the first weekend (day 6).
 		satStart := 5*24*time.Hour + 8*time.Hour
 		tblW.AddRow(r.Policy, fmt.Sprintf("%v", predictive),

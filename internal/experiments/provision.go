@@ -39,17 +39,15 @@ func Prov(w io.Writer, opts Options) error {
 			DemandCores:     2,
 		},
 	}
+	results, err := base.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
+	if err != nil {
+		return err
+	}
 	tbl := report.NewTable(
 		"Prov: dynamic provisioning under power management",
 		"policy", "arrived", "placed", "prov_p50", "prov_p95", "prov_max",
 		"energy_kwh", "violation_frac")
-	for _, p := range agilepower.Policies() {
-		sc := base
-		sc.Manager.Policy = p
-		r, err := sc.Run()
-		if err != nil {
-			return err
-		}
+	for _, r := range results {
 		tbl.AddRow(r.Policy,
 			r.Churn.Arrived, r.Churn.Placed,
 			r.Churn.ProvisionP50.Round(time.Second).String(),

@@ -1,0 +1,149 @@
+// Package parallel is the deterministic worker-pool runner behind
+// every experiment fan-out in the repository. The evaluation grid —
+// policies × load points × seeds — is embarrassingly parallel: each
+// Scenario.Run owns its engine, cluster, and RNG and shares nothing
+// mutable with its siblings, so the only job of this package is to
+// bound concurrency and keep results in input order.
+//
+// The contract that makes parallel runs indistinguishable from
+// sequential ones:
+//
+//   - Results are returned in input order, never completion order.
+//   - fn(ctx, i) must be a pure function of i (plus immutable captured
+//     state); workers share no mutable structures.
+//   - On error the pool stops handing out new indices, waits for
+//     in-flight calls, and returns the error with the lowest index —
+//     the same error a sequential loop that ran everything would
+//     surface first.
+//
+// Callers render per-index output into per-index slots (table rows,
+// buffers) and stitch them in order afterwards, which is how the
+// experiment suite keeps its reports byte-identical for every worker
+// count.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0: one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers resolves the effective pool size for n tasks.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means DefaultWorkers) and returns the
+// results indexed by input position. The first error — "first" by
+// input index, so the choice is deterministic — cancels the derived
+// context, stops the handout of new indices, and is returned after all
+// in-flight calls finish; the partial results are discarded. A nil ctx
+// is treated as context.Background.
+//
+// workers == 1 degenerates to a plain sequential loop on the calling
+// goroutine, with an early return on the first error exactly like the
+// hand-written loops this package replaced.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	if workers = clampWorkers(workers, n); workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+		errIdx   = -1
+	)
+	// claim hands out the next unclaimed index, or -1 when the work is
+	// exhausted or an error/cancellation already ended the run.
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n || ctx.Err() != nil {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run is Map without results: it executes fn(ctx, i) for every i in
+// [0, n) under the same ordering and cancellation rules.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

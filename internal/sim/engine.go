@@ -30,7 +30,9 @@ func (e *Engine) Now() Time { return e.clock.Now() }
 // RNG returns the engine's deterministic random number generator.
 func (e *Engine) RNG() *RNG { return e.rng }
 
-// Pending returns the number of events currently queued.
+// Pending returns the number of live events currently queued.
+// Cancelled events are removed from the queue eagerly, so they never
+// count here.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Fired returns the number of events executed so far.
@@ -42,7 +44,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.clock.Now() {
 		panic(fmt.Sprintf("sim: scheduling event in the past: at=%v now=%v", at, e.clock.Now()))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -60,7 +62,9 @@ func (e *Engine) After(d Time, fn func()) *Event {
 func (e *Engine) Stop() { e.stopped = true }
 
 // step pops and executes the next event. It reports false when the
-// queue is empty.
+// queue is empty. Cancelled events are dequeued by Cancel itself, so
+// the loop below only guards against a cancellation that happens
+// while the event is being popped (it cannot today; belt and braces).
 func (e *Engine) step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
@@ -102,17 +106,14 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// peek returns the earliest non-cancelled queued event, or nil. It
-// lazily discards cancelled events at the head of the queue.
+// peek returns the earliest queued event, or nil. Cancelled events
+// never linger in the queue (Cancel removes them eagerly), so the
+// head is always live.
 func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		if e.queue[0].cancel {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return e.queue[0]
+	if len(e.queue) == 0 {
+		return nil
 	}
-	return nil
+	return e.queue[0]
 }
 
 // NextEventTime returns the time of the earliest queued event, or

@@ -237,3 +237,90 @@ func TestEventOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	events := make([]*Event, 10)
+	for i := range events {
+		events[i] = e.Schedule(time.Duration(i+1)*time.Second, func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", e.Pending())
+	}
+	// Cancel from the middle of the heap, not just the head.
+	for i := 2; i < 9; i++ {
+		events[i].Cancel()
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending after cancelling 7 = %d, want 3", e.Pending())
+	}
+	// Double-cancel stays a no-op.
+	events[4].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("pending after double cancel = %d, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 3 {
+		t.Fatalf("fired = %d, want 3", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelHeavySchedule(t *testing.T) {
+	// The manager pattern that motivated eager removal: every control
+	// period schedules a timer and cancels the previous one. The queue
+	// must not accumulate dead events, and execution order must match
+	// the (time, seq) contract exactly.
+	e := NewEngine(1)
+	const n = 10000
+	var fired []int
+	var prev *Event
+	for i := 0; i < n; i++ {
+		i := i
+		ev := e.Schedule(time.Duration(i+1)*time.Millisecond, func() { fired = append(fired, i) })
+		if prev != nil {
+			prev.Cancel()
+		}
+		prev = ev
+		if e.Pending() != 1 {
+			t.Fatalf("pending = %d after %d reschedules, want 1", e.Pending(), i+1)
+		}
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != n-1 {
+		t.Fatalf("fired = %v, want just [%d]", fired, n-1)
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	e.Run()
+	ev.Cancel() // already fired: must not disturb the (empty) queue
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelledHeadAdvancesNextEventTime(t *testing.T) {
+	e := NewEngine(1)
+	head := e.Schedule(time.Second, func() {})
+	e.Schedule(5*time.Second, func() {})
+	head.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if e.NextEventTime() != 5*time.Second {
+		t.Fatalf("next = %v, want 5s", e.NextEventTime())
+	}
+	e.RunUntil(10 * time.Second)
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", e.Fired())
+	}
+}

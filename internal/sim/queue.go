@@ -10,14 +10,26 @@ type Event struct {
 	index  int    // heap index; -1 when not queued
 	fn     func()
 	cancel bool
+	eng    *Engine // owning engine, for eager dequeue on Cancel
 }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// Cancel marks the event so its callback will not run. Cancelling an
-// already-fired or already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+// Cancel removes the event from its engine's queue so the callback
+// will not run. The removal is eager (O(log n)): cancel-heavy
+// schedules — a manager re-planning wake timers every control period,
+// say — neither pile dead events into the heap nor distort Pending.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.eng != nil && e.index >= 0 {
+		heap.Remove(&e.eng.queue, e.index)
+	}
+}
 
 // Cancelled reports whether the event was cancelled.
 func (e *Event) Cancelled() bool { return e.cancel }

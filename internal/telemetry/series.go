@@ -27,6 +27,22 @@ type Series struct {
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
+// NewSeriesCap returns an empty named series with room for capacity
+// samples before the backing array has to grow. Simulations that know
+// their sample count up front (horizon / evaluation step) use this to
+// keep the hot recording path allocation-free.
+func NewSeriesCap(name string, capacity int) *Series {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Series{Name: name, points: make([]Point, 0, capacity)}
+}
+
+// Reset empties the series in place, keeping the backing array so a
+// rerun of the same shape appends without reallocating. Slices
+// previously handed out by Points are invalidated by the next Append.
+func (s *Series) Reset() { s.points = s.points[:0] }
+
 // Append adds a sample. It panics on time going backwards, which would
 // mean the simulation's causality was violated.
 func (s *Series) Append(at time.Duration, v float64) {
@@ -114,15 +130,29 @@ func (s *Series) Max() float64 {
 // per bucket of width step, covering [0, horizon). Reports shrink
 // day-long minute-resolution series to plottable sizes with this.
 func (s *Series) Downsample(step, horizon time.Duration) *Series {
-	out := NewSeries(s.Name)
+	if step <= 0 {
+		return NewSeries(s.Name)
+	}
+	return s.DownsampleInto(NewSeriesCap(s.Name, int((horizon+step-1)/step)), step, horizon)
+}
+
+// DownsampleInto is Downsample writing into dst: dst is Reset and its
+// backing array reused when it has the capacity, so report loops that
+// render several same-shape series can recycle one scratch buffer.
+// dst keeps its own Name. Returns dst.
+func (s *Series) DownsampleInto(dst *Series, step, horizon time.Duration) *Series {
+	dst.Reset()
+	if step <= 0 {
+		return dst
+	}
 	for start := time.Duration(0); start < horizon; start += step {
 		end := start + step
 		if end > horizon {
 			end = horizon
 		}
-		out.Append(start, s.TimeMean(start, end))
+		dst.Append(start, s.TimeMean(start, end))
 	}
-	return out
+	return dst
 }
 
 // Summary describes a sample distribution.

@@ -206,3 +206,82 @@ func TestPercentileInterpolation(t *testing.T) {
 		t.Fatalf("P99 of 0..100 = %v, want 99", p)
 	}
 }
+
+func TestNewSeriesCapPreallocates(t *testing.T) {
+	s := NewSeriesCap("power", 100)
+	if s.Len() != 0 {
+		t.Fatalf("fresh series has %d samples", s.Len())
+	}
+	if got := cap(s.points); got < 100 {
+		t.Fatalf("capacity = %d, want >= 100", got)
+	}
+	// Appending within capacity must not reallocate the backing array.
+	s.Append(0, 1)
+	base := &s.points[0]
+	for i := 1; i < 100; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	if &s.points[0] != base {
+		t.Fatal("backing array reallocated despite preallocation")
+	}
+	// Negative capacity is treated as zero, not a panic.
+	if s := NewSeriesCap("x", -5); s.Len() != 0 {
+		t.Fatalf("NewSeriesCap(-5) has %d samples", s.Len())
+	}
+}
+
+func TestSeriesReset(t *testing.T) {
+	s := NewSeriesCap("x", 8)
+	for i := 0; i < 8; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	before := cap(s.points)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after Reset = %d", s.Len())
+	}
+	if cap(s.points) != before {
+		t.Fatalf("Reset changed capacity: %d -> %d", before, cap(s.points))
+	}
+	// Time may restart from zero after a reset, and At sees only the
+	// new samples.
+	s.Append(0, 42)
+	if got := s.At(time.Hour); got != 42 {
+		t.Fatalf("At after Reset = %v, want 42", got)
+	}
+}
+
+func TestDownsampleIntoReusesBuffer(t *testing.T) {
+	src := NewSeries("src")
+	for i := 0; i < 60; i++ {
+		src.Append(time.Duration(i)*time.Minute, float64(i%10))
+	}
+	scratch := NewSeriesCap("scratch", 6)
+	got := src.DownsampleInto(scratch, 10*time.Minute, time.Hour)
+	if got != scratch {
+		t.Fatal("DownsampleInto did not return dst")
+	}
+	want := src.Downsample(10*time.Minute, time.Hour)
+	if got.Len() != want.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
+	}
+	for i, p := range got.Points() {
+		if wp := want.Points()[i]; p != wp {
+			t.Fatalf("point %d = %+v, want %+v", i, p, wp)
+		}
+	}
+	// A second pass of the same shape must not grow the buffer.
+	before := cap(scratch.points)
+	src.DownsampleInto(scratch, 10*time.Minute, time.Hour)
+	if cap(scratch.points) != before {
+		t.Fatalf("reuse grew buffer: %d -> %d", before, cap(scratch.points))
+	}
+}
+
+func TestDownsampleZeroStep(t *testing.T) {
+	src := NewSeries("src")
+	src.Append(0, 1)
+	if got := src.Downsample(0, time.Hour); got.Len() != 0 {
+		t.Fatalf("Downsample(0) produced %d samples", got.Len())
+	}
+}

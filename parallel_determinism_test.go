@@ -1,0 +1,101 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+// The parallel runner's contract is that the worker count is invisible
+// in the results: every fan-out collects into per-index slots and each
+// worker builds its own engine/cluster/fleet, so workers=1 and
+// workers=N must agree bit for bit. These tests double as the race
+// smoke for RunPolicies/RunReplicated — run them under `go test -race`
+// (see Makefile target race) to check the no-shared-mutable-state
+// audit holds.
+
+func parallelSmokeScenario() Scenario {
+	return Scenario{
+		Hosts:   6,
+		VMs:     MixedFleet(18, 7),
+		Horizon: 4 * time.Hour,
+		Seed:    7,
+		Manager: ManagerConfig{Policy: DPMS3},
+		Churn:   &ChurnSpec{ArrivalsPerHour: 2, MeanLifetime: time.Hour},
+	}
+}
+
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Energy != b.Energy {
+		t.Fatalf("%s: energy diverged: %v vs %v", label, a.Energy, b.Energy)
+	}
+	if a.Satisfaction != b.Satisfaction || a.ViolationFraction != b.ViolationFraction {
+		t.Fatalf("%s: SLA metrics diverged", label)
+	}
+	if a.Migrations.Completed != b.Migrations.Completed ||
+		a.Sleeps != b.Sleeps || a.Wakes != b.Wakes ||
+		a.ResumeFailures != b.ResumeFailures {
+		t.Fatalf("%s: action counts diverged", label)
+	}
+	if a.Events.Len() != b.Events.Len() {
+		t.Fatalf("%s: event logs diverged: %d vs %d events", label, a.Events.Len(), b.Events.Len())
+	}
+	for i, ea := range a.Events.All() {
+		if ea != b.Events.All()[i] {
+			t.Fatalf("%s: event %d diverged: %v vs %v", label, i, ea, b.Events.All()[i])
+		}
+	}
+}
+
+func TestRunPoliciesWorkersIdentical(t *testing.T) {
+	sc := parallelSmokeScenario()
+	policies := Policies()
+	seq, err := sc.RunPoliciesWorkers(1, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		par, err := sc.RunPoliciesWorkers(workers, policies)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			sameResult(t, policies[i].Name, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunReplicatedWorkersIdentical(t *testing.T) {
+	sc := parallelSmokeScenario()
+	seeds := Seeds(100, 6)
+	seq, err := sc.RunReplicatedWorkers(1, seeds, mixedFleet18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		par, err := sc.RunReplicatedWorkers(workers, seeds, mixedFleet18)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Stat is plain floats: the aggregation folds per-seed metrics
+		// in seed order, so even the Std must match exactly.
+		if par.EnergyKWh != seq.EnergyKWh ||
+			par.Satisfaction != seq.Satisfaction ||
+			par.ViolationFraction != seq.ViolationFraction ||
+			par.Migrations != seq.Migrations ||
+			par.PowerActions != seq.PowerActions {
+			t.Fatalf("workers=%d: replication stats diverged:\n%+v\nvs\n%+v", workers, par, seq)
+		}
+		for i := range seq.Runs {
+			sameResult(t, "seed run", seq.Runs[i], par.Runs[i])
+		}
+	}
+}
+
+// mixedFleet18 is a top-level func (not a closure) so the test also
+// documents the fleet-builder contract: deterministic in its seed,
+// callable from any goroutine.
+func mixedFleet18(seed uint64) []VMSpec { return MixedFleet(18, seed) }

@@ -1,8 +1,11 @@
 package agilepower
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"agilepower/internal/parallel"
 )
 
 // Stat summarizes one metric across replicated runs.
@@ -60,29 +63,52 @@ type Replication struct {
 // non-nil it regenerates the VM population for each seed (fleet
 // builders like DiurnalFleet are deterministic in their seed); when
 // nil, the same VMs are reused and only engine-driven randomness
-// (churn, jitter) varies.
+// (churn, jitter) varies. The per-seed runs execute concurrently on
+// up to GOMAXPROCS workers; Runs and the aggregate statistics come
+// back in seed order regardless of completion order, so the outcome
+// is identical to a sequential loop (use RunReplicatedWorkers to pin
+// the worker count).
 func (s Scenario) RunReplicated(seeds []uint64, fleet func(seed uint64) []VMSpec) (*Replication, error) {
+	return s.RunReplicatedWorkers(0, seeds, fleet)
+}
+
+// RunReplicatedWorkers is RunReplicated with an explicit concurrency
+// bound (workers <= 0 means GOMAXPROCS, 1 means sequential). fleet is
+// called once per seed, possibly from different goroutines, so it
+// must not capture mutable state; the standard builders (DiurnalFleet
+// etc.) derive everything from their seed argument.
+func (s Scenario) RunReplicatedWorkers(workers int, seeds []uint64, fleet func(seed uint64) []VMSpec) (*Replication, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("agilepower: replication needs at least one seed")
 	}
-	rep := &Replication{}
-	var energy, sat, viol, migr, actions []float64
-	for _, seed := range seeds {
-		sc := s
-		sc.Seed = seed
-		if fleet != nil {
-			sc.VMs = fleet(seed)
-		}
-		res, err := sc.Run()
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		rep.Runs = append(rep.Runs, res)
-		energy = append(energy, res.EnergyKWh())
-		sat = append(sat, res.Satisfaction)
-		viol = append(viol, res.ViolationFraction)
-		migr = append(migr, float64(res.Migrations.Completed))
-		actions = append(actions, float64(res.Sleeps+res.Wakes))
+	runs, err := parallel.Map(context.Background(), len(seeds), workers,
+		func(_ context.Context, i int) (*Result, error) {
+			sc := s
+			sc.Seed = seeds[i]
+			if fleet != nil {
+				sc.VMs = fleet(seeds[i])
+			}
+			res, err := sc.Run()
+			if err != nil {
+				return nil, fmt.Errorf("seed %d: %w", seeds[i], err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replication{Runs: runs}
+	energy := make([]float64, len(runs))
+	sat := make([]float64, len(runs))
+	viol := make([]float64, len(runs))
+	migr := make([]float64, len(runs))
+	actions := make([]float64, len(runs))
+	for i, res := range runs {
+		energy[i] = res.EnergyKWh()
+		sat[i] = res.Satisfaction
+		viol[i] = res.ViolationFraction
+		migr[i] = float64(res.Migrations.Completed)
+		actions[i] = float64(res.Sleeps + res.Wakes)
 	}
 	rep.EnergyKWh = newStat(energy)
 	rep.Satisfaction = newStat(sat)

@@ -39,6 +39,7 @@ func (s Scenario) Start() (*Session, error) {
 	cl, err := cluster.New(eng, cluster.Config{
 		EvalStep:  s.EvalStep,
 		Migration: s.Migration,
+		Horizon:   s.Horizon,
 	})
 	if err != nil {
 		return nil, err
