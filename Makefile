@@ -2,8 +2,9 @@
 # dependencies, so every target below is just the go tool.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test race bench bench-baseline sweep-quick clean
+.PHONY: build test race vet fmt determinism bench bench-smoke bench-baseline sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -16,8 +17,29 @@ test:
 race:
 	$(GO) test -race ./...
 
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the offenders) if any file needs gofmt.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The determinism gate: the full experiment suite must render
+# byte-identically whether run on 1 worker or many. Run explicitly in
+# CI (it is also part of `make test`) so a violation is unmissable.
+determinism:
+	$(GO) test -run TestRunAllByteIdenticalAcrossWorkers -v ./internal/experiments/
+
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 .
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 ./...
+
+# One iteration of every benchmark in every package — a compile-and-run
+# smoke so benchmarks cannot rot, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Record a labelled benchmark run into BENCH_parallel.json (appends to
 # any runs already in the file). Override LABEL to name the run:
@@ -31,6 +53,10 @@ bench-baseline:
 # Fast end-to-end smoke: the whole paper reproduction in quick mode.
 sweep-quick:
 	$(GO) run ./cmd/sweep -exp all -quick
+
+# Everything the CI workflow runs, in the same order, for one local
+# command that predicts a green pipeline.
+ci: vet fmt build test race determinism bench-smoke
 
 clean:
 	$(GO) clean ./...

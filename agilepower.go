@@ -27,6 +27,7 @@ import (
 
 	"agilepower/internal/core"
 	"agilepower/internal/events"
+	"agilepower/internal/faults"
 	"agilepower/internal/migrate"
 	"agilepower/internal/parallel"
 	"agilepower/internal/power"
@@ -72,6 +73,11 @@ type (
 	Event = events.Event
 	// EventLog is the bounded audit trail of a run.
 	EventLog = events.Log
+	// FaultConfig selects injected faults (failed/slow transitions,
+	// migration aborts and stalls, transient host crashes). The zero
+	// value is fully dormant: runs are byte-identical to fault-unaware
+	// builds.
+	FaultConfig = faults.Config
 )
 
 // Power states.
@@ -111,6 +117,10 @@ func DefaultMigrationModel() MigrationModel { return migrate.DefaultModel() }
 
 // DefaultFacility returns the mid-efficiency datacenter overhead model.
 func DefaultFacility() Facility { return power.DefaultFacility() }
+
+// FaultPreset returns the standard fault mix at intensity rate ∈
+// [0, 1] (0 = dormant) — the knob the robustness experiment sweeps.
+func FaultPreset(rate float64) FaultConfig { return faults.Preset(rate) }
 
 // HostClass describes one group of identical hosts in a heterogeneous
 // fleet.
@@ -182,6 +192,11 @@ type Scenario struct {
 	EvalStep time.Duration
 	// Seed drives all simulation randomness (default 1).
 	Seed uint64
+	// Faults, when non-nil and enabled, injects transition failures,
+	// migration aborts/stalls, and transient host crashes, all drawn
+	// from a substream of Seed. Nil (or a dormant config) leaves the
+	// simulation byte-identical to a fault-free build.
+	Faults *FaultConfig
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -224,6 +239,11 @@ func (s Scenario) Validate() error {
 			return err
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -255,6 +275,19 @@ type Result struct {
 	// Churn summarizes dynamic provisioning (zero when the scenario
 	// had no ChurnSpec).
 	Churn ChurnStats
+
+	// Robustness (all zero unless the scenario injected faults).
+	// FaultCounters is the manager's reaction ledger: retries,
+	// quarantines, aborted migrations, re-plans (see core.Ctr*).
+	FaultCounters map[string]int
+	// SuspendFailures and WakeFailures count injected transitions that
+	// did not take; Crashes counts transient host crashes.
+	SuspendFailures int
+	WakeFailures    int
+	Crashes         int
+	// StrandedVMHours integrates VMs frozen on crashed hosts over time
+	// (VM·hours) — the availability cost crashes exact.
+	StrandedVMHours float64
 
 	// Events is the audit trail of everything the manager did.
 	Events *EventLog

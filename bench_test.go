@@ -88,5 +88,9 @@ func BenchmarkFigurePredict(b *testing.B) { benchExperiment(b, "predict") }
 // BenchmarkFigureDVFS regenerates the DVFS-vs-sleep-states comparison.
 func BenchmarkFigureDVFS(b *testing.B) { benchExperiment(b, "dvfs") }
 
+// BenchmarkRobustness regenerates the policy × fault-rate robustness
+// grid.
+func BenchmarkRobustness(b *testing.B) { benchExperiment(b, "robust") }
+
 // BenchmarkAblations regenerates the design-choice ablation tables.
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablate") }

@@ -26,13 +26,13 @@ import (
 
 // Bench is one benchmark aggregated over its -count repetitions.
 type Bench struct {
-	Name      string  `json:"name"`
-	Samples   int     `json:"samples"`
-	NsOpMin   float64 `json:"ns_op_min"`
-	NsOpMean  float64 `json:"ns_op_mean"`
-	BOp       int64   `json:"b_op,omitempty"`
-	AllocsOp  int64   `json:"allocs_op,omitempty"`
-	Iterations int64  `json:"iterations"`
+	Name       string  `json:"name"`
+	Samples    int     `json:"samples"`
+	NsOpMin    float64 `json:"ns_op_min"`
+	NsOpMean   float64 `json:"ns_op_mean"`
+	BOp        int64   `json:"b_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_op,omitempty"`
+	Iterations int64   `json:"iterations"`
 }
 
 // Run is one labelled invocation of the benchmark suite.

@@ -1,0 +1,118 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+func faultedScenario(rate float64) Scenario {
+	s := Scenario{
+		Name:    "faulted",
+		Hosts:   6,
+		VMs:     MixedFleet(24, 5),
+		Horizon: 8 * time.Hour,
+		Seed:    5,
+		Manager: ManagerConfig{Policy: DPMS3},
+	}
+	if rate > 0 {
+		fc := FaultPreset(rate)
+		s.Faults = &fc
+	}
+	return s
+}
+
+// A dormant fault config must be indistinguishable from no config at
+// all: the injector is never constructed, so not a single RNG draw or
+// event differs.
+func TestDormantFaultConfigIdenticalToNil(t *testing.T) {
+	plain := faultedScenario(0)
+	dormant := faultedScenario(0)
+	dormant.Faults = &FaultConfig{}
+
+	a, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dormant.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.Satisfaction != b.Satisfaction ||
+		a.ViolationFraction != b.ViolationFraction {
+		t.Fatalf("dormant config changed the run: %v/%v vs %v/%v",
+			a.Energy, a.Satisfaction, b.Energy, b.Satisfaction)
+	}
+	if a.Sleeps != b.Sleeps || a.Wakes != b.Wakes ||
+		a.Migrations.Completed != b.Migrations.Completed {
+		t.Fatal("dormant config changed manager actions")
+	}
+	if a.Events.Len() != b.Events.Len() {
+		t.Fatalf("event logs diverged: %d vs %d", a.Events.Len(), b.Events.Len())
+	}
+	for i, ea := range a.Events.All() {
+		if ea != b.Events.All()[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea, b.Events.All()[i])
+		}
+	}
+	// And a fault-free run reports a clean ledger.
+	if len(b.FaultCounters) != 0 || b.SuspendFailures != 0 || b.WakeFailures != 0 ||
+		b.Crashes != 0 || b.StrandedVMHours != 0 {
+		t.Fatalf("fault-free run reports faults: %+v", b.FaultCounters)
+	}
+}
+
+func TestFaultedScenarioDeterministicAndReported(t *testing.T) {
+	sc := faultedScenario(0.3)
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faults actually landed and surfaced in the Result.
+	if a.SuspendFailures+a.WakeFailures == 0 {
+		t.Fatal("no transition faults at rate 0.3 over 8h")
+	}
+	total := 0
+	for _, v := range a.FaultCounters {
+		total += v
+	}
+	if total == 0 {
+		t.Fatalf("manager counters empty under faults: %+v", a.FaultCounters)
+	}
+	// The faulted run replays exactly: same injections, same recovery.
+	if a.Energy != b.Energy || a.Satisfaction != b.Satisfaction {
+		t.Fatalf("faulted run diverged: %v vs %v", a.Energy, b.Energy)
+	}
+	if a.SuspendFailures != b.SuspendFailures || a.WakeFailures != b.WakeFailures ||
+		a.Crashes != b.Crashes || a.StrandedVMHours != b.StrandedVMHours {
+		t.Fatal("fault tallies diverged across reruns")
+	}
+	for name, v := range a.FaultCounters {
+		if b.FaultCounters[name] != v {
+			t.Fatalf("counter %s diverged: %d vs %d", name, v, b.FaultCounters[name])
+		}
+	}
+	if a.Events.Len() != b.Events.Len() {
+		t.Fatalf("event logs diverged: %d vs %d", a.Events.Len(), b.Events.Len())
+	}
+	for i, ea := range a.Events.All() {
+		if ea != b.Events.All()[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea, b.Events.All()[i])
+		}
+	}
+}
+
+func TestScenarioValidateRejectsBadFaultConfig(t *testing.T) {
+	s := faultedScenario(0)
+	s.Faults = &FaultConfig{SuspendFailProb: 1.5}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted out-of-range fault probability")
+	}
+	s.Faults = &FaultConfig{TransitionSlowMean: -time.Second}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted negative slow-transition mean")
+	}
+}

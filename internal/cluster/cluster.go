@@ -68,8 +68,15 @@ type Cluster struct {
 	deliveredSeries *telemetry.Series
 	activeSeries    *telemetry.Series
 
-	onHostSettled   func(host.ID, power.State)
-	onMigrationDone func(vm.ID, host.ID)
+	onHostSettled     func(host.ID, power.State)
+	onMigrationDone   func(vm.ID, host.ID)
+	onMigrationFailed func(vm.ID, host.ID, host.ID)
+	onHostCrashed     func(host.ID)
+
+	// strandedCount is the number of VMs currently frozen on crashed
+	// (unavailable) hosts; strandedVMSec integrates it over time.
+	strandedCount int
+	strandedVMSec float64
 
 	// pending holds VMs that have arrived but are not yet placed on a
 	// host (dynamic provisioning). Their demand is charged as unserved
@@ -135,7 +142,18 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		log:             events.NewLog(0),
 	}
 	mgr.OnComplete(c.finishMigration)
+	mgr.OnFailed(c.failMigration)
 	return c, nil
+}
+
+// InjectFaults installs fault injectors on every host's power machine
+// and on the migration manager. Call it after all hosts are added and
+// before Start; passing nils disables injection (the default).
+func (c *Cluster) InjectFaults(pf power.FaultInjector, mf migrate.FaultInjector) {
+	for _, id := range c.hostIDs {
+		c.hosts[id].SetFaultInjector(pf)
+	}
+	c.migrations.SetFaultInjector(mf)
 }
 
 // Engine returns the simulation engine driving this cluster.
@@ -340,6 +358,9 @@ func (c *Cluster) evaluate() {
 		for id, rec := range c.current {
 			c.sla[id].Record(dt, rec.demand, rec.delivered, rec.slo)
 		}
+		// Charge stranded time at the count that held over the closing
+		// interval, mirroring the allocation records above.
+		c.strandedVMSec += float64(c.strandedCount) * time.Duration(dt).Seconds()
 	}
 	c.lastEval = now
 
@@ -369,6 +390,16 @@ func (c *Cluster) evaluate() {
 			active++
 		}
 	}
+	// Recount VMs frozen on downed hosts for the interval just opened.
+	// Only crashed hosts can hold residents while unavailable, so the
+	// sum is exactly the stranded population.
+	stranded := 0
+	for _, hid := range c.hostIDs {
+		if h := c.hosts[hid]; !h.Available() {
+			stranded += h.NumVMs()
+		}
+	}
+	c.strandedCount = stranded
 	// Pending (unplaced) VMs demand but receive nothing — the cost of
 	// provisioning latency.
 	for _, vid := range c.vmIDs {
@@ -543,6 +574,67 @@ func (c *Cluster) finishMigration(mig *migrate.Migration) {
 // migration slots free up, instead of waiting for the next control
 // period.
 func (c *Cluster) OnMigrationDone(fn func(vm.ID, host.ID)) { c.onMigrationDone = fn }
+
+// failMigration unwinds an aborted migration: the VM never left its
+// source, so only the destination reservation is released.
+func (c *Cluster) failMigration(mig *migrate.Migration) {
+	dst := c.hosts[host.ID(mig.Dst)]
+	dst.ReleaseReservation(mig.VM)
+	c.record(events.MigrationFailed, mig.VM, host.ID(mig.Dst),
+		fmt.Sprintf("%d→%d aborted", mig.Src, mig.Dst))
+	c.evaluate()
+	if c.onMigrationFailed != nil {
+		c.onMigrationFailed(mig.VM, host.ID(mig.Src), host.ID(mig.Dst))
+	}
+}
+
+// OnMigrationFailed registers fn to run after a migration aborts, with
+// the VM and the move's source and destination. The VM is still on the
+// source; the management layer re-plans.
+func (c *Cluster) OnMigrationFailed(fn func(vm.ID, host.ID, host.ID)) { c.onMigrationFailed = fn }
+
+// CrashHost takes an available host down transiently: its VMs freeze in
+// place (delivering nothing) until the repair completes and the host
+// boots back to S0, and every in-flight migration touching it aborts.
+// Crashing an unavailable host fails — see power.Machine.Crash.
+func (c *Cluster) CrashHost(id host.ID, repair time.Duration) error {
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("cluster: unknown host %d", id)
+	}
+	if err := h.Machine().Crash(repair); err != nil {
+		return err
+	}
+	aborted := c.migrations.FailHost(int(id))
+	c.record(events.HostCrashed, 0, id,
+		fmt.Sprintf("repair %v, %d migrations aborted", repair.Round(time.Second), aborted))
+	c.evaluate()
+	if c.onHostCrashed != nil {
+		c.onHostCrashed(id)
+	}
+	return nil
+}
+
+// OnHostCrashed registers fn to run after a host crashes (its repair is
+// already scheduled; OnHostSettled fires when it returns).
+func (c *Cluster) OnHostCrashed(fn func(host.ID)) { c.onHostCrashed = fn }
+
+// StrandedVMSeconds returns the integral of VMs-frozen-on-crashed-hosts
+// over time, in VM·seconds — the availability cost of crashes that the
+// robustness experiment reports.
+func (c *Cluster) StrandedVMSeconds() float64 { return c.strandedVMSec }
+
+// TransitionFaultStats sums injected transition faults and crashes
+// across all hosts.
+func (c *Cluster) TransitionFaultStats() (suspendFailures, wakeFailures, crashes int) {
+	for _, id := range c.hostIDs {
+		st := c.hosts[id].Machine().Stats()
+		suspendFailures += st.SuspendFailures
+		wakeFailures += st.WakeFailures
+		crashes += st.Crashes
+	}
+	return suspendFailures, wakeFailures, crashes
+}
 
 // SleepHost parks an empty, available host in the given sleep state.
 func (c *Cluster) SleepHost(id host.ID, st power.State) error {

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+)
+
+func TestCrashHostFreezesVMsAndRepairs(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 8)
+	c.Start()
+	eng.RunUntil(sim.Time(time.Hour))
+
+	repair := 30 * time.Minute
+	if err := c.CrashHost(1, repair); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := c.Host(1)
+	if h.Available() || !h.Machine().Crashed() {
+		t.Fatalf("crashed host available=%v crashed=%v", h.Available(), h.Machine().Crashed())
+	}
+	// The VM is frozen in place, not evicted — and the invariant checker
+	// must accept residents on a crashed host.
+	if h.NumVMs() != 1 {
+		t.Fatalf("crashed host holds %d VMs, want 1", h.NumVMs())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants reject crashed host with residents: %v", err)
+	}
+	// A second crash on the downed host is rejected.
+	if err := c.CrashHost(1, repair); err == nil {
+		t.Fatal("crash accepted on unavailable host")
+	}
+
+	eng.RunUntil(sim.Time(time.Hour + 30*time.Minute))
+	c.Flush()
+	if !h.Available() || h.Machine().Crashed() {
+		t.Fatalf("repaired host available=%v crashed=%v", h.Available(), h.Machine().Crashed())
+	}
+	// Exactly one VM stranded for exactly the repair window.
+	if got := c.StrandedVMSeconds(); math.Abs(got-repair.Seconds()) > 1e-6 {
+		t.Fatalf("StrandedVMSeconds = %v, want %v", got, repair.Seconds())
+	}
+	// The frozen VM delivered nothing during the outage.
+	sla, _ := c.SLA(v.ID())
+	if sla.UnmetCoreSeconds() < 8*repair.Seconds()-1e-6 {
+		t.Fatalf("unmet core-seconds = %v, want at least %v",
+			sla.UnmetCoreSeconds(), 8*repair.Seconds())
+	}
+	sf, wf, crashes := c.TransitionFaultStats()
+	if sf != 0 || wf != 0 || crashes != 1 {
+		t.Fatalf("fault stats = %d/%d/%d, want 0/0/1", sf, wf, crashes)
+	}
+}
+
+func TestCrashAbortsMigrationAndReleasesReservation(t *testing.T) {
+	eng, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 4)
+	c.Start()
+
+	var gotVM, gotSrc, gotDst int
+	c.OnMigrationFailed(func(vid vm.ID, src, dst host.ID) {
+		gotVM, gotSrc, gotDst = int(vid), int(src), int(dst)
+	})
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := c.Host(2)
+	if h2.Empty() {
+		t.Fatal("destination holds no reservation during migration")
+	}
+	// Crashing the source aborts the in-flight move and releases the
+	// destination's memory reservation.
+	if err := c.CrashHost(1, 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Migrating(v.ID()) {
+		t.Fatal("migration still in flight after source crash")
+	}
+	if !h2.Empty() {
+		t.Fatal("destination reservation not released on abort")
+	}
+	if gotVM != int(v.ID()) || gotSrc != 1 || gotDst != 2 {
+		t.Fatalf("OnMigrationFailed got vm=%d src=%d dst=%d", gotVM, gotSrc, gotDst)
+	}
+	if st := c.Migrations().Stats(); st.Aborted != 1 || st.Completed != 0 {
+		t.Fatalf("migration stats = %+v", st)
+	}
+	// The VM never left its source.
+	if hid, ok := c.Placement(v.ID()); !ok || hid != 1 {
+		t.Fatalf("placement = %v/%v, want host 1", hid, ok)
+	}
+	// After repair the same move succeeds.
+	eng.RunUntil(eng.Now() + sim.Time(10*time.Minute))
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Now() + sim.Time(time.Hour))
+	if hid, _ := c.Placement(v.ID()); hid != 2 {
+		t.Fatalf("retried migration did not land: placement %v", hid)
+	}
+}
+
+func TestCrashHostUnknown(t *testing.T) {
+	_, c := newTestCluster(t, 1)
+	if err := c.CrashHost(99, time.Minute); err == nil {
+		t.Fatal("crash accepted for unknown host")
+	}
+}

@@ -70,8 +70,9 @@ func (c *Cluster) CheckInvariants() error {
 		if h.MemUsedGB()+1e-9 < memSum {
 			return fmt.Errorf("host %d memory accounting below resident sum: %v < %v", hid, h.MemUsedGB(), memSum)
 		}
-		// Unavailable hosts must be empty of residents.
-		if !h.Available() && h.NumVMs() > 0 {
+		// Unavailable hosts must be empty of residents — except a
+		// crashed host, whose VMs are frozen in place until repair.
+		if !h.Available() && h.NumVMs() > 0 && !h.Machine().Crashed() {
 			return fmt.Errorf("host %d (%v/%v) holds %d vms while unavailable",
 				hid, h.Machine().State(), h.Machine().Phase(), h.NumVMs())
 		}

@@ -9,6 +9,7 @@ import (
 	"agilepower/internal/host"
 	"agilepower/internal/power"
 	"agilepower/internal/sim"
+	"agilepower/internal/telemetry"
 	"agilepower/internal/vm"
 )
 
@@ -73,6 +74,21 @@ type Manager struct {
 	// state's exit latency plus one control period.
 	wakeLead time.Duration
 
+	// Robustness state (see robust.go). parking and wakingReq track
+	// outstanding transition requests so the settle handler can tell a
+	// success from an injected failure; retries/retryAt hold the capped
+	// exponential backoff schedule per host; quarantined bars flaky
+	// hosts from power actions until the recorded time; migFails and
+	// migRetryAt put VMs whose migrations aborted on a re-plan backoff.
+	parking     map[host.ID]bool
+	wakingReq   map[host.ID]bool
+	retries     map[host.ID]int
+	retryAt     map[host.ID]sim.Time
+	quarantined map[host.ID]sim.Time
+	migFails    map[vm.ID]int
+	migRetryAt  map[vm.ID]sim.Time
+	counters    *telemetry.Counters
+
 	stats   Stats
 	started bool
 }
@@ -91,21 +107,21 @@ func NewManager(cl *cluster.Cluster, cfg Config) (*Manager, error) {
 		evacuating:  make(map[host.ID]bool),
 		wokeAt:      make(map[host.ID]sim.Time),
 		maintenance: make(map[host.ID]bool),
+		parking:     make(map[host.ID]bool),
+		wakingReq:   make(map[host.ID]bool),
+		retries:     make(map[host.ID]int),
+		retryAt:     make(map[host.ID]sim.Time),
+		quarantined: make(map[host.ID]sim.Time),
+		migFails:    make(map[vm.ID]int),
+		migRetryAt:  make(map[vm.ID]sim.Time),
+		counters:    telemetry.NewCounters(),
 	}
 	if cfg.PredictiveWake {
 		m.diurnal = newDiurnalModel(0.4)
 	}
-	cl.OnHostSettled(func(id host.ID, st power.State) {
-		// React to completed wakes immediately: the whole point of
-		// low-latency states is not waiting for the next period to use
-		// new capacity.
-		if st == power.S0 {
-			m.wokeAt[id] = m.cl.Engine().Now()
-			if m.started {
-				m.step()
-			}
-		}
-	})
+	cl.OnHostSettled(m.hostSettled)
+	cl.OnMigrationFailed(m.migrationFailed)
+	cl.OnHostCrashed(m.hostCrashed)
 	cl.OnMigrationDone(func(vm.ID, host.ID) {
 		// Continue in-progress plans as slots free up: drains and
 		// rebalances issue follow-up moves immediately instead of
@@ -294,7 +310,7 @@ func (m *Manager) checkPanic() {
 	}
 	for _, h := range m.cl.Hosts() {
 		if h.Machine().State().IsSleep() && h.Machine().Phase() == power.Settled {
-			if err := m.cl.WakeHost(h.ID()); err == nil {
+			if err := m.wakeHost(h.ID()); err == nil {
 				m.stats.Wakes++
 			}
 		}
@@ -390,10 +406,12 @@ func (m *Manager) observeAll() map[vm.ID]float64 {
 		out[v.ID()] = fc
 		seen[v.ID()] = true
 	}
-	// Drop forecasters of departed VMs.
+	// Drop forecasters (and robustness bookkeeping) of departed VMs.
 	for id := range m.forecasts {
 		if !seen[id] {
 			delete(m.forecasts, id)
+			delete(m.migFails, id)
+			delete(m.migRetryAt, id)
 		}
 	}
 	if m.diurnal != nil {
@@ -561,12 +579,17 @@ func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
 		c.serving = append(c.serving, h)
 		haveCores += h.Cores()
 	}
-	// Then wake sleepers, lowest ID first (deterministic).
+	// Then wake sleepers, lowest ID first (deterministic). Quarantined
+	// hosts are skipped (they proved flaky), as are hosts whose failed
+	// wake already has a scheduled retry pending.
 	for _, h := range c.sleeping {
 		if haveCores >= needCores && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
 			break
 		}
-		if err := m.cl.WakeHost(h.ID()); err == nil {
+		if m.isQuarantined(h.ID()) || m.parkHeld(h.ID()) {
+			continue
+		}
+		if err := m.wakeHost(h.ID()); err == nil {
 			m.stats.Wakes++
 			haveCores += h.Cores()
 			c.waking = append(c.waking, h)
@@ -605,8 +628,12 @@ func (m *Manager) considerScaleDown(forecasts map[vm.ID]float64, c census) {
 	}
 	for _, h := range hosts[keep:] {
 		// Recently woken hosts are immune: parking them right after a
-		// surge faded is the definition of flapping.
+		// surge faded is the definition of flapping. Quarantined hosts
+		// are immune too — their transitions cannot be trusted.
 		if at, ok := m.wokeAt[h.ID()]; ok && now-at < m.cfg.ParkCooldown {
+			continue
+		}
+		if m.isQuarantined(h.ID()) {
 			continue
 		}
 		m.evacuating[h.ID()] = true
@@ -736,7 +763,7 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 	migrated := 0
 	for _, src := range c.evacuating {
 		for _, vid := range src.VMs() {
-			if m.cl.Migrating(vid) {
+			if m.cl.Migrating(vid) || m.migrationHeld(vid) {
 				continue
 			}
 			if m.cfg.MaxMigrationsPerStep > 0 && migrated >= m.cfg.MaxMigrationsPerStep {
@@ -772,8 +799,13 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 		if m.cl.Migrations().HostLoad(int(id)) > 0 {
 			continue
 		}
+		if m.parkHeld(id) {
+			// A failed suspend's backoff has not expired; hold the
+			// re-park until it does.
+			continue
+		}
 		if m.cfg.Policy.PowerManage {
-			if err := m.cl.SleepHost(id, m.cfg.Policy.SleepState); err == nil {
+			if err := m.sleepHost(id); err == nil {
 				m.stats.Sleeps++
 				delete(m.evacuating, id)
 			}
@@ -973,7 +1005,7 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 			if loads[src.ID()] <= m.cfg.TargetUtil*src.Cores() {
 				break
 			}
-			if m.cl.Migrating(vid) || forecasts[vid] <= 0 {
+			if m.cl.Migrating(vid) || forecasts[vid] <= 0 || m.migrationHeld(vid) {
 				continue
 			}
 			dst := m.pickLBDestination(vid, src, forecasts, loads, c.serving)

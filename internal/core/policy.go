@@ -133,6 +133,26 @@ type Config struct {
 	// LBThreshold is the host utilization fraction above which load
 	// balancing offloads VMs (default 0.90).
 	LBThreshold float64
+
+	// MaxTransitionRetries is how many times a failed power transition
+	// (a suspend that did not take, a resume that fell back asleep) is
+	// retried with backoff before the host is quarantined (default 3;
+	// negative disables retries — first failure quarantines).
+	MaxTransitionRetries int
+	// RetryBackoffBase is the first retry delay after a failed
+	// transition; each further failure doubles it, capped at
+	// RetryBackoffMax (defaults 30s and 10m).
+	RetryBackoffBase time.Duration
+	RetryBackoffMax  time.Duration
+	// QuarantineHold is how long a host that exhausted its transition
+	// retries is barred from further power actions (default 1h). A
+	// suspend-quarantined host stays on and serving — graceful
+	// degradation spends energy, never SLA.
+	QuarantineHold time.Duration
+	// MigrationRetryBackoff is how long after an aborted migration the
+	// VM is exempt from new move attempts (default 2m), so a flaky
+	// path is not hammered every control period.
+	MigrationRetryBackoff time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -162,6 +182,23 @@ func (c *Config) applyDefaults() {
 	}
 	if c.LBThreshold == 0 {
 		c.LBThreshold = 0.90
+	}
+	if c.MaxTransitionRetries == 0 {
+		c.MaxTransitionRetries = 3
+	} else if c.MaxTransitionRetries < 0 {
+		c.MaxTransitionRetries = 0
+	}
+	if c.RetryBackoffBase <= 0 {
+		c.RetryBackoffBase = 30 * time.Second
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 10 * time.Minute
+	}
+	if c.QuarantineHold <= 0 {
+		c.QuarantineHold = time.Hour
+	}
+	if c.MigrationRetryBackoff <= 0 {
+		c.MigrationRetryBackoff = 2 * time.Minute
 	}
 }
 
@@ -197,6 +234,9 @@ func (c *Config) Validate() error {
 	}
 	if c.PanicHold < 0 {
 		return fmt.Errorf("core: negative panic hold %v", c.PanicHold)
+	}
+	if c.RetryBackoffMax < c.RetryBackoffBase {
+		return fmt.Errorf("core: retry backoff max %v below base %v", c.RetryBackoffMax, c.RetryBackoffBase)
 	}
 	return nil
 }

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/faults"
+	"agilepower/internal/host"
+	"agilepower/internal/migrate"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// scriptFaults fails the first N transitions/migrations of each kind,
+// then injects nothing — deterministic by construction.
+type scriptFaults struct {
+	sleepFails, wakeFails, migFails int
+}
+
+func (s *scriptFaults) SleepFault(power.State) power.Fault {
+	if s.sleepFails > 0 {
+		s.sleepFails--
+		return power.Fault{Fail: true}
+	}
+	return power.Fault{}
+}
+
+func (s *scriptFaults) WakeFault(power.State) power.Fault {
+	if s.wakeFails > 0 {
+		s.wakeFails--
+		return power.Fault{Fail: true}
+	}
+	return power.Fault{}
+}
+
+func (s *scriptFaults) MigrationFault(float64) migrate.Fault {
+	if s.migFails > 0 {
+		s.migFails--
+		return migrate.Fault{Fail: true}
+	}
+	return migrate.Fault{}
+}
+
+// runFaulted is runScenario with fault injectors installed before the
+// cluster starts.
+func runFaulted(t *testing.T, nHosts int, traces []*workload.Trace, cfg Config,
+	horizon time.Duration, pf power.FaultInjector, mf migrate.FaultInjector) (*cluster.Cluster, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nHosts; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tr := range traces {
+		on := host.ID(i%nHosts + 1)
+		if _, err := cl.AddVM(vm.Config{VCPUs: 8, MemoryGB: 8, Trace: tr}, on); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.InjectFaults(pf, mf)
+	m, err := NewManager(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(sim.Time(horizon))
+	cl.Flush()
+	return cl, m
+}
+
+func TestSuspendRetriesExhaustedQuarantinesHost(t *testing.T) {
+	// One VM on host 1, host 2 empty: DPM parks host 2. Every suspend
+	// fails, so the manager retries once, then quarantines the host and
+	// keeps it on (graceful degradation).
+	cfg := Config{
+		Policy:               DPMS3,
+		MaxTransitionRetries: 1,
+		RetryBackoffBase:     30 * time.Second,
+		RetryBackoffMax:      time.Minute,
+		QuarantineHold:       10 * time.Hour,
+	}
+	inj := &scriptFaults{sleepFails: 100}
+	cl, m := runFaulted(t, 2, flatTraces(1, 2), cfg, 2*time.Hour, inj, inj)
+
+	c := m.Counters()
+	if got := c.Get(CtrSuspendFailures); got != 2 {
+		t.Fatalf("suspend failures = %d, want 2 (initial + one retry)", got)
+	}
+	if got := c.Get(CtrTransitionRetries); got != 1 {
+		t.Fatalf("transition retries = %d, want 1", got)
+	}
+	if got := c.Get(CtrQuarantines); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+	if got := c.Get(CtrDegradedKeepOn); got != 1 {
+		t.Fatalf("degraded keep-on = %d, want 1", got)
+	}
+	if !m.Quarantined(2) {
+		t.Fatal("host 2 not quarantined after exhausting retries")
+	}
+	// Degradation keeps the host serving, never stuck mid-transition.
+	h, _ := cl.Host(2)
+	if !h.Available() {
+		t.Fatal("quarantined host not returned to service")
+	}
+	sf, _, _ := cl.TransitionFaultStats()
+	if sf != 2 {
+		t.Fatalf("machine-level suspend failures = %d, want 2", sf)
+	}
+}
+
+func TestWakeFailureRetriedUntilHostReturns(t *testing.T) {
+	// Demand is flat-low for 4 hours (host 2 parks), then steps far
+	// above one host's capacity: the manager must wake host 2, whose
+	// first wake falls back asleep.
+	lowHigh := make([]float64, 16)
+	for i := range lowHigh {
+		if i < 8 {
+			lowHigh[i] = 1
+		} else {
+			lowHigh[i] = 8
+		}
+	}
+	tr, err := workload.NewTrace(30*time.Minute, lowHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := []*workload.Trace{tr, tr, tr}
+	cfg := Config{
+		Policy:           DPMS3,
+		RetryBackoffBase: 30 * time.Second,
+	}
+	inj := &scriptFaults{wakeFails: 1}
+	cl, m := runFaulted(t, 2, traces, cfg, 8*time.Hour, inj, inj)
+
+	c := m.Counters()
+	if got := c.Get(CtrWakeFailures); got != 1 {
+		t.Fatalf("wake failures = %d, want 1", got)
+	}
+	if got := c.Get(CtrTransitionRetries); got < 1 {
+		t.Fatalf("transition retries = %d, want >= 1", got)
+	}
+	// The retry brought the host back: under surge load everything runs.
+	for _, h := range cl.Hosts() {
+		if !h.Available() {
+			t.Fatalf("host %d still down under surge load", h.ID())
+		}
+	}
+	if m.Quarantined(1) || m.Quarantined(2) {
+		t.Fatal("single wake failure must not quarantine")
+	}
+	_, wf, _ := cl.TransitionFaultStats()
+	if wf != 1 {
+		t.Fatalf("machine-level wake failures = %d, want 1", wf)
+	}
+}
+
+func TestMigrationAbortReplansAndRetries(t *testing.T) {
+	// Two lightly-loaded VMs on separate hosts: consolidation moves one
+	// across. The first attempt aborts mid-flight; the manager re-plans
+	// and retries after the backoff, and the move eventually lands.
+	cfg := Config{
+		Policy:                DPMS3,
+		MigrationRetryBackoff: time.Minute,
+	}
+	inj := &scriptFaults{migFails: 1}
+	cl, m := runFaulted(t, 2, flatTraces(2, 2), cfg, 4*time.Hour, inj, inj)
+
+	c := m.Counters()
+	if got := c.Get(CtrMigrationsAborted); got != 1 {
+		t.Fatalf("migrations aborted = %d, want 1", got)
+	}
+	if got := c.Get(CtrMigrationReplans); got < 1 {
+		t.Fatalf("migration replans = %d, want >= 1", got)
+	}
+	st := cl.Migrations().Stats()
+	if st.Aborted != 1 || st.Completed < 1 {
+		t.Fatalf("migration stats = %+v, want 1 abort and a completed retry", st)
+	}
+	// Consolidation finished despite the fault: one host sleeps.
+	if m.Stats().Sleeps == 0 {
+		t.Fatal("consolidation never parked a host after the aborted move")
+	}
+}
+
+// robustFingerprint runs a faulted scenario with the real seeded
+// injector and flattens everything timing-sensitive — the manager's
+// counters, migration stats, and the full event log — into one string.
+func robustFingerprint(t *testing.T) string {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		on := host.ID(i%4 + 1)
+		if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: workload.Constant(2)}, on); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj, err := faults.New(eng, faults.Preset(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.InjectFaults(inj, inj)
+	m, err := NewManager(cl, Config{Policy: DPMS3, RetryBackoffBase: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(sim.Time(6 * time.Hour))
+	cl.Flush()
+
+	out := ""
+	for _, name := range m.Counters().Names() {
+		out += fmt.Sprintf("%s=%d\n", name, m.Counters().Get(name))
+	}
+	out += fmt.Sprintf("mig=%+v\n", cl.Migrations().Stats())
+	sf, wf, cr := cl.TransitionFaultStats()
+	out += fmt.Sprintf("faults=%d/%d/%d\n", sf, wf, cr)
+	for _, e := range cl.Events().All() {
+		out += e.String() + "\n"
+	}
+	return out
+}
+
+func TestBackoffScheduleDeterministicAcrossReruns(t *testing.T) {
+	// Same seed → the whole recovery timeline (every retry instant,
+	// every backoff expiry, every re-plan) replays byte-identically.
+	a := robustFingerprint(t)
+	b := robustFingerprint(t)
+	if a != b {
+		t.Fatalf("faulted run diverged across reruns of the same seed:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	// And it actually exercised the retry machinery.
+	if a == "" || !strings.Contains(a, "transition_retries") {
+		t.Fatalf("fingerprint shows no retries — fault rate too low?\n%s", a)
+	}
+}
+
+func TestBackoffCappedExponential(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl, _ := cluster.New(eng, cluster.Config{})
+	m, err := NewManager(cl, Config{
+		Policy:           DPMS3,
+		RetryBackoffBase: 10 * time.Second,
+		RetryBackoffMax:  75 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 40 * time.Second,
+		75 * time.Second, 75 * time.Second}
+	for i, w := range want {
+		if got := m.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRobustConfigDefaults(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl, _ := cluster.New(eng, cluster.Config{})
+	m, err := NewManager(cl, Config{Policy: DPMS3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.MaxTransitionRetries != 3 || cfg.RetryBackoffBase != 30*time.Second ||
+		cfg.RetryBackoffMax != 10*time.Minute || cfg.QuarantineHold != time.Hour ||
+		cfg.MigrationRetryBackoff != 2*time.Minute {
+		t.Fatalf("robustness defaults wrong: %+v", cfg)
+	}
+	// Backoff cap below base is rejected.
+	bad := Config{Policy: DPMS3, RetryBackoffBase: time.Minute, RetryBackoffMax: time.Second}
+	if _, err := NewManager(cl, bad); err == nil {
+		t.Fatal("accepted backoff max below base")
+	}
+}

@@ -32,6 +32,11 @@ const (
 	HostWaking
 	// HostSettled — a host completed a transition.
 	HostSettled
+	// MigrationFailed — an in-flight migration aborted; the VM stays on
+	// its source host.
+	MigrationFailed
+	// HostCrashed — a host crashed and is down for repair.
+	HostCrashed
 )
 
 // String names the kind.
@@ -53,6 +58,10 @@ func (k Kind) String() string {
 		return "host-waking"
 	case HostSettled:
 		return "host-settled"
+	case MigrationFailed:
+		return "migration-failed"
+	case HostCrashed:
+		return "host-crashed"
 	default:
 		return "event?"
 	}

@@ -89,6 +89,7 @@ var registry = map[string]Runner{
 	"prov":    Prov,
 	"predict": Predict,
 	"dvfs":    DVFS,
+	"robust":  Robustness,
 	"ablate":  Ablations,
 }
 
@@ -115,6 +116,8 @@ func orderKey(id string) string {
 		return "96"
 	case "dvfs":
 		return "97"
+	case "robust":
+		return "98"
 	case "ablate":
 		return "99"
 	default:

@@ -20,7 +20,7 @@ func runExp(t *testing.T, id string) string {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "ablate"}
+	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "robust", "ablate"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -157,6 +157,19 @@ func TestDVFSRuns(t *testing.T) {
 	out := runExp(t, "dvfs")
 	if !strings.Contains(out, "frequency scaling") || !strings.Contains(out, "dpm-s3+dvfs") {
 		t.Fatalf("dvfs output:\n%s", out)
+	}
+}
+
+func TestRobustnessRuns(t *testing.T) {
+	out := runExp(t, "robust")
+	if !strings.Contains(out, "robustness under injected faults") ||
+		!strings.Contains(out, "susp_fail") {
+		t.Fatalf("robustness output:\n%s", out)
+	}
+	// The 0% control row reports a clean ledger; the faulted rows do
+	// not (quick mode runs rates 0 and 10%).
+	if !strings.Contains(out, "0%") || !strings.Contains(out, "10%") {
+		t.Fatalf("fault-rate rows missing:\n%s", out)
 	}
 }
 

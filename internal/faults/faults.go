@@ -1,0 +1,259 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven injector that perturbs power-state transitions, live
+// migrations, and host liveness so the management layer's robustness
+// can be measured instead of assumed.
+//
+// The paper's core claim is about *risk*: minute-scale S5 transitions
+// make power-gating decisions dangerous, and low-latency S3 states
+// shrink that danger. A fault-free simulation never exercises the risk
+// side of that trade-off. This package injects the failure modes real
+// fleets see — suspends that do not take, resumes that fall back
+// asleep, migrations that stall or abort at switchover, hosts that
+// crash and need repair — all driven by a substream forked from the
+// simulation RNG, so every run remains byte-for-byte reproducible from
+// its seed.
+//
+// Dormancy contract: a Config with every probability at zero is
+// Enabled() == false and callers must not construct an injector for
+// it. A constructed injector draws randomness only for knobs whose
+// probability is in (0, 1) (see sim.RNG.Bernoulli), so partial
+// configurations perturb nothing they do not touch.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower/internal/migrate"
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+)
+
+// Config selects which faults to inject and how hard.
+type Config struct {
+	// SuspendFailProb is the probability a sleep entry does not take:
+	// the host burns the entry latency and settles back in S0.
+	SuspendFailProb float64
+	// WakeFailProb is the probability a sleep exit does not take: the
+	// host burns the exit latency and falls back asleep.
+	WakeFailProb float64
+	// TransitionSlowProb is the probability a transition (either
+	// direction) is slowed by an exponentially distributed extra
+	// latency with mean TransitionSlowMean.
+	TransitionSlowProb float64
+	TransitionSlowMean time.Duration
+
+	// MigrationFailProb is the probability a migration aborts at
+	// switchover after its full pre-copy; the VM stays on its source.
+	MigrationFailProb float64
+	// MigrationStallProb is the probability a migration's pre-copy is
+	// stretched by an exponentially distributed stall with mean
+	// MigrationStallMean.
+	MigrationStallProb float64
+	MigrationStallMean time.Duration
+
+	// CrashMTBF, when positive, gives each host an independent
+	// exponential crash process with this mean time between crashes.
+	// A crash takes the host down instantly; it returns to service
+	// after an exponentially distributed repair delay with mean
+	// CrashRepairMean. Crashes only strike available hosts — parked or
+	// transitioning hosts are skipped (the process keeps ticking).
+	CrashMTBF time.Duration
+	// CrashRepairMean is the mean repair delay (default 10 minutes
+	// when crashes are enabled).
+	CrashRepairMean time.Duration
+}
+
+// Enabled reports whether the configuration injects anything at all.
+// Disabled configurations must stay injector-free so runs are
+// byte-identical to fault-unaware builds.
+func (c Config) Enabled() bool {
+	return c.SuspendFailProb > 0 || c.WakeFailProb > 0 ||
+		(c.TransitionSlowProb > 0 && c.TransitionSlowMean > 0) ||
+		c.MigrationFailProb > 0 ||
+		(c.MigrationStallProb > 0 && c.MigrationStallMean > 0) ||
+		c.CrashMTBF > 0
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"suspend failure", c.SuspendFailProb},
+		{"wake failure", c.WakeFailProb},
+		{"transition slow", c.TransitionSlowProb},
+		{"migration failure", c.MigrationFailProb},
+		{"migration stall", c.MigrationStallProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.TransitionSlowMean < 0 {
+		return fmt.Errorf("faults: negative transition slow mean %v", c.TransitionSlowMean)
+	}
+	if c.MigrationStallMean < 0 {
+		return fmt.Errorf("faults: negative migration stall mean %v", c.MigrationStallMean)
+	}
+	if c.CrashMTBF < 0 {
+		return fmt.Errorf("faults: negative crash MTBF %v", c.CrashMTBF)
+	}
+	if c.CrashRepairMean < 0 {
+		return fmt.Errorf("faults: negative crash repair mean %v", c.CrashRepairMean)
+	}
+	return nil
+}
+
+// Preset returns the standard fault mix at intensity rate ∈ [0, 1],
+// the knob the robustness experiment sweeps. Rate 0 returns the zero
+// Config (fully dormant); rising rates scale every failure mode
+// together: suspend failures at the full rate, wake and migration
+// switchover failures at half rate (resumes and switchovers are the
+// rarer defects in practice), slowdowns at the full rate, and a crash
+// process whose per-host MTBF shrinks as 50h/rate.
+func Preset(rate float64) Config {
+	if rate <= 0 {
+		return Config{}
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return Config{
+		SuspendFailProb:    rate,
+		WakeFailProb:       rate / 2,
+		TransitionSlowProb: rate,
+		TransitionSlowMean: 20 * time.Second,
+		MigrationFailProb:  rate / 2,
+		MigrationStallProb: rate,
+		MigrationStallMean: 30 * time.Second,
+		CrashMTBF:          time.Duration(float64(50*time.Hour) / rate),
+		CrashRepairMean:    10 * time.Minute,
+	}
+}
+
+// Stats count what the injector actually did.
+type Stats struct {
+	SuspendFaults   int
+	WakeFaults      int
+	SlowTransitions int
+	MigrationFaults int
+	MigrationStalls int
+	CrashesFired    int
+	CrashesSkipped  int // crash ticks that found the host unavailable
+}
+
+// Injector draws fault decisions from its own RNG substream. It
+// implements power.FaultInjector and migrate.FaultInjector, and runs
+// the per-host crash processes. Like everything else in the simulator
+// it is single-threaded: one injector per engine.
+type Injector struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	cfg   Config
+	stats Stats
+}
+
+// New builds an injector for cfg, forking the engine's RNG so fault
+// decisions consume an independent substream. cfg must be Enabled()
+// and valid; constructing an injector for a dormant configuration is a
+// caller bug because the fork alone perturbs the engine's stream.
+func New(eng *sim.Engine, cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("faults: refusing to build an injector for a dormant config")
+	}
+	if cfg.CrashMTBF > 0 && cfg.CrashRepairMean == 0 {
+		cfg.CrashRepairMean = 10 * time.Minute
+	}
+	return &Injector{eng: eng, rng: eng.RNG().Fork(), cfg: cfg}, nil
+}
+
+// Config returns the injector's configuration.
+func (i *Injector) Config() Config { return i.cfg }
+
+// Stats returns a snapshot of what has been injected so far.
+func (i *Injector) Stats() Stats { return i.stats }
+
+// slow draws the extra-latency decision shared by both transition
+// directions: one Bernoulli plus, on success, one exponential draw.
+func (i *Injector) slow() time.Duration {
+	if i.cfg.TransitionSlowMean <= 0 {
+		return 0
+	}
+	if !i.rng.Bernoulli(i.cfg.TransitionSlowProb) {
+		return 0
+	}
+	i.stats.SlowTransitions++
+	return time.Duration(i.rng.Exp(float64(i.cfg.TransitionSlowMean)))
+}
+
+// SleepFault implements power.FaultInjector.
+func (i *Injector) SleepFault(power.State) power.Fault {
+	f := power.Fault{Extra: i.slow()}
+	if i.rng.Bernoulli(i.cfg.SuspendFailProb) {
+		f.Fail = true
+		i.stats.SuspendFaults++
+	}
+	return f
+}
+
+// WakeFault implements power.FaultInjector.
+func (i *Injector) WakeFault(power.State) power.Fault {
+	f := power.Fault{Extra: i.slow()}
+	if i.rng.Bernoulli(i.cfg.WakeFailProb) {
+		f.Fail = true
+		i.stats.WakeFaults++
+	}
+	return f
+}
+
+// MigrationFault implements migrate.FaultInjector.
+func (i *Injector) MigrationFault(float64) migrate.Fault {
+	var f migrate.Fault
+	if i.cfg.MigrationStallMean > 0 && i.rng.Bernoulli(i.cfg.MigrationStallProb) {
+		f.Stall = time.Duration(i.rng.Exp(float64(i.cfg.MigrationStallMean)))
+		i.stats.MigrationStalls++
+	}
+	if i.rng.Bernoulli(i.cfg.MigrationFailProb) {
+		f.Fail = true
+		i.stats.MigrationFaults++
+	}
+	return f
+}
+
+// ScheduleCrashes starts one independent crash process per host index
+// in [0, hosts). At each tick the crash callback is invoked with the
+// host index and an exponentially drawn repair delay; it reports
+// whether the crash was applied (false when the host was asleep or
+// mid-transition, in which case the process simply ticks again later).
+// The next tick is always scheduled at repair + Exp(MTBF) past the
+// current one, so a host that dodges a crash is not owed one sooner.
+//
+// Call it once, before the simulation runs, so event ordering is
+// deterministic. It is a no-op when the config has no crash process.
+func (i *Injector) ScheduleCrashes(hosts int, crash func(idx int, repair time.Duration) bool) {
+	if i.cfg.CrashMTBF <= 0 {
+		return
+	}
+	for idx := 0; idx < hosts; idx++ {
+		i.scheduleCrash(idx, crash)
+	}
+}
+
+func (i *Injector) scheduleCrash(idx int, crash func(idx int, repair time.Duration) bool) {
+	wait := time.Duration(i.rng.Exp(float64(i.cfg.CrashMTBF)))
+	i.eng.After(wait, func() {
+		repair := time.Duration(i.rng.Exp(float64(i.cfg.CrashRepairMean)))
+		if crash(idx, repair) {
+			i.stats.CrashesFired++
+		} else {
+			i.stats.CrashesSkipped++
+		}
+		i.scheduleCrash(idx, crash)
+	})
+}

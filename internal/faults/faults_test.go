@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/power"
+	"agilepower/internal/sim"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	cases := []Config{
+		{SuspendFailProb: 0.1},
+		{WakeFailProb: 0.1},
+		{TransitionSlowProb: 0.1, TransitionSlowMean: time.Second},
+		{MigrationFailProb: 0.1},
+		{MigrationStallProb: 0.1, MigrationStallMean: time.Second},
+		{CrashMTBF: time.Hour},
+	}
+	for i, c := range cases {
+		if !c.Enabled() {
+			t.Errorf("case %d: %+v not enabled", i, c)
+		}
+	}
+	// A slow/stall probability without a mean injects nothing.
+	if (Config{TransitionSlowProb: 0.5}).Enabled() {
+		t.Error("slow prob without mean reports enabled")
+	}
+	if (Config{MigrationStallProb: 0.5}).Enabled() {
+		t.Error("stall prob without mean reports enabled")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SuspendFailProb: -0.1},
+		{WakeFailProb: 1.5},
+		{TransitionSlowProb: 2},
+		{MigrationFailProb: -1},
+		{MigrationStallProb: 7},
+		{TransitionSlowMean: -time.Second},
+		{MigrationStallMean: -time.Second},
+		{CrashMTBF: -time.Hour},
+		{CrashRepairMean: -time.Minute},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, c)
+		}
+	}
+	if err := Preset(0.2).Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+}
+
+func TestPreset(t *testing.T) {
+	if Preset(0).Enabled() {
+		t.Fatal("preset(0) not dormant")
+	}
+	if Preset(-1).Enabled() {
+		t.Fatal("preset(-1) not dormant")
+	}
+	c := Preset(0.1)
+	if c.SuspendFailProb != 0.1 || c.WakeFailProb != 0.05 || c.CrashMTBF != 500*time.Hour {
+		t.Fatalf("preset(0.1) = %+v", c)
+	}
+	// Clamp above 1.
+	if got := Preset(5).SuspendFailProb; got != 1 {
+		t.Fatalf("preset(5) suspend prob = %v, want 1", got)
+	}
+}
+
+func TestNewRefusesDormantConfig(t *testing.T) {
+	if _, err := New(sim.NewEngine(1), Config{}); err == nil {
+		t.Fatal("New accepted a dormant config")
+	}
+	if _, err := New(sim.NewEngine(1), Config{SuspendFailProb: 2}); err == nil {
+		t.Fatal("New accepted an invalid config")
+	}
+}
+
+// Same seed, same call sequence → identical decisions, the property
+// every other determinism guarantee in the simulator rests on.
+func TestInjectorDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]power.Fault, []time.Duration) {
+		inj, err := New(sim.NewEngine(7), Preset(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs []power.Fault
+		for i := 0; i < 50; i++ {
+			fs = append(fs, inj.SleepFault(power.S3), inj.WakeFault(power.S3))
+		}
+		var stalls []time.Duration
+		for i := 0; i < 50; i++ {
+			stalls = append(stalls, inj.MigrationFault(8).Stall)
+		}
+		return fs, stalls
+	}
+	f1, s1 := run()
+	f2, s2 := run()
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("transition fault %d differs: %+v vs %+v", i, f1[i], f2[i])
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("stall %d differs: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestInjectorActuallyInjects(t *testing.T) {
+	inj, err := New(sim.NewEngine(3), Preset(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		inj.SleepFault(power.S3)
+		inj.WakeFault(power.S3)
+		inj.MigrationFault(8)
+	}
+	st := inj.Stats()
+	if st.SuspendFaults == 0 || st.WakeFaults == 0 || st.SlowTransitions == 0 ||
+		st.MigrationFaults == 0 || st.MigrationStalls == 0 {
+		t.Fatalf("expected all fault kinds at rate 0.5 over 200 draws: %+v", st)
+	}
+	// Rough sanity on rates: suspend failures should be near 100 of 200.
+	if st.SuspendFaults < 60 || st.SuspendFaults > 140 {
+		t.Fatalf("suspend faults %d wildly off p=0.5 over 200", st.SuspendFaults)
+	}
+}
+
+func TestScheduleCrashes(t *testing.T) {
+	eng := sim.NewEngine(5)
+	cfg := Config{CrashMTBF: time.Hour, CrashRepairMean: 10 * time.Minute}
+	inj, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type hit struct {
+		idx    int
+		at     sim.Time
+		repair time.Duration
+	}
+	var hits []hit
+	inj.ScheduleCrashes(3, func(idx int, repair time.Duration) bool {
+		hits = append(hits, hit{idx, eng.Now(), repair})
+		return idx != 2 // host 2 always dodges
+	})
+	eng.RunUntil(sim.Time(24 * time.Hour))
+	if len(hits) == 0 {
+		t.Fatal("no crash ticks over 24h at 1h MTBF")
+	}
+	seen := map[int]bool{}
+	for _, h := range hits {
+		if h.idx < 0 || h.idx > 2 {
+			t.Fatalf("crash for unknown host %d", h.idx)
+		}
+		if h.repair < 0 {
+			t.Fatalf("negative repair %v", h.repair)
+		}
+		seen[h.idx] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("not every host's process ticked: %v", seen)
+	}
+	st := inj.Stats()
+	if st.CrashesFired == 0 || st.CrashesSkipped == 0 {
+		t.Fatalf("want both fired and skipped crashes, got %+v", st)
+	}
+	if st.CrashesFired+st.CrashesSkipped != len(hits) {
+		t.Fatalf("stats %d+%d != %d ticks", st.CrashesFired, st.CrashesSkipped, len(hits))
+	}
+}
+
+func TestScheduleCrashesNoopWithoutMTBF(t *testing.T) {
+	eng := sim.NewEngine(5)
+	inj, err := New(eng, Config{SuspendFailProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.ScheduleCrashes(4, func(int, time.Duration) bool {
+		t.Fatal("crash process ran without an MTBF")
+		return false
+	})
+	eng.RunUntil(sim.Time(time.Hour))
+}

@@ -96,6 +96,10 @@ func (h *Host) MemoryGB() float64 { return h.memGB }
 // Machine returns the power state machine.
 func (h *Host) Machine() *power.Machine { return h.machine }
 
+// SetFaultInjector installs a power-transition fault injector on the
+// host's machine (nil disables injection — the default).
+func (h *Host) SetFaultInjector(f power.FaultInjector) { h.machine.SetFaultInjector(f) }
+
 // Available reports whether the host can serve VMs right now.
 func (h *Host) Available() bool { return h.machine.Available() }
 

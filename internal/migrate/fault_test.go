@@ -1,0 +1,128 @@
+package migrate
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+// scriptMigInjector returns pre-scripted faults in order, then zero.
+type scriptMigInjector struct{ faults []Fault }
+
+func (s *scriptMigInjector) MigrationFault(float64) Fault {
+	if len(s.faults) == 0 {
+		return Fault{}
+	}
+	f := s.faults[0]
+	s.faults = s.faults[1:]
+	return f
+}
+
+func TestMigrationStallLengthensPreCopy(t *testing.T) {
+	eng, m := newTestManager(t, 2)
+	stall := 30 * time.Second
+	m.SetFaultInjector(&scriptMigInjector{faults: []Fault{{Stall: stall}}})
+	var done *Migration
+	m.OnComplete(func(mg *Migration) { done = mg })
+	mig, err := m.Start(1, 10, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.End != mig.Start+sim.Time(mig.Plan.Duration+stall) {
+		t.Fatalf("End = %v, want plan %v + stall %v", mig.End, mig.Plan.Duration, stall)
+	}
+	eng.RunUntil(mig.End - 1)
+	if done != nil {
+		t.Fatal("completed before the stalled duration")
+	}
+	eng.RunUntil(mig.End)
+	if done == nil {
+		t.Fatal("stalled migration never completed")
+	}
+	st := m.Stats()
+	if st.Stalled != 1 || st.StallTime != stall || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMigrationFaultAborts(t *testing.T) {
+	eng, m := newTestManager(t, 2)
+	m.SetFaultInjector(&scriptMigInjector{faults: []Fault{{Fail: true}}})
+	var failed, completed *Migration
+	m.OnFailed(func(mg *Migration) { failed = mg })
+	m.OnComplete(func(mg *Migration) { completed = mg })
+	mig, err := m.Start(1, 10, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(mig.End)
+	if completed != nil {
+		t.Fatal("failed migration fired OnComplete")
+	}
+	if failed == nil || !failed.Failed {
+		t.Fatalf("OnFailed not fired correctly: %+v", failed)
+	}
+	if m.Migrating(1) || m.HostLoad(10) != 0 || m.HostLoad(20) != 0 {
+		t.Fatal("aborted migration still tracked")
+	}
+	st := m.Stats()
+	if st.Aborted != 1 || st.Completed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The pre-copy traffic was spent despite the abort.
+	if st.TrafficGB != mig.Plan.TrafficGB {
+		t.Fatalf("traffic %v, want %v", st.TrafficGB, mig.Plan.TrafficGB)
+	}
+	// The VM can immediately be retried.
+	if _, err := m.Start(1, 10, 30, 8); err != nil {
+		t.Fatalf("retry rejected: %v", err)
+	}
+}
+
+func TestFailHostAbortsTouchingMigrations(t *testing.T) {
+	eng, m := newTestManager(t, 4)
+	var failed []*Migration
+	var completed []*Migration
+	m.OnFailed(func(mg *Migration) { failed = append(failed, mg) })
+	m.OnComplete(func(mg *Migration) { completed = append(completed, mg) })
+	// Two migrations touch host 1 (as src and dst), one does not.
+	if _, err := m.Start(1, 1, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start(2, 3, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := m.Start(3, 4, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.FailHost(1); n != 2 {
+		t.Fatalf("FailHost aborted %d, want 2", n)
+	}
+	if len(failed) != 2 {
+		t.Fatalf("OnFailed fired %d times, want 2", len(failed))
+	}
+	if m.Inflight() != 1 || !m.Migrating(3) {
+		t.Fatal("bystander migration was disturbed")
+	}
+	if m.HostLoad(1) != 0 {
+		t.Fatalf("host 1 load %d after FailHost", m.HostLoad(1))
+	}
+	// The cancelled completion events must not fire later.
+	eng.RunUntil(bystander.End)
+	if len(completed) != 1 || completed[0].VM != 3 {
+		t.Fatalf("completions = %v, want just vm 3", len(completed))
+	}
+	st := m.Stats()
+	if st.Aborted != 2 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFailHostNothingInflight(t *testing.T) {
+	_, m := newTestManager(t, 2)
+	if n := m.FailHost(7); n != 0 {
+		t.Fatalf("FailHost on idle manager aborted %d", n)
+	}
+}

@@ -21,6 +21,22 @@ var (
 	ErrSamePlace = errors.New("migrate: source and destination are the same host")
 )
 
+// Fault is one injected defect on a migration. Stall lengthens the
+// pre-copy (network congestion, dirty-page churn); Fail makes the
+// final switchover abort after the full (stalled) duration — the VM
+// stays on its source and the caller re-plans.
+type Fault struct {
+	Fail  bool
+	Stall time.Duration
+}
+
+// FaultInjector decides faults for migrations. Nil (the default) is
+// fully dormant. Injectors must be deterministic functions of their own
+// seeded stream so simulations stay reproducible.
+type FaultInjector interface {
+	MigrationFault(memGB float64) Fault
+}
+
 // Migration is one in-flight (or completed) VM move. Hosts are
 // identified by opaque ints supplied by the caller (the cluster layer).
 type Migration struct {
@@ -29,6 +45,13 @@ type Migration struct {
 	Start    sim.Time
 	End      sim.Time
 	Plan     Plan
+	// Failed marks a migration whose switchover aborts (injected fault
+	// or a crash of an endpoint host): the VM never leaves its source.
+	Failed bool
+
+	// ev is the scheduled completion, kept so an endpoint crash can
+	// abort the move early.
+	ev *sim.Event
 }
 
 // Stats are cumulative manager counters.
@@ -41,6 +64,14 @@ type Stats struct {
 	TotalDowntime time.Duration
 	// TotalDuration is the sum of wall durations of completed moves.
 	TotalDuration time.Duration
+	// Aborted counts migrations that ran and then failed (injected
+	// switchover faults and endpoint crashes), distinct from requests
+	// rejected at Start.
+	Aborted int
+	// Stalled counts migrations that were slowed by injected stalls;
+	// StallTime is the total extra pre-copy time.
+	Stalled   int
+	StallTime time.Duration
 }
 
 // Manager tracks in-flight migrations, enforces per-host concurrency
@@ -57,7 +88,11 @@ type Manager struct {
 	perHost  map[int]int
 	stats    Stats
 
+	// faults, when non-nil, is consulted on every admitted migration.
+	faults FaultInjector
+
 	onComplete func(*Migration)
+	onFailed   func(*Migration)
 }
 
 // NewManager builds a manager. perHostLimit ≤ 0 selects the default
@@ -84,6 +119,15 @@ func (m *Manager) Model() Model { return m.model }
 
 // OnComplete registers fn to run when any migration completes.
 func (m *Manager) OnComplete(fn func(*Migration)) { m.onComplete = fn }
+
+// OnFailed registers fn to run when any migration aborts. The VM is
+// still on its source host; the caller releases whatever it reserved
+// at the destination.
+func (m *Manager) OnFailed(fn func(*Migration)) { m.onFailed = fn }
+
+// SetFaultInjector installs a migration fault injector (nil disables
+// injection entirely — the default).
+func (m *Manager) SetFaultInjector(f FaultInjector) { m.faults = f }
 
 // Inflight returns the number of migrations currently in flight.
 func (m *Manager) Inflight() int { return len(m.inflight) }
@@ -135,20 +179,50 @@ func (m *Manager) Start(id vm.ID, src, dst int, memGB float64) (*Migration, erro
 	if err != nil {
 		return nil, err
 	}
+	duration := plan.Duration
+	failed := false
+	if m.faults != nil {
+		f := m.faults.MigrationFault(memGB)
+		if f.Stall > 0 {
+			duration += f.Stall
+			m.stats.Stalled++
+			m.stats.StallTime += f.Stall
+		}
+		failed = f.Fail
+	}
 	mig := &Migration{
-		VM:    id,
-		Src:   src,
-		Dst:   dst,
-		Start: m.eng.Now(),
-		End:   m.eng.Now() + plan.Duration,
-		Plan:  plan,
+		VM:     id,
+		Src:    src,
+		Dst:    dst,
+		Start:  m.eng.Now(),
+		End:    m.eng.Now() + duration,
+		Plan:   plan,
+		Failed: failed,
 	}
 	m.inflight[id] = mig
 	m.perHost[src]++
 	m.perHost[dst]++
 	m.stats.Started++
-	m.eng.Schedule(mig.End, func() { m.complete(mig) })
+	mig.ev = m.eng.Schedule(mig.End, func() { m.complete(mig) })
 	return mig, nil
+}
+
+// FailHost aborts every in-flight migration touching host h (which
+// crashed): their completion events are cancelled and each fires the
+// failure path immediately. It returns how many were aborted.
+func (m *Manager) FailHost(h int) int {
+	aborted := 0
+	for _, mig := range m.Inflights() {
+		if mig.Src != h && mig.Dst != h {
+			continue
+		}
+		mig.ev.Cancel()
+		mig.Failed = true
+		mig.End = m.eng.Now()
+		m.complete(mig)
+		aborted++
+	}
+	return aborted
 }
 
 func (m *Manager) complete(mig *Migration) {
@@ -160,6 +234,15 @@ func (m *Manager) complete(mig *Migration) {
 	}
 	if m.perHost[mig.Dst] == 0 {
 		delete(m.perHost, mig.Dst)
+	}
+	if mig.Failed {
+		// The pre-copy traffic was spent even though the move aborted.
+		m.stats.Aborted++
+		m.stats.TrafficGB += mig.Plan.TrafficGB
+		if m.onFailed != nil {
+			m.onFailed(mig)
+		}
+		return
 	}
 	m.stats.Completed++
 	m.stats.TrafficGB += mig.Plan.TrafficGB

@@ -1,0 +1,28 @@
+package power
+
+import "time"
+
+// Fault is one injected defect on a power-state transition. Extra
+// lengthens the transition (firmware retries, slow device re-init);
+// Fail makes the transition not take effect: the machine spends the
+// full (lengthened) latency and then settles back in the state it was
+// leaving, exactly how a failed suspend leaves a server running or a
+// failed resume leaves it asleep.
+type Fault struct {
+	Fail  bool
+	Extra time.Duration
+}
+
+// FaultInjector decides faults for power-state transitions. The zero
+// implementation (a nil injector on the Machine) is fully dormant: no
+// randomness is drawn and no behaviour changes. Injectors must be
+// deterministic functions of their own seeded stream so simulations
+// stay reproducible.
+type FaultInjector interface {
+	// SleepFault is consulted when a transition into sleep state target
+	// is admitted.
+	SleepFault(target State) Fault
+	// WakeFault is consulted when a transition out of sleep state from
+	// is admitted.
+	WakeFault(from State) Fault
+}

@@ -1,0 +1,171 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+// scriptInjector returns pre-scripted faults in order, then zero
+// faults forever.
+type scriptInjector struct {
+	sleep []Fault
+	wake  []Fault
+}
+
+func (s *scriptInjector) SleepFault(State) Fault {
+	if len(s.sleep) == 0 {
+		return Fault{}
+	}
+	f := s.sleep[0]
+	s.sleep = s.sleep[1:]
+	return f
+}
+
+func (s *scriptInjector) WakeFault(State) Fault {
+	if len(s.wake) == 0 {
+		return Fault{}
+	}
+	f := s.wake[0]
+	s.wake = s.wake[1:]
+	return f
+}
+
+func TestSleepFaultFailSettlesBackOn(t *testing.T) {
+	eng, m := newTestMachine(t)
+	m.SetFaultInjector(&scriptInjector{sleep: []Fault{{Fail: true}}})
+	var settled []State
+	m.OnSettled(func(st State) { settled = append(settled, st) })
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Available() {
+		t.Fatal("machine available mid-transition")
+	}
+	eng.RunUntil(sim.Time(DefaultProfile().Sleep[S3].EntryLatency))
+	if !m.Available() {
+		t.Fatalf("failed suspend should settle back in S0, machine is %v/%v", m.State(), m.Phase())
+	}
+	if len(settled) != 1 || settled[0] != S0 {
+		t.Fatalf("settled = %v, want [S0]", settled)
+	}
+	st := m.Stats()
+	if st.SuspendFailures != 1 {
+		t.Fatalf("SuspendFailures = %d, want 1", st.SuspendFailures)
+	}
+	// A second, clean sleep must work.
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Now() + sim.Time(DefaultProfile().Sleep[S3].EntryLatency))
+	if m.State() != S3 {
+		t.Fatalf("clean retry did not park: %v", m.State())
+	}
+}
+
+func TestSleepFaultExtraLatency(t *testing.T) {
+	eng, m := newTestMachine(t)
+	extra := 10 * time.Second
+	m.SetFaultInjector(&scriptInjector{sleep: []Fault{{Extra: extra}}})
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(DefaultProfile().Sleep[S3].EntryLatency + extra)
+	if m.TransitionEnd() != want {
+		t.Fatalf("TransitionEnd = %v, want %v", m.TransitionEnd(), want)
+	}
+	eng.RunUntil(want - 1)
+	if m.Phase() != Entering {
+		t.Fatal("settled before the slowed latency elapsed")
+	}
+	eng.RunUntil(want)
+	if m.State() != S3 || m.Phase() != Settled {
+		t.Fatalf("machine %v/%v after slowed entry", m.State(), m.Phase())
+	}
+}
+
+func TestWakeFaultFailFallsBackAsleep(t *testing.T) {
+	eng, m := newTestMachine(t)
+	m.SetFaultInjector(&scriptInjector{wake: []Fault{{Fail: true}}})
+	spec := DefaultProfile().Sleep[S3]
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(spec.EntryLatency))
+	if err := m.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Now() + sim.Time(spec.ExitLatency))
+	if m.State() != S3 || m.Phase() != Settled {
+		t.Fatalf("failed wake should fall back to S3, machine is %v/%v", m.State(), m.Phase())
+	}
+	if st := m.Stats(); st.WakeFailures != 1 {
+		t.Fatalf("WakeFailures = %d, want 1", st.WakeFailures)
+	}
+	// The retry (no scripted fault left) succeeds.
+	if err := m.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(eng.Now() + sim.Time(spec.ExitLatency))
+	if !m.Available() {
+		t.Fatalf("retry wake failed: %v/%v", m.State(), m.Phase())
+	}
+}
+
+func TestCrashTakesMachineDownAndRepairs(t *testing.T) {
+	eng, m := newTestMachine(t)
+	m.SetUtilization(0.8)
+	repair := time.Minute
+	if err := m.Crash(repair); err != nil {
+		t.Fatal(err)
+	}
+	if m.Available() || !m.Crashed() {
+		t.Fatalf("crashed machine available=%v crashed=%v", m.Available(), m.Crashed())
+	}
+	if m.Utilization() != 0 {
+		t.Fatal("crashed machine retains utilization")
+	}
+	start := eng.Now()
+	eng.RunUntil(start + sim.Time(repair))
+	if !m.Available() || m.Crashed() {
+		t.Fatalf("repaired machine available=%v crashed=%v", m.Available(), m.Crashed())
+	}
+	st := m.Stats()
+	if st.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", st.Crashes)
+	}
+}
+
+func TestCrashPowerDuringRepair(t *testing.T) {
+	eng, m := newTestMachine(t)
+	if err := m.Crash(100 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := float64(m.Energy())
+	eng.RunUntil(eng.Now() + sim.Time(100*time.Second))
+	got := float64(m.Energy()) - before
+	// Repair draws the S5 exit (boot) power on the default profile.
+	want := float64(DefaultProfile().Sleep[S5].ExitPower) * 100
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("repair energy = %v J, want %v J", got, want)
+	}
+}
+
+func TestCrashRejectsUnavailableAndBadRepair(t *testing.T) {
+	eng, m := newTestMachine(t)
+	if err := m.Crash(-time.Second); err == nil {
+		t.Fatal("negative repair accepted")
+	}
+	if err := m.Sleep(S3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Crash(time.Minute); err == nil {
+		t.Fatal("crash mid-transition accepted")
+	}
+	eng.RunUntil(sim.Time(DefaultProfile().Sleep[S3].EntryLatency))
+	if err := m.Crash(time.Minute); err == nil {
+		t.Fatal("crash while asleep accepted")
+	}
+}

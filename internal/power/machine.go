@@ -32,6 +32,15 @@ type Stats struct {
 	// ResumeFailures counts S3 resumes that failed and fell back to a
 	// full boot.
 	ResumeFailures int
+	// SuspendFailures counts injected sleep entries that did not take:
+	// the machine spent the entry latency and settled back in S0.
+	SuspendFailures int
+	// WakeFailures counts injected sleep exits that did not take: the
+	// machine spent the exit latency and settled back asleep.
+	WakeFailures int
+	// Crashes counts transient host crashes (power lost, then a repair
+	// delay back to S0).
+	Crashes int
 }
 
 // Machine is the power state machine of one server, driven by the
@@ -54,6 +63,14 @@ type Machine struct {
 	freq        float64
 	lastAccrual sim.Time
 	stats       Stats
+
+	// faults, when non-nil, is consulted on every admitted transition.
+	// Nil (the default) is fully dormant.
+	faults FaultInjector
+	// crashed is true from Crash until the repair completes; it lets
+	// invariant checks distinguish a crashed host (which may hold VMs
+	// while unavailable) from a managed transition (which may not).
+	crashed bool
 
 	// onSettled, when non-nil, runs after every completed transition
 	// with the newly settled state.
@@ -103,6 +120,14 @@ func (m *Machine) Available() bool { return m.state == S0 && m.phase == Settled 
 
 // OnSettled registers fn to run after every completed transition.
 func (m *Machine) OnSettled(fn func(State)) { m.onSettled = fn }
+
+// SetFaultInjector installs a transition fault injector (nil disables
+// injection entirely — the default).
+func (m *Machine) SetFaultInjector(f FaultInjector) { m.faults = f }
+
+// Crashed reports whether the machine is currently down due to a crash
+// (between Crash and the completed repair).
+func (m *Machine) Crashed() bool { return m.crashed }
 
 // Power returns the instantaneous draw.
 func (m *Machine) Power() Watts {
@@ -197,9 +222,23 @@ func (m *Machine) Sleep(st State) error {
 	m.phase = Entering
 	m.target = st
 	spec := m.profile.Sleep[st]
-	m.doneAt = m.eng.Now() + spec.EntryLatency
+	latency := spec.EntryLatency
+	settleIn := st
+	if m.faults != nil {
+		f := m.faults.SleepFault(st)
+		if f.Extra > 0 {
+			latency += f.Extra
+		}
+		if f.Fail {
+			// The suspend does not take: the machine burns the entry
+			// latency and comes back up running.
+			settleIn = S0
+			m.stats.SuspendFailures++
+		}
+	}
+	m.doneAt = m.eng.Now() + latency
 	m.stats.Entries[st]++
-	m.eng.Schedule(m.doneAt, func() { m.settle(st) })
+	m.eng.Schedule(m.doneAt, func() { m.settle(settleIn) })
 	return nil
 }
 
@@ -221,7 +260,7 @@ func (m *Machine) Wake() error {
 	// A failed S3 resume falls back to a power cycle plus full boot:
 	// the S5 exit path (or 10x the S3 exit when the profile has no S5
 	// calibration).
-	if from == S3 && m.profile.ResumeFailProb > 0 && m.eng.RNG().Float64() < m.profile.ResumeFailProb {
+	if from == S3 && m.eng.RNG().Bernoulli(m.profile.ResumeFailProb) {
 		if s5, ok := m.profile.Sleep[S5]; ok {
 			exit += s5.ExitLatency
 		} else {
@@ -229,8 +268,47 @@ func (m *Machine) Wake() error {
 		}
 		m.stats.ResumeFailures++
 	}
+	settleIn := S0
+	if m.faults != nil {
+		f := m.faults.WakeFault(from)
+		if f.Extra > 0 {
+			exit += f.Extra
+		}
+		if f.Fail {
+			// The resume does not take at all: the machine burns the
+			// exit latency and falls back asleep. Callers retry.
+			settleIn = from
+			m.stats.WakeFailures++
+		}
+	}
 	m.doneAt = m.eng.Now() + exit
 	m.stats.Exits[from]++
+	m.eng.Schedule(m.doneAt, func() { m.settle(settleIn) })
+	return nil
+}
+
+// Crash takes an available machine down instantly — power is lost (the
+// settled S5 draw, effectively off) — and schedules the repair: after
+// the given delay the machine boots back to S0 and OnSettled fires.
+// During the repair the machine draws the S5 exit (boot) power when the
+// profile has an S5 calibration, and nothing otherwise. Crashing a
+// machine that is asleep or mid-transition is rejected: parked servers
+// have no workload to lose and transitions cannot be preempted.
+func (m *Machine) Crash(repair time.Duration) error {
+	if repair < 0 {
+		return fmt.Errorf("power: negative repair delay %v", repair)
+	}
+	if !m.Available() {
+		return fmt.Errorf("%w: crash while %v/%v", ErrNotOn, m.state, m.phase)
+	}
+	m.accrue()
+	m.util = 0
+	m.state = S5
+	m.phase = Exiting
+	m.target = S0
+	m.crashed = true
+	m.doneAt = m.eng.Now() + repair
+	m.stats.Crashes++
 	m.eng.Schedule(m.doneAt, func() { m.settle(S0) })
 	return nil
 }
@@ -240,6 +318,7 @@ func (m *Machine) settle(st State) {
 	m.accrue()
 	m.state = st
 	m.phase = Settled
+	m.crashed = false
 	if m.onSettled != nil {
 		m.onSettled(st)
 	}

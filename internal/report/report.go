@@ -48,8 +48,20 @@ func formatFloat(v float64) string {
 	return fmt.Sprintf("%.3f", v)
 }
 
-// Rows returns the number of data rows.
-func (t *Table) Rows() int { return len(t.rows) }
+// AddSeparator appends a horizontal rule between row groups (rendered
+// as a dashed line by Write; CSV output and Rows skip it).
+func (t *Table) AddSeparator() { t.rows = append(t.rows, nil) }
+
+// Rows returns the number of data rows (separators excluded).
+func (t *Table) Rows() int {
+	n := 0
+	for _, row := range t.rows {
+		if row != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Write renders the table.
 func (t *Table) Write(w io.Writer) error {
@@ -85,6 +97,10 @@ func (t *Table) Write(w io.Writer) error {
 	}
 	writeRow(sep)
 	for _, row := range t.rows {
+		if row == nil {
+			writeRow(sep)
+			continue
+		}
 		writeRow(row)
 	}
 	_, err := io.WriteString(w, b.String())
@@ -108,6 +124,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	writeRec(t.Headers)
 	for _, row := range t.rows {
+		if row == nil {
+			continue
+		}
 		writeRec(row)
 	}
 	_, err := io.WriteString(w, b.String())

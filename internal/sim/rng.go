@@ -54,6 +54,20 @@ func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
+// Bernoulli reports true with probability p. When the outcome is
+// certain (p <= 0 or p >= 1) no randomness is drawn, so dormant
+// probabilistic paths (fault injection at rate zero) leave the stream
+// untouched and runs stay byte-identical to builds without them.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
 // Range returns a uniform value in [lo, hi).
 func (r *RNG) Range(lo, hi float64) float64 {
 	return lo + (hi-lo)*r.Float64()

@@ -1,0 +1,44 @@
+package telemetry
+
+import "sort"
+
+// Counters is a named-counter set for low-rate management events
+// (retries, quarantines, aborted migrations). It is deliberately dumb:
+// integer adds keyed by string, with deterministic (sorted) enumeration
+// so reports and tests that walk all counters are reproducible.
+type Counters struct {
+	vals map[string]int
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int)}
+}
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add adds n to the named counter (negative n subtracts).
+func (c *Counters) Add(name string, n int) { c.vals[name] += n }
+
+// Get returns the named counter's value (zero when never touched).
+func (c *Counters) Get(name string) int { return c.vals[name] }
+
+// Names returns every touched counter name in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int {
+	out := make(map[string]int, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}

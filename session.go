@@ -6,6 +6,7 @@ import (
 
 	"agilepower/internal/cluster"
 	"agilepower/internal/core"
+	"agilepower/internal/faults"
 	"agilepower/internal/host"
 	"agilepower/internal/power"
 	"agilepower/internal/sim"
@@ -58,6 +59,20 @@ func (s Scenario) Start() (*Session, error) {
 	mgr, err := core.NewManager(cl, s.Manager)
 	if err != nil {
 		return nil, err
+	}
+	// Fault injection: only an enabled config constructs an injector —
+	// even forking the RNG for a dormant one would perturb the stream
+	// and break byte-identity with fault-free runs.
+	if s.Faults != nil && s.Faults.Enabled() {
+		inj, err := faults.New(eng, *s.Faults)
+		if err != nil {
+			return nil, err
+		}
+		cl.InjectFaults(inj, inj)
+		fleet := cl.Hosts()
+		inj.ScheduleCrashes(len(fleet), func(idx int, repair time.Duration) bool {
+			return cl.CrashHost(fleet[idx].ID(), repair) == nil
+		})
 	}
 	se := &Session{
 		scenario: s,
@@ -163,6 +178,7 @@ func (se *Session) Result() *Result {
 	churnStatsFrom(se.cl, &se.churn)
 	agg := se.cl.AggregateSLA()
 	entries, exits := se.cl.PowerActions()
+	suspendFails, wakeFails, crashes := se.cl.TransitionFaultStats()
 	return &Result{
 		Scenario:          se.scenario.Name,
 		Policy:            se.mgr.Config().Policy.Name,
@@ -179,6 +195,11 @@ func (se *Session) Result() *Result {
 		Wakes:             exits,
 		ResumeFailures:    se.cl.ResumeFailures(),
 		Churn:             se.churn,
+		FaultCounters:     se.mgr.Counters().Snapshot(),
+		SuspendFailures:   suspendFails,
+		WakeFailures:      wakeFails,
+		Crashes:           crashes,
+		StrandedVMHours:   se.cl.StrandedVMSeconds() / 3600,
 		Events:            se.cl.Events(),
 		Power:             se.cl.PowerSeries(),
 		Demand:            se.cl.DemandSeries(),
