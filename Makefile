@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt determinism bench bench-smoke bench-baseline sweep-quick ci clean
+.PHONY: build test race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -41,14 +41,35 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# Record a labelled benchmark run into BENCH_parallel.json (appends to
-# any runs already in the file). Override LABEL to name the run:
+# Record a labelled benchmark run into a JSON artifact (appends to any
+# runs already in the file). Override LABEL to name the run and OUT to
+# pick the artifact:
 #
-#	make bench-baseline LABEL=sequential-baseline
+#	make bench-baseline LABEL=sequential-baseline OUT=BENCH_parallel.json
 bench-baseline: LABEL ?= parallel
+bench-baseline: OUT ?= BENCH_parallel.json
 bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 . \
-		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_parallel.json
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out $(OUT)
+
+# Record the hot-path benchmarks (evaluate loop, manager control step,
+# simulated day) into BENCH_hotpath.json. The checked-in artifact holds
+# the pre/post numbers of the allocation-free rework; re-run after any
+# change to the evaluate or control paths:
+#
+#	make bench-hotpath LABEL=hotpath-post
+bench-hotpath: LABEL ?= hotpath
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterEvaluate|BenchmarkSimulatedDay|BenchmarkManagerControlStep' \
+		-benchmem -count=3 ./internal/cluster/ ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_hotpath.json
+
+# Allocation regression gate: the steady-state evaluation tick and the
+# pooled event loop must stay allocation-free, and the full report
+# bytes must match the pre-optimization goldens. Part of `make ci`.
+bench-alloc:
+	$(GO) test -run 'AllocFree|ScheduleFuncPool|PreOptimizationGolden|ArchivedResults' -v \
+		./internal/cluster/ ./internal/sim/ ./internal/experiments/
 
 # Fast end-to-end smoke: the whole paper reproduction in quick mode.
 sweep-quick:
@@ -56,7 +77,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test race determinism bench-smoke
+ci: vet fmt build test race determinism bench-alloc bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -80,7 +80,7 @@ func scheduleChurn(eng *sim.Engine, cl *cluster.Cluster, spec ChurnSpec, horizon
 	depart = func(id vm.ID) {
 		if err := cl.RemoveVM(id); err != nil {
 			// Mid-migration: retry shortly after the move commits.
-			eng.After(time.Minute, func() { depart(id) })
+			eng.AfterFunc(time.Minute, func() { depart(id) })
 			return
 		}
 		stats.Departed++
@@ -100,16 +100,16 @@ func scheduleChurn(eng *sim.Engine, cl *cluster.Cluster, spec ChurnSpec, horizon
 		if err == nil {
 			stats.Arrived++
 			life := time.Duration(rng.Exp(float64(spec.MeanLifetime)))
-			eng.After(life, func() { depart(v.ID()) })
+			eng.AfterFunc(life, func() { depart(v.ID()) })
 		}
 		gap := time.Duration(rng.Exp(float64(meanGap)))
 		if eng.Now()+gap < sim.Time(horizon) {
-			eng.After(gap, arrive)
+			eng.AfterFunc(gap, arrive)
 		}
 	}
 	firstGap := time.Duration(rng.Exp(float64(meanGap)))
 	if firstGap < horizon {
-		eng.After(firstGap, arrive)
+		eng.AfterFunc(firstGap, arrive)
 	}
 }
 

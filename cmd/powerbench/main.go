@@ -21,6 +21,7 @@ import (
 	"agilepower/internal/experiments"
 	"agilepower/internal/parallel"
 	"agilepower/internal/power"
+	"agilepower/internal/prof"
 )
 
 func main() {
@@ -36,7 +37,15 @@ func main() {
 	s5Power := flag.Float64("s5-w", 4, "S5 power (W)")
 	s5Entry := flag.Duration("s5-entry", 45*time.Second, "S5 entry latency")
 	s5Exit := flag.Duration("s5-exit", 190*time.Second, "S5 exit latency")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench:", err)
+		os.Exit(1)
+	}
 
 	profile := power.DefaultProfile()
 	profile.PeakPower = power.Watts(*peak)
@@ -87,5 +96,9 @@ func main() {
 	}
 	for _, buf := range bufs {
 		os.Stdout.Write(buf.Bytes())
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "powerbench:", err)
+		os.Exit(1)
 	}
 }

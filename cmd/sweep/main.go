@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"agilepower/internal/experiments"
+	"agilepower/internal/prof"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -37,8 +40,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel}
-	var err error
 	if *exp == "all" {
 		// Long runs stay observable: per-experiment wall times go to
 		// stderr while the stitched report goes to stdout.
@@ -48,6 +55,10 @@ func main() {
 		err = experiments.Run(*exp, os.Stdout, opts)
 	}
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}

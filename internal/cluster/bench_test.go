@@ -41,9 +41,9 @@ func BenchmarkSimulatedDay(b *testing.B) {
 	}
 }
 
-// BenchmarkEvaluate measures one evaluation pass over a 32-host /
-// 160-VM cluster.
-func BenchmarkEvaluate(b *testing.B) {
+// BenchmarkClusterEvaluate measures one evaluation pass over a
+// 32-host / 160-VM cluster — the simulator's innermost hot path.
+func BenchmarkClusterEvaluate(b *testing.B) {
 	eng := sim.NewEngine(1)
 	c, err := New(eng, Config{})
 	if err != nil {

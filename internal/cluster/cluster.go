@@ -7,11 +7,15 @@
 // The cluster is mechanism, not policy: it exposes the actuators the
 // paper's manager uses (migrate a VM, sleep a host, wake a host) and
 // faithfully charges their costs, but decides nothing itself.
+//
+// Host and VM IDs are dense (assigned 1, 2, 3, … in creation order),
+// so all per-entity state lives in slices indexed by ID-1 rather than
+// maps: the evaluation tick — the simulator's innermost loop — runs
+// without hashing and, in steady state, without allocating.
 package cluster
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"agilepower/internal/events"
@@ -47,20 +51,28 @@ type Cluster struct {
 	eng  *sim.Engine
 	step time.Duration
 
-	hosts   map[host.ID]*host.Host
-	hostIDs []host.ID // insertion-ordered for determinism
-	vms     map[vm.ID]*vm.VM
-	vmIDs   []vm.ID
-	// placement maps each VM to the host where it currently runs.
-	placement map[vm.ID]host.ID
+	// hostList holds every host in creation order; host N has ID N+1
+	// and hosts are never removed, so the slice doubles as the cached
+	// read-only view returned by Hosts().
+	hostList []*host.Host
+	// vmsByID is indexed by vm.ID-1 and nil once a VM departs.
+	vmsByID []*vm.VM
+	// vmList holds live VMs in creation order — the cached view
+	// returned by VMs(). Departures splice it (cold path).
+	vmList []*vm.VM
+	// placement is indexed by vm.ID-1; 0 means not placed (pending,
+	// departed, or never existed).
+	placement []host.ID
 
 	migrations *migrate.Manager
 
-	sla map[vm.ID]*telemetry.SLATracker
-	// current holds the allocation computed at the last evaluation;
-	// it is charged to the SLA trackers when the next evaluation
-	// closes the interval.
-	current  map[vm.ID]allocRecord
+	// sla is indexed by vm.ID-1 and survives departure: a departed
+	// VM's service history still counts toward the run's aggregate.
+	sla []*telemetry.SLATracker
+	// current holds the allocation computed at the last evaluation
+	// (indexed by vm.ID-1); it is charged to the SLA trackers when the
+	// next evaluation closes the interval.
+	current  []allocRecord
 	lastEval sim.Time
 
 	powerSeries     *telemetry.Series
@@ -78,12 +90,14 @@ type Cluster struct {
 	strandedCount int
 	strandedVMSec float64
 
-	// pending holds VMs that have arrived but are not yet placed on a
-	// host (dynamic provisioning). Their demand is charged as unserved
-	// until placement.
-	pending map[vm.ID]bool
+	// pending marks VMs that have arrived but are not yet placed on a
+	// host (dynamic provisioning, indexed by vm.ID-1). Their demand is
+	// charged as unserved until placement. pendingCount lets the
+	// evaluation tick skip the scan entirely in the common case.
+	pending      []bool
+	pendingCount int
 	// arrivedAt records when each pending VM arrived; provisionLat
-	// collects arrival→placement latencies.
+	// collects arrival→placement latencies. Cold path: stays a map.
 	arrivedAt    map[vm.ID]sim.Time
 	provisionLat []time.Duration
 
@@ -100,6 +114,10 @@ type allocRecord struct {
 	demand    float64
 	delivered float64
 	slo       float64
+	// present distinguishes "no open interval for this VM" (freshly
+	// added, or departed) from a genuine zero record — the slice
+	// analogue of the record existing in a map.
+	present bool
 }
 
 // New builds an empty cluster attached to the engine.
@@ -125,17 +143,11 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		eng:             eng,
 		step:            step,
-		hosts:           make(map[host.ID]*host.Host),
-		vms:             make(map[vm.ID]*vm.VM),
-		placement:       make(map[vm.ID]host.ID),
 		migrations:      mgr,
-		sla:             make(map[vm.ID]*telemetry.SLATracker),
-		current:         make(map[vm.ID]allocRecord),
 		powerSeries:     telemetry.NewSeriesCap("cluster_power_w", seriesCap),
 		demandSeries:    telemetry.NewSeriesCap("cluster_demand_cores", seriesCap),
 		deliveredSeries: telemetry.NewSeriesCap("cluster_delivered_cores", seriesCap),
 		activeSeries:    telemetry.NewSeriesCap("active_hosts", seriesCap),
-		pending:         make(map[vm.ID]bool),
 		arrivedAt:       make(map[vm.ID]sim.Time),
 		nextHostID:      1,
 		nextVMID:        1,
@@ -146,12 +158,30 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// hostByID returns the host with the given ID, or nil. IDs are dense,
+// so this is a bounds check and an index.
+func (c *Cluster) hostByID(id host.ID) *host.Host {
+	if id < 1 || int(id) > len(c.hostList) {
+		return nil
+	}
+	return c.hostList[id-1]
+}
+
+// vmByID returns the VM with the given ID, or nil if it never existed
+// or has departed.
+func (c *Cluster) vmByID(id vm.ID) *vm.VM {
+	if id < 1 || int(id) > len(c.vmsByID) {
+		return nil
+	}
+	return c.vmsByID[id-1]
+}
+
 // InjectFaults installs fault injectors on every host's power machine
 // and on the migration manager. Call it after all hosts are added and
 // before Start; passing nils disables injection (the default).
 func (c *Cluster) InjectFaults(pf power.FaultInjector, mf migrate.FaultInjector) {
-	for _, id := range c.hostIDs {
-		c.hosts[id].SetFaultInjector(pf)
+	for _, h := range c.hostList {
+		h.SetFaultInjector(pf)
 	}
 	c.migrations.SetFaultInjector(mf)
 }
@@ -189,16 +219,25 @@ func (c *Cluster) AddHost(cfg host.Config) (*host.Host, error) {
 		return nil, err
 	}
 	c.nextHostID++
-	c.hosts[id] = h
-	c.hostIDs = append(c.hostIDs, id)
+	c.hostList = append(c.hostList, h)
 	h.Machine().OnSettled(func(st power.State) { c.hostSettled(id, st) })
 	return h, nil
 }
 
+// growVMState appends one slot of per-VM state for a newly created VM.
+func (c *Cluster) growVMState(v *vm.VM) {
+	c.vmsByID = append(c.vmsByID, v)
+	c.vmList = append(c.vmList, v)
+	c.placement = append(c.placement, 0)
+	c.pending = append(c.pending, false)
+	c.current = append(c.current, allocRecord{})
+	c.sla = append(c.sla, &telemetry.SLATracker{})
+}
+
 // AddVM creates a VM and places it on the given host.
 func (c *Cluster) AddVM(cfg vm.Config, on host.ID) (*vm.VM, error) {
-	h, ok := c.hosts[on]
-	if !ok {
+	h := c.hostByID(on)
+	if h == nil {
 		return nil, fmt.Errorf("cluster: unknown host %d", on)
 	}
 	id := c.nextVMID
@@ -213,10 +252,8 @@ func (c *Cluster) AddVM(cfg vm.Config, on host.ID) (*vm.VM, error) {
 		return nil, err
 	}
 	c.nextVMID++
-	c.vms[id] = v
-	c.vmIDs = append(c.vmIDs, id)
-	c.placement[id] = on
-	c.sla[id] = &telemetry.SLATracker{}
+	c.growVMState(v)
+	c.placement[id-1] = on
 	c.record(events.VMPlaced, id, on, "initial")
 	return v, nil
 }
@@ -231,10 +268,9 @@ func (c *Cluster) AddPendingVM(cfg vm.Config) (*vm.VM, error) {
 		return nil, err
 	}
 	c.nextVMID++
-	c.vms[id] = v
-	c.vmIDs = append(c.vmIDs, id)
-	c.sla[id] = &telemetry.SLATracker{}
-	c.pending[id] = true
+	c.growVMState(v)
+	c.pending[id-1] = true
+	c.pendingCount++
 	c.arrivedAt[id] = c.eng.Now()
 	c.record(events.VMArrived, id, 0, "")
 	c.evaluate()
@@ -244,25 +280,26 @@ func (c *Cluster) AddPendingVM(cfg vm.Config) (*vm.VM, error) {
 // PlaceVM commits a pending VM onto a host, recording its provisioning
 // latency.
 func (c *Cluster) PlaceVM(id vm.ID, on host.ID) error {
-	if !c.pending[id] {
+	if id < 1 || int(id) > len(c.pending) || !c.pending[id-1] {
 		return fmt.Errorf("cluster: vm %d is not pending", id)
 	}
-	h, ok := c.hosts[on]
-	if !ok {
+	h := c.hostByID(on)
+	if h == nil {
 		return fmt.Errorf("cluster: unknown host %d", on)
 	}
 	if !h.Available() {
 		return fmt.Errorf("cluster: host %d not available", on)
 	}
-	v := c.vms[id]
+	v := c.vmsByID[id-1]
 	if c.GroupConflict(on, v.Group(), id) {
 		return fmt.Errorf("cluster: anti-affinity group %q conflict on host %d", v.Group(), on)
 	}
 	if err := h.Place(v); err != nil {
 		return err
 	}
-	delete(c.pending, id)
-	c.placement[id] = on
+	c.pending[id-1] = false
+	c.pendingCount--
+	c.placement[id-1] = on
 	c.provisionLat = append(c.provisionLat, time.Duration(c.eng.Now()-c.arrivedAt[id]))
 	delete(c.arrivedAt, id)
 	c.record(events.VMPlaced, id, on, "provisioned")
@@ -273,8 +310,8 @@ func (c *Cluster) PlaceVM(id vm.ID, on host.ID) error {
 // RemoveVM departs a VM (placed or pending). Migrating VMs cannot be
 // removed mid-flight; callers retry after the migration commits.
 func (c *Cluster) RemoveVM(id vm.ID) error {
-	v, ok := c.vms[id]
-	if !ok {
+	v := c.vmByID(id)
+	if v == nil {
 		return fmt.Errorf("cluster: unknown vm %d", id)
 	}
 	if c.migrations.Migrating(id) {
@@ -283,27 +320,27 @@ func (c *Cluster) RemoveVM(id vm.ID) error {
 	// Close the open accounting interval while the VM's allocation
 	// record still exists, so its final interval is charged.
 	c.evaluate()
-	if c.pending[id] {
-		delete(c.pending, id)
+	if c.pending[id-1] {
+		c.pending[id-1] = false
+		c.pendingCount--
 		delete(c.arrivedAt, id)
-	} else if hid, ok := c.placement[id]; ok {
-		if err := c.hosts[hid].Remove(id); err != nil {
+	} else if hid := c.placement[id-1]; hid != 0 {
+		if err := c.hostList[hid-1].Remove(id); err != nil {
 			return err
 		}
-		delete(c.placement, id)
+		c.placement[id-1] = 0
 	}
-	delete(c.vms, id)
-	for i, vid := range c.vmIDs {
-		if vid == id {
-			c.vmIDs = append(c.vmIDs[:i], c.vmIDs[i+1:]...)
+	c.vmsByID[id-1] = nil
+	for i, lv := range c.vmList {
+		if lv == v {
+			c.vmList = append(c.vmList[:i], c.vmList[i+1:]...)
 			break
 		}
 	}
-	delete(c.current, id)
+	c.current[id-1] = allocRecord{}
 	// The SLA tracker stays in c.sla: departed VMs' service history
 	// still counts toward the run's aggregate.
 	c.departed++
-	_ = v
 	c.record(events.VMRemoved, id, 0, "")
 	c.evaluate()
 	return nil
@@ -313,9 +350,9 @@ func (c *Cluster) RemoveVM(id vm.ID) error {
 // order.
 func (c *Cluster) PendingVMs() []vm.ID {
 	var out []vm.ID
-	for _, id := range c.vmIDs {
-		if c.pending[id] {
-			out = append(out, id)
+	for _, v := range c.vmList {
+		if c.pending[v.ID()-1] {
+			out = append(out, v.ID())
 		}
 	}
 	return out
@@ -340,9 +377,9 @@ func (c *Cluster) Start() {
 	var tick func()
 	tick = func() {
 		c.evaluate()
-		c.eng.After(c.step, tick)
+		c.eng.AfterFunc(c.step, tick)
 	}
-	c.eng.After(c.step, tick)
+	c.eng.AfterFunc(c.step, tick)
 }
 
 // Flush closes the accounting interval up to the current virtual time.
@@ -352,11 +389,24 @@ func (c *Cluster) Flush() { c.evaluate() }
 
 // evaluate closes the open accounting interval and recomputes
 // allocations, utilization and telemetry at the current time.
+//
+// This is the simulator's innermost hot path: it runs once per
+// EvalStep per run plus once per management action. It must not
+// allocate in steady state — demand vectors live in per-host scratch
+// buffers, allocations are written into host-owned records, and all
+// per-VM state is indexed by dense IDs. Floating-point accumulation
+// order is fixed (hosts in ID order, VMs in ascending ID within each
+// host, pending VMs in creation order) so results stay byte-identical
+// run to run.
 func (c *Cluster) evaluate() {
 	now := c.eng.Now()
 	if dt := now - c.lastEval; dt > 0 {
-		for id, rec := range c.current {
-			c.sla[id].Record(dt, rec.demand, rec.delivered, rec.slo)
+		for i := range c.current {
+			rec := &c.current[i]
+			if !rec.present {
+				continue
+			}
+			c.sla[i].Record(dt, rec.demand, rec.delivered, rec.slo)
 		}
 		// Charge stranded time at the count that held over the closing
 		// interval, mirroring the allocation records above.
@@ -367,20 +417,20 @@ func (c *Cluster) evaluate() {
 	totalPower := power.Watts(0)
 	totalDemand, totalDelivered := 0.0, 0.0
 	active := 0
-	for _, hid := range c.hostIDs {
-		h := c.hosts[hid]
-		demands := make(map[vm.ID]float64)
-		for _, vid := range h.VMs() {
-			demands[vid] = c.vms[vid].Demand(now)
+	for _, h := range c.hostList {
+		res := h.Residents() // ascending VM ID
+		demands := h.DemandScratch()
+		for i, v := range res {
+			demands[i] = v.Demand(now)
 		}
-		alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(hid)))
+		alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(h.ID())))
 		h.Machine().SetUtilization(alloc.Utilization)
-		for _, vid := range h.VMs() {
-			v := c.vms[vid]
-			c.current[vid] = allocRecord{
-				demand:    demands[vid],
-				delivered: alloc.Delivered[vid],
+		for i, v := range res {
+			c.current[v.ID()-1] = allocRecord{
+				demand:    demands[i],
+				delivered: alloc.DeliveredAt(i),
 				slo:       v.SLOTarget(),
+				present:   true,
 			}
 		}
 		totalPower += h.Machine().Power()
@@ -394,22 +444,23 @@ func (c *Cluster) evaluate() {
 	// Only crashed hosts can hold residents while unavailable, so the
 	// sum is exactly the stranded population.
 	stranded := 0
-	for _, hid := range c.hostIDs {
-		if h := c.hosts[hid]; !h.Available() {
+	for _, h := range c.hostList {
+		if !h.Available() {
 			stranded += h.NumVMs()
 		}
 	}
 	c.strandedCount = stranded
 	// Pending (unplaced) VMs demand but receive nothing — the cost of
 	// provisioning latency.
-	for _, vid := range c.vmIDs {
-		if !c.pending[vid] {
-			continue
+	if c.pendingCount > 0 {
+		for _, v := range c.vmList {
+			if !c.pending[v.ID()-1] {
+				continue
+			}
+			d := v.Demand(now)
+			c.current[v.ID()-1] = allocRecord{demand: d, delivered: 0, slo: v.SLOTarget(), present: true}
+			totalDemand += d
 		}
-		v := c.vms[vid]
-		d := v.Demand(now)
-		c.current[vid] = allocRecord{demand: d, delivered: 0, slo: v.SLOTarget()}
-		totalDemand += d
 	}
 	c.powerSeries.Append(now, float64(totalPower))
 	c.demandSeries.Append(now, totalDemand)
@@ -431,40 +482,32 @@ func (c *Cluster) hostSettled(id host.ID, st power.State) {
 // immediately instead of waiting for its next control period.
 func (c *Cluster) OnHostSettled(fn func(host.ID, power.State)) { c.onHostSettled = fn }
 
-// Hosts returns all hosts in creation order.
-func (c *Cluster) Hosts() []*host.Host {
-	out := make([]*host.Host, len(c.hostIDs))
-	for i, id := range c.hostIDs {
-		out[i] = c.hosts[id]
-	}
-	return out
-}
+// Hosts returns all hosts in creation order. The slice is a cached
+// read-only view owned by the cluster — callers must not mutate it.
+func (c *Cluster) Hosts() []*host.Host { return c.hostList }
 
 // Host returns a host by ID.
 func (c *Cluster) Host(id host.ID) (*host.Host, bool) {
-	h, ok := c.hosts[id]
-	return h, ok
+	h := c.hostByID(id)
+	return h, h != nil
 }
 
-// VMs returns all VMs in creation order.
-func (c *Cluster) VMs() []*vm.VM {
-	out := make([]*vm.VM, len(c.vmIDs))
-	for i, id := range c.vmIDs {
-		out[i] = c.vms[id]
-	}
-	return out
-}
+// VMs returns all live VMs in creation order. The slice is a cached
+// read-only view owned by the cluster — callers must not mutate it.
+func (c *Cluster) VMs() []*vm.VM { return c.vmList }
 
 // VM returns a VM by ID.
 func (c *Cluster) VM(id vm.ID) (*vm.VM, bool) {
-	v, ok := c.vms[id]
-	return v, ok
+	v := c.vmByID(id)
+	return v, v != nil
 }
 
 // Placement returns the host a VM currently runs on.
 func (c *Cluster) Placement(id vm.ID) (host.ID, bool) {
-	h, ok := c.placement[id]
-	return h, ok
+	if id < 1 || int(id) > len(c.placement) || c.placement[id-1] == 0 {
+		return 0, false
+	}
+	return c.placement[id-1], true
 }
 
 // Migrating reports whether the VM is in flight.
@@ -478,15 +521,15 @@ func (c *Cluster) GroupConflict(h host.ID, group string, exclude vm.ID) bool {
 	if group == "" {
 		return false
 	}
-	hh, ok := c.hosts[h]
-	if !ok {
+	hh := c.hostByID(h)
+	if hh == nil {
 		return false
 	}
-	for _, vid := range hh.VMs() {
-		if vid == exclude {
+	for _, v := range hh.Residents() {
+		if v.ID() == exclude {
 			continue
 		}
-		if c.vms[vid].Group() == group {
+		if v.Group() == group {
 			return true
 		}
 	}
@@ -494,7 +537,7 @@ func (c *Cluster) GroupConflict(h host.ID, group string, exclude vm.ID) bool {
 		if host.ID(mig.Dst) != h || mig.VM == exclude {
 			continue
 		}
-		if v, ok := c.vms[mig.VM]; ok && v.Group() == group {
+		if v := c.vmByID(mig.VM); v != nil && v.Group() == group {
 			return true
 		}
 	}
@@ -506,19 +549,19 @@ func (c *Cluster) GroupConflict(h host.ID, group string, exclude vm.ID) bool {
 // pre-copy completes; the final stop-and-copy downtime is charged to
 // the VM's SLA.
 func (c *Cluster) StartMigration(id vm.ID, dst host.ID) error {
-	v, ok := c.vms[id]
-	if !ok {
+	v := c.vmByID(id)
+	if v == nil {
 		return fmt.Errorf("cluster: unknown vm %d", id)
 	}
-	src, ok := c.placement[id]
+	src, ok := c.Placement(id)
 	if !ok {
 		return fmt.Errorf("cluster: vm %d has no placement", id)
 	}
 	if src == dst {
 		return fmt.Errorf("cluster: vm %d already on host %d", id, dst)
 	}
-	dstHost, ok := c.hosts[dst]
-	if !ok {
+	dstHost := c.hostByID(dst)
+	if dstHost == nil {
 		return fmt.Errorf("cluster: unknown destination host %d", dst)
 	}
 	if !dstHost.Available() {
@@ -548,9 +591,9 @@ func (c *Cluster) StartMigration(id vm.ID, dst host.ID) error {
 
 // finishMigration commits a completed migration.
 func (c *Cluster) finishMigration(mig *migrate.Migration) {
-	v := c.vms[mig.VM]
-	src := c.hosts[host.ID(mig.Src)]
-	dst := c.hosts[host.ID(mig.Dst)]
+	v := c.vmsByID[mig.VM-1]
+	src := c.hostList[mig.Src-1]
+	dst := c.hostList[mig.Dst-1]
 	if err := src.Remove(mig.VM); err != nil {
 		panic(fmt.Sprintf("cluster: migration invariant broken: %v", err))
 	}
@@ -558,9 +601,9 @@ func (c *Cluster) finishMigration(mig *migrate.Migration) {
 	if err := dst.Place(v); err != nil {
 		panic(fmt.Sprintf("cluster: migration reservation broken: %v", err))
 	}
-	c.placement[mig.VM] = host.ID(mig.Dst)
+	c.placement[mig.VM-1] = host.ID(mig.Dst)
 	// The stop-and-copy pause fully blanks the VM.
-	c.sla[mig.VM].RecordOutage(mig.Plan.Downtime, v.Demand(c.eng.Now()))
+	c.sla[mig.VM-1].RecordOutage(mig.Plan.Downtime, v.Demand(c.eng.Now()))
 	c.record(events.MigrationCompleted, mig.VM, host.ID(mig.Dst),
 		fmt.Sprintf("%d→%d in %v", mig.Src, mig.Dst, mig.Plan.Duration.Round(time.Millisecond)))
 	c.evaluate()
@@ -578,7 +621,7 @@ func (c *Cluster) OnMigrationDone(fn func(vm.ID, host.ID)) { c.onMigrationDone =
 // failMigration unwinds an aborted migration: the VM never left its
 // source, so only the destination reservation is released.
 func (c *Cluster) failMigration(mig *migrate.Migration) {
-	dst := c.hosts[host.ID(mig.Dst)]
+	dst := c.hostList[mig.Dst-1]
 	dst.ReleaseReservation(mig.VM)
 	c.record(events.MigrationFailed, mig.VM, host.ID(mig.Dst),
 		fmt.Sprintf("%d→%d aborted", mig.Src, mig.Dst))
@@ -598,8 +641,8 @@ func (c *Cluster) OnMigrationFailed(fn func(vm.ID, host.ID, host.ID)) { c.onMigr
 // boots back to S0, and every in-flight migration touching it aborts.
 // Crashing an unavailable host fails — see power.Machine.Crash.
 func (c *Cluster) CrashHost(id host.ID, repair time.Duration) error {
-	h, ok := c.hosts[id]
-	if !ok {
+	h := c.hostByID(id)
+	if h == nil {
 		return fmt.Errorf("cluster: unknown host %d", id)
 	}
 	if err := h.Machine().Crash(repair); err != nil {
@@ -627,8 +670,8 @@ func (c *Cluster) StrandedVMSeconds() float64 { return c.strandedVMSec }
 // TransitionFaultStats sums injected transition faults and crashes
 // across all hosts.
 func (c *Cluster) TransitionFaultStats() (suspendFailures, wakeFailures, crashes int) {
-	for _, id := range c.hostIDs {
-		st := c.hosts[id].Machine().Stats()
+	for _, h := range c.hostList {
+		st := h.Machine().Stats()
 		suspendFailures += st.SuspendFailures
 		wakeFailures += st.WakeFailures
 		crashes += st.Crashes
@@ -638,8 +681,8 @@ func (c *Cluster) TransitionFaultStats() (suspendFailures, wakeFailures, crashes
 
 // SleepHost parks an empty, available host in the given sleep state.
 func (c *Cluster) SleepHost(id host.ID, st power.State) error {
-	h, ok := c.hosts[id]
-	if !ok {
+	h := c.hostByID(id)
+	if h == nil {
 		return fmt.Errorf("cluster: unknown host %d", id)
 	}
 	if !h.Empty() {
@@ -659,8 +702,8 @@ func (c *Cluster) SleepHost(id host.ID, st power.State) error {
 // WakeHost starts waking a sleeping host. The host becomes available
 // after its power state's exit latency; OnHostSettled fires then.
 func (c *Cluster) WakeHost(id host.ID) error {
-	h, ok := c.hosts[id]
-	if !ok {
+	h := c.hostByID(id)
+	if h == nil {
 		return fmt.Errorf("cluster: unknown host %d", id)
 	}
 	if err := h.Machine().Wake(); err != nil {
@@ -686,8 +729,8 @@ func (c *Cluster) LastEvaluation() (demand, delivered float64) {
 func (c *Cluster) TotalDemand() float64 {
 	total := 0.0
 	now := c.eng.Now()
-	for _, id := range c.vmIDs {
-		total += c.vms[id].Demand(now)
+	for _, v := range c.vmList {
+		total += v.Demand(now)
 	}
 	return total
 }
@@ -695,8 +738,8 @@ func (c *Cluster) TotalDemand() float64 {
 // TotalPower returns the instantaneous cluster draw.
 func (c *Cluster) TotalPower() power.Watts {
 	total := power.Watts(0)
-	for _, id := range c.hostIDs {
-		total += c.hosts[id].Machine().Power()
+	for _, h := range c.hostList {
+		total += h.Machine().Power()
 	}
 	return total
 }
@@ -704,8 +747,8 @@ func (c *Cluster) TotalPower() power.Watts {
 // TotalEnergy returns the cluster energy consumed so far.
 func (c *Cluster) TotalEnergy() power.Joules {
 	total := power.Joules(0)
-	for _, id := range c.hostIDs {
-		total += c.hosts[id].Machine().Energy()
+	for _, h := range c.hostList {
+		total += h.Machine().Energy()
 	}
 	return total
 }
@@ -713,30 +756,30 @@ func (c *Cluster) TotalEnergy() power.Joules {
 // AvailableHosts returns hosts currently able to run VMs, in ID order.
 func (c *Cluster) AvailableHosts() []*host.Host {
 	var out []*host.Host
-	for _, id := range c.hostIDs {
-		if c.hosts[id].Available() {
-			out = append(out, c.hosts[id])
+	for _, h := range c.hostList {
+		if h.Available() {
+			out = append(out, h)
 		}
 	}
 	return out
 }
 
-// SLA returns the tracker of one VM.
+// SLA returns the tracker of one VM. Trackers survive departure, so
+// this resolves for any VM that ever existed.
 func (c *Cluster) SLA(id vm.ID) (*telemetry.SLATracker, bool) {
-	s, ok := c.sla[id]
-	return s, ok
+	if id < 1 || int(id) > len(c.sla) {
+		return nil, false
+	}
+	return c.sla[id-1], true
 }
 
 // AggregateSLA merges all VM trackers into one cluster-wide view.
+// Trackers are merged in ascending VM ID order so the aggregation is
+// deterministic.
 func (c *Cluster) AggregateSLA() *telemetry.SLATracker {
 	agg := &telemetry.SLATracker{}
-	ids := make([]vm.ID, 0, len(c.sla))
-	for id := range c.sla {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		agg.Merge(c.sla[id])
+	for _, s := range c.sla {
+		agg.Merge(s)
 	}
 	return agg
 }
@@ -756,16 +799,16 @@ func (c *Cluster) ActiveHostSeries() *telemetry.Series { return c.activeSeries }
 // ResumeFailures returns total failed S3 resumes across all hosts.
 func (c *Cluster) ResumeFailures() int {
 	total := 0
-	for _, id := range c.hostIDs {
-		total += c.hosts[id].Machine().Stats().ResumeFailures
+	for _, h := range c.hostList {
+		total += h.Machine().Stats().ResumeFailures
 	}
 	return total
 }
 
 // PowerActions returns total sleep entries and exits across all hosts.
 func (c *Cluster) PowerActions() (entries, exits int) {
-	for _, id := range c.hostIDs {
-		st := c.hosts[id].Machine().Stats()
+	for _, h := range c.hostList {
+		st := h.Machine().Stats()
 		for _, n := range st.Entries {
 			entries += n
 		}

@@ -24,23 +24,23 @@ import (
 func (c *Cluster) CheckInvariants() error {
 	// Placement → containment.
 	seenOn := make(map[vm.ID]host.ID)
-	for _, hid := range c.hostIDs {
-		h := c.hosts[hid]
+	for _, h := range c.hostList {
+		hid := h.ID()
 		memSum := 0.0
 		groups := make(map[string]vm.ID)
 		for _, vid := range h.VMs() {
-			v, ok := c.vms[vid]
-			if !ok {
+			v := c.vmByID(vid)
+			if v == nil {
 				return fmt.Errorf("host %d contains unknown vm %d", hid, vid)
 			}
 			if prev, dup := seenOn[vid]; dup {
 				return fmt.Errorf("vm %d resident on hosts %d and %d", vid, prev, hid)
 			}
 			seenOn[vid] = hid
-			if got, ok := c.placement[vid]; !ok || got != hid {
+			if got, ok := c.Placement(vid); !ok || got != hid {
 				return fmt.Errorf("vm %d resident on host %d but placement says %v", vid, hid, got)
 			}
-			if c.pending[vid] {
+			if c.pending[vid-1] {
 				return fmt.Errorf("vm %d is both resident and pending", vid)
 			}
 			if g := v.Group(); g != "" {
@@ -53,8 +53,8 @@ func (c *Cluster) CheckInvariants() error {
 		}
 		// CPU reservation admission must hold.
 		resSum := 0.0
-		for _, vid := range h.VMs() {
-			resSum += c.vms[vid].ReservedCores()
+		for _, v := range h.Residents() {
+			resSum += v.ReservedCores()
 		}
 		if h.CPUReservedCores() > h.Cores()+1e-9 {
 			return fmt.Errorf("host %d cpu reservations %v exceed capacity %v", hid, h.CPUReservedCores(), h.Cores())
@@ -96,12 +96,16 @@ func (c *Cluster) CheckInvariants() error {
 		}
 	}
 	// Containment ← placement.
-	for vid, hid := range c.placement {
-		if _, ok := c.vms[vid]; !ok {
+	for i, hid := range c.placement {
+		if hid == 0 {
+			continue
+		}
+		vid := vm.ID(i + 1)
+		if c.vmsByID[i] == nil {
 			return fmt.Errorf("placement references unknown vm %d", vid)
 		}
-		h, ok := c.hosts[hid]
-		if !ok {
+		h := c.hostByID(hid)
+		if h == nil {
 			return fmt.Errorf("vm %d placed on unknown host %d", vid, hid)
 		}
 		if _, resident := h.Get(vid); !resident {
@@ -109,28 +113,30 @@ func (c *Cluster) CheckInvariants() error {
 		}
 	}
 	// Pending VMs exist and have no placement.
-	for vid := range c.pending {
-		if _, ok := c.vms[vid]; !ok {
+	for i, p := range c.pending {
+		if !p {
+			continue
+		}
+		vid := vm.ID(i + 1)
+		if c.vmsByID[i] == nil {
 			return fmt.Errorf("pending references unknown vm %d", vid)
 		}
-		if _, placed := c.placement[vid]; placed {
+		if _, placed := c.Placement(vid); placed {
 			return fmt.Errorf("pending vm %d has a placement", vid)
 		}
 	}
 	// Migrating VMs run on their migration source.
 	for _, mig := range c.migrations.Inflights() {
-		hid, ok := c.placement[mig.VM]
+		hid, ok := c.Placement(mig.VM)
 		if !ok {
 			return fmt.Errorf("migrating vm %d has no placement", mig.VM)
 		}
 		if int(hid) != mig.Src {
 			return fmt.Errorf("migrating vm %d placed on %d, migration source is %d", mig.VM, hid, mig.Src)
 		}
-		dst, ok := c.hosts[host.ID(mig.Dst)]
-		if !ok {
+		if c.hostByID(host.ID(mig.Dst)) == nil {
 			return fmt.Errorf("migration of vm %d targets unknown host %d", mig.VM, mig.Dst)
 		}
-		_ = dst
 	}
 	// Energy is finite and non-negative.
 	if e := float64(c.TotalEnergy()); e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {

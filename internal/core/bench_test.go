@@ -2,8 +2,13 @@ package core
 
 import (
 	"testing"
+	"time"
 
+	"agilepower/internal/cluster"
+	"agilepower/internal/host"
 	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
 )
 
 func benchItems(n int, rng *sim.RNG) []Item {
@@ -65,6 +70,42 @@ func BenchmarkMinBins(b *testing.B) {
 		if _, _, ok := MinBins(items, bins, PackFFD); !ok {
 			b.Fatal("minbins failed")
 		}
+	}
+}
+
+// BenchmarkManagerControlStep measures one full manager control period
+// (forecast, place, power decisions, drain, balance) over a 32-host /
+// 160-VM cluster under the paper's DPM-S3 policy — the management
+// plane's hot path.
+func BenchmarkManagerControlStep(b *testing.B) {
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 160; i++ {
+		tr := workload.Diurnal(rng.Fork(), workload.DiurnalSpec{BaseCores: 0.4, PeakCores: 3})
+		if _, err := cl.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(i%32+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step()
 	}
 }
 

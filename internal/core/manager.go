@@ -89,6 +89,19 @@ type Manager struct {
 	migRetryAt  map[vm.ID]sim.Time
 	counters    *telemetry.Counters
 
+	// Scratch buffers reused across control steps so the periodic
+	// loops do not allocate. The control phases run sequentially and
+	// never nest (callbacks fire from future events, not synchronously
+	// inside a phase), so at most one forecast snapshot, one census,
+	// and one load map are live at any moment.
+	fc      map[vm.ID]float64   // observeAll result
+	fcSeen  map[vm.ID]bool      // observeAll liveness mark
+	loads   map[host.ID]float64 // hostForecastLoads result
+	migTo   map[vm.ID]host.ID   // hostForecastLoads in-flight index
+	inbound map[host.ID]float64 // inboundMemory result
+	cen     census              // takeCensus backing arrays
+	lbVMs   []vm.ID             // balanceLoad sort scratch
+
 	stats   Stats
 	started bool
 }
@@ -115,6 +128,11 @@ func NewManager(cl *cluster.Cluster, cfg Config) (*Manager, error) {
 		migFails:    make(map[vm.ID]int),
 		migRetryAt:  make(map[vm.ID]sim.Time),
 		counters:    telemetry.NewCounters(),
+		fc:          make(map[vm.ID]float64),
+		fcSeen:      make(map[vm.ID]bool),
+		loads:       make(map[host.ID]float64),
+		migTo:       make(map[vm.ID]host.ID),
+		inbound:     make(map[host.ID]float64),
 	}
 	if cfg.PredictiveWake {
 		m.diurnal = newDiurnalModel(0.4)
@@ -220,9 +238,9 @@ func (m *Manager) Start() {
 	var tick func()
 	tick = func() {
 		m.step()
-		eng.After(m.cfg.Period, tick)
+		eng.AfterFunc(m.cfg.Period, tick)
 	}
-	eng.After(0, tick)
+	eng.AfterFunc(0, tick)
 	// The fast tick runs for every policy: provisioning monitoring
 	// (placing arrivals) is basic duty, not power management. Only the
 	// scale-up half inside wakeCheck is power-gated.
@@ -230,9 +248,9 @@ func (m *Manager) Start() {
 		var fast func()
 		fast = func() {
 			m.wakeCheck()
-			eng.After(m.cl.EvalStep(), fast)
+			eng.AfterFunc(m.cl.EvalStep(), fast)
 		}
-		eng.After(m.cl.EvalStep(), fast)
+		eng.AfterFunc(m.cl.EvalStep(), fast)
 	}
 }
 
@@ -383,8 +401,9 @@ func (m *Manager) placePending(forecasts map[vm.ID]float64) {
 // once per step, via observeAll).
 func (m *Manager) observeAll() map[vm.ID]float64 {
 	now := m.cl.Engine().Now()
-	out := make(map[vm.ID]float64)
-	seen := make(map[vm.ID]bool, len(m.forecasts))
+	out, seen := m.fc, m.fcSeen
+	clear(out)
+	clear(seen)
 	for _, v := range m.cl.VMs() {
 		f, ok := m.forecasts[v.ID()]
 		if !ok {
@@ -447,7 +466,16 @@ type census struct {
 }
 
 func (m *Manager) takeCensus() census {
-	var c census
+	// Reuse the previous census's backing arrays; the returned value
+	// (and any slices appended to it by the caller) must be dead by the
+	// next takeCensus call, which the sequential control phases ensure.
+	c := census{
+		serving:    m.cen.serving[:0],
+		evacuating: m.cen.evacuating[:0],
+		waking:     m.cen.waking[:0],
+		sleeping:   m.cen.sleeping[:0],
+		entering:   m.cen.entering[:0],
+	}
 	for _, h := range m.cl.Hosts() {
 		mach := h.Machine()
 		switch {
@@ -465,6 +493,7 @@ func (m *Manager) takeCensus() census {
 			c.sleeping = append(c.sleeping, h)
 		}
 	}
+	m.cen = c // retain grown backing arrays for the next step
 	return c
 }
 
@@ -948,8 +977,9 @@ func (m *Manager) pickDestination(vid vm.ID, forecasts map[vm.ID]float64, servin
 // hostForecastLoads sums forecast demand per host, charging in-flight
 // migrations to their destinations.
 func (m *Manager) hostForecastLoads(forecasts map[vm.ID]float64) map[host.ID]float64 {
-	loads := make(map[host.ID]float64)
-	migratingTo := make(map[vm.ID]host.ID)
+	loads, migratingTo := m.loads, m.migTo
+	clear(loads)
+	clear(migratingTo)
 	for _, mig := range m.cl.Migrations().Inflights() {
 		migratingTo[mig.VM] = host.ID(mig.Dst)
 	}
@@ -969,7 +999,8 @@ func (m *Manager) hostForecastLoads(forecasts map[vm.ID]float64) map[host.ID]flo
 // (beyond what the host already reserves itself, this is used for
 // planning against stale reads).
 func (m *Manager) inboundMemory() map[host.ID]float64 {
-	out := make(map[host.ID]float64)
+	out := m.inbound
+	clear(out)
 	for _, mig := range m.cl.Migrations().Inflights() {
 		if v, ok := m.cl.VM(mig.VM); ok {
 			out[host.ID(mig.Dst)] += v.MemoryGB()
@@ -992,8 +1023,10 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 			continue
 		}
 		// Move smallest VMs first: cheapest moves that relieve
-		// pressure with least disruption.
-		vids := src.VMs()
+		// pressure with least disruption. src.VMs() is the host's own
+		// cached view — copy into scratch before sorting by load.
+		vids := append(m.lbVMs[:0], src.VMs()...)
+		m.lbVMs = vids
 		sort.Slice(vids, func(i, j int) bool {
 			fi, fj := forecasts[vids[i]], forecasts[vids[j]]
 			if fi != fj {

@@ -144,7 +144,7 @@ func (m *Manager) wakeFailed(id host.ID) {
 	m.counters.Inc(CtrTransitionRetries)
 	at := m.cl.Engine().Now() + sim.Time(m.backoff(n))
 	m.retryAt[id] = at
-	m.cl.Engine().Schedule(at, func() { m.retryWake(id) })
+	m.cl.Engine().ScheduleFunc(at, func() { m.retryWake(id) })
 }
 
 // retryWake re-issues a failed wake once its backoff expires. The

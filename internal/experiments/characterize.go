@@ -88,13 +88,13 @@ func F2(w io.Writer, opts Options) error {
 	// 300s; wake; resume to busy at 70%.
 	m.SetUtilization(0.7)
 	sample()
-	eng.Schedule(60*time.Second, func() { m.SetUtilization(0); sample() })
-	eng.Schedule(120*time.Second, func() {
+	eng.ScheduleFunc(60*time.Second, func() { m.SetUtilization(0); sample() })
+	eng.ScheduleFunc(120*time.Second, func() {
 		if err := m.Sleep(power.S3); err == nil {
 			sample()
 		}
 	})
-	eng.Schedule(300*time.Second, func() {
+	eng.ScheduleFunc(300*time.Second, func() {
 		if err := m.Wake(); err == nil {
 			sample()
 		}
@@ -109,7 +109,7 @@ func F2(w io.Writer, opts Options) error {
 	// 1 Hz sampling like a power meter.
 	horizon := 360 * time.Second
 	for t := time.Duration(0); t <= horizon; t += 5 * time.Second {
-		eng.Schedule(t, sample)
+		eng.ScheduleFunc(t, sample)
 	}
 	eng.RunUntil(horizon)
 

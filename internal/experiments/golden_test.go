@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// diffAt reports the first byte where two outputs diverge, with
+// context, so a determinism regression is immediately localizable.
+func diffAt(t *testing.T, label string, got, want []byte) {
+	t.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hiG, hiW := i+80, i+80
+	if hiG > len(got) {
+		hiG = len(got)
+	}
+	if hiW > len(want) {
+		hiW = len(want)
+	}
+	t.Fatalf("%s: output differs at byte %d (got %d bytes, want %d bytes)\ngot:  %q\nwant: %q",
+		label, i, len(got), len(want), got[lo:hiG], want[lo:hiW])
+}
+
+// TestRunAllMatchesPreOptimizationGolden pins the quick-mode suite
+// output to the bytes recorded before the allocation-free hot-path
+// rework (testdata/golden_quick.txt). The determinism gate doubles as
+// the correctness harness for that refactor: scratch buffers, cached
+// views and pooled events must not move a single float. Run at one
+// worker and several, since worker count must not leak into the bytes
+// either.
+func TestRunAllMatchesPreOptimizationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two quick-mode full sweeps; skipped with -short")
+	}
+	want, err := os.ReadFile("testdata/golden_quick.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var got bytes.Buffer
+		if err := RunAll(&got, Options{Quick: true, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		diffAt(t, fmt.Sprintf("workers=%d", workers), got.Bytes(), want)
+	}
+}
+
+// fullResultSection extracts one experiment's report body from the
+// archived full-scale results file.
+func fullResultSection(t *testing.T, id string) []byte {
+	t.Helper()
+	data, err := os.ReadFile("../../results_full.txt")
+	if err != nil {
+		t.Skipf("archived full-scale results not present: %v", err)
+	}
+	marker := fmt.Sprintf("\n=== experiment %s ===\n", id)
+	start := strings.Index(string(data), marker)
+	if start < 0 {
+		t.Fatalf("experiment %s not found in results_full.txt", id)
+	}
+	body := data[start+len(marker):]
+	// The "\n" before the next header is that header's leading
+	// separator (RunAll prints "\n=== experiment ... ==="), not part of
+	// this section's report.
+	if end := bytes.Index(body, []byte("\n=== experiment ")); end >= 0 {
+		body = body[:end]
+	}
+	return body
+}
+
+// TestFullScaleSectionsMatchArchivedResults replays a representative
+// subset of experiments at full scale (no Quick shrinkage) and
+// compares each report byte-for-byte against the archived
+// pre-optimization results_full.txt, at one worker and at several.
+// The subset covers the characterization table (t1), the transition
+// sweeps (f2, f3) and the energy-proportionality sweep (f4) — the
+// fastest full-scale runs that still exercise the evaluate loop, the
+// manager control path and power-state machinery end to end.
+func TestFullScaleSectionsMatchArchivedResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment replays; skipped with -short")
+	}
+	for _, id := range []string{"t1", "f2", "f3", "f4"} {
+		want := fullResultSection(t, id)
+		for _, workers := range []int{1, 3} {
+			var got bytes.Buffer
+			if err := Run(id, &got, Options{Workers: workers}); err != nil {
+				t.Fatalf("run %s: %v", id, err)
+			}
+			diffAt(t, fmt.Sprintf("%s workers=%d", id, workers), got.Bytes(), want)
+		}
+	}
+}

@@ -247,7 +247,7 @@ func (i *Injector) ScheduleCrashes(hosts int, crash func(idx int, repair time.Du
 
 func (i *Injector) scheduleCrash(idx int, crash func(idx int, repair time.Duration) bool) {
 	wait := time.Duration(i.rng.Exp(float64(i.cfg.CrashMTBF)))
-	i.eng.After(wait, func() {
+	i.eng.AfterFunc(wait, func() {
 		repair := time.Duration(i.rng.Exp(float64(i.cfg.CrashRepairMean)))
 		if crash(idx, repair) {
 			i.stats.CrashesFired++

@@ -16,9 +16,9 @@ func TestHostSetFrequencyShrinksCapacity(t *testing.T) {
 		t.Fatalf("effective cores = %v, want 8", h.EffectiveCores())
 	}
 	// Demand 12 on 8 effective cores: only 8 delivered.
-	alloc := h.Schedule(map[vm.ID]float64{1: 12}, 0)
-	if math.Abs(alloc.Delivered[1]-8) > 1e-9 {
-		t.Fatalf("delivered = %v, want 8 at half clock", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 12}), 0)
+	if math.Abs(alloc.Delivered(1)-8) > 1e-9 {
+		t.Fatalf("delivered = %v, want 8 at half clock", alloc.Delivered(1))
 	}
 	// Power utilization is the full-speed fraction: 8/16 = 0.5.
 	if alloc.Utilization != 0.5 {
@@ -35,9 +35,9 @@ func TestHostFrequencyBackToFull(t *testing.T) {
 	if err := h.SetFrequency(1); err != nil {
 		t.Fatal(err)
 	}
-	alloc := h.Schedule(map[vm.ID]float64{1: 12}, 0)
-	if alloc.Delivered[1] != 12 {
-		t.Fatalf("delivered = %v after restoring full clock", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 12}), 0)
+	if alloc.Delivered(1) != 12 {
+		t.Fatalf("delivered = %v after restoring full clock", alloc.Delivered(1))
 	}
 }
 

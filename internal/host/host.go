@@ -29,6 +29,12 @@ type Config struct {
 	Profile *power.Profile
 }
 
+// reservation is one inbound migration memory hold.
+type reservation struct {
+	id    vm.ID
+	memGB float64
+}
+
 // Host is one physical server.
 type Host struct {
 	id      ID
@@ -41,12 +47,32 @@ type Host struct {
 	// freq × cores.
 	freq float64
 
-	vms      map[vm.ID]*vm.VM
-	memUsed  float64
-	reserved map[vm.ID]float64 // inbound migration memory reservations
+	// res holds resident VMs in ascending ID order — the one canonical
+	// iteration order for every scheduler and accounting loop, so
+	// floating-point sums never depend on map iteration order. resIDs
+	// is the parallel ID view handed out by VMs.
+	res    []*vm.VM
+	resIDs []vm.ID
+
+	memUsed float64
+	// resv holds inbound migration memory reservations in ascending VM
+	// ID order (summation order is part of the determinism contract).
+	resv []reservation
 	// cpuReserved sums resident VMs' guaranteed CPU minimums; new
 	// placements are admitted only while it fits capacity.
 	cpuReserved float64
+
+	// Scheduler scratch: one reusable Allocation plus working buffers,
+	// all sized to the resident count, so the per-tick evaluate path
+	// performs zero heap allocations once the buffers have grown to
+	// the host's population high-water mark.
+	alloc    Allocation
+	demands  []float64
+	clean    []float64
+	resWant  []float64
+	granted  []float64
+	residual []float64
+	unsat    []bool
 }
 
 // New validates cfg and builds a host attached to the engine.
@@ -70,14 +96,12 @@ func New(eng *sim.Engine, id ID, cfg Config) (*Host, error) {
 		name = fmt.Sprintf("host-%d", id)
 	}
 	return &Host{
-		id:       id,
-		name:     name,
-		cores:    cfg.Cores,
-		memGB:    cfg.MemoryGB,
-		freq:     1,
-		machine:  machine,
-		vms:      make(map[vm.ID]*vm.VM),
-		reserved: make(map[vm.ID]float64),
+		id:      id,
+		name:    name,
+		cores:   cfg.Cores,
+		memGB:   cfg.MemoryGB,
+		freq:    1,
+		machine: machine,
 	}, nil
 }
 
@@ -121,35 +145,29 @@ func (h *Host) SetFrequency(f float64) error {
 func (h *Host) EffectiveCores() float64 { return h.freq * h.cores }
 
 // VMs returns the IDs of placed VMs in ascending order (deterministic
-// iteration for reproducible simulations).
-func (h *Host) VMs() []vm.ID {
-	ids := make([]vm.ID, 0, len(h.vms))
-	for id := range h.vms {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
+// iteration for reproducible simulations). The slice is a cached view
+// owned by the host — callers must not mutate or retain it across
+// Place/Remove.
+func (h *Host) VMs() []vm.ID { return h.resIDs }
+
+// Residents returns the placed VMs in ascending ID order, parallel to
+// VMs. Like VMs, the slice is a cached read-only view.
+func (h *Host) Residents() []*vm.VM { return h.res }
 
 // NumVMs returns the count of placed VMs.
-func (h *Host) NumVMs() int { return len(h.vms) }
+func (h *Host) NumVMs() int { return len(h.res) }
 
 // Empty reports whether the host has no VMs and no inbound
 // reservations — the precondition for parking it.
-func (h *Host) Empty() bool { return len(h.vms) == 0 && len(h.reserved) == 0 }
+func (h *Host) Empty() bool { return len(h.res) == 0 && len(h.resv) == 0 }
 
 // MemUsedGB returns committed memory including inbound reservations.
 func (h *Host) MemUsedGB() float64 {
 	total := h.memUsed
-	// Sum reservations in key order: map iteration order must not
-	// leak into floating-point results.
-	ids := make([]vm.ID, 0, len(h.reserved))
-	for id := range h.reserved {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		total += h.reserved[id]
+	// Reservations are kept in ascending VM-ID order: the float sum
+	// below must be identical from call to call.
+	for _, r := range h.resv {
+		total += r.memGB
 	}
 	return total
 }
@@ -163,11 +181,19 @@ func (h *Host) MemFreeGB() float64 { return h.memGB - h.MemUsedGB() }
 // CanFit reports whether a VM with memGB of memory fits.
 func (h *Host) CanFit(memGB float64) bool { return memGB <= h.MemFreeGB() }
 
+// residentIndex returns the position of id in the sorted resident
+// slice and whether it is present.
+func (h *Host) residentIndex(id vm.ID) (int, bool) {
+	i := sort.Search(len(h.res), func(i int) bool { return h.res[i].ID() >= id })
+	return i, i < len(h.res) && h.res[i].ID() == id
+}
+
 // Place puts the VM on this host. Memory and CPU reservations are
 // strictly admission controlled; CPU beyond reservations may be
 // oversubscribed (the scheduler then shares it by weight).
 func (h *Host) Place(v *vm.VM) error {
-	if _, ok := h.vms[v.ID()]; ok {
+	i, ok := h.residentIndex(v.ID())
+	if ok {
 		return fmt.Errorf("host %s: vm %s already placed", h.name, v.Name())
 	}
 	if !h.CanFit(v.MemoryGB()) {
@@ -178,7 +204,12 @@ func (h *Host) Place(v *vm.VM) error {
 		return fmt.Errorf("host %s: cpu reservations exhausted for vm %s (%v reserved of %v cores, %v needed)",
 			h.name, v.Name(), h.cpuReserved, h.cores, v.ReservedCores())
 	}
-	h.vms[v.ID()] = v
+	h.res = append(h.res, nil)
+	copy(h.res[i+1:], h.res[i:])
+	h.res[i] = v
+	h.resIDs = append(h.resIDs, 0)
+	copy(h.resIDs[i+1:], h.resIDs[i:])
+	h.resIDs[i] = v.ID()
 	h.memUsed += v.MemoryGB()
 	h.cpuReserved += v.ReservedCores()
 	return nil
@@ -186,11 +217,16 @@ func (h *Host) Place(v *vm.VM) error {
 
 // Remove takes the VM off this host.
 func (h *Host) Remove(id vm.ID) error {
-	v, ok := h.vms[id]
+	i, ok := h.residentIndex(id)
 	if !ok {
 		return fmt.Errorf("host %s: vm %d not placed here", h.name, id)
 	}
-	delete(h.vms, id)
+	v := h.res[i]
+	copy(h.res[i:], h.res[i+1:])
+	h.res[len(h.res)-1] = nil
+	h.res = h.res[:len(h.res)-1]
+	copy(h.resIDs[i:], h.resIDs[i+1:])
+	h.resIDs = h.resIDs[:len(h.resIDs)-1]
 	h.memUsed -= v.MemoryGB()
 	h.cpuReserved -= v.ReservedCores()
 	return nil
@@ -198,33 +234,44 @@ func (h *Host) Remove(id vm.ID) error {
 
 // Get returns a placed VM.
 func (h *Host) Get(id vm.ID) (*vm.VM, bool) {
-	v, ok := h.vms[id]
-	return v, ok
+	i, ok := h.residentIndex(id)
+	if !ok {
+		return nil, false
+	}
+	return h.res[i], true
 }
 
 // Reserve holds memory for an inbound migration of the VM. The
 // reservation converts to a placement via Place after
 // ReleaseReservation, or is dropped if the migration is abandoned.
 func (h *Host) Reserve(id vm.ID, memGB float64) error {
-	if _, ok := h.reserved[id]; ok {
+	i := sort.Search(len(h.resv), func(i int) bool { return h.resv[i].id >= id })
+	if i < len(h.resv) && h.resv[i].id == id {
 		return fmt.Errorf("host %s: vm %d already reserved", h.name, id)
 	}
 	if !h.CanFit(memGB) {
 		return fmt.Errorf("host %s: no memory to reserve %v GB for vm %d", h.name, memGB, id)
 	}
-	h.reserved[id] = memGB
+	h.resv = append(h.resv, reservation{})
+	copy(h.resv[i+1:], h.resv[i:])
+	h.resv[i] = reservation{id: id, memGB: memGB}
 	return nil
 }
 
 // ReleaseReservation drops an inbound reservation.
 func (h *Host) ReleaseReservation(id vm.ID) {
-	delete(h.reserved, id)
+	i := sort.Search(len(h.resv), func(i int) bool { return h.resv[i].id >= id })
+	if i < len(h.resv) && h.resv[i].id == id {
+		h.resv = append(h.resv[:i], h.resv[i+1:]...)
+	}
 }
 
-// Allocation is the scheduler's verdict for one interval.
+// Allocation is the scheduler's verdict for one interval. It is owned
+// by the host and reused across Schedule calls: read it before the
+// next Schedule on the same host.
 type Allocation struct {
-	// Delivered maps each placed VM to the cores it receives.
-	Delivered map[vm.ID]float64
+	ids       []vm.ID // aliases the host's resident view, ascending
+	delivered []float64
 	// TotalDemand is the sum of VM demands.
 	TotalDemand float64
 	// TotalDelivered is the sum of delivered cores.
@@ -234,38 +281,84 @@ type Allocation struct {
 	Utilization float64
 }
 
+// Len returns the number of VMs covered by the allocation.
+func (a *Allocation) Len() int { return len(a.ids) }
+
+// DeliveredAt returns the cores delivered to the i-th VM in the
+// host's VMs/Residents order.
+func (a *Allocation) DeliveredAt(i int) float64 { return a.delivered[i] }
+
+// Delivered returns the cores delivered to the VM, or 0 when the VM
+// was not part of the scheduled set.
+func (a *Allocation) Delivered(id vm.ID) float64 {
+	i := sort.Search(len(a.ids), func(i int) bool { return a.ids[i] >= id })
+	if i < len(a.ids) && a.ids[i] == id {
+		return a.delivered[i]
+	}
+	return 0
+}
+
+// growFloats returns s resized to n, reusing its backing array and
+// zeroing the active window.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// DemandScratch returns a reusable buffer with one slot per resident
+// VM, parallel to VMs/Residents order, for callers to fill with
+// demands before Schedule. The buffer is owned by the host.
+func (h *Host) DemandScratch() []float64 {
+	h.demands = growFloats(h.demands, len(h.res))
+	return h.demands
+}
+
 // Schedule runs the weighted proportional-share scheduler: given each
-// placed VM's demand and an additional overhead (cores consumed by
-// in-flight migrations), it computes what each VM receives. The
-// scheduler is work-conserving: if total demand plus overhead fits,
-// everyone gets what they asked; otherwise capacity is divided in
-// proportion to demand × shares, water-filling so that no VM receives
-// more than its demand (hypervisor-style resource shares; with equal
-// shares this reduces to plain demand-proportional scaling). Overhead
-// is served first, as hypervisor management traffic effectively
-// preempts guest CPU.
+// placed VM's demand (demands[i] belongs to Residents()[i]; ascending
+// VM-ID order) and an additional overhead (cores consumed by in-flight
+// migrations), it computes what each VM receives. The scheduler is
+// work-conserving: if total demand plus overhead fits, everyone gets
+// what they asked; otherwise capacity is divided in proportion to
+// demand × shares, water-filling so that no VM receives more than its
+// demand (hypervisor-style resource shares; with equal shares this
+// reduces to plain demand-proportional scaling). Overhead is served
+// first, as hypervisor management traffic effectively preempts guest
+// CPU.
 //
 // If the host is not available (asleep or transitioning), every VM
 // receives zero.
-func (h *Host) Schedule(demands map[vm.ID]float64, overheadCores float64) Allocation {
-	alloc := Allocation{Delivered: make(map[vm.ID]float64, len(h.vms))}
-	// All iteration is in ascending VM-ID order: floating-point sums
-	// must not depend on map iteration order, or identical runs
-	// diverge by ULPs.
-	ids := h.VMs()
-	clean := make(map[vm.ID]float64, len(h.vms))
-	for _, id := range ids {
-		d := demands[id]
+//
+// The returned Allocation is scratch owned by the host, valid until
+// the next Schedule call; demands is not mutated.
+func (h *Host) Schedule(demands []float64, overheadCores float64) *Allocation {
+	n := len(h.res)
+	if len(demands) != n {
+		panic(fmt.Sprintf("host %s: Schedule with %d demands for %d residents", h.name, len(demands), n))
+	}
+	alloc := &h.alloc
+	alloc.ids = h.resIDs
+	alloc.delivered = growFloats(alloc.delivered, n)
+	alloc.TotalDemand, alloc.TotalDelivered, alloc.Utilization = 0, 0, 0
+	// All iteration is in ascending VM-ID order (the resident order):
+	// floating-point sums must not depend on caller-visible ordering
+	// choices, or identical runs diverge by ULPs.
+	h.clean = growFloats(h.clean, n)
+	clean := h.clean
+	for i := 0; i < n; i++ {
+		d := demands[i]
 		if d < 0 {
 			d = 0
 		}
-		clean[id] = d
+		clean[i] = d
 		alloc.TotalDemand += d
 	}
 	if !h.Available() {
-		for _, id := range ids {
-			alloc.Delivered[id] = 0
-		}
 		return alloc
 	}
 	capacity := h.freq * h.cores
@@ -279,9 +372,9 @@ func (h *Host) Schedule(demands map[vm.ID]float64, overheadCores float64) Alloca
 
 	if alloc.TotalDemand <= available {
 		// Undersubscribed: everyone gets their ask.
-		for _, id := range ids {
-			d := clean[id]
-			alloc.Delivered[id] = d
+		for i := 0; i < n; i++ {
+			d := clean[i]
+			alloc.delivered[i] = d
 			alloc.TotalDelivered += d
 		}
 	} else {
@@ -289,37 +382,40 @@ func (h *Host) Schedule(demands map[vm.ID]float64, overheadCores float64) Alloca
 		// min(demand, reservation) before shares divide the rest. If
 		// migration overhead squeezed capacity below the sum of
 		// reservations, they scale down proportionally.
-		resWant := make(map[vm.ID]float64, len(clean))
+		h.resWant = growFloats(h.resWant, n)
+		resWant := h.resWant
 		totalRes := 0.0
-		for _, id := range ids {
-			d := clean[id]
-			r := h.vms[id].ReservedCores()
+		for i := 0; i < n; i++ {
+			d := clean[i]
+			r := h.res[i].ReservedCores()
 			if r > d {
 				r = d
 			}
-			resWant[id] = r
+			resWant[i] = r
 			totalRes += r
 		}
 		resScale := 1.0
 		if totalRes > available && totalRes > 0 {
 			resScale = available / totalRes
 		}
-		granted := make(map[vm.ID]float64, len(clean))
+		h.granted = growFloats(h.granted, n)
+		granted := h.granted
 		remainingAfterRes := available
-		for _, id := range ids {
-			g := resWant[id] * resScale
-			granted[id] = g
+		for i := 0; i < n; i++ {
+			g := resWant[i] * resScale
+			granted[i] = g
 			remainingAfterRes -= g
 		}
 		// Phase 1+: water-fill the residual demands by shares.
-		residual := make(map[vm.ID]float64, len(clean))
-		for _, id := range ids {
-			residual[id] = clean[id] - granted[id]
+		h.residual = growFloats(h.residual, n)
+		residual := h.residual
+		for i := 0; i < n; i++ {
+			residual[i] = clean[i] - granted[i]
 		}
-		fillByShares(h, ids, residual, remainingAfterRes, granted)
-		for _, id := range ids {
-			alloc.Delivered[id] = granted[id]
-			alloc.TotalDelivered += granted[id]
+		h.fillByShares(residual, remainingAfterRes, granted)
+		for i := 0; i < n; i++ {
+			alloc.delivered[i] = granted[i]
+			alloc.TotalDelivered += granted[i]
 		}
 	}
 
@@ -335,54 +431,60 @@ func (h *Host) Schedule(demands map[vm.ID]float64, overheadCores float64) Alloca
 
 // fillByShares water-fills `remaining` capacity over residual demands
 // in proportion to demand × shares, capping each VM at its residual
-// and redistributing surplus. Results accumulate into granted. ids
-// fixes the iteration order so the arithmetic is deterministic.
-func fillByShares(h *Host, ids []vm.ID, residual map[vm.ID]float64, remaining float64, granted map[vm.ID]float64) {
-	unsat := make(map[vm.ID]bool, len(residual))
-	n := 0
-	for _, id := range ids {
-		if residual[id] > 1e-12 {
-			unsat[id] = true
-			n++
+// and redistributing surplus. Results accumulate into granted. All
+// slices are indexed in resident (ascending VM-ID) order so the
+// arithmetic is deterministic.
+func (h *Host) fillByShares(residual []float64, remaining float64, granted []float64) {
+	n := len(residual)
+	if cap(h.unsat) < n {
+		h.unsat = make([]bool, n)
+	}
+	h.unsat = h.unsat[:n]
+	unsat := h.unsat
+	live := 0
+	for i := 0; i < n; i++ {
+		unsat[i] = residual[i] > 1e-12
+		if unsat[i] {
+			live++
 		}
 	}
-	for n > 0 && remaining > 1e-12 {
+	for live > 0 && remaining > 1e-12 {
 		totalW := 0.0
-		for _, id := range ids {
-			if unsat[id] {
-				totalW += residual[id] * float64(h.vms[id].Shares())
+		for i := 0; i < n; i++ {
+			if unsat[i] {
+				totalW += residual[i] * float64(h.res[i].Shares())
 			}
 		}
 		if totalW <= 0 {
 			break
 		}
 		capped := false
-		for _, id := range ids {
-			if !unsat[id] {
+		for i := 0; i < n; i++ {
+			if !unsat[i] {
 				continue
 			}
-			w := residual[id] * float64(h.vms[id].Shares())
+			w := residual[i] * float64(h.res[i].Shares())
 			slice := remaining * w / totalW
-			if slice >= residual[id] {
-				granted[id] += residual[id]
-				remaining -= residual[id]
-				residual[id] = 0
-				delete(unsat, id)
-				n--
+			if slice >= residual[i] {
+				granted[i] += residual[i]
+				remaining -= residual[i]
+				residual[i] = 0
+				unsat[i] = false
+				live--
 				capped = true
 			}
 		}
 		if capped {
 			continue
 		}
-		for _, id := range ids {
-			if !unsat[id] {
+		for i := 0; i < n; i++ {
+			if !unsat[i] {
 				continue
 			}
-			w := residual[id] * float64(h.vms[id].Shares())
-			granted[id] += remaining * w / totalW
-			delete(unsat, id)
-			n--
+			w := residual[i] * float64(h.res[i].Shares())
+			granted[i] += remaining * w / totalW
+			unsat[i] = false
+			live--
 		}
 		remaining = 0
 	}
@@ -390,5 +492,5 @@ func fillByShares(h *Host, ids []vm.ID, residual map[vm.ID]float64, remaining fl
 
 // String implements fmt.Stringer.
 func (h *Host) String() string {
-	return fmt.Sprintf("%s(%gc,%gGB,%v,%d vms)", h.name, h.cores, h.memGB, h.machine.State(), len(h.vms))
+	return fmt.Sprintf("%s(%gc,%gGB,%v,%d vms)", h.name, h.cores, h.memGB, h.machine.State(), len(h.res))
 }

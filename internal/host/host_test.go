@@ -25,6 +25,17 @@ func testVM(t *testing.T, id vm.ID, vcpus, memGB, demand float64) *vm.VM {
 	return v
 }
 
+// demandsFor builds a demand slice parallel to h.VMs() from an
+// ID-keyed map, so tests can state demands by VM ID while exercising
+// the slice-based Schedule API.
+func demandsFor(h *Host, byID map[vm.ID]float64) []float64 {
+	out := make([]float64, h.NumVMs())
+	for i, id := range h.VMs() {
+		out[i] = byID[id]
+	}
+	return out
+}
+
 func newTestHost(t *testing.T) (*sim.Engine, *Host) {
 	t.Helper()
 	eng := sim.NewEngine(1)
@@ -161,9 +172,9 @@ func TestScheduleUndersubscribed(t *testing.T) {
 	_, h := newTestHost(t)
 	h.Place(testVM(t, 1, 4, 8, 0))
 	h.Place(testVM(t, 2, 4, 8, 0))
-	alloc := h.Schedule(map[vm.ID]float64{1: 3, 2: 5}, 0)
-	if alloc.Delivered[1] != 3 || alloc.Delivered[2] != 5 {
-		t.Fatalf("delivered = %v", alloc.Delivered)
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 3, 2: 5}), 0)
+	if alloc.Delivered(1) != 3 || alloc.Delivered(2) != 5 {
+		t.Fatalf("delivered = %v / %v", alloc.Delivered(1), alloc.Delivered(2))
 	}
 	if alloc.TotalDelivered != 8 || alloc.TotalDemand != 8 {
 		t.Fatalf("totals = %v/%v", alloc.TotalDelivered, alloc.TotalDemand)
@@ -178,12 +189,12 @@ func TestScheduleOversubscribedProportional(t *testing.T) {
 	h.Place(testVM(t, 1, 16, 8, 0))
 	h.Place(testVM(t, 2, 16, 8, 0))
 	// Demand 24 on 16 cores: each gets 2/3 of its ask.
-	alloc := h.Schedule(map[vm.ID]float64{1: 16, 2: 8}, 0)
-	if math.Abs(alloc.Delivered[1]-16.0*2/3) > 1e-9 {
-		t.Fatalf("vm1 delivered = %v", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 16, 2: 8}), 0)
+	if math.Abs(alloc.Delivered(1)-16.0*2/3) > 1e-9 {
+		t.Fatalf("vm1 delivered = %v", alloc.Delivered(1))
 	}
-	if math.Abs(alloc.Delivered[2]-8.0*2/3) > 1e-9 {
-		t.Fatalf("vm2 delivered = %v", alloc.Delivered[2])
+	if math.Abs(alloc.Delivered(2)-8.0*2/3) > 1e-9 {
+		t.Fatalf("vm2 delivered = %v", alloc.Delivered(2))
 	}
 	if alloc.Utilization != 1 {
 		t.Fatalf("utilization = %v, want 1", alloc.Utilization)
@@ -194,9 +205,9 @@ func TestScheduleOverheadPreempts(t *testing.T) {
 	_, h := newTestHost(t)
 	h.Place(testVM(t, 1, 16, 8, 0))
 	// 16 demanded, 2 cores of migration overhead: VM gets 14.
-	alloc := h.Schedule(map[vm.ID]float64{1: 16}, 2)
-	if math.Abs(alloc.Delivered[1]-14) > 1e-9 {
-		t.Fatalf("delivered = %v, want 14", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 16}), 2)
+	if math.Abs(alloc.Delivered(1)-14) > 1e-9 {
+		t.Fatalf("delivered = %v, want 14", alloc.Delivered(1))
 	}
 	if alloc.Utilization != 1 {
 		t.Fatalf("utilization = %v", alloc.Utilization)
@@ -210,9 +221,9 @@ func TestScheduleUnavailableHostDeliversNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.RunUntil(time.Second) // mid-transition
-	alloc := h.Schedule(map[vm.ID]float64{1: 4}, 0)
-	if alloc.Delivered[1] != 0 || alloc.TotalDelivered != 0 {
-		t.Fatalf("sleeping host delivered %v", alloc.Delivered)
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 4}), 0)
+	if alloc.Delivered(1) != 0 || alloc.TotalDelivered != 0 {
+		t.Fatalf("sleeping host delivered %v", alloc.Delivered(1))
 	}
 	if alloc.TotalDemand != 4 {
 		t.Fatalf("demand should still be recorded: %v", alloc.TotalDemand)
@@ -222,15 +233,15 @@ func TestScheduleUnavailableHostDeliversNothing(t *testing.T) {
 func TestScheduleClampsInputs(t *testing.T) {
 	_, h := newTestHost(t)
 	h.Place(testVM(t, 1, 4, 8, 0))
-	alloc := h.Schedule(map[vm.ID]float64{1: -5}, -3)
-	if alloc.Delivered[1] != 0 || alloc.TotalDemand != 0 {
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: -5}), -3)
+	if alloc.Delivered(1) != 0 || alloc.TotalDemand != 0 {
 		t.Fatalf("negative demand not clamped: %+v", alloc)
 	}
 	// Overhead beyond capacity starves VMs entirely but does not go
 	// negative.
-	alloc = h.Schedule(map[vm.ID]float64{1: 4}, 100)
-	if alloc.Delivered[1] != 0 {
-		t.Fatalf("delivered %v with saturating overhead", alloc.Delivered[1])
+	alloc = h.Schedule(demandsFor(h, map[vm.ID]float64{1: 4}), 100)
+	if alloc.Delivered(1) != 0 {
+		t.Fatalf("delivered %v with saturating overhead", alloc.Delivered(1))
 	}
 	if alloc.Utilization != 1 {
 		t.Fatalf("utilization = %v", alloc.Utilization)
@@ -240,9 +251,9 @@ func TestScheduleClampsInputs(t *testing.T) {
 func TestScheduleMissingDemandDefaultsZero(t *testing.T) {
 	_, h := newTestHost(t)
 	h.Place(testVM(t, 1, 4, 8, 0))
-	alloc := h.Schedule(map[vm.ID]float64{}, 0)
-	if alloc.Delivered[1] != 0 {
-		t.Fatalf("delivered = %v for missing demand", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{}), 0)
+	if alloc.Delivered(1) != 0 {
+		t.Fatalf("delivered = %v for missing demand", alloc.Delivered(1))
 	}
 }
 
@@ -262,16 +273,17 @@ func TestScheduleProperty(t *testing.T) {
 				return false
 			}
 		}
-		demands := map[vm.ID]float64{
-			1: float64(d1Raw) / 16,
-			2: float64(d2Raw) / 16,
-			3: float64(d3Raw) / 16,
+		demands := []float64{
+			float64(d1Raw) / 16,
+			float64(d2Raw) / 16,
+			float64(d3Raw) / 16,
 		}
 		overhead := float64(ovRaw) / 64
 		alloc := h.Schedule(demands, overhead)
 		total := 0.0
-		for id, got := range alloc.Delivered {
-			if got > demands[id]+1e-9 || got < 0 {
+		for i := range demands {
+			got := alloc.DeliveredAt(i)
+			if got > demands[i]+1e-9 || got < 0 {
 				return false
 			}
 			total += got

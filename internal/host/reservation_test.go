@@ -83,16 +83,16 @@ func TestReservationHonoredUnderContention(t *testing.T) {
 	h.Place(resVM(t, 3, 0, 0))
 	// All demand 8: total 24 on 16 cores. VM1 gets its 6 plus a share
 	// of the rest; VMs 2-3 split what remains.
-	alloc := h.Schedule(map[vm.ID]float64{1: 8, 2: 8, 3: 8}, 0)
-	if alloc.Delivered[1] < 6 {
-		t.Fatalf("reserved VM got %v, guaranteed 6", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 8, 2: 8, 3: 8}), 0)
+	if alloc.Delivered(1) < 6 {
+		t.Fatalf("reserved VM got %v, guaranteed 6", alloc.Delivered(1))
 	}
 	if math.Abs(alloc.TotalDelivered-16) > 1e-9 {
 		t.Fatalf("not work-conserving: %v", alloc.TotalDelivered)
 	}
 	// Equal residual demands and shares → VMs 2,3 equal.
-	if math.Abs(alloc.Delivered[2]-alloc.Delivered[3]) > 1e-9 {
-		t.Fatalf("unreserved peers diverged: %v vs %v", alloc.Delivered[2], alloc.Delivered[3])
+	if math.Abs(alloc.Delivered(2)-alloc.Delivered(3)) > 1e-9 {
+		t.Fatalf("unreserved peers diverged: %v vs %v", alloc.Delivered(2), alloc.Delivered(3))
 	}
 }
 
@@ -100,13 +100,13 @@ func TestReservationCappedAtDemand(t *testing.T) {
 	_, h := newTestHost(t)
 	h.Place(resVM(t, 1, 8, 0)) // reserves 8 but asks 1
 	h.Place(resVM(t, 2, 0, 0))
-	alloc := h.Schedule(map[vm.ID]float64{1: 1, 2: 20}, 0)
-	if alloc.Delivered[1] != 1 {
-		t.Fatalf("idle reserved VM got %v, want its ask 1", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 1, 2: 20}), 0)
+	if alloc.Delivered(1) != 1 {
+		t.Fatalf("idle reserved VM got %v, want its ask 1", alloc.Delivered(1))
 	}
 	// The unused reservation is work-conserving: VM2 gets the rest.
-	if math.Abs(alloc.Delivered[2]-15) > 1e-9 {
-		t.Fatalf("vm2 got %v, want 15", alloc.Delivered[2])
+	if math.Abs(alloc.Delivered(2)-15) > 1e-9 {
+		t.Fatalf("vm2 got %v, want 15", alloc.Delivered(2))
 	}
 }
 
@@ -116,8 +116,8 @@ func TestReservationsScaleWhenOverheadSqueezes(t *testing.T) {
 	h.Place(resVM(t, 2, 8, 0))
 	// 8 cores of migration overhead leave 8 for 16 of reservations:
 	// both scale to 4.
-	alloc := h.Schedule(map[vm.ID]float64{1: 8, 2: 8}, 8)
-	if math.Abs(alloc.Delivered[1]-4) > 1e-9 || math.Abs(alloc.Delivered[2]-4) > 1e-9 {
-		t.Fatalf("squeezed reservations = %v / %v, want 4 / 4", alloc.Delivered[1], alloc.Delivered[2])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 8, 2: 8}), 8)
+	if math.Abs(alloc.Delivered(1)-4) > 1e-9 || math.Abs(alloc.Delivered(2)-4) > 1e-9 {
+		t.Fatalf("squeezed reservations = %v / %v, want 4 / 4", alloc.Delivered(1), alloc.Delivered(2))
 	}
 }

@@ -29,12 +29,12 @@ func TestSharesWeightContention(t *testing.T) {
 	h.Place(sharesVM(t, 1, 2000)) // high priority
 	h.Place(sharesVM(t, 2, 1000)) // normal
 	// Both demand 12 on a 16-core host: weighted slices 2:1.
-	alloc := h.Schedule(map[vm.ID]float64{1: 12, 2: 12}, 0)
-	if math.Abs(alloc.Delivered[1]-16.0*2/3) > 1e-9 {
-		t.Fatalf("high-shares VM got %v, want %v", alloc.Delivered[1], 16.0*2/3)
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 12, 2: 12}), 0)
+	if math.Abs(alloc.Delivered(1)-16.0*2/3) > 1e-9 {
+		t.Fatalf("high-shares VM got %v, want %v", alloc.Delivered(1), 16.0*2/3)
 	}
-	if math.Abs(alloc.Delivered[2]-16.0*1/3) > 1e-9 {
-		t.Fatalf("normal VM got %v, want %v", alloc.Delivered[2], 16.0/3)
+	if math.Abs(alloc.Delivered(2)-16.0*1/3) > 1e-9 {
+		t.Fatalf("normal VM got %v, want %v", alloc.Delivered(2), 16.0/3)
 	}
 }
 
@@ -45,13 +45,13 @@ func TestSharesWaterFillingCapsAtDemand(t *testing.T) {
 	h.Place(sharesVM(t, 3, 1000))
 	// VM1 asks 2; its weighted slice would far exceed that. Surplus
 	// goes to the others.
-	alloc := h.Schedule(map[vm.ID]float64{1: 2, 2: 12, 3: 12}, 0)
-	if alloc.Delivered[1] != 2 {
-		t.Fatalf("capped VM got %v, want its full ask 2", alloc.Delivered[1])
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 2, 2: 12, 3: 12}), 0)
+	if alloc.Delivered(1) != 2 {
+		t.Fatalf("capped VM got %v, want its full ask 2", alloc.Delivered(1))
 	}
 	// Remaining 14 split evenly (equal demand × equal shares).
-	if math.Abs(alloc.Delivered[2]-7) > 1e-9 || math.Abs(alloc.Delivered[3]-7) > 1e-9 {
-		t.Fatalf("redistribution wrong: %v / %v", alloc.Delivered[2], alloc.Delivered[3])
+	if math.Abs(alloc.Delivered(2)-7) > 1e-9 || math.Abs(alloc.Delivered(3)-7) > 1e-9 {
+		t.Fatalf("redistribution wrong: %v / %v", alloc.Delivered(2), alloc.Delivered(3))
 	}
 	if math.Abs(alloc.TotalDelivered-16) > 1e-9 {
 		t.Fatalf("not work-conserving: delivered %v of 16", alloc.TotalDelivered)
@@ -64,9 +64,9 @@ func TestEqualSharesMatchesProportional(t *testing.T) {
 	_, h := newTestHost(t)
 	h.Place(testVM(t, 1, 16, 8, 0))
 	h.Place(testVM(t, 2, 16, 8, 0))
-	alloc := h.Schedule(map[vm.ID]float64{1: 16, 2: 8}, 0)
-	if math.Abs(alloc.Delivered[1]-16.0*2/3) > 1e-9 || math.Abs(alloc.Delivered[2]-8.0*2/3) > 1e-9 {
-		t.Fatalf("equal-shares allocation diverged: %v", alloc.Delivered)
+	alloc := h.Schedule(demandsFor(h, map[vm.ID]float64{1: 16, 2: 8}), 0)
+	if math.Abs(alloc.Delivered(1)-16.0*2/3) > 1e-9 || math.Abs(alloc.Delivered(2)-8.0*2/3) > 1e-9 {
+		t.Fatalf("equal-shares allocation diverged: %v / %v", alloc.Delivered(1), alloc.Delivered(2))
 	}
 }
 
@@ -94,16 +94,17 @@ func TestSharesScheduleProperty(t *testing.T) {
 				return false
 			}
 		}
-		demands := map[vm.ID]float64{
-			1: float64(d1) / 32,
-			2: float64(d2) / 32,
-			3: float64(d3) / 32,
+		demands := []float64{
+			float64(d1) / 32,
+			float64(d2) / 32,
+			float64(d3) / 32,
 		}
 		overhead := float64(ovRaw) / 64
 		alloc := h.Schedule(demands, overhead)
 		total := 0.0
-		for id, got := range alloc.Delivered {
-			if got > demands[id]+1e-9 || got < -1e-12 {
+		for i := range demands {
+			got := alloc.DeliveredAt(i)
+			if got > demands[i]+1e-9 || got < -1e-12 {
 				return false
 			}
 			total += got

@@ -238,7 +238,7 @@ func (m *Machine) Sleep(st State) error {
 	}
 	m.doneAt = m.eng.Now() + latency
 	m.stats.Entries[st]++
-	m.eng.Schedule(m.doneAt, func() { m.settle(settleIn) })
+	m.eng.ScheduleFunc(m.doneAt, func() { m.settle(settleIn) })
 	return nil
 }
 
@@ -283,7 +283,7 @@ func (m *Machine) Wake() error {
 	}
 	m.doneAt = m.eng.Now() + exit
 	m.stats.Exits[from]++
-	m.eng.Schedule(m.doneAt, func() { m.settle(settleIn) })
+	m.eng.ScheduleFunc(m.doneAt, func() { m.settle(settleIn) })
 	return nil
 }
 
@@ -309,7 +309,7 @@ func (m *Machine) Crash(repair time.Duration) error {
 	m.crashed = true
 	m.doneAt = m.eng.Now() + repair
 	m.stats.Crashes++
-	m.eng.Schedule(m.doneAt, func() { m.settle(S0) })
+	m.eng.ScheduleFunc(m.doneAt, func() { m.settle(S0) })
 	return nil
 }
 

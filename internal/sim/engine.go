@@ -16,6 +16,13 @@ type Engine struct {
 
 	fired   uint64
 	stopped bool
+
+	// free is the pool of fired ScheduleFunc/AfterFunc events awaiting
+	// reuse. Periodic ticks (cluster evaluation, manager control loops,
+	// power-transition settles) dominate a simulation's event count and
+	// never retain their events, so the steady state schedules without
+	// allocating.
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
@@ -58,6 +65,38 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.Schedule(e.clock.Now()+d, fn)
 }
 
+// ScheduleFunc queues fn to run at absolute virtual time at, without
+// handing out the event. Because no caller can retain (or cancel) it,
+// the engine recycles the event object after it fires; hot periodic
+// schedules should prefer this over Schedule to keep the event loop
+// allocation-free.
+func (e *Engine) ScheduleFunc(at Time, fn func()) {
+	if at < e.clock.Now() {
+		panic(fmt.Sprintf("sim: scheduling event in the past: at=%v now=%v", at, e.clock.Now()))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.fn, ev.cancel = at, fn, false
+		ev.seq = e.seq
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, index: -1, eng: e, pooled: true}
+	}
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// AfterFunc queues fn to run d after the current time, pooling the
+// event like ScheduleFunc.
+func (e *Engine) AfterFunc(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.ScheduleFunc(e.clock.Now()+d, fn)
+}
+
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -73,7 +112,14 @@ func (e *Engine) step() bool {
 		}
 		e.clock.advance(ev.at)
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		if ev.pooled {
+			// Recycle before running fn so a tick that immediately
+			// reschedules itself reuses this very object.
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false

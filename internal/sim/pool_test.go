@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleFuncPoolReuse verifies that events scheduled through the
+// non-returning API are recycled: a self-rescheduling tick — the shape
+// of every periodic loop in the simulator — must reuse one event
+// object instead of allocating a fresh one per firing.
+func TestScheduleFuncPoolReuse(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < 1000 {
+			eng.AfterFunc(Time(time.Second), tick)
+		}
+	}
+	eng.AfterFunc(0, tick)
+	// Warm up: the first firing seeds the freelist.
+	eng.RunUntil(Time(time.Second))
+	avg := testing.AllocsPerRun(100, func() {
+		eng.RunUntil(eng.Now() + Time(time.Second))
+	})
+	if avg != 0 {
+		t.Fatalf("self-rescheduling AfterFunc tick allocates %.2f per firing, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("tick never fired")
+	}
+}
+
+// TestScheduleFuncInterleavedWithRetained checks that pooling never
+// recycles events handed out by Schedule/After: a retained handle must
+// stay cancellable (and report Cancelled) even after many pooled
+// events have been recycled through the freelist.
+func TestScheduleFuncInterleavedWithRetained(t *testing.T) {
+	eng := NewEngine(1)
+	ran := false
+	retained := eng.After(Time(10*time.Second), func() { ran = true })
+	for i := 0; i < 100; i++ {
+		eng.AfterFunc(Time(time.Second), func() {})
+	}
+	eng.RunUntil(Time(5 * time.Second))
+	retained.Cancel()
+	eng.RunUntil(Time(20 * time.Second))
+	if ran {
+		t.Fatal("cancelled retained event ran after pooled events recycled")
+	}
+	if !retained.Cancelled() {
+		t.Fatal("retained handle lost its cancelled mark")
+	}
+}

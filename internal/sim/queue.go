@@ -11,6 +11,12 @@ type Event struct {
 	fn     func()
 	cancel bool
 	eng    *Engine // owning engine, for eager dequeue on Cancel
+	// pooled marks events scheduled via ScheduleFunc/AfterFunc: no
+	// caller holds a reference, so the engine recycles them after they
+	// fire instead of leaving them to the garbage collector. Events
+	// returned from Schedule/After are never pooled — retained handles
+	// stay valid (and cancellable) forever.
+	pooled bool
 }
 
 // At returns the virtual time the event is scheduled for.
