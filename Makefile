@@ -4,13 +4,18 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc sweep-quick ci clean
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The suite again with test order shuffled: catches tests that lean on
+# package-level state left behind by an earlier test.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
 
 # Race-enabled run of the full suite, including the parallel-runner
 # smoke tests. CI should treat this as tier-1 alongside `make test`.
@@ -28,10 +33,13 @@ fmt:
 	fi
 
 # The determinism gate: the full experiment suite must render
-# byte-identically whether run on 1 worker or many. Run explicitly in
-# CI (it is also part of `make test`) so a violation is unmissable.
+# byte-identically whether run on 1 worker or many, and the lossy
+# control-plane message layer must replay identically for a fixed seed.
+# Run explicitly in CI (it is also part of `make test`) so a violation
+# is unmissable.
 determinism:
-	$(GO) test -run TestRunAllByteIdenticalAcrossWorkers -v ./internal/experiments/
+	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestPlaneDeterministicAcrossReruns' -v \
+		./internal/experiments/ ./internal/ctrlplane/
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 ./...
@@ -77,7 +85,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test race determinism bench-alloc bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-smoke
 
 clean:
 	$(GO) clean ./...

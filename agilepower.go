@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"agilepower/internal/core"
+	"agilepower/internal/ctrlplane"
 	"agilepower/internal/events"
 	"agilepower/internal/faults"
 	"agilepower/internal/migrate"
@@ -78,6 +79,11 @@ type (
 	// value is fully dormant: runs are byte-identical to fault-unaware
 	// builds.
 	FaultConfig = faults.Config
+	// CtrlPlaneConfig parameterizes the imperfect management network
+	// between manager and hosts (telemetry delay and loss, lossy
+	// retried commands, heartbeat liveness). The zero value is fully
+	// dormant: runs are byte-identical to plane-unaware builds.
+	CtrlPlaneConfig = ctrlplane.Config
 )
 
 // Power states.
@@ -121,6 +127,13 @@ func DefaultFacility() Facility { return power.DefaultFacility() }
 // FaultPreset returns the standard fault mix at intensity rate ∈
 // [0, 1] (0 = dormant) — the knob the robustness experiment sweeps.
 func FaultPreset(rate float64) FaultConfig { return faults.Preset(rate) }
+
+// CtrlPreset returns the standard degraded-management-network mix for
+// a mean one-way delay and per-leg loss probability (both zero =
+// dormant) — the two knobs the ctrlplane experiment sweeps.
+func CtrlPreset(delay time.Duration, loss float64) CtrlPlaneConfig {
+	return ctrlplane.Preset(delay, loss)
+}
 
 // HostClass describes one group of identical hosts in a heterogeneous
 // fleet.
@@ -197,6 +210,12 @@ type Scenario struct {
 	// from a substream of Seed. Nil (or a dormant config) leaves the
 	// simulation byte-identical to a fault-free build.
 	Faults *FaultConfig
+	// CtrlPlane, when non-nil and enabled, interposes an imperfect
+	// message layer between manager and cluster: delayed/lossy
+	// telemetry, retried commands, heartbeat liveness. Nil (or a
+	// dormant config) leaves the simulation byte-identical to a
+	// plane-free build.
+	CtrlPlane *CtrlPlaneConfig
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -241,6 +260,11 @@ func (s Scenario) Validate() error {
 	}
 	if s.Faults != nil {
 		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.CtrlPlane != nil {
+		if err := s.CtrlPlane.Validate(); err != nil {
 			return err
 		}
 	}

@@ -92,5 +92,9 @@ func BenchmarkFigureDVFS(b *testing.B) { benchExperiment(b, "dvfs") }
 // grid.
 func BenchmarkRobustness(b *testing.B) { benchExperiment(b, "robust") }
 
+// BenchmarkCtrlPlane regenerates the policy × delay×loss grid under an
+// imperfect control plane.
+func BenchmarkCtrlPlane(b *testing.B) { benchExperiment(b, "ctrl") }
+
 // BenchmarkAblations regenerates the design-choice ablation tables.
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablate") }

@@ -7,12 +7,19 @@
 //	curl -s -X POST localhost:8080/api/runs -d '{"hosts":16,"vms":80,"fleet":"mixed","policy":"dpm-s3"}'
 //	curl -s localhost:8080/api/runs/1/series?step=30m
 //	curl -s -X POST localhost:8080/api/experiments/f6
+//
+// SIGINT/SIGTERM drain in-flight requests for up to -grace before the
+// process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"agilepower/internal/api"
@@ -20,17 +27,47 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(api.NewServer().Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
+		// Experiment regeneration can take a while; these bound a stuck
+		// client, not a long simulation.
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
-	log.Printf("agilepmd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("agilepmd listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal arrived.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("agilepmd shutting down (grace %v)", *grace)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("agilepmd forced shutdown: %v", err)
+		srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	log.Print("agilepmd stopped")
 }
 
 func logRequests(next http.Handler) http.Handler {

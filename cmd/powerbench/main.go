@@ -37,6 +37,8 @@ func main() {
 	s5Power := flag.Float64("s5-w", 4, "S5 power (W)")
 	s5Entry := flag.Duration("s5-entry", 45*time.Second, "S5 entry latency")
 	s5Exit := flag.Duration("s5-exit", 190*time.Second, "S5 exit latency")
+	ctrlDelay := flag.Duration("ctrlplane-delay", 0, "mean one-way management-network delay for the ctrl experiment (0 with zero loss = no control plane)")
+	ctrlLoss := flag.Float64("ctrlplane-loss", 0, "per-leg management-network loss probability in [0,1]")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -66,16 +68,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := experiments.Options{Seed: *seed, Profile: profile, Workers: *workers}
+	opts := experiments.Options{
+		Seed: *seed, Profile: profile, Workers: *workers,
+		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
+	}
 	ids := []string{"t1", "f2", "f3"}
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
 		switch id {
-		case "t1", "f2", "f3":
+		// ctrl is the cluster-under-imperfect-control-plane grid — the
+		// counterpart characterization for the management network; the
+		// -ctrlplane-* flags add an extra row to its delay×loss grid.
+		case "t1", "f2", "f3", "ctrl":
 		default:
-			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3)\n", id)
+			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3, ctrl)\n", id)
 			os.Exit(1)
 		}
 	}

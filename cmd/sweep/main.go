@@ -23,6 +23,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload generation seed")
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+	ctrlDelay := flag.Duration("ctrlplane-delay", 0, "mean one-way management-network delay for cluster experiments (0 with zero loss = no control plane)")
+	ctrlLoss := flag.Float64("ctrlplane-loss", 0, "per-leg management-network loss probability in [0,1]")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -45,7 +47,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel,
+		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
+	}
 	if *exp == "all" {
 		// Long runs stay observable: per-experiment wall times go to
 		// stderr while the stitched report goes to stdout.

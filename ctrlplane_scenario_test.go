@@ -1,0 +1,140 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/ctrlplane"
+)
+
+func ctrlScenario(delay time.Duration, loss float64) Scenario {
+	s := Scenario{
+		Name:    "ctrl",
+		Hosts:   6,
+		VMs:     MixedFleet(24, 5),
+		Horizon: 8 * time.Hour,
+		Seed:    5,
+		Manager: ManagerConfig{Policy: DPMS3},
+	}
+	cfg := CtrlPreset(delay, loss)
+	if cfg.Enabled() {
+		s.CtrlPlane = &cfg
+	}
+	return s
+}
+
+// A dormant control-plane config must be indistinguishable from no
+// config at all: the plane is never constructed, so not a single RNG
+// draw or event differs.
+func TestDormantCtrlPlaneConfigIdenticalToNil(t *testing.T) {
+	plain := ctrlScenario(0, 0)
+	dormant := ctrlScenario(0, 0)
+	dormant.CtrlPlane = &CtrlPlaneConfig{}
+
+	a, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dormant.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.Satisfaction != b.Satisfaction ||
+		a.ViolationFraction != b.ViolationFraction {
+		t.Fatalf("dormant config changed the run: %v/%v vs %v/%v",
+			a.Energy, a.Satisfaction, b.Energy, b.Satisfaction)
+	}
+	if a.Sleeps != b.Sleeps || a.Wakes != b.Wakes ||
+		a.Migrations.Completed != b.Migrations.Completed {
+		t.Fatal("dormant config changed manager actions")
+	}
+	if a.Events.Len() != b.Events.Len() {
+		t.Fatalf("event logs diverged: %d vs %d", a.Events.Len(), b.Events.Len())
+	}
+	for i, ea := range a.Events.All() {
+		if ea != b.Events.All()[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea, b.Events.All()[i])
+		}
+	}
+	// A plane-free run reports a clean message-layer ledger.
+	if len(b.FaultCounters) != 0 {
+		t.Fatalf("plane-free run reports message-layer activity: %+v", b.FaultCounters)
+	}
+}
+
+// lossyRun drives a degraded-network scenario (with crash faults, so
+// the heartbeat liveness path fires too) as a stepped session, checking
+// the cluster's structural invariants every 15 simulated minutes — a
+// double-placed VM would trip them at the next check.
+func lossyRun(t *testing.T) *Result {
+	t.Helper()
+	sc := ctrlScenario(2*time.Second, 0.25)
+	fc := FaultPreset(0.3)
+	sc.Faults = &fc
+
+	sess, err := sc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := 15 * time.Minute; at <= sc.Horizon; at += 15 * time.Minute {
+		if err := sess.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.CheckInvariants(); err != nil {
+			t.Fatalf("invariants broken at %v: %v", at, err)
+		}
+	}
+	return sess.Result()
+}
+
+func TestLossyCtrlPlaneRetriesWithoutDoublePlacement(t *testing.T) {
+	a := lossyRun(t)
+
+	// The degraded network actually degraded: commands were dropped,
+	// retried, and duplicates were suppressed at the receiver.
+	if a.FaultCounters[ctrlplane.CtrCmdRetries] == 0 {
+		t.Fatalf("no command retries at 25%% loss: %+v", a.FaultCounters)
+	}
+	if a.FaultCounters[ctrlplane.CtrCmdDrops] == 0 {
+		t.Fatalf("no command drops at 25%% loss: %+v", a.FaultCounters)
+	}
+	// Crash faults plus lost heartbeats exercised the liveness machine.
+	if a.FaultCounters[ctrlplane.CtrSuspects] == 0 {
+		t.Fatalf("no liveness suspicions under crashes + loss: %+v", a.FaultCounters)
+	}
+
+	// Same seed, same degraded network → the entire run (message fates
+	// included) replays identically.
+	b := lossyRun(t)
+	if a.Energy != b.Energy || a.Satisfaction != b.Satisfaction {
+		t.Fatalf("lossy run diverged: %v vs %v", a.Energy, b.Energy)
+	}
+	for name, v := range a.FaultCounters {
+		if b.FaultCounters[name] != v {
+			t.Fatalf("counter %s diverged: %d vs %d", name, v, b.FaultCounters[name])
+		}
+	}
+	if len(a.FaultCounters) != len(b.FaultCounters) {
+		t.Fatal("counter sets diverged across reruns")
+	}
+	if a.Events.Len() != b.Events.Len() {
+		t.Fatalf("event logs diverged: %d vs %d", a.Events.Len(), b.Events.Len())
+	}
+	for i, ea := range a.Events.All() {
+		if ea != b.Events.All()[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea, b.Events.All()[i])
+		}
+	}
+}
+
+func TestScenarioValidateRejectsBadCtrlPlaneConfig(t *testing.T) {
+	s := ctrlScenario(0, 0)
+	s.CtrlPlane = &CtrlPlaneConfig{CmdLossProb: 1.5}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted out-of-range command loss probability")
+	}
+	s.CtrlPlane = &CtrlPlaneConfig{CmdDelay: -time.Second}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted negative command delay")
+	}
+}

@@ -560,6 +560,11 @@ func (c *Cluster) StartMigration(id vm.ID, dst host.ID) error {
 	if src == dst {
 		return fmt.Errorf("cluster: vm %d already on host %d", id, dst)
 	}
+	if srcHost := c.hostByID(src); srcHost == nil || !srcHost.Available() {
+		// A manager acting on a stale view can order a move off a host
+		// that has since crashed; the frozen VM cannot be pre-copied.
+		return fmt.Errorf("cluster: source host %d not available", src)
+	}
 	dstHost := c.hostByID(dst)
 	if dstHost == nil {
 		return fmt.Errorf("cluster: unknown destination host %d", dst)

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/sim"
+)
+
+func TestStartMigrationFromUnavailableSourceRejected(t *testing.T) {
+	// A manager acting on a stale view can order a move off a host that
+	// has since crashed. The frozen VM cannot be pre-copied; the order
+	// must be rejected cleanly, leaving no half-started migration.
+	eng, c := newTestCluster(t, 2)
+	v := addVM(t, c, 1, 4)
+	c.Start()
+	eng.RunUntil(sim.Time(10 * time.Minute))
+
+	if err := c.CrashHost(1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartMigration(v.ID(), 2); err == nil {
+		t.Fatal("migration accepted off a crashed source")
+	}
+	if c.Migrating(v.ID()) {
+		t.Fatal("rejected migration left the VM marked migrating")
+	}
+	// The destination must not be left holding a reservation.
+	h, _ := c.Host(2)
+	if h.NumVMs() != 0 {
+		t.Fatalf("destination holds %d VMs after rejected migration", h.NumVMs())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants broken after rejected migration: %v", err)
+	}
+	// Once the source is repaired, the same order goes through.
+	eng.RunUntil(sim.Time(10*time.Minute + time.Hour))
+	c.Flush()
+	if err := c.StartMigration(v.ID(), 2); err != nil {
+		t.Fatalf("migration off repaired source rejected: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"agilepower/internal/cluster"
+	"agilepower/internal/ctrlplane"
 	"agilepower/internal/host"
 	"agilepower/internal/power"
 	"agilepower/internal/sim"
@@ -88,6 +89,13 @@ type Manager struct {
 	migFails    map[vm.ID]int
 	migRetryAt  map[vm.ID]sim.Time
 	counters    *telemetry.Counters
+
+	// cp, when attached, is the imperfect message layer every power and
+	// migration order travels over (see ctrl.go); trusted is the
+	// liveness-filtered placement scratch it maintains. Both stay nil
+	// in plane-free runs so the direct paths are untouched.
+	cp      *ctrlplane.Plane
+	trusted []*host.Host
 
 	// Scratch buffers reused across control steps so the periodic
 	// loops do not allocate. The control phases run sequentially and
@@ -327,8 +335,11 @@ func (m *Manager) checkPanic() {
 		}
 	}
 	for _, h := range m.cl.Hosts() {
+		if m.distrusted(h.ID()) || m.hostCmdPending(h.ID()) {
+			continue
+		}
 		if h.Machine().State().IsSleep() && h.Machine().Phase() == power.Settled {
-			if err := m.wakeHost(h.ID()); err == nil {
+			if err := m.wakeHost(h.ID()); err == nil && m.cp == nil {
 				m.stats.Wakes++
 			}
 		}
@@ -347,10 +358,10 @@ func (m *Manager) placePending(forecasts map[vm.ID]float64) {
 	c := m.takeCensus()
 	// Static policies have no census distinction; any available host
 	// (serving or evacuating) can take a new VM, preferring serving.
-	// Maintenance holds are respected.
-	candidates := append([]*host.Host(nil), c.serving...)
+	// Maintenance holds are respected, as are liveness suspicions.
+	candidates := append([]*host.Host(nil), m.trustedServing(c)...)
 	for _, h := range c.evacuating {
-		if !m.maintenance[h.ID()] {
+		if !m.maintenance[h.ID()] && !m.distrusted(h.ID()) {
 			candidates = append(candidates, h)
 		}
 	}
@@ -477,8 +488,23 @@ func (m *Manager) takeCensus() census {
 		entering:   m.cen.entering[:0],
 	}
 	for _, h := range m.cl.Hosts() {
+		if m.ctrlDead(h.ID()) {
+			// Presumed dead: plan around the host entirely. Its VMs'
+			// demand still pressures scale-up (observeAll sees them), so
+			// replacement capacity wakes without double-placing them.
+			continue
+		}
 		mach := h.Machine()
 		switch {
+		case m.cp != nil && mach.Crashed():
+			// With a control plane the manager cannot see the crash
+			// directly; until liveness says otherwise the host keeps its
+			// last-known class (commands sent to it will bounce).
+			if m.evacuating[h.ID()] {
+				c.evacuating = append(c.evacuating, h)
+			} else {
+				c.serving = append(c.serving, h)
+			}
 		case mach.Available():
 			if m.evacuating[h.ID()] {
 				c.evacuating = append(c.evacuating, h)
@@ -570,8 +596,9 @@ func (m *Manager) managePower(forecasts map[vm.ID]float64) {
 		return
 	}
 	// Scale down: only with no wakes in flight (a wake in flight means
-	// we recently judged capacity short — parking now would flap).
-	if len(c.waking) == 0 && len(c.serving) > m.cfg.MinActive {
+	// we recently judged capacity short — parking now would flap). Wake
+	// orders still in transit on the control plane count as in flight.
+	if len(c.waking) == 0 && m.pendingWakeCores(c) == 0 && len(c.serving) > m.cfg.MinActive {
 		m.considerScaleDown(forecasts, c)
 	} else {
 		m.shrinkOpen = false
@@ -588,7 +615,10 @@ func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
 		total = p
 	}
 	servingCores := coresOf(c.serving)
-	incomingCores := coresOf(c.waking)
+	// Wake orders still in transit are capacity already asked for:
+	// counting it keeps pressure from re-waking the fleet every fast
+	// tick while commands crawl through the message layer.
+	incomingCores := coresOf(c.waking) + m.pendingWakeCores(c)
 	if total <= m.cfg.WakeThreshold*(servingCores+incomingCores) && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
 		return false
 	}
@@ -602,6 +632,11 @@ func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
 			break
 		}
 		if m.maintenance[h.ID()] {
+			continue
+		}
+		if m.distrusted(h.ID()) || m.hostCmdPending(h.ID()) {
+			// A park order already in flight (or a liveness suspicion)
+			// makes this host unreliable capacity; wake elsewhere.
 			continue
 		}
 		delete(m.evacuating, h.ID())
@@ -618,8 +653,13 @@ func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
 		if m.isQuarantined(h.ID()) || m.parkHeld(h.ID()) {
 			continue
 		}
+		if m.distrusted(h.ID()) || m.hostCmdPending(h.ID()) {
+			continue
+		}
 		if err := m.wakeHost(h.ID()); err == nil {
-			m.stats.Wakes++
+			if m.cp == nil {
+				m.stats.Wakes++
+			}
 			haveCores += h.Cores()
 			c.waking = append(c.waking, h)
 		}
@@ -663,6 +703,15 @@ func (m *Manager) considerScaleDown(forecasts map[vm.ID]float64, c census) {
 			continue
 		}
 		if m.isQuarantined(h.ID()) {
+			continue
+		}
+		if m.distrusted(h.ID()) || m.hostCmdPending(h.ID()) {
+			continue
+		}
+		if !m.telemetryFresh(h.ID()) {
+			// Freshness guard: never park a host whose telemetry is
+			// older than the staleness limit — keep it on conservatively.
+			m.counters.Inc(CtrStaleKeepOn)
 			continue
 		}
 		m.evacuating[h.ID()] = true
@@ -792,7 +841,7 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 	migrated := 0
 	for _, src := range c.evacuating {
 		for _, vid := range src.VMs() {
-			if m.cl.Migrating(vid) || m.migrationHeld(vid) {
+			if m.cl.Migrating(vid) || m.migrationHeld(vid) || m.migCmdPending(vid) {
 				continue
 			}
 			if m.cfg.MaxMigrationsPerStep > 0 && migrated >= m.cfg.MaxMigrationsPerStep {
@@ -802,7 +851,7 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 			if !planned {
 				continue
 			}
-			if err := m.cl.StartMigration(vid, host.ID(dstKey)); err != nil {
+			if err := m.startMigration(vid, host.ID(dstKey)); err != nil {
 				m.stats.MigrationsFailed++
 				continue
 			}
@@ -833,8 +882,13 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 			// re-park until it does.
 			continue
 		}
+		if m.distrusted(id) || m.hostCmdPending(id) {
+			continue
+		}
 		if m.cfg.Policy.PowerManage {
-			if err := m.sleepHost(id); err == nil {
+			// Over a control plane the park is only intent until its ack
+			// lands: commandResult counts it and clears the evacuation.
+			if err := m.sleepHost(id); err == nil && m.cp == nil {
 				m.stats.Sleeps++
 				delete(m.evacuating, id)
 			}
@@ -847,7 +901,7 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 // pre-charged against their bins (they stay put); only evacuees are
 // packing items.
 func (m *Manager) planDrain(forecasts map[vm.ID]float64, c census) (Assignment, bool) {
-	bins := m.buildBins(c.serving)
+	bins := m.buildBins(m.trustedServing(c))
 	binIdx := make(map[int]int, len(bins))
 	for i, b := range bins {
 		binIdx[b.Key] = i
@@ -910,7 +964,7 @@ func (m *Manager) pickLBDestination(vid vm.ID, src *host.Host, forecasts map[vm.
 	var best *host.Host
 	bestPost := 0.0
 	for _, h := range serving {
-		if h.ID() == src.ID() {
+		if h.ID() == src.ID() || m.distrusted(h.ID()) {
 			continue
 		}
 		post := loads[h.ID()] + f
@@ -952,7 +1006,7 @@ func (m *Manager) pickDestination(vid vm.ID, forecasts map[vm.ID]float64, servin
 	var best *host.Host
 	bestSlack := 0.0
 	for _, h := range serving {
-		if h.ID() == cur {
+		if h.ID() == cur || m.distrusted(h.ID()) {
 			continue
 		}
 		slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()] - forecasts[vid]
@@ -1019,6 +1073,11 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 	loads := m.hostForecastLoads(forecasts)
 	for _, src := range c.serving {
 		// Hot when forecast exceeds the LB threshold of raw capacity.
+		// Suspect hosts are left alone: migrating off a host that may
+		// have crashed only burns command retries.
+		if m.distrusted(src.ID()) {
+			continue
+		}
 		if loads[src.ID()] <= m.cfg.LBThreshold*src.Cores() {
 			continue
 		}
@@ -1038,14 +1097,14 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 			if loads[src.ID()] <= m.cfg.TargetUtil*src.Cores() {
 				break
 			}
-			if m.cl.Migrating(vid) || forecasts[vid] <= 0 || m.migrationHeld(vid) {
+			if m.cl.Migrating(vid) || forecasts[vid] <= 0 || m.migrationHeld(vid) || m.migCmdPending(vid) {
 				continue
 			}
 			dst := m.pickLBDestination(vid, src, forecasts, loads, c.serving)
 			if dst == nil {
 				continue
 			}
-			if err := m.cl.StartMigration(vid, dst.ID()); err != nil {
+			if err := m.startMigration(vid, dst.ID()); err != nil {
 				m.stats.MigrationsFailed++
 				continue
 			}

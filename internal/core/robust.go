@@ -49,8 +49,14 @@ func (m *Manager) Quarantined(id host.ID) bool { return m.isQuarantined(id) }
 
 // sleepHost parks a host in the policy sleep state, tracking the
 // request so the settle handler can tell success from an injected
-// suspend failure.
+// suspend failure. Over a control plane the order is asynchronous:
+// success is only known when the ack lands (commandResult).
 func (m *Manager) sleepHost(id host.ID) error {
+	if m.cp != nil {
+		m.parking[id] = true
+		m.cp.SendSleep(id, m.cfg.Policy.SleepState)
+		return nil
+	}
 	if err := m.cl.SleepHost(id, m.cfg.Policy.SleepState); err != nil {
 		return err
 	}
@@ -59,8 +65,14 @@ func (m *Manager) sleepHost(id host.ID) error {
 }
 
 // wakeHost starts waking a host, tracking the request so the settle
-// handler can tell success from an injected wake failure.
+// handler can tell success from an injected wake failure. Over a
+// control plane the order is asynchronous, like sleepHost.
 func (m *Manager) wakeHost(id host.ID) error {
+	if m.cp != nil {
+		m.wakingReq[id] = true
+		m.cp.SendWake(id)
+		return nil
+	}
 	if err := m.cl.WakeHost(id); err != nil {
 		return err
 	}
@@ -162,8 +174,11 @@ func (m *Manager) retryWake(id host.ID) {
 	if !(mach.State().IsSleep() && mach.Phase() == power.Settled) {
 		return // something else already moved it
 	}
+	if m.distrusted(id) || m.hostCmdPending(id) {
+		return
+	}
 	delete(m.retryAt, id)
-	if err := m.wakeHost(id); err == nil {
+	if err := m.wakeHost(id); err == nil && m.cp == nil {
 		m.stats.Wakes++
 	}
 }
@@ -246,6 +261,12 @@ func (m *Manager) migrationFailed(vid vm.ID, src, dst host.ID) {
 // and a full control step runs immediately to wake replacement
 // capacity for the stranded VMs' demand.
 func (m *Manager) hostCrashed(id host.ID) {
+	if m.cp != nil {
+		// With a control plane the manager has no oracle: it learns of
+		// crashes from missed heartbeats (livenessChanged), with
+		// hysteresis, not from this synchronous callback.
+		return
+	}
 	m.counters.Inc(CtrCrashesObserved)
 	delete(m.evacuating, id)
 	delete(m.parking, id)

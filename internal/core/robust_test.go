@@ -276,6 +276,108 @@ func TestBackoffCappedExponential(t *testing.T) {
 	}
 }
 
+func TestQuarantineExpiresLazily(t *testing.T) {
+	// The hold is never swept by a timer: it expires the first time
+	// someone asks after the deadline, and the expired entry is dropped.
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3, QuarantineHold: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.quarantine(1)
+	if !m.Quarantined(1) {
+		t.Fatal("host not quarantined right after the hold starts")
+	}
+	eng.RunUntil(sim.Time(time.Hour - time.Second))
+	if !m.Quarantined(1) {
+		t.Fatal("hold expired early")
+	}
+	eng.RunUntil(sim.Time(time.Hour))
+	if m.Quarantined(1) {
+		t.Fatal("hold survived its deadline")
+	}
+	if len(m.quarantined) != 0 {
+		t.Fatalf("expired hold not dropped from the map: %v", m.quarantined)
+	}
+	// Unknown hosts are simply not quarantined.
+	if m.Quarantined(99) {
+		t.Fatal("unknown host reported quarantined")
+	}
+}
+
+func TestQuarantinedHostEligibleAgainAfterHold(t *testing.T) {
+	// Two suspend failures exhaust the single retry and quarantine host
+	// 2 back into service. Once the hold lapses the host is a power
+	// candidate again; the injector is spent by then, so the re-park
+	// finally takes and the host ends asleep.
+	cfg := Config{
+		Policy:               DPMS3,
+		MaxTransitionRetries: 1,
+		RetryBackoffBase:     30 * time.Second,
+		RetryBackoffMax:      time.Minute,
+		QuarantineHold:       30 * time.Minute,
+	}
+	inj := &scriptFaults{sleepFails: 2}
+	cl, m := runFaulted(t, 2, flatTraces(1, 2), cfg, 3*time.Hour, inj, inj)
+
+	c := m.Counters()
+	if got := c.Get(CtrQuarantines); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+	if got := c.Get(CtrSuspendFailures); got != 2 {
+		t.Fatalf("suspend failures = %d, want 2", got)
+	}
+	if m.Quarantined(2) {
+		t.Fatal("hold still active hours after it lapsed")
+	}
+	if m.Stats().Sleeps == 0 {
+		t.Fatal("host never re-parked after the hold lapsed")
+	}
+	h, _ := cl.Host(2)
+	if h.Available() {
+		t.Fatal("host still up: the post-hold park never took")
+	}
+}
+
+func TestRequarantineAfterFreshRetryExhaustion(t *testing.T) {
+	// A host that keeps failing its suspends cycles: retries exhaust,
+	// quarantine, hold lapses, the manager tries again with a fresh
+	// retry budget, and the host is re-quarantined.
+	cfg := Config{
+		Policy:               DPMS3,
+		MaxTransitionRetries: 1,
+		RetryBackoffBase:     30 * time.Second,
+		RetryBackoffMax:      time.Minute,
+		QuarantineHold:       30 * time.Minute,
+	}
+	inj := &scriptFaults{sleepFails: 100}
+	cl, m := runFaulted(t, 2, flatTraces(1, 2), cfg, 3*time.Hour, inj, inj)
+
+	c := m.Counters()
+	if got := c.Get(CtrQuarantines); got < 2 {
+		t.Fatalf("quarantines = %d, want >= 2 (re-quarantined after the hold)", got)
+	}
+	if got := c.Get(CtrDegradedKeepOn); got < 2 {
+		t.Fatalf("degraded keep-on = %d, want >= 2", got)
+	}
+	// Each cycle spends the full fresh budget: failures track cycles.
+	if sf := c.Get(CtrSuspendFailures); sf < 4 {
+		t.Fatalf("suspend failures = %d, want >= 4 (2 per cycle)", sf)
+	}
+	// Graceful degradation holds throughout: the host keeps serving.
+	h, _ := cl.Host(2)
+	if !h.Available() {
+		t.Fatal("unparkable host not returned to service")
+	}
+}
+
 func TestRobustConfigDefaults(t *testing.T) {
 	eng := sim.NewEngine(1)
 	cl, _ := cluster.New(eng, cluster.Config{})

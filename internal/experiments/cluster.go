@@ -26,13 +26,14 @@ func dayScenario(opts Options) agilepower.Scenario {
 		horizon = 8 * time.Hour
 	}
 	return agilepower.Scenario{
-		Name:    "datacenter-day",
-		Profile: opts.Profile,
-		Hosts:   hosts,
-		VMs:     agilepower.MixedFleet(vms, opts.seed()),
-		Horizon: horizon,
-		Seed:    opts.seed(),
-		Manager: agilepower.ManagerConfig{},
+		Name:      "datacenter-day",
+		Profile:   opts.Profile,
+		Hosts:     hosts,
+		VMs:       agilepower.MixedFleet(vms, opts.seed()),
+		Horizon:   horizon,
+		Seed:      opts.seed(),
+		Manager:   agilepower.ManagerConfig{},
+		CtrlPlane: opts.ctrlPlane(),
 	}
 }
 

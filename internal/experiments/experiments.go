@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"agilepower"
 	"agilepower/internal/parallel"
 	"agilepower/internal/power"
 )
@@ -36,6 +37,14 @@ type Options struct {
 	// both honour it, so alternative platforms can be explored from
 	// the CLIs.
 	Profile *power.Profile
+	// CtrlDelay and CtrlLoss degrade the management network for the
+	// cluster-level experiments (CtrlPreset mix): mean one-way message
+	// delay and per-leg loss probability. Both zero (the default)
+	// builds no control plane at all, keeping reports byte-identical
+	// to plane-unaware builds. The ctrlplane experiment sweeps its own
+	// grid and ignores these.
+	CtrlDelay time.Duration
+	CtrlLoss  float64
 	// Workers bounds the number of simulations run concurrently inside
 	// an experiment's fan-out (per-policy, per-load, per-period, …) and
 	// across experiments in RunAll. 0 means GOMAXPROCS; 1 runs fully
@@ -64,6 +73,17 @@ func (o Options) profile() *power.Profile {
 	return power.DefaultProfile()
 }
 
+// ctrlPlane materializes the Options' control-plane degradation, or
+// nil when dormant (so no plane is constructed and byte-identity with
+// plane-free runs holds).
+func (o Options) ctrlPlane() *agilepower.CtrlPlaneConfig {
+	cfg := agilepower.CtrlPreset(o.CtrlDelay, o.CtrlLoss)
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &cfg
+}
+
 func (o Options) workers() int {
 	if o.Workers <= 0 {
 		return parallel.DefaultWorkers()
@@ -90,6 +110,7 @@ var registry = map[string]Runner{
 	"predict": Predict,
 	"dvfs":    DVFS,
 	"robust":  Robustness,
+	"ctrl":    CtrlPlane,
 	"ablate":  Ablations,
 }
 
@@ -118,6 +139,8 @@ func orderKey(id string) string {
 		return "97"
 	case "robust":
 		return "98"
+	case "ctrl":
+		return "985"
 	case "ablate":
 		return "99"
 	default:

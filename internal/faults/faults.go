@@ -18,6 +18,11 @@
 // it. A constructed injector draws randomness only for knobs whose
 // probability is in (0, 1) (see sim.RNG.Bernoulli), so partial
 // configurations perturb nothing they do not touch.
+//
+// Substream fork order: when several seed-driven subsystems are
+// enabled together, the session forks their substreams in a fixed
+// order — faults first, then ctrlplane — so a given (seed, config)
+// pair always reproduces the same run.
 package faults
 
 import (

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // RNG is a small, fast, deterministic random number generator
 // (xoshiro256** seeded via splitmix64). Simulations must be exactly
@@ -66,6 +69,16 @@ func (r *RNG) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// DurationJitter returns a uniform duration in [0, max). Zero or
+// negative max draws nothing, mirroring Bernoulli's no-draw rule so
+// jitter-free configurations leave the stream untouched.
+func (r *RNG) DurationJitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(r.Float64() * float64(max))
 }
 
 // Range returns a uniform value in [lo, hi).

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRNGDeterministic(t *testing.T) {
@@ -150,5 +151,28 @@ func TestForkIndependence(t *testing.T) {
 	b := child.Uint64()
 	if a == b {
 		t.Fatal("fork replays parent stream")
+	}
+}
+
+func TestDurationJitterBoundsAndDormancy(t *testing.T) {
+	a, b := NewRNG(9), NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		d := a.DurationJitter(time.Second)
+		if d < 0 || d >= time.Second {
+			t.Fatalf("jitter %v outside [0, 1s)", d)
+		}
+		// Same seed, same draws.
+		if got := b.DurationJitter(time.Second); got != d {
+			t.Fatalf("jitter diverged at draw %d: %v vs %v", i, got, d)
+		}
+	}
+	// A non-positive max must not touch the stream at all: a config
+	// with zero jitter stays byte-identical to one with no jitter draw.
+	c, d := NewRNG(11), NewRNG(11)
+	if c.DurationJitter(0) != 0 || c.DurationJitter(-time.Second) != 0 {
+		t.Fatal("non-positive max produced nonzero jitter")
+	}
+	if c.Uint64() != d.Uint64() {
+		t.Fatal("DurationJitter(<=0) consumed a draw")
 	}
 }

@@ -21,6 +21,14 @@ func (c *Counters) Inc(name string) { c.Add(name, 1) }
 // Add adds n to the named counter (negative n subtracts).
 func (c *Counters) Add(name string, n int) { c.vals[name] += n }
 
+// Max raises the named counter to n if n is larger — a high-water
+// mark (telemetry staleness peaks, queue depths).
+func (c *Counters) Max(name string, n int) {
+	if n > c.vals[name] {
+		c.vals[name] = n
+	}
+}
+
 // Get returns the named counter's value (zero when never touched).
 func (c *Counters) Get(name string) int { return c.vals[name] }
 

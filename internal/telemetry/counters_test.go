@@ -1,0 +1,43 @@
+package telemetry
+
+import "testing"
+
+func TestCountersAddGetNames(t *testing.T) {
+	c := NewCounters()
+	if c.Get("missing") != 0 {
+		t.Fatal("untouched counter not zero")
+	}
+	c.Inc("b")
+	c.Add("a", 3)
+	c.Add("a", -1)
+	if c.Get("a") != 2 || c.Get("b") != 1 {
+		t.Fatalf("values = %d/%d, want 2/1", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v, want sorted [a b]", names)
+	}
+	snap := c.Snapshot()
+	snap["a"] = 99
+	if c.Get("a") != 2 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}
+
+func TestCountersMaxIsHighWaterMark(t *testing.T) {
+	c := NewCounters()
+	c.Max("peak", 5)
+	c.Max("peak", 3)
+	if c.Get("peak") != 5 {
+		t.Fatalf("peak = %d, want 5 (lower sample must not regress it)", c.Get("peak"))
+	}
+	c.Max("peak", 8)
+	if c.Get("peak") != 8 {
+		t.Fatalf("peak = %d, want 8", c.Get("peak"))
+	}
+	// A non-positive sample on an untouched name leaves it untouched.
+	c.Max("idle", -1)
+	if c.Get("idle") != 0 {
+		t.Fatalf("idle = %d, want 0", c.Get("idle"))
+	}
+}

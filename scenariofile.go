@@ -40,7 +40,9 @@ type ScenarioFile struct {
 	Policy       string       `json:"policy,omitempty"`
 	Manager      *ManagerFile `json:"manager,omitempty"`
 	Churn        *ChurnFile   `json:"churn,omitempty"`
-	Seed         uint64       `json:"seed,omitempty"`
+	// CtrlPlane degrades the management network (CtrlPreset mix).
+	CtrlPlane *CtrlPlaneFile `json:"ctrlplane,omitempty"`
+	Seed      uint64         `json:"seed,omitempty"`
 }
 
 // HostClassFile mirrors HostClass in JSON.
@@ -79,6 +81,14 @@ type ManagerFile struct {
 	PredictiveWake bool    `json:"predictiveWake,omitempty"`
 	PanicShortfall float64 `json:"panicShortfall,omitempty"`
 	Forecast       string  `json:"forecast,omitempty"` // last-value, ewma, peak-window
+}
+
+// CtrlPlaneFile mirrors the CtrlPreset knobs in JSON: mean one-way
+// message delay in milliseconds and per-leg loss probability. Zero
+// both = dormant (no plane is built).
+type CtrlPlaneFile struct {
+	DelayMS float64 `json:"delayMS,omitempty"`
+	Loss    float64 `json:"loss,omitempty"`
 }
 
 // ChurnFile mirrors ChurnSpec in JSON.
@@ -167,6 +177,18 @@ func (f ScenarioFile) Build() (Scenario, error) {
 			return Scenario{}, fmt.Errorf("agilepower: unknown forecast %q", m.Forecast)
 		}
 	}
+	if cp := f.CtrlPlane; cp != nil {
+		if cp.DelayMS < 0 {
+			return Scenario{}, fmt.Errorf("agilepower: negative ctrlplane delay %v ms", cp.DelayMS)
+		}
+		if cp.Loss < 0 || cp.Loss > 1 {
+			return Scenario{}, fmt.Errorf("agilepower: ctrlplane loss %v outside [0,1]", cp.Loss)
+		}
+		// A zero mix stays nil so no plane is ever constructed (dormancy).
+		if cfg := CtrlPreset(time.Duration(cp.DelayMS*float64(time.Millisecond)), cp.Loss); cfg.Enabled() {
+			sc.CtrlPlane = &cfg
+		}
+	}
 	if c := f.Churn; c != nil {
 		sc.Churn = &ChurnSpec{
 			ArrivalsPerHour: c.ArrivalsPerHour,
@@ -188,7 +210,7 @@ func buildFleetFile(ff FleetFile, seed uint64) ([]VMSpec, error) {
 		return DiurnalFleet(max1(ff.Count), seed), nil
 	case "spiky":
 		spikes := ff.Spikes
-		if spikes == 0 {
+		if spikes <= 0 {
 			spikes = 4
 		}
 		return SpikyFleet(max1(ff.Count), spikes, seed), nil
@@ -198,13 +220,13 @@ func buildFleetFile(ff FleetFile, seed uint64) ([]VMSpec, error) {
 		return MixedFleet(max1(ff.Count), seed), nil
 	case "workday":
 		days := ff.Days
-		if days == 0 {
+		if days <= 0 {
 			days = 1
 		}
 		return WorkdayFleet(max1(ff.Count), days, seed), nil
 	case "flat":
 		d := ff.Demand
-		if d == 0 {
+		if d <= 0 {
 			d = 1
 		}
 		return ConstantFleet(max1(ff.Count), d), nil

@@ -6,6 +6,7 @@ import (
 
 	"agilepower/internal/cluster"
 	"agilepower/internal/core"
+	"agilepower/internal/ctrlplane"
 	"agilepower/internal/faults"
 	"agilepower/internal/host"
 	"agilepower/internal/power"
@@ -74,6 +75,18 @@ func (s Scenario) Start() (*Session, error) {
 			return cl.CrashHost(fleet[idx].ID(), repair) == nil
 		})
 	}
+	// Control plane: same dormancy rule as faults. The RNG fork order
+	// is fixed — faults first, then ctrlplane — so enabling one
+	// subsystem reseeds the other's substream deterministically; both
+	// packages document the ordering.
+	var cp *ctrlplane.Plane
+	if s.CtrlPlane != nil && s.CtrlPlane.Enabled() {
+		cp, err = ctrlplane.New(eng, cl, *s.CtrlPlane, mgr.Counters())
+		if err != nil {
+			return nil, err
+		}
+		mgr.AttachControlPlane(cp)
+	}
 	se := &Session{
 		scenario: s,
 		eng:      eng,
@@ -88,6 +101,9 @@ func (s Scenario) Start() (*Session, error) {
 	}
 	cl.Start()
 	mgr.Start()
+	if cp != nil {
+		cp.Start()
+	}
 	return se, nil
 }
 
