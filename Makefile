@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-shuffle race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -33,12 +33,13 @@ fmt:
 	fi
 
 # The determinism gate: the full experiment suite must render
-# byte-identically whether run on 1 worker or many, and the lossy
-# control-plane message layer must replay identically for a fixed seed.
-# Run explicitly in CI (it is also part of `make test`) so a violation
-# is unmissable.
+# byte-identically whether run on 1 worker or many — and, since the
+# evaluation tick can now be sharded, for every shard/eval-worker
+# combination — and the lossy control-plane message layer must replay
+# identically for a fixed seed. Run explicitly in CI (it is also part
+# of `make test`) so a violation is unmissable.
 determinism:
-	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestPlaneDeterministicAcrossReruns' -v \
+	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns' -v \
 		./internal/experiments/ ./internal/ctrlplane/
 
 bench:
@@ -72,9 +73,30 @@ bench-hotpath:
 		-benchmem -count=3 ./internal/cluster/ ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_hotpath.json
 
-# Allocation regression gate: the steady-state evaluation tick and the
-# pooled event loop must stay allocation-free, and the full report
-# bytes must match the pre-optimization goldens. Part of `make ci`.
+# Record the datacenter-scale benchmarks (one evaluation tick and one
+# full simulated day at 2048 hosts / 16384 VMs, serial and sharded)
+# into BENCH_scale.json. The checked-in artifact holds the pre/post
+# numbers of the sharded-evaluation rework; the speedup is only
+# visible with GOMAXPROCS >= the shard count:
+#
+#	make bench-scale LABEL=scale-post-sharded
+bench-scale: LABEL ?= scale
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleEvaluate|BenchmarkScaleDay' \
+		-benchmem -count=3 -timeout 30m ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_scale.json
+
+# One iteration of the scale benchmarks: proves the 2048-host fleet
+# still builds and the sharded tick stays allocation-free, without the
+# cost of a measurement run. CI runs this alongside bench-alloc.
+bench-scale-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkScaleEvaluate' -benchmem -benchtime=1x \
+		./internal/cluster/
+
+# Allocation regression gate: the steady-state evaluation tick — serial
+# and sharded — and the pooled event loop must stay allocation-free,
+# and the full report bytes must match the pre-optimization goldens.
+# Part of `make ci`.
 bench-alloc:
 	$(GO) test -run 'AllocFree|ScheduleFuncPool|PreOptimizationGolden|ArchivedResults' -v \
 		./internal/cluster/ ./internal/sim/ ./internal/experiments/
@@ -85,7 +107,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test test-shuffle race determinism bench-alloc bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

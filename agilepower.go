@@ -203,6 +203,15 @@ type Scenario struct {
 	Churn *ChurnSpec
 	// EvalStep is the demand evaluation period (default 1 minute).
 	EvalStep time.Duration
+	// Shards partitions each evaluation tick's per-host work into this
+	// many fixed, ID-contiguous host ranges run concurrently inside the
+	// simulation (clamped to the fleet size; 0 or 1 keeps the serial
+	// loop). Purely a wall-clock knob for datacenter-scale fleets:
+	// results are byte-identical for every value.
+	Shards int
+	// EvalWorkers bounds the goroutines serving shards (<= 0 means
+	// min(Shards, GOMAXPROCS)). Like Shards, invisible in results.
+	EvalWorkers int
 	// Seed drives all simulation randomness (default 1).
 	Seed uint64
 	// Faults, when non-nil and enabled, injects transition failures,
@@ -252,6 +261,12 @@ func (s Scenario) Validate() error {
 		if v.Trace == nil {
 			return fmt.Errorf("agilepower: vm %d (%s) has no trace", i, v.Name)
 		}
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("agilepower: negative shards %d", s.Shards)
+	}
+	if s.EvalWorkers < 0 {
+		return fmt.Errorf("agilepower: negative eval workers %d", s.EvalWorkers)
 	}
 	if s.Churn != nil {
 		if err := s.Churn.Validate(); err != nil {

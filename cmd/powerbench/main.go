@@ -39,11 +39,14 @@ func main() {
 	s5Exit := flag.Duration("s5-exit", 190*time.Second, "S5 exit latency")
 	ctrlDelay := flag.Duration("ctrlplane-delay", 0, "mean one-way management-network delay for the ctrl experiment (0 with zero loss = no control plane)")
 	ctrlLoss := flag.Float64("ctrlplane-loss", 0, "per-leg management-network loss probability in [0,1]")
+	shards := flag.Int("shards", 0, "shard each simulation's evaluation tick across this many host ranges (0/1 = serial); output is identical for every value")
+	evalWorkers := flag.Int("eval-workers", 0, "goroutines serving evaluation shards (0 = min(shards, GOMAXPROCS))")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file (inspect with `go tool trace`)")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *tracePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "powerbench:", err)
 		os.Exit(1)
@@ -71,6 +74,7 @@ func main() {
 	opts := experiments.Options{
 		Seed: *seed, Profile: profile, Workers: *workers,
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
+		Shards: *shards, EvalWorkers: *evalWorkers,
 	}
 	ids := []string{"t1", "f2", "f3"}
 	if *exp != "all" {
@@ -81,9 +85,10 @@ func main() {
 		// ctrl is the cluster-under-imperfect-control-plane grid — the
 		// counterpart characterization for the management network; the
 		// -ctrlplane-* flags add an extra row to its delay×loss grid.
-		case "t1", "f2", "f3", "ctrl":
+		// scale is the datacenter-size run the -shards flag exists for.
+		case "t1", "f2", "f3", "ctrl", "scale":
 		default:
-			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3, ctrl)\n", id)
+			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3, ctrl, scale)\n", id)
 			os.Exit(1)
 		}
 	}

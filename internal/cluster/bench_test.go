@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -38,6 +39,75 @@ func BenchmarkSimulatedDay(b *testing.B) {
 		if c.TotalEnergy() <= 0 {
 			b.Fatal("no energy accounted")
 		}
+	}
+}
+
+// buildScaleCluster assembles the datacenter-scale fixture shared by
+// the scale benchmarks: 2,048 heterogeneous hosts and 16,384 diurnal
+// VMs, with the evaluation tick sharded as requested.
+func buildScaleCluster(b *testing.B, shards, workers int) (*sim.Engine, *Cluster) {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	c, err := New(eng, Config{Horizon: 24 * time.Hour, Shards: shards, EvalWorkers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for h := 0; h < 2048; h++ {
+		cfg := host.Config{Cores: 16, MemoryGB: 256}
+		if h%4 == 3 {
+			cfg = host.Config{Cores: 32, MemoryGB: 512}
+		}
+		if _, err := c.AddHost(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(1)
+	for v := 0; v < 16384; v++ {
+		tr := workload.Diurnal(rng.Fork(), workload.DiurnalSpec{BaseCores: 0.4, PeakCores: 3})
+		if _, err := c.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(v%2048+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, c
+}
+
+// BenchmarkScaleEvaluate measures one evaluation pass over the
+// 2,048-host / 16,384-VM fixture at several shard counts. shards=1 is
+// the serial baseline the BENCH_scale.json record compares against.
+func BenchmarkScaleEvaluate(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			_, c := buildScaleCluster(b, shards, 0)
+			c.Start()
+			defer c.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.evaluate()
+			}
+		})
+	}
+}
+
+// BenchmarkScaleDay measures a full simulated day of the same fixture
+// (no manager): 1,440 evaluation ticks plus trace evaluation for every
+// VM — the workload the scale experiment's throughput numbers
+// describe.
+func BenchmarkScaleDay(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, c := buildScaleCluster(b, shards, 0)
+				c.Start()
+				eng.RunUntil(24 * time.Hour)
+				c.Flush()
+				c.Close()
+				if c.TotalEnergy() <= 0 {
+					b.Fatal("no energy accounted")
+				}
+			}
+		})
 	}
 }
 

@@ -12,10 +12,20 @@
 // so all per-entity state lives in slices indexed by ID-1 rather than
 // maps: the evaluation tick — the simulator's innermost loop — runs
 // without hashing and, in steady state, without allocating.
+//
+// At fleet scale the tick itself can be sharded (Config.Shards):
+// hosts are partitioned into fixed ID-contiguous ranges and the
+// expensive per-host work runs concurrently on a bounded set of
+// persistent workers, each writing into per-host slots; the cheap
+// final reduction walks those slots serially in host-ID order, so the
+// floating-point accumulation sequence — and therefore every report
+// byte — is identical for any shard and worker count, including the
+// serial path.
 package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"agilepower/internal/events"
@@ -44,6 +54,16 @@ type Config struct {
 	// not grow slices from nil on every run. Running past the horizon
 	// stays correct, just reallocates.
 	Horizon time.Duration
+	// Shards partitions the evaluation tick's per-host work into this
+	// many fixed, ID-contiguous host ranges run concurrently (clamped
+	// to the host count at Start). 0 or 1 keeps the serial loop.
+	// Results are byte-identical for every value — see the package
+	// comment for the determinism argument.
+	Shards int
+	// EvalWorkers bounds the persistent goroutines that process shards
+	// (<= 0 means min(Shards, GOMAXPROCS)). Like Shards, it is
+	// invisible in the results.
+	EvalWorkers int
 }
 
 // Cluster owns the simulated datacenter state.
@@ -108,6 +128,35 @@ type Cluster struct {
 	departed int
 
 	log *events.Log
+
+	// Evaluation sharding (dormant while evalWork is nil). Shard k
+	// owns the host-index range shardBounds[k]; its worker writes each
+	// host's partials into the hostPartial slots for that range, and
+	// evaluate reduces the slots serially in host-ID order. The slots
+	// are per host, not per shard, so the reduction's floating-point
+	// order cannot depend on where the shard boundaries fall.
+	shards      int
+	evalWorkers int
+	shardBounds []shardRange
+	hostPartial []hostPartial
+	// evalNow is the tick's timestamp, published to the workers by the
+	// evalWork sends (channel happens-before).
+	evalNow  sim.Time
+	evalWork chan int
+	evalDone chan struct{}
+	closed   bool
+}
+
+// shardRange is one shard's half-open host-index range.
+type shardRange struct{ lo, hi int }
+
+// hostPartial holds one host's contribution to the tick's aggregates,
+// written by exactly one shard worker and read by the serial reduce.
+type hostPartial struct {
+	power     power.Watts
+	demand    float64
+	delivered float64
+	avail     bool
 }
 
 type allocRecord struct {
@@ -144,6 +193,8 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		eng:             eng,
 		step:            step,
 		migrations:      mgr,
+		shards:          cfg.Shards,
+		evalWorkers:     cfg.EvalWorkers,
 		powerSeries:     telemetry.NewSeriesCap("cluster_power_w", seriesCap),
 		demandSeries:    telemetry.NewSeriesCap("cluster_demand_cores", seriesCap),
 		deliveredSeries: telemetry.NewSeriesCap("cluster_delivered_cores", seriesCap),
@@ -365,6 +416,72 @@ func (c *Cluster) Departed() int { return c.departed }
 // placed so far (callers must not mutate).
 func (c *Cluster) ProvisionLatencies() []time.Duration { return c.provisionLat }
 
+// startShards builds the shard partition and the persistent worker
+// pool. The fleet is fixed by Start, so the ID-contiguous ranges are
+// computed once; evaluations before Start (pending-VM arrivals during
+// setup) take the serial path.
+func (c *Cluster) startShards() {
+	n := len(c.hostList)
+	s := c.shards
+	if s > n {
+		s = n
+	}
+	if s <= 1 {
+		return
+	}
+	per := (n + s - 1) / s
+	c.shardBounds = make([]shardRange, 0, s)
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		c.shardBounds = append(c.shardBounds, shardRange{lo: lo, hi: hi})
+	}
+	c.hostPartial = make([]hostPartial, n)
+	w := c.evalWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.shardBounds) {
+		w = len(c.shardBounds)
+	}
+	// Buffered to the shard count: the dispatch loop in evaluate never
+	// blocks on a slow worker, and the channel operations stay
+	// allocation-free in steady state.
+	c.evalWork = make(chan int, len(c.shardBounds))
+	c.evalDone = make(chan struct{}, len(c.shardBounds))
+	for i := 0; i < w; i++ {
+		go c.evalWorker()
+	}
+}
+
+// evalWorker processes shard indices until Close. Each host's partials
+// land in slots no other worker touches; the evalDone send publishes
+// them to the reducing goroutine.
+func (c *Cluster) evalWorker() {
+	for s := range c.evalWork {
+		b := c.shardBounds[s]
+		now := c.evalNow
+		for i := b.lo; i < b.hi; i++ {
+			h := c.hostList[i]
+			pw, demand, delivered, avail := c.evalHost(h, now)
+			c.hostPartial[i] = hostPartial{power: pw, demand: demand, delivered: delivered, avail: avail}
+		}
+		c.evalDone <- struct{}{}
+	}
+}
+
+// Close stops the shard workers (a no-op for serial clusters, and
+// idempotent). Call it after the final Flush; evaluations after Close
+// fall back to the serial path, which produces the same bytes.
+func (c *Cluster) Close() {
+	if c.evalWork != nil && !c.closed {
+		c.closed = true
+		close(c.evalWork)
+	}
+}
+
 // Start performs the initial evaluation and schedules the periodic
 // re-evaluation loop.
 func (c *Cluster) Start() {
@@ -372,6 +489,7 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
+	c.startShards()
 	c.lastEval = c.eng.Now()
 	c.evaluate()
 	var tick func()
@@ -416,39 +534,47 @@ func (c *Cluster) evaluate() {
 
 	totalPower := power.Watts(0)
 	totalDemand, totalDelivered := 0.0, 0.0
-	active := 0
-	for _, h := range c.hostList {
-		res := h.Residents() // ascending VM ID
-		demands := h.DemandScratch()
-		for i, v := range res {
-			demands[i] = v.Demand(now)
+	active, stranded := 0, 0
+	if c.evalWork != nil && !c.closed {
+		// Sharded path: fan the per-host work out to the persistent
+		// workers, then reduce the per-host slots serially in host-ID
+		// order. The accumulation below performs the exact same sequence
+		// of floating-point adds per accumulator as the serial loop, so
+		// the result is bit-identical for any shard count.
+		c.evalNow = now
+		for s := range c.shardBounds {
+			c.evalWork <- s
 		}
-		alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(h.ID())))
-		h.Machine().SetUtilization(alloc.Utilization)
-		for i, v := range res {
-			c.current[v.ID()-1] = allocRecord{
-				demand:    demands[i],
-				delivered: alloc.DeliveredAt(i),
-				slo:       v.SLOTarget(),
-				present:   true,
+		for range c.shardBounds {
+			<-c.evalDone
+		}
+		for i, h := range c.hostList {
+			p := &c.hostPartial[i]
+			totalPower += p.power
+			totalDemand += p.demand
+			totalDelivered += p.delivered
+			if p.avail {
+				active++
+			} else {
+				stranded += h.NumVMs()
 			}
 		}
-		totalPower += h.Machine().Power()
-		totalDemand += alloc.TotalDemand
-		totalDelivered += alloc.TotalDelivered
-		if h.Available() {
-			active++
+	} else {
+		for _, h := range c.hostList {
+			pw, demand, delivered, avail := c.evalHost(h, now)
+			totalPower += pw
+			totalDemand += demand
+			totalDelivered += delivered
+			if avail {
+				active++
+			} else {
+				stranded += h.NumVMs()
+			}
 		}
 	}
-	// Recount VMs frozen on downed hosts for the interval just opened.
-	// Only crashed hosts can hold residents while unavailable, so the
-	// sum is exactly the stranded population.
-	stranded := 0
-	for _, h := range c.hostList {
-		if !h.Available() {
-			stranded += h.NumVMs()
-		}
-	}
+	// stranded recounts VMs frozen on downed hosts for the interval just
+	// opened. Only crashed hosts can hold residents while unavailable,
+	// so the sum is exactly the stranded population.
 	c.strandedCount = stranded
 	// Pending (unplaced) VMs demand but receive nothing — the cost of
 	// provisioning latency.
@@ -466,6 +592,33 @@ func (c *Cluster) evaluate() {
 	c.demandSeries.Append(now, totalDemand)
 	c.deliveredSeries.Append(now, totalDelivered)
 	c.activeSeries.Append(now, float64(active))
+}
+
+// evalHost performs one host's share of the evaluation tick: fill the
+// host's demand scratch, run the proportional-share scheduler, push
+// utilization into the power model, and write the per-VM allocation
+// records. It touches only state owned by this host (scratch buffers,
+// power machine) or indexed by its resident VMs (c.current slots —
+// each VM is resident on exactly one host), plus read-only shared
+// state (migration overhead map, engine clock), so distinct hosts can
+// be evaluated concurrently.
+func (c *Cluster) evalHost(h *host.Host, now sim.Time) (pw power.Watts, demand, delivered float64, avail bool) {
+	res := h.Residents() // ascending VM ID
+	demands := h.DemandScratch()
+	for i, v := range res {
+		demands[i] = v.Demand(now)
+	}
+	alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(h.ID())))
+	h.Machine().SetUtilization(alloc.Utilization)
+	for i, v := range res {
+		c.current[v.ID()-1] = allocRecord{
+			demand:    demands[i],
+			delivered: alloc.DeliveredAt(i),
+			slo:       v.SLOTarget(),
+			present:   true,
+		}
+	}
+	return h.Machine().Power(), alloc.TotalDemand, alloc.TotalDelivered, h.Available()
 }
 
 // hostSettled runs when a host finishes a power transition.

@@ -25,7 +25,7 @@ func dayScenario(opts Options) agilepower.Scenario {
 		hosts, vms = 8, 40
 		horizon = 8 * time.Hour
 	}
-	return agilepower.Scenario{
+	return opts.shard(agilepower.Scenario{
 		Name:      "datacenter-day",
 		Profile:   opts.Profile,
 		Hosts:     hosts,
@@ -34,7 +34,7 @@ func dayScenario(opts Options) agilepower.Scenario {
 		Seed:      opts.seed(),
 		Manager:   agilepower.ManagerConfig{},
 		CtrlPlane: opts.ctrlPlane(),
-	}
+	})
 }
 
 // F4 — cluster power versus offered load [reconstructed]: the
@@ -61,13 +61,13 @@ func F4(w io.Writer, opts Options) error {
 		func(_ context.Context, i int) ([]any, error) {
 			load := loads[i]
 			perVM := load * totalCores / float64(vmsN)
-			sc := agilepower.Scenario{
+			sc := opts.shard(agilepower.Scenario{
 				Name:    fmt.Sprintf("f4-load-%02.0f", load*100),
 				Hosts:   hosts,
 				VMs:     agilepower.ConstantFleet(vmsN, perVM),
 				Horizon: horizon,
 				Seed:    opts.seed(),
-			}
+			})
 			results, err := sc.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
 			if err != nil {
 				return nil, err
@@ -187,13 +187,13 @@ func F7(w io.Writer, opts Options) error {
 	rows, err := parallel.Map(context.Background(), len(sizes), opts.workers(),
 		func(_ context.Context, i int) ([]any, error) {
 			n := sizes[i]
-			sc := agilepower.Scenario{
+			sc := opts.shard(agilepower.Scenario{
 				Name:    fmt.Sprintf("f7-%d", n),
 				Hosts:   n,
 				VMs:     agilepower.DiurnalFleet(n*5, opts.seed()),
 				Horizon: horizon,
 				Seed:    opts.seed(),
-			}
+			})
 			res, err := sc.RunPoliciesWorkers(opts.workers(), []agilepower.Policy{agilepower.Static, agilepower.DPMS3})
 			if err != nil {
 				return nil, err

@@ -45,6 +45,14 @@ type Options struct {
 	// grid and ignores these.
 	CtrlDelay time.Duration
 	CtrlLoss  float64
+	// Shards partitions each simulation's evaluation tick into this
+	// many concurrent ID-contiguous host ranges (see Scenario.Shards);
+	// EvalWorkers bounds the goroutines serving them. Wall-clock knobs
+	// for datacenter-scale fleets: every report is byte-identical for
+	// every value. The scale experiment defaults to its own shard count
+	// when Shards is 0; everything else stays serial.
+	Shards      int
+	EvalWorkers int
 	// Workers bounds the number of simulations run concurrently inside
 	// an experiment's fan-out (per-policy, per-load, per-period, …) and
 	// across experiments in RunAll. 0 means GOMAXPROCS; 1 runs fully
@@ -91,6 +99,15 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// shard applies the Options' evaluation-tick sharding to a scenario.
+// Purely wall-clock: the scenario's results are byte-identical for
+// every shard/worker count.
+func (o Options) shard(sc agilepower.Scenario) agilepower.Scenario {
+	sc.Shards = o.Shards
+	sc.EvalWorkers = o.EvalWorkers
+	return sc
+}
+
 // Runner executes one experiment, writing its report to w.
 type Runner func(w io.Writer, opts Options) error
 
@@ -111,6 +128,7 @@ var registry = map[string]Runner{
 	"dvfs":    DVFS,
 	"robust":  Robustness,
 	"ctrl":    CtrlPlane,
+	"scale":   Scale,
 	"ablate":  Ablations,
 }
 
@@ -141,6 +159,8 @@ func orderKey(id string) string {
 		return "98"
 	case "ctrl":
 		return "985"
+	case "scale":
+		return "987"
 	case "ablate":
 		return "99"
 	default:

@@ -36,14 +36,14 @@ func Predict(w io.Writer, opts Options) error {
 	fleet := workdayFleet(diurnalVMs, days, opts.seed())
 	fleet = append(fleet, spikyMultiDay(spikyVMs, days, opts.seed()+1)...)
 
-	base := agilepower.Scenario{
+	base := opts.shard(agilepower.Scenario{
 		Name:    "predictive-wake",
 		Profile: opts.Profile,
 		Hosts:   hosts,
 		VMs:     fleet,
 		Horizon: horizon,
 		Seed:    opts.seed(),
-	}
+	})
 	// The grid is (policy × predictive) plus the static reference at
 	// index 0; all five simulations run through one pool.
 	type combo struct {
@@ -93,14 +93,14 @@ func Predict(w io.Writer, opts Options) error {
 		weekDays = 7 // a week is the whole point; quick mode shrinks the fleet instead
 	}
 	weekFleet := workdayWeekFleet(diurnalVMs, weekDays, opts.seed())
-	weekBase := agilepower.Scenario{
+	weekBase := opts.shard(agilepower.Scenario{
 		Name:    "predictive-week",
 		Profile: opts.Profile,
 		Hosts:   hosts,
 		VMs:     weekFleet,
 		Horizon: time.Duration(weekDays) * 24 * time.Hour,
 		Seed:    opts.seed(),
-	}
+	})
 	// Index 0 static reference, indices 1-2 DPM-S3 without/with the
 	// predictor.
 	weekResults, err := parallel.Map(context.Background(), 3, opts.workers(),

@@ -26,7 +26,7 @@ func Prov(w io.Writer, opts Options) error {
 		horizon = 8 * time.Hour
 		rate = 8
 	}
-	base := agilepower.Scenario{
+	base := opts.shard(agilepower.Scenario{
 		Name:    "provisioning",
 		Profile: opts.Profile,
 		Hosts:   hosts,
@@ -38,7 +38,7 @@ func Prov(w io.Writer, opts Options) error {
 			MeanLifetime:    3 * time.Hour,
 			DemandCores:     2,
 		},
-	}
+	})
 	results, err := base.RunPoliciesWorkers(opts.workers(), agilepower.Policies())
 	if err != nil {
 		return err

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestRunAllByteIdenticalAcrossShards is the sharded-evaluation
+// determinism gate: the full quick-mode suite must render exactly the
+// golden bytes at every shard count × worker count combination. The
+// shard count changes which goroutine computes each host's partials;
+// it must never change a single float in the serial host-ID-order
+// reduction, and therefore never a report byte.
+func TestRunAllByteIdenticalAcrossShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several quick-mode full sweeps; skipped with -short")
+	}
+	want, err := os.ReadFile("testdata/golden_quick.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 4} {
+			var got bytes.Buffer
+			if err := RunAll(&got, Options{Quick: true, Workers: workers, Shards: shards, EvalWorkers: 2}); err != nil {
+				t.Fatal(err)
+			}
+			diffAt(t, fmt.Sprintf("shards=%d/workers=%d", shards, workers), got.Bytes(), want)
+		}
+	}
+}
+
+// TestShardedFaultedExperimentsByteIdentical exercises the sharded
+// evaluate under the two adversarial experiments — robust (injected
+// faults: crashes strand VMs mid-tick) and ctrl (imperfect control
+// plane: stale views, retried commands) — in both their dormant and
+// active grid cells, and requires the sharded bytes to match the
+// unsharded ones. Run under `make race`, this doubles as the race
+// check for concurrent per-host evaluation during fault recovery and
+// lossy command handling.
+func TestShardedFaultedExperimentsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode experiment replays; skipped with -short")
+	}
+	for _, id := range []string{"robust", "ctrl"} {
+		var base bytes.Buffer
+		if err := Run(id, &base, Options{Quick: true}); err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		var sharded bytes.Buffer
+		if err := Run(id, &sharded, Options{Quick: true, Shards: 4, EvalWorkers: 2}); err != nil {
+			t.Fatalf("%s sharded: %v", id, err)
+		}
+		diffAt(t, id+" sharded-vs-serial", sharded.Bytes(), base.Bytes())
+	}
+}

@@ -20,7 +20,7 @@ func runExp(t *testing.T, id string) string {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "robust", "ctrl", "ablate"}
+	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "robust", "ctrl", "scale", "ablate"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -170,6 +170,20 @@ func TestRobustnessRuns(t *testing.T) {
 	// not (quick mode runs rates 0 and 10%).
 	if !strings.Contains(out, "0%") || !strings.Contains(out, "10%") {
 		t.Fatalf("fault-rate rows missing:\n%s", out)
+	}
+}
+
+func TestScaleRuns(t *testing.T) {
+	out := runExp(t, "scale")
+	if !strings.Contains(out, "datacenter size") || !strings.Contains(out, "sharded evaluation") {
+		t.Fatalf("scale output:\n%s", out)
+	}
+	// The full policy comparison must be present, with the consolidating
+	// policies actually saving energy.
+	for _, want := range []string{"static", "nopm-drm", "dpm-s5", "dpm-s3", "evals", "power_p95_w"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scale missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,7 +1,7 @@
-// Package prof wires runtime/pprof capture into the command-line
-// tools, so hot-path work (the evaluate loop, the manager control
-// step) can be profiled on real experiment runs rather than only in
-// microbenchmarks.
+// Package prof wires runtime/pprof and runtime/trace capture into the
+// command-line tools, so hot-path work (the evaluate loop, the manager
+// control step, the sharded tick's goroutine handoffs) can be profiled
+// on real experiment runs rather than only in microbenchmarks.
 package prof
 
 import (
@@ -9,13 +9,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 )
 
-// Start begins CPU profiling into cpuPath (empty disables it) and
-// returns a stop function that ends the CPU profile and, when memPath
-// is non-empty, writes a heap profile there. Call stop exactly once,
-// after the workload finishes and before exit.
-func Start(cpuPath, memPath string) (stop func() error, err error) {
+// Start begins CPU profiling into cpuPath and execution tracing into
+// tracePath (empty disables either) and returns a stop function that
+// ends them and, when memPath is non-empty, writes a heap profile
+// there. The execution trace is the tool for the sharded evaluation
+// tick: `go tool trace` shows the per-shard goroutine scheduling that
+// a sampling CPU profile flattens. Call stop exactly once, after the
+// workload finishes and before exit.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -27,11 +31,36 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: create trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: start trace: %w", err)
+		}
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
+				return fmt.Errorf("prof: close trace: %w", err)
 			}
 		}
 		if memPath != "" {

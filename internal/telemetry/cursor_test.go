@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// atReference is the pre-cursor At implementation (a binary search per
+// call) used as the oracle for the cursor fast path.
+func atReference(s *Series, at time.Duration) float64 {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > at })
+	if i == 0 {
+		return 0
+	}
+	return s.points[i-1].Value
+}
+
+func denseSeries(n int) *Series {
+	s := NewSeries("x")
+	for i := 0; i < n; i++ {
+		s.Append(time.Duration(i)*time.Minute, float64(i))
+	}
+	return s
+}
+
+// TestSeriesAtCursorPatterns drives the cursor through every access
+// pattern it optimizes or must survive — in-order replay, repeated
+// queries, sub-sample steps, long forward jumps past the linear-scan
+// limit, backward seeks, and pre-first-sample queries — and checks
+// each answer against the binary-search reference.
+func TestSeriesAtCursorPatterns(t *testing.T) {
+	s := denseSeries(500)
+	check := func(at time.Duration) {
+		t.Helper()
+		if got, want := s.At(at), atReference(s, at); got != want {
+			t.Fatalf("At(%v) = %v, want %v (cursor=%d)", at, got, want, s.cursor)
+		}
+	}
+	// Forward in-order replay at sub-sample resolution.
+	for at := time.Duration(0); at < 50*time.Minute; at += 20 * time.Second {
+		check(at)
+	}
+	// Repeated queries at one instant.
+	for i := 0; i < 5; i++ {
+		check(30 * time.Minute)
+	}
+	// Long forward jump (well past atScanLimit samples ahead).
+	check(400 * time.Minute)
+	// Backward seeks: far, then near.
+	check(10 * time.Minute)
+	check(9 * time.Minute)
+	// Before the first sample, then forward again.
+	check(-time.Second)
+	check(200 * time.Minute)
+	// Past the last sample.
+	check(24 * time.Hour)
+	// Zig-zag sweep.
+	for i := 0; i < 200; i++ {
+		at := time.Duration((i*37)%500) * time.Minute
+		check(at)
+		check(at + 30*time.Second)
+	}
+}
+
+// TestSeriesAtCursorSurvivesAppend checks that lookups interleaved
+// with appends stay correct: the cursor indexes only already-appended
+// samples, so growth cannot invalidate it.
+func TestSeriesAtCursorSurvivesAppend(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 100; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+		at := time.Duration(i) * time.Second
+		if got, want := s.At(at), atReference(s, at); got != want {
+			t.Fatalf("step %d: At = %v, want %v", i, got, want)
+		}
+	}
+	// Reset rewinds the cursor with the samples.
+	s.Reset()
+	s.Append(0, 7)
+	if got := s.At(time.Hour); got != 7 {
+		t.Fatalf("At after Reset = %v, want 7", got)
+	}
+}
+
+// TestSeriesSummarizeCached checks the cached percentile path against
+// the package-level Summarize and its invalidation on Append and
+// Reset.
+func TestSeriesSummarizeCached(t *testing.T) {
+	s := NewSeries("x")
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Append(time.Duration(s.Len())*time.Second, v)
+	}
+	want := Summarize(s.Values())
+	if got := s.Summarize(); got != want {
+		t.Fatalf("Summarize = %+v, want %+v", got, want)
+	}
+	// Second call hits the cache and must agree.
+	if got := s.Summarize(); got != want {
+		t.Fatalf("cached Summarize = %+v, want %+v", got, want)
+	}
+	// Append invalidates.
+	s.Append(10*time.Second, 100)
+	want = Summarize(s.Values())
+	if got := s.Summarize(); got != want {
+		t.Fatalf("post-Append Summarize = %+v, want %+v", got, want)
+	}
+	// Reset invalidates down to empty.
+	s.Reset()
+	if got := s.Summarize(); got != (Summary{}) {
+		t.Fatalf("post-Reset Summarize = %+v, want zero", got)
+	}
+	s.Append(0, 9)
+	if got := s.Summarize(); got.Count != 1 || got.P50 != 9 {
+		t.Fatalf("post-Reset refill Summarize = %+v", got)
+	}
+}
+
+// BenchmarkSeriesAtInOrder measures the cursor fast path: a full
+// in-order replay of a day-long minute-resolution series at 20-second
+// query resolution (the SLA sweep access pattern).
+func BenchmarkSeriesAtInOrder(b *testing.B) {
+	s := denseSeries(1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for at := time.Duration(0); at < 1440*time.Minute; at += 20 * time.Second {
+			s.At(at)
+		}
+	}
+}
+
+// BenchmarkSeriesAtRandom measures the fallback path under a
+// cursor-hostile random access pattern.
+func BenchmarkSeriesAtRandom(b *testing.B) {
+	s := denseSeries(1440)
+	offsets := make([]time.Duration, 1024)
+	for i := range offsets {
+		offsets[i] = time.Duration((i*911)%1440) * time.Minute
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(offsets[i%len(offsets)])
+	}
+}
+
+// BenchmarkSeriesSummarizeCached measures repeated summaries of a
+// finished series (the report-rendering pattern) with the cached sort.
+func BenchmarkSeriesSummarizeCached(b *testing.B) {
+	s := denseSeries(1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Summarize()
+	}
+}
+
+// BenchmarkSeriesSummarizeFresh is the pre-cache baseline: a copy and
+// a full sort on every call.
+func BenchmarkSeriesSummarizeFresh(b *testing.B) {
+	s := denseSeries(1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(s.Values())
+	}
+}

@@ -18,10 +18,23 @@ type Point struct {
 
 // Series is an append-only time series. Samples must be appended in
 // non-decreasing time order (simulations are single-threaded and move
-// forward).
+// forward). A Series is not safe for concurrent use: even the read
+// accessors At and Summarize maintain internal caches (the step-lookup
+// cursor and the sorted copy backing percentiles).
 type Series struct {
 	Name   string
 	points []Point
+	// cursor remembers where the last At lookup landed. Consumers
+	// overwhelmingly replay a series in time order (SLA sweeps, report
+	// rendering, property tests), so the next sample is almost always a
+	// step or two forward — amortized O(1) instead of a binary search
+	// per call. Backward seeks fall back to search.
+	cursor int
+	// sorted caches the value-sorted copy behind Summarize; sortedOK
+	// goes false on Append/Reset so the cache is rebuilt at most once
+	// per series version, however many percentiles a report takes.
+	sorted   []float64
+	sortedOK bool
 }
 
 // NewSeries returns an empty named series.
@@ -41,7 +54,11 @@ func NewSeriesCap(name string, capacity int) *Series {
 // Reset empties the series in place, keeping the backing array so a
 // rerun of the same shape appends without reallocating. Slices
 // previously handed out by Points are invalidated by the next Append.
-func (s *Series) Reset() { s.points = s.points[:0] }
+func (s *Series) Reset() {
+	s.points = s.points[:0]
+	s.cursor = 0
+	s.sortedOK = false
+}
 
 // Append adds a sample. It panics on time going backwards, which would
 // mean the simulation's causality was violated.
@@ -50,6 +67,7 @@ func (s *Series) Append(at time.Duration, v float64) {
 		panic(fmt.Sprintf("telemetry: series %q time going backwards: %v after %v", s.Name, at, s.points[n-1].At))
 	}
 	s.points = append(s.points, Point{At: at, Value: v})
+	s.sortedOK = false
 }
 
 // Len returns the number of samples.
@@ -67,15 +85,46 @@ func (s *Series) Values() []float64 {
 	return out
 }
 
+// atScanLimit bounds how many samples At walks forward from the cursor
+// before handing the rest of the jump to a binary search, so a single
+// far-forward seek costs O(log n) instead of O(n) while dense in-order
+// replay never leaves the cheap path.
+const atScanLimit = 32
+
 // At returns the value in effect at time at, treating the series as a
 // step function (last sample at or before at). Returns 0 before the
 // first sample.
+//
+// Lookups are amortized O(1) when queried in non-decreasing time order
+// (the common access pattern): a cursor advances with the queries, and
+// only backward seeks or long forward jumps fall back to binary
+// search. The cursor makes At a mutating call — see the Series comment
+// on concurrency.
 func (s *Series) At(at time.Duration) float64 {
-	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At > at })
-	if i == 0 {
+	n := len(s.points)
+	if n == 0 || at < s.points[0].At {
 		return 0
 	}
-	return s.points[i-1].Value
+	i := s.cursor
+	if i >= n {
+		i = n - 1
+	}
+	if s.points[i].At > at {
+		// Backward seek: the answer is strictly before the cursor.
+		// points[0].At <= at, so the search result is >= 1.
+		i = sort.Search(i, func(j int) bool { return s.points[j].At > at }) - 1
+	} else {
+		for steps := 0; i+1 < n && s.points[i+1].At <= at; steps++ {
+			if steps == atScanLimit {
+				lo := i + 1
+				i = lo + sort.Search(n-lo, func(j int) bool { return s.points[lo+j].At > at }) - 1
+				break
+			}
+			i++
+		}
+	}
+	s.cursor = i
+	return s.points[i].Value
 }
 
 // Integrate returns the time integral of the step function over
@@ -169,6 +218,32 @@ func Summarize(values []float64) Summary {
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
+	return summarizeSorted(sorted)
+}
+
+// Summarize computes distribution statistics of the series' sample
+// values. The sorted copy the percentiles need is cached on the series
+// and invalidated by Append/Reset, so rendering code can take repeated
+// summaries of a finished series without re-sorting each time.
+func (s *Series) Summarize() Summary {
+	if len(s.points) == 0 {
+		return Summary{}
+	}
+	if !s.sortedOK {
+		s.sorted = s.sorted[:0]
+		for _, p := range s.points {
+			s.sorted = append(s.sorted, p.Value)
+		}
+		sort.Float64s(s.sorted)
+		s.sortedOK = true
+	}
+	return summarizeSorted(s.sorted)
+}
+
+// summarizeSorted builds the Summary from an already-sorted value
+// slice (shared by the package-level Summarize and the cached series
+// method).
+func summarizeSorted(sorted []float64) Summary {
 	sum := 0.0
 	for _, v := range sorted {
 		sum += v

@@ -43,6 +43,11 @@ type ScenarioFile struct {
 	// CtrlPlane degrades the management network (CtrlPreset mix).
 	CtrlPlane *CtrlPlaneFile `json:"ctrlplane,omitempty"`
 	Seed      uint64         `json:"seed,omitempty"`
+	// Shards and EvalWorkers shard the evaluation tick inside the
+	// simulation (wall-clock only; results are byte-identical for every
+	// value — see Scenario.Shards).
+	Shards      int `json:"shards,omitempty"`
+	EvalWorkers int `json:"evalWorkers,omitempty"`
 }
 
 // HostClassFile mirrors HostClass in JSON.
@@ -137,6 +142,14 @@ func (f ScenarioFile) Build() (Scenario, error) {
 		VMs:          fleet,
 		Horizon:      time.Duration(f.HorizonHours * float64(time.Hour)),
 		Seed:         seed,
+		Shards:       f.Shards,
+		EvalWorkers:  f.EvalWorkers,
+	}
+	if f.Shards < 0 {
+		return Scenario{}, fmt.Errorf("agilepower: negative shards %d", f.Shards)
+	}
+	if f.EvalWorkers < 0 {
+		return Scenario{}, fmt.Errorf("agilepower: negative eval workers %d", f.EvalWorkers)
 	}
 	for _, hc := range f.HostClasses {
 		sc.HostClasses = append(sc.HostClasses, HostClass{

@@ -39,9 +39,11 @@ func (s Scenario) Start() (*Session, error) {
 	}
 	eng := sim.NewEngine(s.Seed)
 	cl, err := cluster.New(eng, cluster.Config{
-		EvalStep:  s.EvalStep,
-		Migration: s.Migration,
-		Horizon:   s.Horizon,
+		EvalStep:    s.EvalStep,
+		Migration:   s.Migration,
+		Horizon:     s.Horizon,
+		Shards:      s.Shards,
+		EvalWorkers: s.EvalWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +188,7 @@ func (se *Session) CheckInvariants() error { return se.cl.CheckInvariants() }
 // outcome. The session cannot be advanced afterwards.
 func (se *Session) Result() *Result {
 	se.cl.Flush()
+	se.cl.Close() // retire the shard workers, if any
 	se.finished = true
 	horizon := se.Now()
 	if horizon == 0 {
