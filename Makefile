@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-shuffle race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,11 @@ test-shuffle:
 
 # Race-enabled run of the full suite, including the parallel-runner
 # smoke tests. CI should treat this as tier-1 alongside `make test`.
+# The explicit timeout covers the hyperscale experiment replays, which
+# blow past go test's default 10 minutes under the race detector on
+# small machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 90m ./...
 
 vet:
 	$(GO) vet ./...
@@ -39,8 +42,8 @@ fmt:
 # identically for a fixed seed. Run explicitly in CI (it is also part
 # of `make test`) so a violation is unmissable.
 determinism:
-	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns' -v \
-		./internal/experiments/ ./internal/ctrlplane/
+	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns|TestDeltaMatrixMatchesGolden|TestDeltaEvaluateBitIdentical' -v \
+		./internal/experiments/ ./internal/ctrlplane/ ./internal/cluster/
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 ./...
@@ -93,6 +96,29 @@ bench-scale-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkScaleEvaluate' -benchmem -benchtime=1x \
 		./internal/cluster/
 
+# Record the hyperscale benchmarks (one steady-state evaluation tick on
+# the 16384-host / 131072-VM quiescent-majority fixture, full-scan
+# versus delta) into BENCH_hyperscale.json. The checked-in artifact
+# holds the pre/post numbers of the delta-evaluation rework; the
+# acceptance bar is delta >= 10x faster than full-scan at 0 allocs/op:
+#
+#	make bench-hyperscale LABEL=hyperscale-post-delta
+bench-hyperscale: LABEL ?= hyperscale
+bench-hyperscale:
+	$(GO) test -run '^$$' -bench 'BenchmarkHyperscaleEvaluate' \
+		-benchmem -benchtime=500x -count=3 -timeout 30m ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_hyperscale.json
+
+# The hyperscale gate without a measurement run: the delta and
+# full-scan byte-identity tests at experiment scale, the delta 0-alloc
+# gate, and the quick-mode heap budget assertion. CI runs this as its
+# hyperscale smoke job.
+bench-hyperscale-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkHyperscaleEvaluate' -benchmem -benchtime=1x \
+		./internal/cluster/
+	$(GO) test -run 'TestDeltaSteadyStateAllocFree|TestHyperscaleQuickHeapBudget|TestHyperscaleFullScanMatchesGolden' -v \
+		./internal/cluster/ ./internal/experiments/
+
 # Allocation regression gate: the steady-state evaluation tick — serial
 # and sharded — and the pooled event loop must stay allocation-free,
 # and the full report bytes must match the pre-optimization goldens.
@@ -107,7 +133,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

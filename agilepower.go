@@ -212,6 +212,18 @@ type Scenario struct {
 	// EvalWorkers bounds the goroutines serving shards (<= 0 means
 	// min(Shards, GOMAXPROCS)). Like Shards, invisible in results.
 	EvalWorkers int
+	// Delta switches the evaluation tick from a full per-host scan to
+	// event-driven delta evaluation: only hosts whose inputs changed
+	// since the last tick (demand edge, placement, migration, power
+	// transition, DVFS move) are re-evaluated, and quiescent hosts'
+	// energy integrates analytically. Purely a wall-clock knob like
+	// Shards: results are byte-identical with it on or off.
+	Delta bool
+	// TelemetryCap, when positive, bounds each recorded time series
+	// (power, demand, delivered, active hosts) to at most this many
+	// stored samples via deterministic bucket folding — memory stays
+	// O(cap) for any horizon. 0 stores every evaluation step.
+	TelemetryCap int
 	// Seed drives all simulation randomness (default 1).
 	Seed uint64
 	// Faults, when non-nil and enabled, injects transition failures,
@@ -267,6 +279,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.EvalWorkers < 0 {
 		return fmt.Errorf("agilepower: negative eval workers %d", s.EvalWorkers)
+	}
+	if s.TelemetryCap < 0 {
+		return fmt.Errorf("agilepower: negative telemetry cap %d", s.TelemetryCap)
 	}
 	if s.Churn != nil {
 		if err := s.Churn.Validate(); err != nil {
@@ -341,6 +356,15 @@ type Result struct {
 	Hosts     int
 	HostCores float64
 	Profile   *Profile
+
+	// EvalTicks and HostEvals count evaluation passes and the per-host
+	// evaluations they performed — the delta-evaluation skip ratio is
+	// 1 − HostEvals/(EvalTicks×Hosts). Execution diagnostics like wall
+	// time: deterministic within an evaluation mode but different
+	// between delta and full, so experiments report them on the
+	// progress stream, never in byte-compared reports.
+	EvalTicks int64
+	HostEvals int64
 }
 
 // Run executes the scenario to its horizon and collects the result.

@@ -41,6 +41,8 @@ func main() {
 	ctrlLoss := flag.Float64("ctrlplane-loss", 0, "per-leg management-network loss probability in [0,1]")
 	shards := flag.Int("shards", 0, "shard each simulation's evaluation tick across this many host ranges (0/1 = serial); output is identical for every value")
 	evalWorkers := flag.Int("eval-workers", 0, "goroutines serving evaluation shards (0 = min(shards, GOMAXPROCS))")
+	delta := flag.String("delta", "", "evaluation mode: 'on' forces event-driven delta evaluation, 'off' forces the full scan, empty lets each experiment choose; output is identical in either mode")
+	telemetryCap := flag.Int("telemetry-cap", 0, "bound each recorded time series to this many stored samples (0 = experiment default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file (inspect with `go tool trace`)")
@@ -71,10 +73,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	var deltaMode experiments.DeltaMode
+	switch *delta {
+	case "":
+		deltaMode = experiments.DeltaDefault
+	case "on":
+		deltaMode = experiments.DeltaOn
+	case "off":
+		deltaMode = experiments.DeltaOff
+	default:
+		fmt.Fprintf(os.Stderr, "powerbench: invalid -delta %q (want on, off, or empty)\n", *delta)
+		os.Exit(1)
+	}
 	opts := experiments.Options{
 		Seed: *seed, Profile: profile, Workers: *workers,
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
 		Shards: *shards, EvalWorkers: *evalWorkers,
+		Delta: deltaMode, TelemetryCap: *telemetryCap,
 	}
 	ids := []string{"t1", "f2", "f3"}
 	if *exp != "all" {
@@ -85,10 +100,12 @@ func main() {
 		// ctrl is the cluster-under-imperfect-control-plane grid — the
 		// counterpart characterization for the management network; the
 		// -ctrlplane-* flags add an extra row to its delay×loss grid.
-		// scale is the datacenter-size run the -shards flag exists for.
-		case "t1", "f2", "f3", "ctrl", "scale":
+		// scale is the datacenter-size run the -shards flag exists for;
+		// hyper is the 100k-host delta-evaluation run the -delta and
+		// -telemetry-cap flags exist for.
+		case "t1", "f2", "f3", "ctrl", "scale", "hyper":
 		default:
-			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3, ctrl, scale)\n", id)
+			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q (want t1, f2, f3, ctrl, scale, hyper)\n", id)
 			os.Exit(1)
 		}
 	}

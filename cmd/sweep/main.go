@@ -27,6 +27,8 @@ func main() {
 	ctrlLoss := flag.Float64("ctrlplane-loss", 0, "per-leg management-network loss probability in [0,1]")
 	shards := flag.Int("shards", 0, "shard each simulation's evaluation tick across this many host ranges (0/1 = serial); output is identical for every value")
 	evalWorkers := flag.Int("eval-workers", 0, "goroutines serving evaluation shards (0 = min(shards, GOMAXPROCS))")
+	delta := flag.String("delta", "", "evaluation mode: 'on' forces event-driven delta evaluation, 'off' forces the full scan, empty lets each experiment choose; output is identical in either mode")
+	telemetryCap := flag.Int("telemetry-cap", 0, "bound each recorded time series to this many stored samples (0 = experiment default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -50,10 +52,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+	deltaMode, err := parseDeltaMode(*delta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel,
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
 		Shards: *shards, EvalWorkers: *evalWorkers,
+		Delta: deltaMode, TelemetryCap: *telemetryCap,
 	}
 	if *exp == "all" {
 		// Long runs stay observable: per-experiment wall times go to
@@ -70,5 +78,19 @@ func main() {
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
+	}
+}
+
+// parseDeltaMode maps the -delta flag onto the tri-state Options knob.
+func parseDeltaMode(s string) (experiments.DeltaMode, error) {
+	switch s {
+	case "":
+		return experiments.DeltaDefault, nil
+	case "on":
+		return experiments.DeltaOn, nil
+	case "off":
+		return experiments.DeltaOff, nil
+	default:
+		return 0, fmt.Errorf("invalid -delta %q (want on, off, or empty)", s)
 	}
 }

@@ -178,6 +178,161 @@ func ReplicatedFleet(services, replicas int, seed uint64) []VMSpec {
 	return out
 }
 
+// hyperscalePoolSize is the number of distinct demand traces backing a
+// hyperscale fleet. VMs share pool traces instead of owning one each:
+// traces are read-only (internal/workload builds even the NextChange
+// jump table under a sync.Once), so a million-VM fleet costs megabytes
+// of trace memory rather than gigabytes.
+const hyperscalePoolSize = 512
+
+// HyperscaleFleet returns n small (2 vCPU / 4 GB) VMs for the
+// hyperscale experiment, drawing demand from a shared pool of at most
+// hyperscalePoolSize coarse-grained traces. Every trace is sampled at
+// a 15-minute interval, so a 1-minute evaluation tick sees a demand
+// edge on at most one tick in fifteen — the plateau structure delta
+// evaluation exploits. The mix interleaves diurnal web (60%),
+// flash-crowd API (20%), periodic batch (10%) and flat utility VMs
+// (10%) so every host carries a blend.
+func HyperscaleFleet(n int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	interval := 15 * time.Minute
+	size := hyperscalePoolSize
+	if size > n {
+		size = n
+	}
+	if size < 20 {
+		size = 20
+	}
+	web := make([]*Trace, size*6/10)
+	for i := range web {
+		web[i] = workload.Diurnal(rng.Fork(), workload.DiurnalSpec{
+			Interval:    interval,
+			BaseCores:   0.1,
+			PeakCores:   0.8,
+			NoiseFrac:   0.05,
+			PhaseJitter: 90 * time.Minute,
+		})
+	}
+	api := make([]*Trace, size*2/10)
+	for i := range api {
+		api[i] = workload.Spiky(rng.Fork(), workload.SpikeSpec{
+			Interval:   interval,
+			BaseCores:  0.1,
+			SpikeCores: 2,
+			Spikes:     2,
+			SpikeLen:   45 * time.Minute,
+		})
+	}
+	batch := make([]*Trace, size/10)
+	for i := range batch {
+		batch[i] = workload.Batch(rng.Fork(), workload.BatchSpec{
+			Interval:  interval,
+			IdleCores: 0.05,
+			RunCores:  2,
+			Period:    6 * time.Hour,
+			RunLen:    90 * time.Minute,
+		})
+	}
+	flat := make([]*Trace, size/10)
+	for i := range flat {
+		flat[i] = workload.Constant(0.1 + 0.05*float64(i%4))
+	}
+	out := make([]VMSpec, n)
+	var wi, ai, bi, fi int
+	for i := range out {
+		var tr *Trace
+		var prefix string
+		switch i % 10 {
+		case 0, 1, 2, 3, 4, 5:
+			tr, prefix = web[wi%len(web)], "web"
+			wi++
+		case 6, 7:
+			tr, prefix = api[ai%len(api)], "api"
+			ai++
+		case 8:
+			tr, prefix = batch[bi%len(batch)], "bat"
+			bi++
+		default:
+			tr, prefix = flat[fi%len(flat)], "flt"
+			fi++
+		}
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("%s-%06d", prefix, i),
+			VCPUs:    2,
+			MemoryGB: 4,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
+// DeepTroughFleet is the trough-heavy hyperscale variant: demand
+// concentrated in short windows — long-idle batch jobs (50%),
+// noise-free business-day steps (30%) and flat trickle VMs (20%) —
+// so outside those windows the overwhelming majority of hosts are
+// quiescent (no demand edge for hours at a time) and delta evaluation
+// skips them entirely. Traces come from a shared pool like
+// HyperscaleFleet's.
+func DeepTroughFleet(n int, seed uint64) []VMSpec {
+	rng := sim.NewRNG(seed)
+	interval := 15 * time.Minute
+	size := hyperscalePoolSize
+	if size > n {
+		size = n
+	}
+	if size < 20 {
+		size = 20
+	}
+	batch := make([]*Trace, size*5/10)
+	for i := range batch {
+		batch[i] = workload.Batch(rng.Fork(), workload.BatchSpec{
+			Interval:  interval,
+			IdleCores: 0.02,
+			RunCores:  2,
+			Period:    12 * time.Hour,
+			RunLen:    time.Hour,
+		})
+	}
+	day := make([]*Trace, size*3/10)
+	for i := range day {
+		day[i] = workload.Workday(rng.Fork(), workload.WorkdaySpec{
+			Interval:   interval,
+			LowCores:   0.05,
+			HighCores:  1.5,
+			JumpLen:    15 * time.Minute,
+			OpenJitter: 30 * time.Minute,
+		})
+	}
+	flat := make([]*Trace, size*2/10)
+	for i := range flat {
+		flat[i] = workload.Constant(0.02 + 0.02*float64(i%3))
+	}
+	out := make([]VMSpec, n)
+	var bi, di, fi int
+	for i := range out {
+		var tr *Trace
+		var prefix string
+		switch i % 10 {
+		case 0, 1, 2, 3, 4:
+			tr, prefix = batch[bi%len(batch)], "bat"
+			bi++
+		case 5, 6, 7:
+			tr, prefix = day[di%len(day)], "day"
+			di++
+		default:
+			tr, prefix = flat[fi%len(flat)], "flt"
+			fi++
+		}
+		out[i] = VMSpec{
+			Name:     fmt.Sprintf("%s-%06d", prefix, i),
+			VCPUs:    2,
+			MemoryGB: 4,
+			Trace:    tr,
+		}
+	}
+	return out
+}
+
 // ConstantFleet returns n VMs each demanding a flat demand in cores —
 // the building block of steady-load sweeps (figure F4).
 func ConstantFleet(n int, demand float64) []VMSpec {

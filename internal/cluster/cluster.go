@@ -21,10 +21,23 @@
 // floating-point accumulation sequence — and therefore every report
 // byte — is identical for any shard and worker count, including the
 // serial path.
+//
+// On top of sharding, the tick can run in delta mode (Config.Delta):
+// a host is re-evaluated only when marked dirty — by a cluster event
+// (placement, migration, crash, power transition, DVFS move) or by a
+// resident VM's demand trace reaching its next change time (a
+// per-shard indexed min-heap of deadlines) — and the shard workers
+// drain per-shard dirty queues instead of scanning fixed ranges.
+// Quiescent hosts integrate energy and SLA time analytically: power
+// accrues in closed-form watts × Δt segments between real changes, and
+// each VM's (demand, delivered) run is charged in one SLA record when
+// it ends. Because an unchanged input performs no floating-point
+// operation in either mode, delta-vs-full is byte-identical too.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -64,6 +77,21 @@ type Config struct {
 	// (<= 0 means min(Shards, GOMAXPROCS)). Like Shards, it is
 	// invisible in the results.
 	EvalWorkers int
+	// Delta switches the evaluation tick from a full scan to delta
+	// evaluation: after Start, a host is re-evaluated only when
+	// something affecting its power or SLA changed — a resident's
+	// demand trace advanced, a placement/migration/crash event landed,
+	// a power transition settled, or its DVFS point moved. Quiescent
+	// hosts integrate energy and SLA time analytically between events.
+	// Like Shards, Delta is wall-clock only: every report byte is
+	// identical with it on or off.
+	Delta bool
+	// TelemetryCap, when positive, bounds each cluster telemetry series
+	// to about this many stored samples (see telemetry.Series.SetCap):
+	// long runs fold samples into fixed-width bucket means instead of
+	// growing without bound. Changes report bytes (deterministically) —
+	// off by default.
+	TelemetryCap int
 }
 
 // Cluster owns the simulated datacenter state.
@@ -88,12 +116,18 @@ type Cluster struct {
 
 	// sla is indexed by vm.ID-1 and survives departure: a departed
 	// VM's service history still counts toward the run's aggregate.
-	sla []*telemetry.SLATracker
-	// current holds the allocation computed at the last evaluation
-	// (indexed by vm.ID-1); it is charged to the SLA trackers when the
-	// next evaluation closes the interval.
-	current  []allocRecord
-	lastEval sim.Time
+	// The trackers themselves live in slaArena chunks (fixed-capacity,
+	// so the pointers are stable): one bump allocation per chunk
+	// instead of one per VM, which matters at a million VMs.
+	sla      []*telemetry.SLATracker
+	slaArena [][]telemetry.SLATracker
+	// current holds the open allocation run of each VM (indexed by
+	// vm.ID-1): the (demand, delivered) pair in effect since rec.since.
+	// A run is charged to the VM's SLA tracker in one closed-form
+	// Record call when the pair changes (or the VM departs, or Flush
+	// closes the books) — not once per tick — so an unchanged VM costs
+	// nothing no matter how long it idles.
+	current []allocRecord
 
 	powerSeries     *telemetry.Series
 	demandSeries    *telemetry.Series
@@ -106,9 +140,12 @@ type Cluster struct {
 	onHostCrashed     func(host.ID)
 
 	// strandedCount is the number of VMs currently frozen on crashed
-	// (unavailable) hosts; strandedVMSec integrates it over time.
+	// (unavailable) hosts; strandedVMSec integrates it over time in
+	// run-length segments: the open segment started at strandedSince
+	// and is folded in when the count changes (or at Flush).
 	strandedCount int
 	strandedVMSec float64
+	strandedSince sim.Time
 
 	// pending marks VMs that have arrived but are not yet placed on a
 	// host (dynamic provisioning, indexed by vm.ID-1). Their demand is
@@ -129,43 +166,90 @@ type Cluster struct {
 
 	log *events.Log
 
-	// Evaluation sharding (dormant while evalWork is nil). Shard k
-	// owns the host-index range shardBounds[k]; its worker writes each
-	// host's partials into the hostPartial slots for that range, and
-	// evaluate reduces the slots serially in host-ID order. The slots
-	// are per host, not per shard, so the reduction's floating-point
-	// order cannot depend on where the shard boundaries fall.
+	// Evaluation sharding and delta state (dormant until Start). Shard
+	// k owns the host-index range shardBounds[k]; its worker writes
+	// each host's partials into the hostPartial slots for that range,
+	// and evaluate reduces the slots serially in host-ID order. The
+	// slots are per host, not per shard, so the reduction's
+	// floating-point order cannot depend on where the shard boundaries
+	// fall. From Start on, every tick reduces from the slots — in full
+	// mode all slots are refreshed first; in delta mode only dirty
+	// hosts' slots are, and a clean host's cached slot is bitwise what
+	// recomputing it would produce.
 	shards      int
 	evalWorkers int
+	delta       bool
 	shardBounds []shardRange
+	shardSize   int
 	hostPartial []hostPartial
-	// evalNow is the tick's timestamp, published to the workers by the
-	// evalWork sends (channel happens-before).
+	// evalNow and evalFull are the tick's parameters, published to the
+	// workers by the evalWork sends (channel happens-before).
 	evalNow  sim.Time
+	evalFull bool
 	evalWork chan int
 	evalDone chan struct{}
-	closed   bool
+	// primed flips true after the first post-Start evaluation: until
+	// the partial slots, deadlines and heaps hold a full fleet
+	// snapshot, every tick is a full one.
+	primed bool
+	closed bool
+
+	// Delta bookkeeping (allocated at Start when delta is on).
+	// dirtyQ[s] is shard s's queue of event-dirtied host indices
+	// (deduplicated by dirtyFlag); hostNext[i] is the earliest time a
+	// resident of host i changes demand; dueHeaps[s] is shard s's
+	// indexed min-heap over hostNext (heapPos[i] is i's position+1 in
+	// its shard's heap, 0 when absent). All arrays are preallocated to
+	// fleet size so steady-state ticks never allocate.
+	dirtyQ    [][]int32
+	dirtyFlag []bool
+	hostNext  []sim.Time
+	dueHeaps  [][]int32
+	heapPos   []int32
+
+	// Evaluation-volume counters (diagnostics, never reported):
+	// tickCount counts evaluation passes; shardEvals[s] counts per-host
+	// evaluations shard s performed (per shard so workers never share a
+	// cache line on the hot path); directEvals counts per-host
+	// evaluations on the serial direct path. EvalCounts sums them.
+	tickCount   int64
+	shardEvals  []int64
+	directEvals int64
 }
+
+// never is the hostNext sentinel for "no future demand change": such
+// hosts are left out of the due-heaps entirely.
+const never = sim.Time(math.MaxInt64)
 
 // shardRange is one shard's half-open host-index range.
 type shardRange struct{ lo, hi int }
 
 // hostPartial holds one host's contribution to the tick's aggregates,
 // written by exactly one shard worker and read by the serial reduce.
+// In delta mode a clean host's slot is simply reused: its inputs are
+// unchanged, so the cached values are bitwise what evalHost would
+// recompute.
 type hostPartial struct {
 	power     power.Watts
 	demand    float64
 	delivered float64
 	avail     bool
+	// vms caches NumVMs for the stranded count (residents only change
+	// on events, which dirty the host).
+	vms int
 }
 
 type allocRecord struct {
 	demand    float64
 	delivered float64
 	slo       float64
-	// present distinguishes "no open interval for this VM" (freshly
-	// added, or departed) from a genuine zero record — the slice
-	// analogue of the record existing in a map.
+	// since is when this (demand, delivered) run opened; the run is
+	// charged to the SLA tracker as one closed-form Record when it
+	// ends.
+	since sim.Time
+	// present distinguishes "no open run for this VM" (freshly added,
+	// or departed) from a genuine zero record — the slice analogue of
+	// the record existing in a map.
 	present bool
 }
 
@@ -189,12 +273,16 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Horizon > 0 {
 		seriesCap = int(cfg.Horizon/step) + 2
 	}
+	if cfg.TelemetryCap > 0 && seriesCap > cfg.TelemetryCap {
+		seriesCap = 0 // SetCap below preallocates the bounded store
+	}
 	c := &Cluster{
 		eng:             eng,
 		step:            step,
 		migrations:      mgr,
 		shards:          cfg.Shards,
 		evalWorkers:     cfg.EvalWorkers,
+		delta:           cfg.Delta,
 		powerSeries:     telemetry.NewSeriesCap("cluster_power_w", seriesCap),
 		demandSeries:    telemetry.NewSeriesCap("cluster_demand_cores", seriesCap),
 		deliveredSeries: telemetry.NewSeriesCap("cluster_delivered_cores", seriesCap),
@@ -202,7 +290,14 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		arrivedAt:       make(map[vm.ID]sim.Time),
 		nextHostID:      1,
 		nextVMID:        1,
+		strandedSince:   eng.Now(),
 		log:             events.NewLog(0),
+	}
+	if cfg.TelemetryCap > 0 {
+		c.powerSeries.SetCap(cfg.TelemetryCap)
+		c.demandSeries.SetCap(cfg.TelemetryCap)
+		c.deliveredSeries.SetCap(cfg.TelemetryCap)
+		c.activeSeries.SetCap(cfg.TelemetryCap)
 	}
 	mgr.OnComplete(c.finishMigration)
 	mgr.OnFailed(c.failMigration)
@@ -272,8 +367,14 @@ func (c *Cluster) AddHost(cfg host.Config) (*host.Host, error) {
 	c.nextHostID++
 	c.hostList = append(c.hostList, h)
 	h.Machine().OnSettled(func(st power.State) { c.hostSettled(id, st) })
+	h.OnChange(func() { c.markDirty(id) })
 	return h, nil
 }
+
+// slaChunkSize is the arena granularity for SLA trackers: large enough
+// to amortize allocation at fleet scale, small enough not to waste
+// memory on toy clusters.
+const slaChunkSize = 1024
 
 // growVMState appends one slot of per-VM state for a newly created VM.
 func (c *Cluster) growVMState(v *vm.VM) {
@@ -282,7 +383,12 @@ func (c *Cluster) growVMState(v *vm.VM) {
 	c.placement = append(c.placement, 0)
 	c.pending = append(c.pending, false)
 	c.current = append(c.current, allocRecord{})
-	c.sla = append(c.sla, &telemetry.SLATracker{})
+	if n := len(c.slaArena); n == 0 || len(c.slaArena[n-1]) == slaChunkSize {
+		c.slaArena = append(c.slaArena, make([]telemetry.SLATracker, 0, slaChunkSize))
+	}
+	chunk := &c.slaArena[len(c.slaArena)-1]
+	*chunk = append(*chunk, telemetry.SLATracker{})
+	c.sla = append(c.sla, &(*chunk)[len(*chunk)-1])
 }
 
 // AddVM creates a VM and places it on the given host.
@@ -305,6 +411,7 @@ func (c *Cluster) AddVM(cfg vm.Config, on host.ID) (*vm.VM, error) {
 	c.nextVMID++
 	c.growVMState(v)
 	c.placement[id-1] = on
+	c.markDirty(on)
 	c.record(events.VMPlaced, id, on, "initial")
 	return v, nil
 }
@@ -353,6 +460,7 @@ func (c *Cluster) PlaceVM(id vm.ID, on host.ID) error {
 	c.placement[id-1] = on
 	c.provisionLat = append(c.provisionLat, time.Duration(c.eng.Now()-c.arrivedAt[id]))
 	delete(c.arrivedAt, id)
+	c.markDirty(on)
 	c.record(events.VMPlaced, id, on, "provisioned")
 	c.evaluate()
 	return nil
@@ -368,9 +476,10 @@ func (c *Cluster) RemoveVM(id vm.ID) error {
 	if c.migrations.Migrating(id) {
 		return fmt.Errorf("cluster: vm %d is migrating; retry after it commits", id)
 	}
-	// Close the open accounting interval while the VM's allocation
-	// record still exists, so its final interval is charged.
+	// Evaluate first so the departing VM's final allocation is current,
+	// then close its open run while the record still exists.
 	c.evaluate()
+	c.closeRun(int(id)-1, c.eng.Now())
 	if c.pending[id-1] {
 		c.pending[id-1] = false
 		c.pendingCount--
@@ -380,6 +489,7 @@ func (c *Cluster) RemoveVM(id vm.ID) error {
 			return err
 		}
 		c.placement[id-1] = 0
+		c.markDirty(hid)
 	}
 	c.vmsByID[id-1] = nil
 	for i, lv := range c.vmList {
@@ -416,20 +526,26 @@ func (c *Cluster) Departed() int { return c.departed }
 // placed so far (callers must not mutate).
 func (c *Cluster) ProvisionLatencies() []time.Duration { return c.provisionLat }
 
-// startShards builds the shard partition and the persistent worker
-// pool. The fleet is fixed by Start, so the ID-contiguous ranges are
-// computed once; evaluations before Start (pending-VM arrivals during
-// setup) take the serial path.
-func (c *Cluster) startShards() {
+// startEval builds the evaluation machinery the fleet's size fixes at
+// Start: the shard partition (one ID-contiguous range per shard), the
+// per-host partial slots every tick reduces from, the delta
+// bookkeeping, and the persistent worker pool when there is more than
+// one shard. Evaluations before Start (pending-VM arrivals during
+// setup) take the direct serial path.
+func (c *Cluster) startEval() {
 	n := len(c.hostList)
+	if n == 0 {
+		return
+	}
 	s := c.shards
 	if s > n {
 		s = n
 	}
-	if s <= 1 {
-		return
+	if s < 1 {
+		s = 1
 	}
 	per := (n + s - 1) / s
+	c.shardSize = per
 	c.shardBounds = make([]shardRange, 0, s)
 	for lo := 0; lo < n; lo += per {
 		hi := lo + per
@@ -439,6 +555,21 @@ func (c *Cluster) startShards() {
 		c.shardBounds = append(c.shardBounds, shardRange{lo: lo, hi: hi})
 	}
 	c.hostPartial = make([]hostPartial, n)
+	c.shardEvals = make([]int64, len(c.shardBounds))
+	if c.delta {
+		c.dirtyFlag = make([]bool, n)
+		c.hostNext = make([]sim.Time, n)
+		c.heapPos = make([]int32, n)
+		c.dirtyQ = make([][]int32, len(c.shardBounds))
+		c.dueHeaps = make([][]int32, len(c.shardBounds))
+		for k, b := range c.shardBounds {
+			c.dirtyQ[k] = make([]int32, 0, b.hi-b.lo)
+			c.dueHeaps[k] = make([]int32, 0, b.hi-b.lo)
+		}
+	}
+	if len(c.shardBounds) <= 1 {
+		return
+	}
 	w := c.evalWorkers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -456,28 +587,174 @@ func (c *Cluster) startShards() {
 	}
 }
 
+// shardOf maps a host index to its owning shard.
+func (c *Cluster) shardOf(i int) int { return i / c.shardSize }
+
+// markDirty queues host id for re-evaluation at the next tick. Called
+// from the serial event paths only (never concurrently with a running
+// tick); a no-op outside an active delta window (before Start, after
+// Close, or with delta off) because those modes re-scan everything
+// anyway.
+func (c *Cluster) markDirty(id host.ID) {
+	if c.dirtyFlag == nil || c.closed {
+		return
+	}
+	i := int(id) - 1
+	if i < 0 || i >= len(c.dirtyFlag) || c.dirtyFlag[i] {
+		return
+	}
+	c.dirtyFlag[i] = true
+	s := c.shardOf(i)
+	c.dirtyQ[s] = append(c.dirtyQ[s], int32(i))
+}
+
 // evalWorker processes shard indices until Close. Each host's partials
 // land in slots no other worker touches; the evalDone send publishes
 // them to the reducing goroutine.
 func (c *Cluster) evalWorker() {
 	for s := range c.evalWork {
-		b := c.shardBounds[s]
-		now := c.evalNow
-		for i := b.lo; i < b.hi; i++ {
-			h := c.hostList[i]
-			pw, demand, delivered, avail := c.evalHost(h, now)
-			c.hostPartial[i] = hostPartial{power: pw, demand: demand, delivered: delivered, avail: avail}
-		}
+		c.runShard(s, c.evalNow, c.evalFull)
 		c.evalDone <- struct{}{}
 	}
 }
 
-// Close stops the shard workers (a no-op for serial clusters, and
-// idempotent). Call it after the final Flush; evaluations after Close
-// fall back to the serial path, which produces the same bytes.
+// runShard performs one shard's slice of a tick: either a full refresh
+// of every host in the shard, or — in a delta tick — only the hosts
+// made dirty by events (the shard's queue) or by a resident's demand
+// trace advancing (the shard's due-heap). Everything touched here is
+// owned by this shard: its hosts' scratch and partial slots, its
+// residents' allocation records and SLA trackers, its queue, its heap.
+func (c *Cluster) runShard(s int, now sim.Time, full bool) {
+	if full {
+		b := c.shardBounds[s]
+		for i := b.lo; i < b.hi; i++ {
+			c.refreshHost(i, now)
+		}
+		c.shardEvals[s] += int64(b.hi - b.lo)
+		return
+	}
+	evals := int64(0)
+	q := c.dirtyQ[s]
+	for _, i := range q {
+		c.dirtyFlag[i] = false
+		c.refreshHost(int(i), now)
+	}
+	evals += int64(len(q))
+	c.dirtyQ[s] = q[:0]
+	h := c.dueHeaps[s]
+	for len(h) > 0 && c.hostNext[h[0]] <= now {
+		c.refreshHost(int(h[0]), now)
+		h = c.dueHeaps[s] // refreshHost reheapified
+		evals++
+	}
+	c.shardEvals[s] += evals
+}
+
+// refreshHost recomputes one host's partial slot and, in delta mode,
+// its next-demand-change deadline and due-heap entry.
+func (c *Cluster) refreshHost(i int, now sim.Time) {
+	h := c.hostList[i]
+	c.hostPartial[i] = c.evalHost(h, now)
+	if c.hostNext == nil {
+		return
+	}
+	next := never
+	for _, v := range h.Residents() {
+		if nc := v.NextDemandChange(now); nc < next {
+			next = nc
+		}
+	}
+	c.hostNext[i] = next
+	c.heapSet(c.shardOf(i), int32(i))
+}
+
+// heapSet inserts, repositions, or removes host index i in shard s's
+// due-heap to match hostNext[i]. The heap is indexed (heapPos) so the
+// update is in-place and allocation-free; a host has at most one entry.
+func (c *Cluster) heapSet(s int, i int32) {
+	h := c.dueHeaps[s]
+	p := int(c.heapPos[i]) - 1
+	if c.hostNext[i] == never {
+		if p >= 0 {
+			// Remove: move the tail into the hole and sift.
+			last := len(h) - 1
+			if p != last {
+				h[p] = h[last]
+				c.heapPos[h[p]] = int32(p) + 1
+			}
+			c.heapPos[i] = 0
+			c.dueHeaps[s] = h[:last]
+			if p != last {
+				c.heapFix(s, p)
+			}
+		}
+		return
+	}
+	if p < 0 {
+		h = append(h, i)
+		c.dueHeaps[s] = h
+		p = len(h) - 1
+		c.heapPos[i] = int32(p) + 1
+	}
+	c.heapFix(s, p)
+}
+
+// heapFix restores the heap property around position p.
+func (c *Cluster) heapFix(s, p int) {
+	if !c.heapDown(s, p) {
+		c.heapUp(s, p)
+	}
+}
+
+func (c *Cluster) heapUp(s, p int) {
+	h := c.dueHeaps[s]
+	for p > 0 {
+		parent := (p - 1) / 2
+		if c.hostNext[h[parent]] <= c.hostNext[h[p]] {
+			break
+		}
+		h[p], h[parent] = h[parent], h[p]
+		c.heapPos[h[p]] = int32(p) + 1
+		c.heapPos[h[parent]] = int32(parent) + 1
+		p = parent
+	}
+}
+
+// heapDown sifts position p down; reports whether it moved.
+func (c *Cluster) heapDown(s, p int) bool {
+	h := c.dueHeaps[s]
+	n := len(h)
+	moved := false
+	for {
+		kid := 2*p + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && c.hostNext[h[r]] < c.hostNext[h[kid]] {
+			kid = r
+		}
+		if c.hostNext[h[p]] <= c.hostNext[h[kid]] {
+			break
+		}
+		h[p], h[kid] = h[kid], h[p]
+		c.heapPos[h[p]] = int32(p) + 1
+		c.heapPos[h[kid]] = int32(kid) + 1
+		p = kid
+		moved = true
+	}
+	return moved
+}
+
+// Close retires the evaluation machinery: shard workers stop, and
+// every later evaluation — including a post-Close Flush — falls back
+// to the direct serial full scan, which produces the same bytes.
+// Idempotent.
 func (c *Cluster) Close() {
-	if c.evalWork != nil && !c.closed {
-		c.closed = true
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.evalWork != nil {
 		close(c.evalWork)
 	}
 }
@@ -489,8 +766,7 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	c.startShards()
-	c.lastEval = c.eng.Now()
+	c.startEval()
 	c.evaluate()
 	var tick func()
 	tick = func() {
@@ -500,13 +776,32 @@ func (c *Cluster) Start() {
 	c.eng.AfterFunc(c.step, tick)
 }
 
-// Flush closes the accounting interval up to the current virtual time.
-// Call it after the final RunUntil so SLA and telemetry cover the whole
-// horizon.
-func (c *Cluster) Flush() { c.evaluate() }
+// Flush closes the accounting books up to the current virtual time:
+// one evaluation at now, then every open SLA run and the open stranded
+// segment are charged. Call it after the final RunUntil so SLA and
+// telemetry cover the whole horizon, including the analytically
+// integrated tails of quiescent VMs. Flush works after Close too — the
+// post-Close evaluation is a full direct scan, never a delta pass, so
+// a final report can never miss tail accounting.
+func (c *Cluster) Flush() {
+	c.evaluate()
+	now := c.eng.Now()
+	for i := range c.current {
+		c.closeRun(i, now)
+	}
+	c.closeStranded(now)
+}
 
-// evaluate closes the open accounting interval and recomputes
-// allocations, utilization and telemetry at the current time.
+// closeStranded charges the open stranded segment up to now.
+func (c *Cluster) closeStranded(now sim.Time) {
+	if dt := now - c.strandedSince; dt > 0 {
+		c.strandedVMSec += float64(c.strandedCount) * time.Duration(dt).Seconds()
+		c.strandedSince = now
+	}
+}
+
+// evaluate recomputes allocations, utilization and telemetry at the
+// current time.
 //
 // This is the simulator's innermost hot path: it runs once per
 // EvalStep per run plus once per management action. It must not
@@ -515,76 +810,120 @@ func (c *Cluster) Flush() { c.evaluate() }
 // per-VM state is indexed by dense IDs. Floating-point accumulation
 // order is fixed (hosts in ID order, VMs in ascending ID within each
 // host, pending VMs in creation order) so results stay byte-identical
-// run to run.
+// run to run — and identical between the full-scan and delta modes,
+// because a clean host's cached partial is bitwise what recomputation
+// would produce and an unchanged allocation run performs no
+// floating-point operations at all in either mode.
 func (c *Cluster) evaluate() {
+	c.tickCount++
 	now := c.eng.Now()
-	if dt := now - c.lastEval; dt > 0 {
-		for i := range c.current {
-			rec := &c.current[i]
-			if !rec.present {
-				continue
-			}
-			c.sla[i].Record(dt, rec.demand, rec.delivered, rec.slo)
-		}
-		// Charge stranded time at the count that held over the closing
-		// interval, mirroring the allocation records above.
-		c.strandedVMSec += float64(c.strandedCount) * time.Duration(dt).Seconds()
+	if c.hostPartial == nil || c.closed {
+		// Direct path: before Start the shard machinery does not exist
+		// yet, and after Close it must not be used — both fall back to a
+		// serial full scan, which produces the same bytes.
+		c.evaluateDirect(now)
+		return
 	}
-	c.lastEval = now
-
-	totalPower := power.Watts(0)
-	totalDemand, totalDelivered := 0.0, 0.0
-	active, stranded := 0, 0
-	if c.evalWork != nil && !c.closed {
-		// Sharded path: fan the per-host work out to the persistent
-		// workers, then reduce the per-host slots serially in host-ID
-		// order. The accumulation below performs the exact same sequence
-		// of floating-point adds per accumulator as the serial loop, so
-		// the result is bit-identical for any shard count.
+	// A delta tick only touches dirty hosts; every tick before the
+	// delta bookkeeping is primed (the Start evaluation) is full, as is
+	// every tick when delta is off.
+	full := !c.delta || !c.primed
+	if c.evalWork != nil {
+		// Fan the per-host work out to the persistent workers, then
+		// reduce the per-host slots serially in host-ID order below.
 		c.evalNow = now
+		c.evalFull = full
 		for s := range c.shardBounds {
 			c.evalWork <- s
 		}
 		for range c.shardBounds {
 			<-c.evalDone
 		}
-		for i, h := range c.hostList {
-			p := &c.hostPartial[i]
-			totalPower += p.power
-			totalDemand += p.demand
-			totalDelivered += p.delivered
-			if p.avail {
-				active++
-			} else {
-				stranded += h.NumVMs()
-			}
-		}
 	} else {
-		for _, h := range c.hostList {
-			pw, demand, delivered, avail := c.evalHost(h, now)
-			totalPower += pw
-			totalDemand += demand
-			totalDelivered += delivered
-			if avail {
-				active++
-			} else {
-				stranded += h.NumVMs()
-			}
+		for s := range c.shardBounds {
+			c.runShard(s, now, full)
 		}
 	}
-	// stranded recounts VMs frozen on downed hosts for the interval just
-	// opened. Only crashed hosts can hold residents while unavailable,
-	// so the sum is exactly the stranded population.
-	c.strandedCount = stranded
+	c.primed = true
+	totalPower := power.Watts(0)
+	totalDemand, totalDelivered := 0.0, 0.0
+	active, stranded := 0, 0
+	for i := range c.hostPartial {
+		p := &c.hostPartial[i]
+		totalPower += p.power
+		totalDemand += p.demand
+		totalDelivered += p.delivered
+		if p.avail {
+			active++
+		} else {
+			stranded += p.vms
+		}
+	}
+	c.finishTick(now, totalPower, totalDemand, totalDelivered, active, stranded)
+}
+
+// evaluateDirect is the partial-free serial scan used before Start and
+// after Close.
+func (c *Cluster) evaluateDirect(now sim.Time) {
+	totalPower := power.Watts(0)
+	totalDemand, totalDelivered := 0.0, 0.0
+	active, stranded := 0, 0
+	for _, h := range c.hostList {
+		p := c.evalHost(h, now)
+		totalPower += p.power
+		totalDemand += p.demand
+		totalDelivered += p.delivered
+		if p.avail {
+			active++
+		} else {
+			stranded += p.vms
+		}
+	}
+	c.directEvals += int64(len(c.hostList))
+	c.finishTick(now, totalPower, totalDemand, totalDelivered, active, stranded)
+}
+
+// EvalCounts returns how many evaluation passes have run and how many
+// per-host evaluations they performed in total. Full-scan mode
+// evaluates every host every pass; delta mode's host count is the
+// fleet's actual change volume, so 1 − hostEvals/(ticks×hosts) is the
+// skip ratio. Diagnostics only — deterministic within a mode but
+// different between modes, so the numbers must never reach a report.
+// Not safe to call while a sharded tick is in flight (call between
+// engine steps or after Close).
+func (c *Cluster) EvalCounts() (ticks, hostEvals int64) {
+	hostEvals = c.directEvals
+	for _, n := range c.shardEvals {
+		hostEvals += n
+	}
+	return c.tickCount, hostEvals
+}
+
+// finishTick applies a tick's reduced aggregates: stranded-population
+// accounting, pending-VM demand, and the telemetry samples.
+func (c *Cluster) finishTick(now sim.Time, totalPower power.Watts, totalDemand, totalDelivered float64, active, stranded int) {
+	// stranded counts VMs frozen on downed hosts. Only crashed hosts
+	// can hold residents while unavailable, so the sum is exactly the
+	// stranded population; the integral charges run-length segments at
+	// the old count whenever it moves.
+	if stranded != c.strandedCount {
+		c.closeStranded(now)
+		c.strandedCount = stranded
+	}
 	// Pending (unplaced) VMs demand but receive nothing — the cost of
 	// provisioning latency.
 	if c.pendingCount > 0 {
 		for _, v := range c.vmList {
-			if !c.pending[v.ID()-1] {
+			i := int(v.ID()) - 1
+			if !c.pending[i] {
 				continue
 			}
 			d := v.Demand(now)
-			c.current[v.ID()-1] = allocRecord{demand: d, delivered: 0, slo: v.SLOTarget(), present: true}
+			rec := &c.current[i]
+			if !rec.present || rec.demand != d {
+				c.closeRun(i, now)
+				*rec = allocRecord{demand: d, delivered: 0, slo: v.SLOTarget(), since: now, present: true}
+			}
 			totalDemand += d
 		}
 	}
@@ -594,15 +933,33 @@ func (c *Cluster) evaluate() {
 	c.activeSeries.Append(now, float64(active))
 }
 
+// closeRun charges VM index i's open allocation run up to now and
+// restarts the run there (no-op when there is no open run or it is
+// empty) — idempotent, so callers may close defensively before
+// rewriting or clearing the record.
+func (c *Cluster) closeRun(i int, now sim.Time) {
+	rec := &c.current[i]
+	if !rec.present {
+		return
+	}
+	if dt := now - rec.since; dt > 0 {
+		c.sla[i].Record(dt, rec.demand, rec.delivered, rec.slo)
+		rec.since = now
+	}
+}
+
 // evalHost performs one host's share of the evaluation tick: fill the
 // host's demand scratch, run the proportional-share scheduler, push
-// utilization into the power model, and write the per-VM allocation
-// records. It touches only state owned by this host (scratch buffers,
-// power machine) or indexed by its resident VMs (c.current slots —
-// each VM is resident on exactly one host), plus read-only shared
-// state (migration overhead map, engine clock), so distinct hosts can
-// be evaluated concurrently.
-func (c *Cluster) evalHost(h *host.Host, now sim.Time) (pw power.Watts, demand, delivered float64, avail bool) {
+// utilization into the power model, and maintain the per-VM allocation
+// runs — a run is closed (one closed-form SLA Record over its whole
+// span) only when the VM's (demand, delivered) pair actually moved, so
+// an idle-stable VM costs zero work and zero FP operations per tick.
+// evalHost touches only state owned by this host (scratch buffers,
+// power machine) or indexed by its resident VMs (c.current slots and
+// SLA trackers — each VM is resident on exactly one host), plus
+// read-only shared state (migration overhead map, engine clock), so
+// distinct hosts can be evaluated concurrently.
+func (c *Cluster) evalHost(h *host.Host, now sim.Time) hostPartial {
 	res := h.Residents() // ascending VM ID
 	demands := h.DemandScratch()
 	for i, v := range res {
@@ -611,18 +968,27 @@ func (c *Cluster) evalHost(h *host.Host, now sim.Time) (pw power.Watts, demand, 
 	alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(h.ID())))
 	h.Machine().SetUtilization(alloc.Utilization)
 	for i, v := range res {
-		c.current[v.ID()-1] = allocRecord{
-			demand:    demands[i],
-			delivered: alloc.DeliveredAt(i),
-			slo:       v.SLOTarget(),
-			present:   true,
+		idx := int(v.ID()) - 1
+		d, del := demands[i], alloc.DeliveredAt(i)
+		rec := &c.current[idx]
+		if rec.present && rec.demand == d && rec.delivered == del {
+			continue // the open run extends — nothing to record
 		}
+		c.closeRun(idx, now)
+		*rec = allocRecord{demand: d, delivered: del, slo: v.SLOTarget(), since: now, present: true}
 	}
-	return h.Machine().Power(), alloc.TotalDemand, alloc.TotalDelivered, h.Available()
+	return hostPartial{
+		power:     h.Machine().Power(),
+		demand:    alloc.TotalDemand,
+		delivered: alloc.TotalDelivered,
+		avail:     h.Available(),
+		vms:       len(res),
+	}
 }
 
 // hostSettled runs when a host finishes a power transition.
 func (c *Cluster) hostSettled(id host.ID, st power.State) {
+	c.markDirty(id)
 	c.record(events.HostSettled, 0, id, st.String())
 	c.evaluate()
 	if c.onHostSettled != nil {
@@ -742,6 +1108,8 @@ func (c *Cluster) StartMigration(id vm.ID, dst host.ID) error {
 		dstHost.ReleaseReservation(id)
 		return err
 	}
+	c.markDirty(src)
+	c.markDirty(dst)
 	c.record(events.MigrationStarted, id, dst, fmt.Sprintf("%d→%d", src, dst))
 	c.evaluate() // migration overhead starts now
 	return nil
@@ -760,6 +1128,8 @@ func (c *Cluster) finishMigration(mig *migrate.Migration) {
 		panic(fmt.Sprintf("cluster: migration reservation broken: %v", err))
 	}
 	c.placement[mig.VM-1] = host.ID(mig.Dst)
+	c.markDirty(host.ID(mig.Src))
+	c.markDirty(host.ID(mig.Dst))
 	// The stop-and-copy pause fully blanks the VM.
 	c.sla[mig.VM-1].RecordOutage(mig.Plan.Downtime, v.Demand(c.eng.Now()))
 	c.record(events.MigrationCompleted, mig.VM, host.ID(mig.Dst),
@@ -781,6 +1151,8 @@ func (c *Cluster) OnMigrationDone(fn func(vm.ID, host.ID)) { c.onMigrationDone =
 func (c *Cluster) failMigration(mig *migrate.Migration) {
 	dst := c.hostList[mig.Dst-1]
 	dst.ReleaseReservation(mig.VM)
+	c.markDirty(host.ID(mig.Src)) // migration CPU overhead ends on both hosts
+	c.markDirty(host.ID(mig.Dst))
 	c.record(events.MigrationFailed, mig.VM, host.ID(mig.Dst),
 		fmt.Sprintf("%d→%d aborted", mig.Src, mig.Dst))
 	c.evaluate()
@@ -807,6 +1179,7 @@ func (c *Cluster) CrashHost(id host.ID, repair time.Duration) error {
 		return err
 	}
 	aborted := c.migrations.FailHost(int(id))
+	c.markDirty(id)
 	c.record(events.HostCrashed, 0, id,
 		fmt.Sprintf("repair %v, %d migrations aborted", repair.Round(time.Second), aborted))
 	c.evaluate()
@@ -852,6 +1225,7 @@ func (c *Cluster) SleepHost(id host.ID, st power.State) error {
 	if err := h.Machine().Sleep(st); err != nil {
 		return err
 	}
+	c.markDirty(id)
 	c.record(events.HostSleeping, 0, id, st.String())
 	c.evaluate()
 	return nil
@@ -867,6 +1241,7 @@ func (c *Cluster) WakeHost(id host.ID) error {
 	if err := h.Machine().Wake(); err != nil {
 		return err
 	}
+	c.markDirty(id)
 	c.record(events.HostWaking, 0, id, "")
 	c.evaluate()
 	return nil
@@ -933,11 +1308,21 @@ func (c *Cluster) SLA(id vm.ID) (*telemetry.SLATracker, bool) {
 
 // AggregateSLA merges all VM trackers into one cluster-wide view.
 // Trackers are merged in ascending VM ID order so the aggregation is
-// deterministic.
+// deterministic. Open allocation runs (accounting coalesced since the
+// last change — see allocRecord) are folded in virtually, without
+// mutating the per-VM trackers, so the aggregate is complete at any
+// time; after a Flush the fold contributes nothing.
 func (c *Cluster) AggregateSLA() *telemetry.SLATracker {
 	agg := &telemetry.SLATracker{}
-	for _, s := range c.sla {
+	now := c.eng.Now()
+	for i, s := range c.sla {
 		agg.Merge(s)
+		rec := &c.current[i]
+		if rec.present {
+			if dt := now - rec.since; dt > 0 {
+				agg.Record(dt, rec.demand, rec.delivered, rec.slo)
+			}
+		}
 	}
 	return agg
 }

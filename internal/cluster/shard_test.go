@@ -18,8 +18,15 @@ import (
 // returns the cluster for result comparison.
 func runShardScenario(t testing.TB, shards, workers int) *Cluster {
 	t.Helper()
+	return runEvalScenario(t, shards, workers, false)
+}
+
+// runEvalScenario is runShardScenario with the evaluation mode
+// explicit, so the delta tests share the exact same event sequence.
+func runEvalScenario(t testing.TB, shards, workers int, delta bool) *Cluster {
+	t.Helper()
 	eng := sim.NewEngine(1)
-	c, err := New(eng, Config{Horizon: 12 * time.Hour, Shards: shards, EvalWorkers: workers})
+	c, err := New(eng, Config{Horizon: 12 * time.Hour, Shards: shards, EvalWorkers: workers, Delta: delta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +182,7 @@ func TestShardedEvaluateSteadyStateAllocFree(t *testing.T) {
 	// Build the partition and worker pool without scheduling the
 	// periodic tick, so the clock can be advanced manually and each
 	// measured run is exactly one sharded evaluation.
-	c.startShards()
+	c.startEval()
 	if len(c.shardBounds) != 4 {
 		t.Fatalf("shard count = %d, want 4", len(c.shardBounds))
 	}

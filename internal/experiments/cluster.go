@@ -25,7 +25,7 @@ func dayScenario(opts Options) agilepower.Scenario {
 		hosts, vms = 8, 40
 		horizon = 8 * time.Hour
 	}
-	return opts.shard(agilepower.Scenario{
+	return opts.tune(agilepower.Scenario{
 		Name:      "datacenter-day",
 		Profile:   opts.Profile,
 		Hosts:     hosts,
@@ -61,7 +61,7 @@ func F4(w io.Writer, opts Options) error {
 		func(_ context.Context, i int) ([]any, error) {
 			load := loads[i]
 			perVM := load * totalCores / float64(vmsN)
-			sc := opts.shard(agilepower.Scenario{
+			sc := opts.tune(agilepower.Scenario{
 				Name:    fmt.Sprintf("f4-load-%02.0f", load*100),
 				Hosts:   hosts,
 				VMs:     agilepower.ConstantFleet(vmsN, perVM),
@@ -187,7 +187,7 @@ func F7(w io.Writer, opts Options) error {
 	rows, err := parallel.Map(context.Background(), len(sizes), opts.workers(),
 		func(_ context.Context, i int) ([]any, error) {
 			n := sizes[i]
-			sc := opts.shard(agilepower.Scenario{
+			sc := opts.tune(agilepower.Scenario{
 				Name:    fmt.Sprintf("f7-%d", n),
 				Hosts:   n,
 				VMs:     agilepower.DiurnalFleet(n*5, opts.seed()),

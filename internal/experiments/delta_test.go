@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// goldenQuickSection extracts one experiment's report body (including
+// its "=== experiment id ===" header) from testdata/golden_quick.txt.
+func goldenQuickSection(t *testing.T, id string) []byte {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden_quick.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := fmt.Sprintf("\n=== experiment %s ===\n", id)
+	start := strings.Index(string(data), marker)
+	if start < 0 {
+		t.Fatalf("experiment %s not found in golden_quick.txt", id)
+	}
+	body := data[start+len(marker):]
+	if end := bytes.Index(body, []byte("\n=== experiment ")); end >= 0 {
+		body = body[:end]
+	}
+	return body
+}
+
+// TestDeltaMatrixMatchesGolden replays the robust and ctrl experiments
+// — the two that exercise fault injection, crash/repair churn and the
+// imperfect control plane on top of the evaluation tick — across the
+// full execution matrix: shards {1, 2, 4} × workers {1, 4} × delta
+// {on, off}, comparing each report byte-for-byte against the golden.
+// Evaluation mode, shard count and worker count are wall-clock knobs;
+// none of them may move a single byte. Under -race this doubles as
+// the concurrency workout for the delta queues and due-heaps.
+func TestDeltaMatrixMatchesGolden(t *testing.T) {
+	for _, id := range []string{"robust", "ctrl"} {
+		want := goldenQuickSection(t, id)
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4} {
+				for _, delta := range []DeltaMode{DeltaOn, DeltaOff} {
+					name := fmt.Sprintf("%s/shards=%d/workers=%d/delta=%d", id, shards, workers, delta)
+					t.Run(name, func(t *testing.T) {
+						var got bytes.Buffer
+						opts := Options{
+							Quick: true, Shards: shards, EvalWorkers: workers, Delta: delta,
+						}
+						if err := Run(id, &got, opts); err != nil {
+							t.Fatal(err)
+						}
+						diffAt(t, name, got.Bytes(), want)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestHyperscaleFullScanMatchesGolden forces the hyperscale experiment
+// — whose default is delta evaluation — through the full per-host
+// scan on a sharded, multi-worker configuration and compares against
+// the golden bytes (which were recorded with delta on). This is the
+// headline identity: the delta tick, the analytic integration of
+// quiescent hosts, and the bounded telemetry produce exactly the
+// bytes a full scan does.
+func TestHyperscaleFullScanMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("a quick-mode hyperscale replay; skipped with -short")
+	}
+	want := goldenQuickSection(t, "hyper")
+	var got bytes.Buffer
+	if err := Run("hyper", &got, Options{Quick: true, Shards: 2, EvalWorkers: 4, Delta: DeltaOff}); err != nil {
+		t.Fatal(err)
+	}
+	diffAt(t, "hyper full-scan", got.Bytes(), want)
+}
+
+// hyperscaleQuickHeapBudget bounds the quick hyperscale run's heap
+// growth. The quick fleet is ~400× smaller than the full one, so this
+// asserts the memory-bounding machinery (pooled traces, telemetry
+// caps, chunked SLA arena) at proportionally tiny scale; the full-run
+// budget lives in the bench-hyperscale Makefile target.
+const hyperscaleQuickHeapBudget = 256 << 20
+
+// TestHyperscaleQuickHeapBudget runs the hyperscale experiment in
+// quick mode and asserts the live heap stays under the budget — the
+// guard that trace pooling or series caps cannot silently regress
+// into per-VM copies.
+func TestHyperscaleQuickHeapBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("a quick-mode hyperscale replay; skipped with -short")
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var buf bytes.Buffer
+	if err := Run("hyper", &buf, Options{Quick: true, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+	// HeapAlloc after a GC approximates live bytes; the delta versus
+	// the pre-run baseline is what the run retains plus fragmentation
+	// slack, far under the budget unless memory bounding broke.
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > hyperscaleQuickHeapBudget {
+		t.Fatalf("hyperscale quick grew live heap by %d MiB, budget %d MiB",
+			grew>>20, int64(hyperscaleQuickHeapBudget)>>20)
+	}
+}

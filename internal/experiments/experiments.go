@@ -53,6 +53,18 @@ type Options struct {
 	// when Shards is 0; everything else stays serial.
 	Shards      int
 	EvalWorkers int
+	// Delta selects the evaluation mode for every scenario an
+	// experiment builds: DeltaOn forces event-driven delta evaluation,
+	// DeltaOff forces the full per-host scan, and DeltaDefault (the
+	// zero value) lets each experiment choose — hyperscale defaults to
+	// delta, everything else to full. Like Shards, a wall-clock knob:
+	// reports are byte-identical in either mode.
+	Delta DeltaMode
+	// TelemetryCap bounds each recorded time series to this many stored
+	// samples via deterministic bucket folding (see
+	// Scenario.TelemetryCap). 0 leaves experiments to their defaults
+	// (unbounded, except hyperscale which sets its own cap).
+	TelemetryCap int
 	// Workers bounds the number of simulations run concurrently inside
 	// an experiment's fan-out (per-policy, per-load, per-period, …) and
 	// across experiments in RunAll. 0 means GOMAXPROCS; 1 runs fully
@@ -99,12 +111,34 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
-// shard applies the Options' evaluation-tick sharding to a scenario.
-// Purely wall-clock: the scenario's results are byte-identical for
-// every shard/worker count.
-func (o Options) shard(sc agilepower.Scenario) agilepower.Scenario {
+// DeltaMode is the Options' tri-state evaluation-mode selector.
+type DeltaMode int
+
+const (
+	// DeltaDefault lets each experiment pick its evaluation mode.
+	DeltaDefault DeltaMode = iota
+	// DeltaOn forces event-driven delta evaluation.
+	DeltaOn
+	// DeltaOff forces the full per-host scan.
+	DeltaOff DeltaMode = -1
+)
+
+// tune applies the Options' execution knobs — evaluation-tick
+// sharding, delta mode, telemetry cap — to a scenario. Purely
+// wall-clock / memory: the scenario's results are byte-identical for
+// every setting.
+func (o Options) tune(sc agilepower.Scenario) agilepower.Scenario {
 	sc.Shards = o.Shards
 	sc.EvalWorkers = o.EvalWorkers
+	switch o.Delta {
+	case DeltaOn:
+		sc.Delta = true
+	case DeltaOff:
+		sc.Delta = false
+	}
+	if o.TelemetryCap > 0 {
+		sc.TelemetryCap = o.TelemetryCap
+	}
 	return sc
 }
 
@@ -129,6 +163,7 @@ var registry = map[string]Runner{
 	"robust":  Robustness,
 	"ctrl":    CtrlPlane,
 	"scale":   Scale,
+	"hyper":   Hyperscale,
 	"ablate":  Ablations,
 }
 
@@ -161,6 +196,8 @@ func orderKey(id string) string {
 		return "985"
 	case "scale":
 		return "987"
+	case "hyper":
+		return "988"
 	case "ablate":
 		return "99"
 	default:

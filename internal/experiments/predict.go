@@ -36,7 +36,7 @@ func Predict(w io.Writer, opts Options) error {
 	fleet := workdayFleet(diurnalVMs, days, opts.seed())
 	fleet = append(fleet, spikyMultiDay(spikyVMs, days, opts.seed()+1)...)
 
-	base := opts.shard(agilepower.Scenario{
+	base := opts.tune(agilepower.Scenario{
 		Name:    "predictive-wake",
 		Profile: opts.Profile,
 		Hosts:   hosts,
@@ -93,7 +93,7 @@ func Predict(w io.Writer, opts Options) error {
 		weekDays = 7 // a week is the whole point; quick mode shrinks the fleet instead
 	}
 	weekFleet := workdayWeekFleet(diurnalVMs, weekDays, opts.seed())
-	weekBase := opts.shard(agilepower.Scenario{
+	weekBase := opts.tune(agilepower.Scenario{
 		Name:    "predictive-week",
 		Profile: opts.Profile,
 		Hosts:   hosts,

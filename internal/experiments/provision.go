@@ -26,7 +26,7 @@ func Prov(w io.Writer, opts Options) error {
 		horizon = 8 * time.Hour
 		rate = 8
 	}
-	base := opts.shard(agilepower.Scenario{
+	base := opts.tune(agilepower.Scenario{
 		Name:    "provisioning",
 		Profile: opts.Profile,
 		Hosts:   hosts,

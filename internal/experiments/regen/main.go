@@ -1,0 +1,21 @@
+// Command regen regenerates testdata/golden_quick.txt (run from the
+// repo root). Kept next to the golden test so adding an experiment is
+// a one-command refresh.
+package main
+
+import (
+	"os"
+
+	"agilepower/internal/experiments"
+)
+
+func main() {
+	f, err := os.Create("internal/experiments/testdata/golden_quick.txt")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := experiments.RunAll(f, experiments.Options{Quick: true, Workers: 1, Progress: os.Stderr}); err != nil {
+		panic(err)
+	}
+}

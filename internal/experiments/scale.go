@@ -44,7 +44,7 @@ func Scale(w io.Writer, opts Options) error {
 		vmsN = 512
 		horizon = 2 * time.Hour
 	}
-	sc := opts.shard(agilepower.Scenario{
+	sc := opts.tune(agilepower.Scenario{
 		Name:        "scale",
 		Profile:     opts.Profile,
 		HostClasses: classes,

@@ -20,7 +20,7 @@ func runExp(t *testing.T, id string) string {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "robust", "ctrl", "scale", "ablate"}
+	want := []string{"t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "t2", "prov", "predict", "dvfs", "robust", "ctrl", "scale", "hyper", "ablate"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

@@ -47,6 +47,12 @@ type Host struct {
 	// freq × cores.
 	freq float64
 
+	// onChange, when non-nil, runs after any change to the host's
+	// scheduling inputs made directly on the host rather than through
+	// the cluster (today: a DVFS frequency move). Delta evaluation
+	// installs it to mark the host dirty.
+	onChange func()
+
 	// res holds resident VMs in ascending ID order — the one canonical
 	// iteration order for every scheduler and accounting loop, so
 	// floating-point sums never depend on map iteration order. resIDs
@@ -137,9 +143,17 @@ func (h *Host) SetFrequency(f float64) error {
 	if err := h.machine.SetFrequency(f); err != nil {
 		return err
 	}
+	changed := f != h.freq
 	h.freq = f
+	if changed && h.onChange != nil {
+		h.onChange()
+	}
 	return nil
 }
+
+// OnChange registers fn to run after any host-local change to the
+// scheduling inputs (see the onChange field). One observer only.
+func (h *Host) OnChange(fn func()) { h.onChange = fn }
 
 // EffectiveCores returns capacity at the current frequency.
 func (h *Host) EffectiveCores() float64 { return h.freq * h.cores }

@@ -157,6 +157,13 @@ func (m *Machine) SetFrequency(f float64) error {
 	if f < m.profile.FreqMin || f > 1 {
 		return fmt.Errorf("power: frequency %v outside [%v, 1]", f, m.profile.FreqMin)
 	}
+	if f == m.freq {
+		// No-op: the draw is unchanged, so energy keeps integrating
+		// analytically from the last real change. Coalescing here keeps
+		// the accrual sequence — and therefore every FP result —
+		// identical whether callers poll every tick or only on change.
+		return nil
+	}
 	m.accrue()
 	m.freq = f
 	return nil
@@ -169,7 +176,6 @@ func (m *Machine) Utilization() float64 { return m.util }
 // for the elapsed interval first. Utilization on a sleeping or
 // transitioning machine is forced to zero.
 func (m *Machine) SetUtilization(u float64) {
-	m.accrue()
 	if u < 0 {
 		u = 0
 	}
@@ -179,6 +185,14 @@ func (m *Machine) SetUtilization(u float64) {
 	if !m.Available() {
 		u = 0
 	}
+	if u == m.util {
+		// No-op: see SetFrequency. An unchanged utilization must not
+		// split the accrual interval, so that a full-scan tick (which
+		// calls this every step) and delta evaluation (which only calls
+		// it when demand moved) produce bitwise-identical energy.
+		return
+	}
+	m.accrue()
 	m.util = u
 }
 

@@ -35,6 +35,20 @@ type Series struct {
 	// per series version, however many percentiles a report takes.
 	sorted   []float64
 	sortedOK bool
+
+	// cap, when positive, bounds the stored sample count: appends
+	// accumulate into fixed-width buckets of stride raw samples each,
+	// and when the store fills, adjacent buckets are folded pairwise in
+	// place and the stride doubles. Memory stays O(cap) for any run
+	// length. 0 (the default) stores every sample.
+	cap    int
+	stride int
+	// pendCount tracks how many raw samples the open tail bucket has
+	// absorbed (0 = no open bucket); pendSum is their running sum. The
+	// tail point is updated in place so readers always see a complete
+	// series without a flush step.
+	pendCount int
+	pendSum   float64
 }
 
 // NewSeries returns an empty named series.
@@ -58,7 +72,44 @@ func (s *Series) Reset() {
 	s.points = s.points[:0]
 	s.cursor = 0
 	s.sortedOK = false
+	if s.cap > 0 {
+		s.stride = 1
+	}
+	s.pendCount = 0
+	s.pendSum = 0
 }
+
+// SetCap bounds the series to at most n stored samples (n is rounded
+// up to an even minimum of 4). Once bounded, each stored point is the
+// mean of a fixed-width bucket of raw samples, timestamped at the
+// bucket start; when the store fills, adjacent buckets fold pairwise
+// and the bucket width doubles, so memory stays O(n) for any run
+// length. Folding is a pure function of the append sequence, so a
+// capped series is still byte-identical across shard/worker/delta
+// configurations. Must be called before the first Append.
+func (s *Series) SetCap(n int) {
+	if len(s.points) > 0 || s.pendCount > 0 {
+		panic(fmt.Sprintf("telemetry: SetCap on non-empty series %q", s.Name))
+	}
+	if n <= 0 {
+		s.cap, s.stride = 0, 0
+		return
+	}
+	if n < 4 {
+		n = 4
+	}
+	if n%2 == 1 {
+		n++
+	}
+	s.cap = n
+	s.stride = 1
+	if cap(s.points) < n {
+		s.points = make([]Point, 0, n)
+	}
+}
+
+// Cap returns the stored-sample bound (0 = unbounded).
+func (s *Series) Cap() int { return s.cap }
 
 // Append adds a sample. It panics on time going backwards, which would
 // mean the simulation's causality was violated.
@@ -66,8 +117,48 @@ func (s *Series) Append(at time.Duration, v float64) {
 	if n := len(s.points); n > 0 && at < s.points[n-1].At {
 		panic(fmt.Sprintf("telemetry: series %q time going backwards: %v after %v", s.Name, at, s.points[n-1].At))
 	}
+	if s.cap > 0 {
+		s.appendBounded(at, v)
+		return
+	}
 	s.points = append(s.points, Point{At: at, Value: v})
 	s.sortedOK = false
+}
+
+// appendBounded absorbs a raw sample into the bucketed store.
+func (s *Series) appendBounded(at time.Duration, v float64) {
+	s.sortedOK = false
+	if s.pendCount == 0 {
+		// Open a new bucket at this sample's time.
+		s.points = append(s.points, Point{At: at, Value: v})
+		s.pendSum = v
+		s.pendCount = 1
+	} else {
+		s.pendSum += v
+		s.pendCount++
+		s.points[len(s.points)-1].Value = s.pendSum / float64(s.pendCount)
+	}
+	if s.pendCount == s.stride {
+		s.pendCount = 0
+		s.pendSum = 0
+		if len(s.points) == s.cap {
+			s.fold()
+		}
+	}
+}
+
+// fold halves the store by merging adjacent bucket pairs and doubles
+// the stride. Every bucket is full (stride raw samples) when fold
+// runs, so the mean-of-means equals the mean over the merged bucket.
+func (s *Series) fold() {
+	h := len(s.points) / 2
+	for i := 0; i < h; i++ {
+		a, b := s.points[2*i], s.points[2*i+1]
+		s.points[i] = Point{At: a.At, Value: (a.Value + b.Value) / 2}
+	}
+	s.points = s.points[:h]
+	s.stride *= 2
+	s.cursor = 0
 }
 
 // Len returns the number of samples.

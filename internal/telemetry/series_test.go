@@ -285,3 +285,114 @@ func TestDownsampleZeroStep(t *testing.T) {
 		t.Fatalf("Downsample(0) produced %d samples", got.Len())
 	}
 }
+
+func TestSetCapFoldsAndBoundsMemory(t *testing.T) {
+	s := NewSeries("bounded")
+	s.SetCap(4)
+	// 8 raw samples at 1-minute spacing; after the 4th the store folds
+	// to 2 points of stride 2, fills back to 4, folds to 2 of stride 4.
+	for i := 0; i < 8; i++ {
+		s.Append(time.Duration(i)*time.Minute, float64(i))
+	}
+	if s.Len() > 4 {
+		t.Fatalf("len %d exceeds cap 4", s.Len())
+	}
+	// Final state: stride-4 buckets [0..3] and [4..7], both closed.
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v, want 2 stride-4 buckets", pts)
+	}
+	if pts[0].At != 0 || pts[0].Value != 1.5 {
+		t.Fatalf("bucket 0 = %+v, want {0 1.5}", pts[0])
+	}
+	if pts[1].At != 4*time.Minute || pts[1].Value != 5.5 {
+		t.Fatalf("bucket 1 = %+v, want {4m 5.5}", pts[1])
+	}
+}
+
+func TestSetCapPreservesMeanExactlyAtBucketCloses(t *testing.T) {
+	// The overall mean of stored values (weighted by full buckets) must
+	// track the raw mean whenever every bucket is closed.
+	s := NewSeries("mean")
+	s.SetCap(8)
+	sum := 0.0
+	n := 1024
+	for i := 0; i < n; i++ {
+		v := float64((i*37)%101) / 7
+		sum += v
+		s.Append(time.Duration(i)*time.Second, v)
+	}
+	got := 0.0
+	for _, p := range s.Points() {
+		got += p.Value
+	}
+	got /= float64(s.Len())
+	want := sum / float64(n)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bucketed mean %v, raw mean %v", got, want)
+	}
+}
+
+func TestSetCapOpenTailVisibleWithoutFlush(t *testing.T) {
+	s := NewSeries("tail")
+	s.SetCap(4)
+	for i := 0; i < 6; i++ { // folds once at 4, then 2 more raw samples
+		s.Append(time.Duration(i)*time.Minute, float64(i))
+	}
+	// stride is 2 after the fold: samples 4 and 5 form one closed bucket.
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[2].Value != 4.5 {
+		t.Fatalf("tail bucket = %+v, want mean 4.5", pts[2])
+	}
+	// A 7th sample opens a fresh partial bucket that is readable at once.
+	s.Append(6*time.Minute, 42)
+	pts = s.Points()
+	if pts[len(pts)-1].Value != 42 {
+		t.Fatalf("open tail = %+v, want 42", pts[len(pts)-1])
+	}
+}
+
+func TestSetCapSteadyStateAllocFree(t *testing.T) {
+	s := NewSeries("alloc")
+	s.SetCap(64)
+	at := time.Duration(0)
+	i := 0
+	allocs := testing.AllocsPerRun(5000, func() {
+		s.Append(at, float64(i%13))
+		at += time.Second
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("bounded append allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSetCapOnNonEmptyPanics(t *testing.T) {
+	s := NewSeries("late")
+	s.Append(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCap on non-empty series did not panic")
+		}
+	}()
+	s.SetCap(8)
+}
+
+func TestSetCapResetRestoresStride(t *testing.T) {
+	s := NewSeries("reset")
+	s.SetCap(4)
+	for i := 0; i < 16; i++ {
+		s.Append(time.Duration(i)*time.Minute, 1)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Cap() != 4 {
+		t.Fatalf("after reset: len %d cap %d", s.Len(), s.Cap())
+	}
+	s.Append(0, 7)
+	if got := s.Points()[0].Value; got != 7 {
+		t.Fatalf("first point after reset = %v", got)
+	}
+}

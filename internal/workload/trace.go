@@ -11,8 +11,14 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"sync"
 	"time"
 )
+
+// Never is the NextChange result for a trace whose value never
+// changes: no re-evaluation is ever required on its account.
+const Never = time.Duration(math.MaxInt64)
 
 // Trace is a fixed-interval step function of CPU demand in cores.
 type Trace struct {
@@ -22,6 +28,14 @@ type Trace struct {
 	// repeats cyclically after the last sample, so a 24-hour trace
 	// drives simulations of any length.
 	Samples []float64
+
+	// nextEdge[i] is the absolute sample position in (i, i+len] of the
+	// first sample whose value differs from Samples[i], walking
+	// cyclically; nil means the trace is constant. Built lazily under
+	// nextOnce because traces are shared read-only across concurrently
+	// running simulations.
+	nextOnce sync.Once
+	nextEdge []int32
 }
 
 // NewTrace validates and wraps samples.
@@ -59,11 +73,51 @@ func (t *Trace) At(at time.Duration) float64 {
 	return t.Samples[idx]
 }
 
-// NextChange returns the time of the next sample boundary strictly
-// after at. Simulations use it to schedule demand re-evaluation only
-// when something can change.
+// NextChange returns the earliest time strictly after at when the
+// trace's value differs from its value at at, or Never for a constant
+// trace. Delta evaluation uses it to skip hosts whose demand cannot
+// have moved: equal consecutive samples are not changes, so a batch
+// trace that idles for hours reports the next run start, not the next
+// sample boundary.
 func (t *Trace) NextChange(at time.Duration) time.Duration {
-	return (at/t.Interval + 1) * t.Interval
+	t.nextOnce.Do(t.buildNextEdge)
+	if t.nextEdge == nil {
+		return Never
+	}
+	if at < 0 {
+		at = 0
+	}
+	cycleLen := t.Duration()
+	cycle := at / cycleLen
+	idx := int((at % cycleLen) / t.Interval)
+	return cycle*cycleLen + time.Duration(t.nextEdge[idx])*t.Interval
+}
+
+// buildNextEdge fills the cyclic jump table consulted by NextChange.
+func (t *Trace) buildNextEdge() {
+	n := len(t.Samples)
+	// Edge positions: j such that Samples[j] != Samples[j-1] (cyclic).
+	first := -1 // smallest edge position
+	for j := 0; j < n; j++ {
+		prev := t.Samples[(j+n-1)%n]
+		if t.Samples[j] != prev {
+			first = j
+			break
+		}
+	}
+	if first == -1 {
+		return // constant: nextEdge stays nil
+	}
+	edges := make([]int32, n)
+	// For i >= last the next edge wraps to first in the following cycle.
+	next := int32(first + n)
+	for i := n - 1; i >= 0; i-- {
+		edges[i] = next
+		if i > 0 && t.Samples[i] != t.Samples[i-1] {
+			next = int32(i)
+		}
+	}
+	t.nextEdge = edges
 }
 
 // Peak returns the maximum demand in the trace.

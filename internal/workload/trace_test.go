@@ -56,6 +56,96 @@ func TestNextChange(t *testing.T) {
 	}
 }
 
+func TestNextChangeSkipsEqualSamples(t *testing.T) {
+	// Runs of equal samples are not changes: {1,1,2,2,1} changes at
+	// samples 2 and 4 only (and wraps back to 1→... at cycle end the
+	// value 1 continues into sample 0, so the wrap edge is sample 2 of
+	// the next cycle... exercised below).
+	tr, _ := NewTrace(time.Minute, []float64{1, 1, 2, 2, 1})
+	if got := tr.NextChange(0); got != 2*time.Minute {
+		t.Fatalf("NextChange(0) = %v, want 2m", got)
+	}
+	if got := tr.NextChange(90 * time.Second); got != 2*time.Minute {
+		t.Fatalf("NextChange(90s) = %v, want 2m", got)
+	}
+	if got := tr.NextChange(2 * time.Minute); got != 4*time.Minute {
+		t.Fatalf("NextChange(2m) = %v, want 4m", got)
+	}
+	// At sample 4 (value 1), the value stays 1 through the wrap into
+	// samples 0 and 1 of the next cycle; the next change is sample 2 of
+	// the next cycle, at 5m+2m.
+	if got := tr.NextChange(4 * time.Minute); got != 7*time.Minute {
+		t.Fatalf("NextChange(4m) = %v, want 7m", got)
+	}
+	// Deep into a later cycle the table still applies.
+	if got := tr.NextChange(10*time.Minute + 30*time.Second); got != 12*time.Minute {
+		t.Fatalf("NextChange(10m30s) = %v, want 12m", got)
+	}
+}
+
+func TestNextChangeConstantIsNever(t *testing.T) {
+	if got := Constant(2).NextChange(0); got != Never {
+		t.Fatalf("Constant NextChange = %v, want Never", got)
+	}
+	tr, _ := NewTrace(time.Minute, []float64{3, 3, 3})
+	if got := tr.NextChange(time.Hour); got != Never {
+		t.Fatalf("flat multi-sample NextChange = %v, want Never", got)
+	}
+}
+
+// Oracle: NextChange must agree with brute-force per-tick sampling —
+// the value is constant on [at, NextChange) and differs at NextChange.
+// This is exactly the contract delta evaluation relies on to skip
+// quiescent hosts.
+func TestNextChangeAgainstSamplingOracle(t *testing.T) {
+	traces := []*Trace{
+		Constant(1.5),
+		mustTrace(t, time.Minute, []float64{1, 2}),
+		mustTrace(t, time.Minute, []float64{1, 1, 2, 2, 1}),
+		mustTrace(t, 30*time.Second, []float64{0, 0, 0, 5, 5, 0, 3}),
+		mustTrace(t, time.Minute, []float64{2, 2, 2, 2}),
+		mustTrace(t, 15*time.Second, []float64{1, 2, 1, 2, 2}),
+	}
+	for ti, tr := range traces {
+		cycle := tr.Duration()
+		horizon := 3 * cycle
+		step := tr.Interval / 3 // probe off-boundary times too
+		for at := time.Duration(0); at < horizon; at += step {
+			got := tr.NextChange(at)
+			// Brute force: scan tick by tick for the next differing value.
+			want := Never
+			v := tr.At(at)
+			for probe := at + tr.Interval/6; probe < at+2*cycle+tr.Interval; probe += tr.Interval / 6 {
+				if tr.At(probe) != v {
+					// Round down to the sample boundary the change sits on.
+					want = probe / tr.Interval * tr.Interval
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("trace %d: NextChange(%v) = %v, oracle %v", ti, at, got, want)
+			}
+			if got != Never {
+				if tr.At(got) == v {
+					t.Fatalf("trace %d: value did not change at NextChange(%v)=%v", ti, at, got)
+				}
+				if got <= at {
+					t.Fatalf("trace %d: NextChange(%v)=%v not strictly after", ti, at, got)
+				}
+			}
+		}
+	}
+}
+
+func mustTrace(t *testing.T, iv time.Duration, samples []float64) *Trace {
+	t.Helper()
+	tr, err := NewTrace(iv, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
 func TestPeakMeanDuration(t *testing.T) {
 	tr, _ := NewTrace(time.Minute, []float64{1, 3, 2})
 	if tr.Peak() != 3 {

@@ -48,6 +48,13 @@ type ScenarioFile struct {
 	// value — see Scenario.Shards).
 	Shards      int `json:"shards,omitempty"`
 	EvalWorkers int `json:"evalWorkers,omitempty"`
+	// Delta enables event-driven delta evaluation (wall-clock only;
+	// results are byte-identical with it on or off — see
+	// Scenario.Delta).
+	Delta bool `json:"delta,omitempty"`
+	// TelemetryCap bounds each recorded time series to this many stored
+	// samples (0 = unbounded — see Scenario.TelemetryCap).
+	TelemetryCap int `json:"telemetryCap,omitempty"`
 }
 
 // HostClassFile mirrors HostClass in JSON.
@@ -144,12 +151,17 @@ func (f ScenarioFile) Build() (Scenario, error) {
 		Seed:         seed,
 		Shards:       f.Shards,
 		EvalWorkers:  f.EvalWorkers,
+		Delta:        f.Delta,
+		TelemetryCap: f.TelemetryCap,
 	}
 	if f.Shards < 0 {
 		return Scenario{}, fmt.Errorf("agilepower: negative shards %d", f.Shards)
 	}
 	if f.EvalWorkers < 0 {
 		return Scenario{}, fmt.Errorf("agilepower: negative eval workers %d", f.EvalWorkers)
+	}
+	if f.TelemetryCap < 0 {
+		return Scenario{}, fmt.Errorf("agilepower: negative telemetry cap %d", f.TelemetryCap)
 	}
 	for _, hc := range f.HostClasses {
 		sc.HostClasses = append(sc.HostClasses, HostClass{

@@ -39,11 +39,13 @@ func (s Scenario) Start() (*Session, error) {
 	}
 	eng := sim.NewEngine(s.Seed)
 	cl, err := cluster.New(eng, cluster.Config{
-		EvalStep:    s.EvalStep,
-		Migration:   s.Migration,
-		Horizon:     s.Horizon,
-		Shards:      s.Shards,
-		EvalWorkers: s.EvalWorkers,
+		EvalStep:     s.EvalStep,
+		Migration:    s.Migration,
+		Horizon:      s.Horizon,
+		Shards:       s.Shards,
+		EvalWorkers:  s.EvalWorkers,
+		Delta:        s.Delta,
+		TelemetryCap: s.TelemetryCap,
 	})
 	if err != nil {
 		return nil, err
@@ -195,6 +197,7 @@ func (se *Session) Result() *Result {
 		horizon = time.Nanosecond // avoid division by zero on empty runs
 	}
 	churnStatsFrom(se.cl, &se.churn)
+	evalTicks, hostEvals := se.cl.EvalCounts()
 	agg := se.cl.AggregateSLA()
 	entries, exits := se.cl.PowerActions()
 	suspendFails, wakeFails, crashes := se.cl.TransitionFaultStats()
@@ -227,6 +230,8 @@ func (se *Session) Result() *Result {
 		Hosts:             se.hosts,
 		HostCores:         se.cores,
 		Profile:           se.profile,
+		EvalTicks:         evalTicks,
+		HostEvals:         hostEvals,
 	}
 }
 
