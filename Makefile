@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-shuffle race vet fmt determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck at a pinned version, fetched on demand by the go tool.
+# Not part of `make ci`: the local container has no network for module
+# downloads, so CI runs it in its own lint step.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2023.1.7 ./...
+
 # Fails (and lists the offenders) if any file needs gofmt.
 fmt:
 	@out="$$($(GOFMT) -l .)"; \
@@ -42,8 +48,8 @@ fmt:
 # identically for a fixed seed. Run explicitly in CI (it is also part
 # of `make test`) so a violation is unmissable.
 determinism:
-	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns|TestDeltaMatrixMatchesGolden|TestDeltaEvaluateBitIdentical' -v \
-		./internal/experiments/ ./internal/ctrlplane/ ./internal/cluster/
+	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns|TestDeltaMatrixMatchesGolden|TestDeltaEvaluateBitIdentical|TestIncrementalMatrixMatchesGolden|TestHyperscaleIncrementalMatrixMatchesGolden|TestIncrementalPlanningParity' -v \
+		./internal/experiments/ ./internal/ctrlplane/ ./internal/cluster/ ./internal/core/
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 ./...
@@ -119,13 +125,38 @@ bench-hyperscale-smoke:
 	$(GO) test -run 'TestDeltaSteadyStateAllocFree|TestHyperscaleQuickHeapBudget|TestHyperscaleFullScanMatchesGolden' -v \
 		./internal/cluster/ ./internal/experiments/
 
+# Record the manager-planning benchmarks (one steady-state control step
+# over the 16384-host / 131072-VM quiescent-majority fixture, full-scan
+# versus incremental) into BENCH_manager.json. The checked-in artifact
+# holds the pre/post numbers of the incremental-planning rework; the
+# acceptance bar is incremental >= 10x faster than full-scan at
+# 0 allocs/op:
+#
+#	make bench-manager LABEL=manager-post-incremental
+bench-manager: LABEL ?= manager
+bench-manager:
+	$(GO) test -run '^$$' -bench 'BenchmarkManagerControlStepHyperscale' \
+		-benchmem -benchtime=50x -count=3 -timeout 30m ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_manager.json
+
+# The manager-cost gate without a measurement run: one iteration of the
+# hyperscale control-step benchmark (so the fixture cannot rot), the
+# steady-state 0-alloc assertion, and the incremental/full-scan parity
+# property tests. CI runs this as its manager-gate job; part of
+# `make ci`.
+bench-manager-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkManagerControlStepHyperscale' -benchmem -benchtime=1x \
+		./internal/core/
+	$(GO) test -run 'TestManagerStepSteadyStateAllocFree|TestIncrementalPlanningParity|TestIncrementalModeMatchesFullScan' -v \
+		./internal/core/ .
+
 # Allocation regression gate: the steady-state evaluation tick — serial
-# and sharded — and the pooled event loop must stay allocation-free,
-# and the full report bytes must match the pre-optimization goldens.
-# Part of `make ci`.
+# and sharded — the pooled event loop, and the manager's cached control
+# step must stay allocation-free, and the full report bytes must match
+# the pre-optimization goldens. Part of `make ci`.
 bench-alloc:
 	$(GO) test -run 'AllocFree|ScheduleFuncPool|PreOptimizationGolden|ArchivedResults' -v \
-		./internal/cluster/ ./internal/sim/ ./internal/experiments/
+		./internal/cluster/ ./internal/sim/ ./internal/experiments/ ./internal/core/
 
 # Fast end-to-end smoke: the whole paper reproduction in quick mode.
 sweep-quick:
@@ -133,7 +164,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -54,6 +54,9 @@ type (
 	ManagerConfig = core.Config
 	// ForecastSpec selects the demand predictor.
 	ForecastSpec = core.ForecastSpec
+	// IncrementalMode selects incremental vs full-scan manager
+	// planning (byte-identical results; a wall-clock knob).
+	IncrementalMode = core.IncrementalMode
 	// Oracle computes analytic lower bounds.
 	Oracle = core.Oracle
 	// MigrationModel parameterizes pre-copy live migration.
@@ -108,6 +111,13 @@ const (
 	ForecastLastValue  = core.ForecastLastValue
 	ForecastEWMA       = core.ForecastEWMA
 	ForecastPeakWindow = core.ForecastPeakWindow
+)
+
+// Incremental-planning modes (ManagerConfig.Incremental).
+const (
+	IncrementalDefault = core.IncrementalDefault
+	IncrementalOn      = core.IncrementalOn
+	IncrementalOff     = core.IncrementalOff
 )
 
 // Policies returns the standard comparison set (Static, NoPM, DPM-S5,

@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"agilepower"
 	"agilepower/internal/experiments"
 	"agilepower/internal/parallel"
 	"agilepower/internal/power"
@@ -42,6 +43,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard each simulation's evaluation tick across this many host ranges (0/1 = serial); output is identical for every value")
 	evalWorkers := flag.Int("eval-workers", 0, "goroutines serving evaluation shards (0 = min(shards, GOMAXPROCS))")
 	delta := flag.String("delta", "", "evaluation mode: 'on' forces event-driven delta evaluation, 'off' forces the full scan, empty lets each experiment choose; output is identical in either mode")
+	incremental := flag.String("incremental", "", "manager planning mode: 'on' maintains planning inputs incrementally (the default), 'off' rebuilds by full scan each control step; output is identical in either mode")
 	telemetryCap := flag.Int("telemetry-cap", 0, "bound each recorded time series to this many stored samples (0 = experiment default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -85,11 +87,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "powerbench: invalid -delta %q (want on, off, or empty)\n", *delta)
 		os.Exit(1)
 	}
+	var incMode agilepower.IncrementalMode
+	switch *incremental {
+	case "":
+		incMode = agilepower.IncrementalDefault
+	case "on":
+		incMode = agilepower.IncrementalOn
+	case "off":
+		incMode = agilepower.IncrementalOff
+	default:
+		fmt.Fprintf(os.Stderr, "powerbench: invalid -incremental %q (want on, off, or empty)\n", *incremental)
+		os.Exit(1)
+	}
 	opts := experiments.Options{
 		Seed: *seed, Profile: profile, Workers: *workers,
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
 		Shards: *shards, EvalWorkers: *evalWorkers,
-		Delta: deltaMode, TelemetryCap: *telemetryCap,
+		Delta: deltaMode, Incremental: incMode, TelemetryCap: *telemetryCap,
 	}
 	ids := []string{"t1", "f2", "f3"}
 	if *exp != "all" {

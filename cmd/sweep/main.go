@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"agilepower"
 	"agilepower/internal/experiments"
 	"agilepower/internal/prof"
 )
@@ -28,6 +29,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard each simulation's evaluation tick across this many host ranges (0/1 = serial); output is identical for every value")
 	evalWorkers := flag.Int("eval-workers", 0, "goroutines serving evaluation shards (0 = min(shards, GOMAXPROCS))")
 	delta := flag.String("delta", "", "evaluation mode: 'on' forces event-driven delta evaluation, 'off' forces the full scan, empty lets each experiment choose; output is identical in either mode")
+	incremental := flag.String("incremental", "", "manager planning mode: 'on' maintains planning inputs incrementally (the default), 'off' rebuilds by full scan each control step; output is identical in either mode")
 	telemetryCap := flag.Int("telemetry-cap", 0, "bound each recorded time series to this many stored samples (0 = experiment default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -57,11 +59,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+	incMode, err := parseIncrementalMode(*incremental)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel,
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
 		Shards: *shards, EvalWorkers: *evalWorkers,
-		Delta: deltaMode, TelemetryCap: *telemetryCap,
+		Delta: deltaMode, Incremental: incMode, TelemetryCap: *telemetryCap,
 	}
 	if *exp == "all" {
 		// Long runs stay observable: per-experiment wall times go to
@@ -92,5 +99,20 @@ func parseDeltaMode(s string) (experiments.DeltaMode, error) {
 		return experiments.DeltaOff, nil
 	default:
 		return 0, fmt.Errorf("invalid -delta %q (want on, off, or empty)", s)
+	}
+}
+
+// parseIncrementalMode maps the -incremental flag onto the manager's
+// tri-state planning-mode knob.
+func parseIncrementalMode(s string) (agilepower.IncrementalMode, error) {
+	switch s {
+	case "":
+		return agilepower.IncrementalDefault, nil
+	case "on":
+		return agilepower.IncrementalOn, nil
+	case "off":
+		return agilepower.IncrementalOff, nil
+	default:
+		return 0, fmt.Errorf("invalid -incremental %q (want on, off, or empty)", s)
 	}
 }

@@ -1,0 +1,97 @@
+package agilepower
+
+import (
+	"testing"
+	"time"
+)
+
+// The manager's incremental planning mode is a pure wall-clock knob:
+// every result a scenario produces must be identical with it on or
+// off. Exercise the claim end to end across the feature matrix —
+// churn, fault injection, a lossy control plane, predictive wake,
+// DVFS, heterogeneous fleets — comparing full Results field by field
+// and event by event.
+func TestIncrementalModeMatchesFullScan(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"dpm-s3 mixed churn", Scenario{
+			Hosts: 6, VMs: MixedFleet(24, 5), Horizon: 8 * time.Hour, Seed: 5,
+			Manager: ManagerConfig{Policy: DPMS3},
+			Churn:   &ChurnSpec{ArrivalsPerHour: 3, MeanLifetime: 2 * time.Hour},
+		}},
+		{"dpm-s5 predictive", Scenario{
+			Hosts: 6, VMs: WorkdayFleet(18, 1, 5), Horizon: 12 * time.Hour, Seed: 5,
+			Manager: ManagerConfig{Policy: DPMS5, PredictiveWake: true},
+		}},
+		{"faulted dvfs combo", func() Scenario {
+			f := FaultPreset(0.2)
+			return Scenario{
+				Hosts: 6, VMs: DiurnalFleet(18, 5), Horizon: 8 * time.Hour, Seed: 5,
+				Manager: ManagerConfig{Policy: Policy{
+					Name: "combo", LoadBalance: true, Consolidate: true,
+					PowerManage: true, SleepState: S3, DVFS: true,
+				}},
+				Faults: &f,
+			}
+		}()},
+		{"lossy ctrlplane", func() Scenario {
+			cp := CtrlPreset(50*time.Millisecond, 0.05)
+			return Scenario{
+				Hosts: 8, VMs: ReplicatedFleet(6, 3, 5), Horizon: 8 * time.Hour, Seed: 5,
+				Manager:   ManagerConfig{Policy: DPMS3, PanicShortfall: 0.3},
+				CtrlPlane: &cp,
+			}
+		}()},
+		{"hetero resume-failures", func() Scenario {
+			p := DefaultProfile()
+			p.ResumeFailProb = 0.2
+			return Scenario{
+				HostClasses: []HostClass{{Count: 3, Cores: 32}, {Count: 4}},
+				Profile:     p,
+				VMs:         BatchFleet(16, 5),
+				Horizon:     8 * time.Hour,
+				Seed:        5,
+				Manager:     ManagerConfig{Policy: DPMS3},
+			}
+		}()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			on := tc.sc
+			on.Manager.Incremental = IncrementalOn
+			off := tc.sc
+			off.Manager.Incremental = IncrementalOff
+			a, err := on.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := off.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Energy != b.Energy {
+				t.Fatalf("energy diverged: %v vs %v", a.Energy, b.Energy)
+			}
+			if a.Satisfaction != b.Satisfaction || a.ViolationFraction != b.ViolationFraction {
+				t.Fatalf("SLA diverged")
+			}
+			if a.Migrations.Completed != b.Migrations.Completed ||
+				a.Sleeps != b.Sleeps || a.Wakes != b.Wakes ||
+				a.ResumeFailures != b.ResumeFailures ||
+				a.Manager.FreqChanges != b.Manager.FreqChanges {
+				t.Fatalf("action counts diverged: %+v vs %+v", a.Manager, b.Manager)
+			}
+			if a.Events.Len() != b.Events.Len() {
+				t.Fatalf("event logs diverged: %d vs %d", a.Events.Len(), b.Events.Len())
+			}
+			for i, ea := range a.Events.All() {
+				if ea != b.Events.All()[i] {
+					t.Fatalf("event %d diverged: %v vs %v", i, ea, b.Events.All()[i])
+				}
+			}
+		})
+	}
+}

@@ -138,6 +138,20 @@ type Cluster struct {
 	onMigrationDone   func(vm.ID, host.ID)
 	onMigrationFailed func(vm.ID, host.ID, host.ID)
 	onHostCrashed     func(host.ID)
+	// onHostDirty is the management layer's event feed: it fires on
+	// every event-path change to a host's scheduling inputs (placement,
+	// migration endpoints, crash/repair, power commands, settles, DVFS)
+	// regardless of the evaluation mode. Unlike markDirty — which is a
+	// no-op outside an active delta window — this callback is
+	// unconditional, so an incremental manager can invalidate its
+	// cached planning inputs even when the cluster itself runs full
+	// scans. See noteDirty.
+	onHostDirty func(host.ID)
+	// vmEpoch counts VM-set changes (arrivals, placements-at-creation,
+	// departures — including pending VMs, which touch no host and so
+	// fire no dirty signal). Managers compare it across control steps
+	// to detect that fleet membership moved.
+	vmEpoch uint64
 
 	// strandedCount is the number of VMs currently frozen on crashed
 	// (unavailable) hosts; strandedVMSec integrates it over time in
@@ -367,7 +381,7 @@ func (c *Cluster) AddHost(cfg host.Config) (*host.Host, error) {
 	c.nextHostID++
 	c.hostList = append(c.hostList, h)
 	h.Machine().OnSettled(func(st power.State) { c.hostSettled(id, st) })
-	h.OnChange(func() { c.markDirty(id) })
+	h.OnChange(func() { c.noteDirty(id) })
 	return h, nil
 }
 
@@ -378,6 +392,7 @@ const slaChunkSize = 1024
 
 // growVMState appends one slot of per-VM state for a newly created VM.
 func (c *Cluster) growVMState(v *vm.VM) {
+	c.vmEpoch++
 	c.vmsByID = append(c.vmsByID, v)
 	c.vmList = append(c.vmList, v)
 	c.placement = append(c.placement, 0)
@@ -411,7 +426,7 @@ func (c *Cluster) AddVM(cfg vm.Config, on host.ID) (*vm.VM, error) {
 	c.nextVMID++
 	c.growVMState(v)
 	c.placement[id-1] = on
-	c.markDirty(on)
+	c.noteDirty(on)
 	c.record(events.VMPlaced, id, on, "initial")
 	return v, nil
 }
@@ -460,7 +475,7 @@ func (c *Cluster) PlaceVM(id vm.ID, on host.ID) error {
 	c.placement[id-1] = on
 	c.provisionLat = append(c.provisionLat, time.Duration(c.eng.Now()-c.arrivedAt[id]))
 	delete(c.arrivedAt, id)
-	c.markDirty(on)
+	c.noteDirty(on)
 	c.record(events.VMPlaced, id, on, "provisioned")
 	c.evaluate()
 	return nil
@@ -489,7 +504,7 @@ func (c *Cluster) RemoveVM(id vm.ID) error {
 			return err
 		}
 		c.placement[id-1] = 0
-		c.markDirty(hid)
+		c.noteDirty(hid)
 	}
 	c.vmsByID[id-1] = nil
 	for i, lv := range c.vmList {
@@ -501,6 +516,7 @@ func (c *Cluster) RemoveVM(id vm.ID) error {
 	c.current[id-1] = allocRecord{}
 	// The SLA tracker stays in c.sla: departed VMs' service history
 	// still counts toward the run's aggregate.
+	c.vmEpoch++
 	c.departed++
 	c.record(events.VMRemoved, id, 0, "")
 	c.evaluate()
@@ -589,6 +605,38 @@ func (c *Cluster) startEval() {
 
 // shardOf maps a host index to its owning shard.
 func (c *Cluster) shardOf(i int) int { return i / c.shardSize }
+
+// noteDirty is the single entry point for event-path host changes: it
+// feeds the management layer's unconditional dirty callback, then the
+// delta tick's queue. Every mutation site (placement, migration
+// endpoints, crash/repair, power commands, settles, DVFS) calls this
+// rather than markDirty directly, so the two consumers can never
+// drift apart.
+func (c *Cluster) noteDirty(id host.ID) {
+	if c.onHostDirty != nil {
+		c.onHostDirty(id)
+	}
+	c.markDirty(id)
+}
+
+// OnHostDirty registers fn to run whenever an event-path change
+// touches a host's scheduling inputs. One observer only; register
+// before Start. The callback fires on the serial event paths (never
+// concurrently with a running tick) and in delta and full-scan modes
+// alike.
+func (c *Cluster) OnHostDirty(fn func(host.ID)) { c.onHostDirty = fn }
+
+// VMEpoch returns a counter that advances on every VM-set change
+// (arrival, initial placement, departure — pending VMs included).
+func (c *Cluster) VMEpoch() uint64 { return c.vmEpoch }
+
+// MaxVMID returns the highest VM ID ever issued (IDs are monotonic
+// and never reused), or 0 before the first VM.
+func (c *Cluster) MaxVMID() vm.ID { return c.nextVMID - 1 }
+
+// PendingCount returns how many arrived-but-unplaced VMs exist,
+// without materializing the ID list (see PendingVMs).
+func (c *Cluster) PendingCount() int { return c.pendingCount }
 
 // markDirty queues host id for re-evaluation at the next tick. Called
 // from the serial event paths only (never concurrently with a running
@@ -988,7 +1036,7 @@ func (c *Cluster) evalHost(h *host.Host, now sim.Time) hostPartial {
 
 // hostSettled runs when a host finishes a power transition.
 func (c *Cluster) hostSettled(id host.ID, st power.State) {
-	c.markDirty(id)
+	c.noteDirty(id)
 	c.record(events.HostSettled, 0, id, st.String())
 	c.evaluate()
 	if c.onHostSettled != nil {
@@ -1108,8 +1156,8 @@ func (c *Cluster) StartMigration(id vm.ID, dst host.ID) error {
 		dstHost.ReleaseReservation(id)
 		return err
 	}
-	c.markDirty(src)
-	c.markDirty(dst)
+	c.noteDirty(src)
+	c.noteDirty(dst)
 	c.record(events.MigrationStarted, id, dst, fmt.Sprintf("%d→%d", src, dst))
 	c.evaluate() // migration overhead starts now
 	return nil
@@ -1128,8 +1176,8 @@ func (c *Cluster) finishMigration(mig *migrate.Migration) {
 		panic(fmt.Sprintf("cluster: migration reservation broken: %v", err))
 	}
 	c.placement[mig.VM-1] = host.ID(mig.Dst)
-	c.markDirty(host.ID(mig.Src))
-	c.markDirty(host.ID(mig.Dst))
+	c.noteDirty(host.ID(mig.Src))
+	c.noteDirty(host.ID(mig.Dst))
 	// The stop-and-copy pause fully blanks the VM.
 	c.sla[mig.VM-1].RecordOutage(mig.Plan.Downtime, v.Demand(c.eng.Now()))
 	c.record(events.MigrationCompleted, mig.VM, host.ID(mig.Dst),
@@ -1151,8 +1199,8 @@ func (c *Cluster) OnMigrationDone(fn func(vm.ID, host.ID)) { c.onMigrationDone =
 func (c *Cluster) failMigration(mig *migrate.Migration) {
 	dst := c.hostList[mig.Dst-1]
 	dst.ReleaseReservation(mig.VM)
-	c.markDirty(host.ID(mig.Src)) // migration CPU overhead ends on both hosts
-	c.markDirty(host.ID(mig.Dst))
+	c.noteDirty(host.ID(mig.Src)) // migration CPU overhead ends on both hosts
+	c.noteDirty(host.ID(mig.Dst))
 	c.record(events.MigrationFailed, mig.VM, host.ID(mig.Dst),
 		fmt.Sprintf("%d→%d aborted", mig.Src, mig.Dst))
 	c.evaluate()
@@ -1179,7 +1227,7 @@ func (c *Cluster) CrashHost(id host.ID, repair time.Duration) error {
 		return err
 	}
 	aborted := c.migrations.FailHost(int(id))
-	c.markDirty(id)
+	c.noteDirty(id)
 	c.record(events.HostCrashed, 0, id,
 		fmt.Sprintf("repair %v, %d migrations aborted", repair.Round(time.Second), aborted))
 	c.evaluate()
@@ -1225,7 +1273,7 @@ func (c *Cluster) SleepHost(id host.ID, st power.State) error {
 	if err := h.Machine().Sleep(st); err != nil {
 		return err
 	}
-	c.markDirty(id)
+	c.noteDirty(id)
 	c.record(events.HostSleeping, 0, id, st.String())
 	c.evaluate()
 	return nil
@@ -1241,7 +1289,7 @@ func (c *Cluster) WakeHost(id host.ID) error {
 	if err := h.Machine().Wake(); err != nil {
 		return err
 	}
-	c.markDirty(id)
+	c.noteDirty(id)
 	c.record(events.HostWaking, 0, id, "")
 	c.evaluate()
 	return nil

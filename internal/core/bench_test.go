@@ -128,3 +128,81 @@ func BenchmarkPeakWindowForecast(b *testing.B) {
 		}
 	}
 }
+
+// hyperscaleManagerFixture builds a 16,384-host / 131,072-VM fleet in
+// steady state: a quiescent majority on constant demand with a diurnal
+// minority sharing a pooled trace set. The demand levels are chosen so
+// the control step observes everything but actuates nothing — per-host
+// load (≈13.4 cores) sits under the 0.90·16 load-balance threshold,
+// fleet demand under the 0.85 wake threshold, and above the Σ 0.70·16
+// packing capacity so MinBins proves consolidation infeasible without
+// packing — which is exactly the regime where incremental planning
+// must win: churn is near zero while the fleet is enormous.
+func hyperscaleManagerFixture(b *testing.B, mode IncrementalMode) (*sim.Engine, *Manager) {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nHosts = 16384
+	for i := 0; i < nHosts; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(1)
+	diurnal := make([]*workload.Trace, 256)
+	for i := range diurnal {
+		diurnal[i] = workload.Diurnal(rng.Fork(), workload.DiurnalSpec{
+			BaseCores: 0.3, PeakCores: 1.2,
+		})
+	}
+	constant := []*workload.Trace{
+		workload.Constant(1.60), workload.Constant(1.65),
+		workload.Constant(1.70), workload.Constant(1.75),
+	}
+	for i := 0; i < nHosts*8; i++ {
+		hid := host.ID(i%nHosts + 1)
+		var tr *workload.Trace
+		if (int(hid)-1)%8 == 0 {
+			tr = diurnal[i%len(diurnal)]
+		} else {
+			tr = constant[i%len(constant)]
+		}
+		if _, err := cl.AddVM(vm.Config{VCPUs: 2, MemoryGB: 8, Trace: tr}, hid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3, Incremental: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(time.Hour)
+	return eng, m
+}
+
+// BenchmarkManagerControlStepHyperscale measures one steady-state
+// control period over the 16,384-host fleet, full-scan ("eager") vs
+// incremental planning. The incremental run must also be allocation
+// free — CI gates on both (see make bench-manager-smoke).
+func BenchmarkManagerControlStepHyperscale(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		inc  IncrementalMode
+	}{
+		{"eager", IncrementalOff},
+		{"incremental", IncrementalOn},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, m := hyperscaleManagerFixture(b, mode.inc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.step()
+			}
+		})
+	}
+}

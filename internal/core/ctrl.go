@@ -69,6 +69,12 @@ func (m *Manager) migCmdPending(id vm.ID) bool {
 // later as nacks and are reconciled in commandResult.
 func (m *Manager) startMigration(vid vm.ID, dst host.ID) error {
 	if m.cp != nil {
+		// The cluster sees nothing until the command lands, so its
+		// dirty feed stays silent — but callers mutate the cached load
+		// vector after a successful send, and that mutation must not
+		// survive into the next cache read (the eager path rebuilds
+		// loads fresh each call). Move the epoch explicitly.
+		m.invalidate()
 		m.cp.SendMigrate(vid, dst)
 		return nil
 	}
@@ -117,6 +123,11 @@ func (m *Manager) pendingWakeCores(c census) float64 {
 // already succeeded is counted by the plane and never reaches here
 // twice).
 func (m *Manager) commandResult(cmd ctrlplane.Command, err error) {
+	// Command completions arrive from the message layer, invisible to
+	// the cluster's dirty feed, and may touch the evacuating/intent
+	// sets below; invalidate unconditionally (over-invalidation is
+	// sound and completions are rare).
+	m.invalidate()
 	switch cmd.Kind {
 	case ctrlplane.CmdSleep:
 		ok := err == nil
@@ -166,6 +177,11 @@ func (m *Manager) commandResult(cmd ctrlplane.Command, err error) {
 // is trustworthy again. The suspect state needs no action here: the
 // census and placement guards handle it.
 func (m *Manager) livenessChanged(id host.ID, s ctrlplane.Status) {
+	// Liveness shifts the census (Dead hosts are planned around) and
+	// the trust guards; none of it flows through the cluster's dirty
+	// feed. Invalidate for every transition, including Suspect — the
+	// cost is one recompute, the alternative is a stale plan.
+	m.invalidate()
 	switch s {
 	case ctrlplane.Dead:
 		m.counters.Inc(CtrCrashesObserved)

@@ -148,3 +148,16 @@ func (f *peakWindow) Forecast() float64 {
 	}
 	return f.samples[0].v
 }
+
+// nextExpiry reports when the head sample will fall out of the window
+// — the next moment the forecast value can change without a new demand
+// sample. With zero or one samples there is nothing behind the head to
+// promote, so expiry alone cannot change Forecast() and no deadline is
+// due. The incremental manager uses this to skip Observe calls on VMs
+// whose forecast provably cannot have moved.
+func (f *peakWindow) nextExpiry() (time.Duration, bool) {
+	if len(f.samples) < 2 {
+		return 0, false
+	}
+	return f.samples[0].at + f.window, true
+}

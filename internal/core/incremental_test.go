@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/ctrlplane"
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// The incremental planner must be indistinguishable from the full-scan
+// planner: same forecasts, same census, same packing, same actions,
+// bit for bit, under arbitrary churn. These tests drive paired worlds
+// — one manager per mode, identical in every other respect — through
+// scripted adds, removes, crashes, maintenance, injected transition
+// faults (driving quarantines), and optionally a lossy control plane
+// (driving suspect/dead liveness), comparing the planning state at
+// every checkpoint.
+
+// parityEvent is one scripted churn action, applied identically to
+// both worlds.
+type parityEvent struct {
+	at    sim.Time
+	kind  string // "add", "remove", "crash", "maint-in", "maint-out"
+	host  host.ID
+	vm    vm.ID
+	trace int // index into the shared trace pool (kind "add")
+}
+
+// parityScript generates a deterministic churn script from a seed. The
+// script — not the worlds — owns the randomness, so both sides see the
+// exact same sequence.
+func parityScript(seed uint64, hosts int, vms int, horizon sim.Time) []parityEvent {
+	rng := sim.NewRNG(seed)
+	var evs []parityEvent
+	at := func() sim.Time { return sim.Time(rng.Range(0.1, 0.9) * float64(horizon)) }
+	for i := 0; i < 6; i++ {
+		evs = append(evs, parityEvent{at: at(), kind: "add", trace: rng.Intn(8)})
+	}
+	for i := 0; i < 4; i++ {
+		evs = append(evs, parityEvent{at: at(), kind: "remove", vm: vm.ID(rng.Intn(vms) + 1)})
+	}
+	for i := 0; i < 2; i++ {
+		evs = append(evs, parityEvent{at: at(), kind: "crash", host: host.ID(rng.Intn(hosts) + 1)})
+	}
+	h := host.ID(rng.Intn(hosts) + 1)
+	evs = append(evs, parityEvent{at: horizon / 4, kind: "maint-in", host: h})
+	evs = append(evs, parityEvent{at: horizon / 2, kind: "maint-out", host: h})
+	return evs
+}
+
+// parityWorld is one side of the paired simulation.
+type parityWorld struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	m   *Manager
+}
+
+// buildParityWorld constructs one world: identical fleet, workloads,
+// faults, and script on both sides; only the planning mode differs.
+func buildParityWorld(t *testing.T, mode IncrementalMode, traces []*workload.Trace,
+	script []parityEvent, withPlane bool) *parityWorld {
+	t.Helper()
+	const nHosts, nVMs = 16, 64
+	eng := sim.NewEngine(7)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nHosts; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nVMs; i++ {
+		cfg := vm.Config{VCPUs: 4, MemoryGB: 4, Trace: traces[i%len(traces)]}
+		if _, err := cl.AddVM(cfg, host.ID(i%nHosts+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A few injected transition failures with a tight retry budget so
+	// the script also exercises retries and quarantines.
+	cl.InjectFaults(&scriptFaults{sleepFails: 4, wakeFails: 2, migFails: 3},
+		&scriptFaults{migFails: 3})
+	m, err := NewManager(cl, Config{
+		Policy:               DPMS3,
+		Period:               5 * time.Minute,
+		MaxTransitionRetries: 1,
+		Incremental:          mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp *ctrlplane.Plane
+	if withPlane {
+		cp, err = ctrlplane.New(eng, cl, ctrlplane.Config{
+			CmdDelay: 40 * time.Millisecond, CmdJitter: 20 * time.Millisecond,
+			CmdLossProb: 0.05,
+		}, m.Counters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AttachControlPlane(cp)
+	}
+	for _, ev := range script {
+		ev := ev
+		eng.ScheduleFunc(ev.at, func() {
+			switch ev.kind {
+			case "add":
+				cl.AddPendingVM(vm.Config{VCPUs: 2, MemoryGB: 4, Trace: traces[ev.trace]})
+			case "remove":
+				cl.RemoveVM(ev.vm) // may fail (migrating/gone) — identically on both sides
+			case "crash":
+				cl.CrashHost(ev.host, 30*time.Minute)
+			case "maint-in":
+				m.EnterMaintenance(ev.host)
+			case "maint-out":
+				m.ExitMaintenance(ev.host)
+			}
+		})
+	}
+	cl.Start()
+	m.Start()
+	if cp != nil {
+		cp.Start()
+	}
+	return &parityWorld{eng: eng, cl: cl, m: m}
+}
+
+func compareHosts(t *testing.T, what string, a, b []*host.Host) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s length diverged: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("%s[%d] diverged: host %d vs %d", what, i, a[i].ID(), b[i].ID())
+		}
+	}
+}
+
+// comparePlanning asserts every planning intermediate and output is
+// bitwise identical across the two worlds: forecasts, census classes,
+// the sorted packing plan, load vectors, and the action counters.
+func comparePlanning(t *testing.T, a, b *parityWorld) {
+	t.Helper()
+	if a.m.stats != b.m.stats {
+		t.Fatalf("stats diverged:\n  incremental %+v\n  full-scan   %+v", a.m.stats, b.m.stats)
+	}
+	fa, fb := a.m.observeAll(), b.m.observeAll()
+	if len(fa) != len(fb) {
+		t.Fatalf("forecast vector length diverged: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("forecast for vm %d diverged: %v vs %v", i+1, fa[i], fb[i])
+		}
+	}
+	if ta, tb := a.m.totalForecast(fa), b.m.totalForecast(fb); ta != tb {
+		t.Fatalf("total forecast diverged: %v vs %v", ta, tb)
+	}
+	ca, cb := a.m.takeCensus(), b.m.takeCensus()
+	compareHosts(t, "serving", ca.serving, cb.serving)
+	compareHosts(t, "evacuating", ca.evacuating, cb.evacuating)
+	compareHosts(t, "waking", ca.waking, cb.waking)
+	compareHosts(t, "sleeping", ca.sleeping, cb.sleeping)
+	compareHosts(t, "entering", ca.entering, cb.entering)
+	ha, ka, oka := a.m.packServing(fa, ca)
+	hb, kb, okb := b.m.packServing(fb, cb)
+	if ka != kb || oka != okb {
+		t.Fatalf("packing diverged: k=%d ok=%v vs k=%d ok=%v", ka, oka, kb, okb)
+	}
+	compareHosts(t, "plan", ha, hb)
+	la, lb := a.m.hostForecastLoads(fa), b.m.hostForecastLoads(fb)
+	if len(la) != len(lb) {
+		t.Fatalf("load vector length diverged: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("load for host %d diverged: %v vs %v", i+1, la[i], lb[i])
+		}
+	}
+}
+
+// TestIncrementalPlanningParity is the property test: across random
+// churn scripts — pending arrivals, departures, crashes, maintenance,
+// injected transition faults driving retries and quarantines — the
+// incremental and full-scan planners agree on every intermediate at
+// every checkpoint.
+func TestIncrementalPlanningParity(t *testing.T) {
+	const horizon = 8 * time.Hour
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			trng := sim.NewRNG(seed * 101)
+			traces := make([]*workload.Trace, 8)
+			for i := range traces {
+				if i%2 == 0 {
+					traces[i] = workload.Diurnal(trng.Fork(), workload.DiurnalSpec{
+						BaseCores: 0.4, PeakCores: 2.5,
+					})
+				} else {
+					traces[i] = workload.Constant(trng.Range(0.5, 2))
+				}
+			}
+			script := parityScript(seed, 16, 64, sim.Time(horizon))
+			a := buildParityWorld(t, IncrementalOn, traces, script, false)
+			b := buildParityWorld(t, IncrementalOff, traces, script, false)
+			for hour := 1; hour <= 8; hour++ {
+				to := sim.Time(hour) * sim.Time(time.Hour)
+				a.eng.RunUntil(to)
+				b.eng.RunUntil(to)
+				comparePlanning(t, a, b)
+			}
+		})
+	}
+}
+
+// TestIncrementalPlanningParityCtrlPlane repeats the parity property
+// under a lossy, delayed control plane, so liveness transitions
+// (suspect, presumed-dead, recovery) and asynchronous command
+// completions also hit the incremental invalidation paths.
+func TestIncrementalPlanningParityCtrlPlane(t *testing.T) {
+	const horizon = 8 * time.Hour
+	for seed := uint64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			trng := sim.NewRNG(seed * 131)
+			traces := make([]*workload.Trace, 8)
+			for i := range traces {
+				if i%2 == 0 {
+					traces[i] = workload.Diurnal(trng.Fork(), workload.DiurnalSpec{
+						BaseCores: 0.4, PeakCores: 2.5,
+					})
+				} else {
+					traces[i] = workload.Constant(trng.Range(0.5, 2))
+				}
+			}
+			script := parityScript(seed+10, 16, 64, sim.Time(horizon))
+			a := buildParityWorld(t, IncrementalOn, traces, script, true)
+			b := buildParityWorld(t, IncrementalOff, traces, script, true)
+			for hour := 1; hour <= 8; hour++ {
+				to := sim.Time(hour) * sim.Time(time.Hour)
+				a.eng.RunUntil(to)
+				b.eng.RunUntil(to)
+				comparePlanning(t, a, b)
+			}
+		})
+	}
+}
+
+// TestManagerStepSteadyStateAllocFree pins the tentpole's steady-state
+// contract: on a quiescent fleet — no pending VMs, no feasible
+// consolidation, demand below the wake threshold, no hot hosts — a
+// cached control step allocates nothing at all.
+func TestManagerStepSteadyStateAllocFree(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl, err := cluster.New(eng, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nHosts = 64
+	for i := 0; i < nHosts; i++ {
+		if _, err := cl.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 VMs per host at ~1.675 cores each: per-host load ≈ 13.4 stays
+	// under the 0.90·16 load-balance threshold, the fleet total
+	// (≈857.6) stays under the 0.85·1024 wake threshold, but exceeds
+	// the Σ 0.70·16 packing capacity (716.8) so MinBins proves every
+	// consolidation prefix infeasible without packing anything.
+	demands := []float64{1.60, 1.65, 1.70, 1.75}
+	for i := 0; i < nHosts*8; i++ {
+		cfg := vm.Config{VCPUs: 2, MemoryGB: 8, Trace: workload.Constant(demands[i%4])}
+		if _, err := cl.AddVM(cfg, host.ID(i%nHosts+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewManager(cl, Config{Policy: DPMS3, Incremental: IncrementalOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	m.Start()
+	eng.RunUntil(time.Hour)
+	if allocs := testing.AllocsPerRun(100, func() { m.step() }); allocs != 0 {
+		t.Fatalf("steady-state control step allocates: %v allocs/op, want 0", allocs)
+	}
+}

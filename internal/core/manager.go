@@ -46,7 +46,6 @@ type Manager struct {
 	cl  *cluster.Cluster
 	cfg Config
 
-	forecasts map[vm.ID]Forecaster
 	// evacuating marks hosts being drained for parking. A host stays
 	// marked until it is parked or reclaimed by a scale-up.
 	evacuating map[host.ID]bool
@@ -97,18 +96,59 @@ type Manager struct {
 	cp      *ctrlplane.Plane
 	trusted []*host.Host
 
-	// Scratch buffers reused across control steps so the periodic
-	// loops do not allocate. The control phases run sequentially and
-	// never nest (callbacks fire from future events, not synchronously
-	// inside a phase), so at most one forecast snapshot, one census,
-	// and one load map are live at any moment.
-	fc      map[vm.ID]float64   // observeAll result
-	fcSeen  map[vm.ID]bool      // observeAll liveness mark
-	loads   map[host.ID]float64 // hostForecastLoads result
-	migTo   map[vm.ID]host.ID   // hostForecastLoads in-flight index
-	inbound map[host.ID]float64 // inboundMemory result
-	cen     census              // takeCensus backing arrays
-	lbVMs   []vm.ID             // balanceLoad sort scratch
+	// Dense per-VM planning state, indexed vm.ID-1 (IDs are monotonic
+	// and never reused; slots of departed VMs go stale but are never
+	// read — every consumer iterates live-VM lists). These double as
+	// the scratch buffers that keep the periodic loops allocation-free:
+	// the control phases run sequentially and never nest (callbacks
+	// fire from future events, not synchronously inside a phase), so at
+	// most one forecast snapshot, one census, and one load vector are
+	// live at any moment.
+	fcs     []Forecaster // per-VM forecasters
+	fcv     []float64    // observeAll result: clamped forecasts
+	fcSeenB []bool       // eagerObserve liveness mark
+	lastObs []sim.Time   // lazy mode: when each VM was last observed
+	loads   []float64    // hostForecastLoads result, by host.ID-1
+	inbound []float64    // inboundMemory result, by host.ID-1
+	migTo   map[vm.ID]host.ID
+	cen     census  // takeCensus backing arrays
+	lbVMs   []vm.ID // balanceLoad sort scratch
+	items   []Item  // buildItems scratch
+
+	// Incremental planning state (see incremental.go). inc gates every
+	// cache; lazyFC additionally gates the due-heap forecast
+	// maintenance (peak-window/last-value without predictive wake).
+	inc     bool
+	lazyFC  bool
+	epoch   uint64 // planning-input generation
+	fcEpoch uint64 // forecast-value / VM-set generation
+	vmSeen  uint64 // cluster VMEpoch handled through
+	maxInit vm.ID  // highest VM ID with initialized lazy state
+	// invNow/invPrev track the two most recent distinct manager
+	// invocation times — the observation grid the lazy catch-up replays.
+	invNow  sim.Time
+	invPrev sim.Time
+	due     []fcDue // forecast due-heap
+
+	// Cache keys: each cached value remembers the counters it was
+	// computed under and is reused only on exact match.
+	cenEpoch  uint64
+	cenOK     bool
+	totFC     uint64
+	totOK     bool
+	totVal    float64
+	loadsE    uint64
+	loadsF    uint64
+	loadsOK   bool
+	inbE      uint64
+	inbOK     bool
+	planE     uint64
+	planF     uint64
+	planValid bool
+	planHosts []*host.Host // packServing sorted-host cache/scratch
+	planK     int
+	planOK    bool
+	sortLoads []float64 // packServing per-host load scratch
 
 	stats   Stats
 	started bool
@@ -124,7 +164,6 @@ func NewManager(cl *cluster.Cluster, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cl:          cl,
 		cfg:         cfg,
-		forecasts:   make(map[vm.ID]Forecaster),
 		evacuating:  make(map[host.ID]bool),
 		wokeAt:      make(map[host.ID]sim.Time),
 		maintenance: make(map[host.ID]bool),
@@ -136,14 +175,25 @@ func NewManager(cl *cluster.Cluster, cfg Config) (*Manager, error) {
 		migFails:    make(map[vm.ID]int),
 		migRetryAt:  make(map[vm.ID]sim.Time),
 		counters:    telemetry.NewCounters(),
-		fc:          make(map[vm.ID]float64),
-		fcSeen:      make(map[vm.ID]bool),
-		loads:       make(map[host.ID]float64),
 		migTo:       make(map[vm.ID]host.ID),
-		inbound:     make(map[host.ID]float64),
 	}
 	if cfg.PredictiveWake {
 		m.diurnal = newDiurnalModel(0.4)
+	}
+	m.inc = cfg.Incremental > 0
+	// Lazy forecast maintenance needs the forecast to be a pure
+	// function of deadline-computable moments: peak-window and
+	// last-value qualify; EWMA evolves on every observation and the
+	// diurnal model consumes the whole demand sum each invocation, so
+	// those run the eager sweep (with the epoch caches still active).
+	m.lazyFC = m.inc && !cfg.PredictiveWake &&
+		(cfg.Forecast.Kind == ForecastPeakWindow || cfg.Forecast.Kind == ForecastLastValue)
+	if m.inc {
+		// The cluster's event feed is the invalidation signal for every
+		// epoch-keyed cache: it fires on each event-path change to a
+		// host's scheduling inputs, in delta and full-scan evaluation
+		// modes alike.
+		cl.OnHostDirty(func(host.ID) { m.epoch++ })
 	}
 	cl.OnHostSettled(m.hostSettled)
 	cl.OnMigrationFailed(m.migrationFailed)
@@ -184,6 +234,7 @@ func (m *Manager) EnterMaintenance(id host.ID) error {
 	}
 	m.maintenance[id] = true
 	m.evacuating[id] = true
+	m.invalidate()
 	if m.started {
 		m.continueMoves()
 	}
@@ -197,6 +248,7 @@ func (m *Manager) ExitMaintenance(id host.ID) error {
 	}
 	delete(m.maintenance, id)
 	delete(m.evacuating, id)
+	m.invalidate()
 	if m.started {
 		m.step()
 	}
@@ -284,14 +336,22 @@ func (m *Manager) resolveSleepDelay() {
 	}
 }
 
-// totalForecast sums forecasts in VM-ID order (map iteration order
-// would make the floating-point sum, and thus threshold decisions,
-// nondeterministic across runs).
-func (m *Manager) totalForecast(forecasts map[vm.ID]float64) float64 {
+// totalForecast sums forecasts in VM-list order (a fixed order keeps
+// the floating-point sum, and thus threshold decisions, deterministic
+// across runs). The sum is pure in the VM set and forecast values, so
+// it is cached under the forecast generation — an unchanged fcEpoch
+// means an identical list summed in the identical order.
+func (m *Manager) totalForecast(forecasts []float64) float64 {
+	if m.inc && m.totOK && m.totFC == m.fcEpoch {
+		return m.totVal
+	}
 	total := 0.0
 	for _, v := range m.cl.VMs() {
-		total += forecasts[v.ID()]
+		total += forecasts[v.ID()-1]
 	}
+	m.totVal = total
+	m.totFC = m.fcEpoch
+	m.totOK = true
 	return total
 }
 
@@ -327,6 +387,7 @@ func (m *Manager) checkPanic() {
 	m.panicTicks = 0
 	m.stats.Panics++
 	m.panicUntil = m.cl.Engine().Now() + sim.Time(m.cfg.PanicHold)
+	m.invalidate()
 	// Everything wakes; evacuations (except operator maintenance)
 	// cancel.
 	for id := range m.evacuating {
@@ -350,7 +411,12 @@ func (m *Manager) checkPanic() {
 // with the most forecast slack (respecting memory admission). VMs that
 // fit nowhere stay pending; their demand keeps pressure on scaleUp,
 // which wakes capacity for them.
-func (m *Manager) placePending(forecasts map[vm.ID]float64) {
+func (m *Manager) placePending(forecasts []float64) {
+	// Counter check first: PendingVMs scans the whole VM list to build
+	// its result, which the quiescent fast tick must not pay for.
+	if m.cl.PendingCount() == 0 {
+		return
+	}
 	pending := m.cl.PendingVMs()
 	if len(pending) == 0 {
 		return
@@ -378,15 +444,15 @@ func (m *Manager) placePending(forecasts map[vm.ID]float64) {
 		var best *host.Host
 		bestSlack := 0.0
 		for _, h := range candidates {
-			memFree := h.MemFreeGB() - inboundMem[h.ID()]
+			memFree := h.MemFreeGB() - inboundMem[h.ID()-1]
 			if memFree < v.MemoryGB() {
 				continue
 			}
 			if m.cl.GroupConflict(h.ID(), v.Group(), vid) {
 				continue
 			}
-			slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()] - forecasts[vid]
-			if slack < 0 && loads[h.ID()]+forecasts[vid] > h.Cores() {
+			slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()-1] - forecasts[vid-1]
+			if slack < 0 && loads[h.ID()-1]+forecasts[vid-1] > h.Cores() {
 				continue // would overload outright
 			}
 			if best == nil || slack > bestSlack {
@@ -400,58 +466,35 @@ func (m *Manager) placePending(forecasts map[vm.ID]float64) {
 		if err := m.cl.PlaceVM(vid, best.ID()); err != nil {
 			continue
 		}
+		// PlaceVM fired the dirty feed, so the epoch already moved; the
+		// in-phase load update below matches what the eager path does
+		// and is discarded at the next (now-stale) cache read.
 		m.stats.Provisioned++
-		loads[best.ID()] += forecasts[vid]
+		loads[best.ID()-1] += forecasts[vid-1]
 		// A placed VM re-anchors an evacuating host into service.
 		delete(m.evacuating, best.ID())
 	}
 }
 
-// forecast returns the predicted demand of one VM, updating its
-// forecaster with the current observation first (callers must do this
-// once per step, via observeAll).
-func (m *Manager) observeAll() map[vm.ID]float64 {
+// observeAll brings every VM's forecaster up to the current moment and
+// returns the clamped forecast vector (indexed vm.ID-1). It is the
+// single gateway every manager entry point (step, wakeCheck,
+// continueMoves) passes through, which is what lets the lazy path
+// record the invocation grid: between two recorded invocation times no
+// observation ever happened, so the catch-up in ensureForecasts can
+// replay the grid bitwise.
+func (m *Manager) observeAll() []float64 {
 	now := m.cl.Engine().Now()
-	out, seen := m.fc, m.fcSeen
-	clear(out)
-	clear(seen)
-	for _, v := range m.cl.VMs() {
-		f, ok := m.forecasts[v.ID()]
-		if !ok {
-			var err error
-			f, err = m.cfg.Forecast.New()
-			if err != nil {
-				// Config was validated at construction; a failure here
-				// is a programming error.
-				panic(fmt.Sprintf("core: forecaster construction: %v", err))
-			}
-			m.forecasts[v.ID()] = f
-		}
-		f.Observe(now, v.Demand(now))
-		fc := f.Forecast()
-		// Never forecast below the VM's cap nor above it.
-		if fc > v.VCPUs() {
-			fc = v.VCPUs()
-		}
-		out[v.ID()] = fc
-		seen[v.ID()] = true
+	if now > m.invNow {
+		m.invPrev = m.invNow
+		m.invNow = now
 	}
-	// Drop forecasters (and robustness bookkeeping) of departed VMs.
-	for id := range m.forecasts {
-		if !seen[id] {
-			delete(m.forecasts, id)
-			delete(m.migFails, id)
-			delete(m.migRetryAt, id)
-		}
+	if m.lazyFC {
+		m.ensureForecasts(now)
+	} else {
+		m.eagerObserve(now)
 	}
-	if m.diurnal != nil {
-		total := 0.0
-		for _, v := range m.cl.VMs() {
-			total += v.Demand(now)
-		}
-		m.diurnal.Observe(now, total)
-	}
-	return out
+	return m.fcv
 }
 
 // predictedDemand returns the learned demand peak within the wake-lead
@@ -477,6 +520,16 @@ type census struct {
 }
 
 func (m *Manager) takeCensus() census {
+	// The census is pure in host machine states, liveness, and the
+	// evacuating set — all epoch-tracked — so an unchanged epoch means
+	// the cached classification is exactly what a rebuild would
+	// produce. Callers that append to a returned census (scaleUp grows
+	// serving/waking past the cached lengths) always bump the epoch
+	// first via the reclaim or wake they perform, so the cached headers
+	// below never see those appends.
+	if m.inc && m.cenOK && m.cenEpoch == m.epoch {
+		return m.cen
+	}
 	// Reuse the previous census's backing arrays; the returned value
 	// (and any slices appended to it by the caller) must be dead by the
 	// next takeCensus call, which the sequential control phases ensure.
@@ -520,6 +573,8 @@ func (m *Manager) takeCensus() census {
 		}
 	}
 	m.cen = c // retain grown backing arrays for the next step
+	m.cenEpoch = m.epoch
+	m.cenOK = true
 	return c
 }
 
@@ -559,7 +614,7 @@ func (m *Manager) step() {
 // plus the packing headroom (a software governor at management
 // granularity). Hosts whose profiles have no DVFS range are left
 // alone.
-func (m *Manager) adjustFrequencies(forecasts map[vm.ID]float64) {
+func (m *Manager) adjustFrequencies(forecasts []float64) {
 	loads := m.hostForecastLoads(forecasts)
 	for _, h := range m.cl.Hosts() {
 		if !h.Available() {
@@ -569,7 +624,7 @@ func (m *Manager) adjustFrequencies(forecasts map[vm.ID]float64) {
 		if fmin <= 0 {
 			continue
 		}
-		f := loads[h.ID()] / (h.Cores() * m.cfg.TargetUtil)
+		f := loads[h.ID()-1] / (h.Cores() * m.cfg.TargetUtil)
 		if f < fmin {
 			f = fmin
 		}
@@ -584,7 +639,7 @@ func (m *Manager) adjustFrequencies(forecasts map[vm.ID]float64) {
 
 // managePower decides the active host set: wake on pressure, evacuate
 // on slack, park drained hosts.
-func (m *Manager) managePower(forecasts map[vm.ID]float64) {
+func (m *Manager) managePower(forecasts []float64) {
 	c := m.takeCensus()
 	if m.scaleUp(forecasts, c) {
 		m.shrinkOpen = false
@@ -608,7 +663,7 @@ func (m *Manager) managePower(forecasts map[vm.ID]float64) {
 // scaleUp wakes capacity when forecast pressure exceeds the wake
 // threshold of what is (or will shortly be) available. It reports
 // whether it acted or pressure is high.
-func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
+func (m *Manager) scaleUp(forecasts []float64, c census) bool {
 	total := m.totalForecast(forecasts)
 	if p := m.predictedDemand(); p > total {
 		// Wake ahead of a learned recurring ramp.
@@ -640,6 +695,7 @@ func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
 			continue
 		}
 		delete(m.evacuating, h.ID())
+		m.invalidate()
 		c.serving = append(c.serving, h)
 		haveCores += h.Cores()
 	}
@@ -670,7 +726,7 @@ func (m *Manager) scaleUp(forecasts map[vm.ID]float64, c census) bool {
 // considerScaleDown checks whether the packing frees at least one
 // host, and acts once the opportunity has persisted for the
 // latency-aware sleep delay.
-func (m *Manager) considerScaleDown(forecasts map[vm.ID]float64, c census) {
+func (m *Manager) considerScaleDown(forecasts []float64, c census) {
 	hosts, k, ok := m.packServing(forecasts, c)
 	keep := k + m.cfg.SpareHosts
 	if keep < m.cfg.MinActive {
@@ -715,6 +771,7 @@ func (m *Manager) considerScaleDown(forecasts map[vm.ID]float64, c census) {
 			continue
 		}
 		m.evacuating[h.ID()] = true
+		m.invalidate()
 	}
 	m.shrinkOpen = false
 }
@@ -722,21 +779,34 @@ func (m *Manager) considerScaleDown(forecasts map[vm.ID]float64, c census) {
 // packServing orders serving hosts by forecast load (descending, so
 // the keep-set is the loaded prefix and migrations are minimized) and
 // returns the ordered hosts plus the minimal prefix length that packs
-// all VMs.
-func (m *Manager) packServing(forecasts map[vm.ID]float64, c census) ([]*host.Host, int, bool) {
-	items, exclude := m.buildItems(forecasts)
-	loads := make(map[host.ID]float64)
+// all VMs. The whole result — sorted view, prefix, feasibility — is
+// pure in the serving census, the forecasts, the placements, and the
+// in-flight migration set, all tracked by (epoch, fcEpoch); on an
+// exact key match the cached plan is returned without re-sorting or
+// re-packing anything.
+func (m *Manager) packServing(forecasts []float64, c census) ([]*host.Host, int, bool) {
+	if m.inc && m.planValid && m.planE == m.epoch && m.planF == m.fcEpoch {
+		return m.planHosts, m.planK, m.planOK
+	}
+	items := m.buildItems(forecasts)
+	m.growHostSlots()
+	loads := m.sortLoads
+	for i := range loads {
+		loads[i] = 0
+	}
 	for _, v := range m.cl.VMs() {
-		if exclude[v.ID()] {
+		if m.cl.Migrating(v.ID()) {
+			// Excluded from items too: a migrating VM's landing is
+			// already decided.
 			continue
 		}
 		if hid, ok := m.cl.Placement(v.ID()); ok {
-			loads[hid] += forecasts[v.ID()]
+			loads[hid-1] += forecasts[v.ID()-1]
 		}
 	}
-	hosts := append([]*host.Host(nil), c.serving...)
+	hosts := append(m.planHosts[:0], c.serving...)
 	sort.Slice(hosts, func(i, j int) bool {
-		li, lj := loads[hosts[i].ID()], loads[hosts[j].ID()]
+		li, lj := loads[hosts[i].ID()-1], loads[hosts[j].ID()-1]
 		if li != lj {
 			return li > lj
 		}
@@ -744,24 +814,28 @@ func (m *Manager) packServing(forecasts map[vm.ID]float64, c census) ([]*host.Ho
 	})
 	bins := m.buildBins(hosts)
 	k, _, ok := MinBins(items, bins, m.cfg.Packing)
+	m.planHosts = hosts
+	m.planK = k
+	m.planOK = ok
+	m.planE = m.epoch
+	m.planF = m.fcEpoch
+	m.planValid = true
 	return hosts, k, ok
 }
 
 // buildItems converts non-migrating VMs into packing items. Migrating
-// VMs are excluded (their landing is already decided); exclude reports
-// which were skipped.
-func (m *Manager) buildItems(forecasts map[vm.ID]float64) (items []Item, exclude map[vm.ID]bool) {
-	exclude = make(map[vm.ID]bool)
+// VMs are skipped (their landing is already decided).
+func (m *Manager) buildItems(forecasts []float64) []Item {
+	items := m.items[:0]
 	for _, v := range m.cl.VMs() {
 		if m.cl.Migrating(v.ID()) {
-			exclude[v.ID()] = true
 			continue
 		}
 		cur := -1
 		if hid, ok := m.cl.Placement(v.ID()); ok {
 			cur = int(hid)
 		}
-		cpu := forecasts[v.ID()]
+		cpu := forecasts[v.ID()-1]
 		if r := v.ReservedCores(); r > cpu {
 			// A reservation is committed capacity whether or not the
 			// VM is using it right now.
@@ -775,7 +849,8 @@ func (m *Manager) buildItems(forecasts map[vm.ID]float64) (items []Item, exclude
 			Group:   v.Group(),
 		})
 	}
-	return items, exclude
+	m.items = items
+	return items
 }
 
 // buildBins converts hosts into packing bins, charging in-flight
@@ -814,7 +889,7 @@ func (m *Manager) buildBins(hosts []*host.Host) []Bin {
 // evacuees into the residual capacity of the serving hosts, so drains
 // succeed even when serving hosts sit near the packing target; if the
 // evacuees genuinely do not fit, an evacuating host is reclaimed.
-func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
+func (m *Manager) drainEvacuating(forecasts []float64) {
 	if len(m.evacuating) == 0 {
 		return
 	}
@@ -835,6 +910,7 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 		}
 		if reclaim != nil {
 			delete(m.evacuating, reclaim.ID())
+			m.invalidate()
 		}
 		return
 	}
@@ -900,7 +976,7 @@ func (m *Manager) drainEvacuating(forecasts map[vm.ID]float64) {
 // residual capacity of the serving hosts. Serving hosts' own VMs are
 // pre-charged against their bins (they stay put); only evacuees are
 // packing items.
-func (m *Manager) planDrain(forecasts map[vm.ID]float64, c census) (Assignment, bool) {
+func (m *Manager) planDrain(forecasts []float64, c census) (Assignment, bool) {
 	bins := m.buildBins(m.trustedServing(c))
 	binIdx := make(map[int]int, len(bins))
 	for i, b := range bins {
@@ -922,7 +998,7 @@ func (m *Manager) planDrain(forecasts map[vm.ID]float64, c census) (Assignment, 
 		if evacIDs[hid] {
 			items = append(items, Item{
 				Key:     int(v.ID()),
-				CPU:     forecasts[v.ID()],
+				CPU:     forecasts[v.ID()-1],
 				MemGB:   v.MemoryGB(),
 				Current: -1, // must move
 				Group:   v.Group(),
@@ -930,7 +1006,7 @@ func (m *Manager) planDrain(forecasts map[vm.ID]float64, c census) (Assignment, 
 			continue
 		}
 		if i, ok := binIdx[int(hid)]; ok {
-			bins[i].CPUCap -= forecasts[v.ID()]
+			bins[i].CPUCap -= forecasts[v.ID()-1]
 			bins[i].MemCap -= v.MemoryGB()
 			if bins[i].CPUCap < 0 {
 				bins[i].CPUCap = 0
@@ -954,27 +1030,27 @@ func (m *Manager) planDrain(forecasts map[vm.ID]float64, c census) (Assignment, 
 // target-util slack is demanded: on a cluster hotter than the packing
 // target, equalizing heat is still strictly better than leaving one
 // host saturated.
-func (m *Manager) pickLBDestination(vid vm.ID, src *host.Host, forecasts map[vm.ID]float64, loads map[host.ID]float64, serving []*host.Host) *host.Host {
+func (m *Manager) pickLBDestination(vid vm.ID, src *host.Host, forecasts []float64, loads []float64, serving []*host.Host) *host.Host {
 	v, ok := m.cl.VM(vid)
 	if !ok {
 		return nil
 	}
 	inboundMem := m.inboundMemory()
-	f := forecasts[vid]
+	f := forecasts[vid-1]
 	var best *host.Host
 	bestPost := 0.0
 	for _, h := range serving {
 		if h.ID() == src.ID() || m.distrusted(h.ID()) {
 			continue
 		}
-		post := loads[h.ID()] + f
-		if post >= loads[src.ID()] { // no strict improvement
+		post := loads[h.ID()-1] + f
+		if post >= loads[src.ID()-1] { // no strict improvement
 			continue
 		}
 		if post > h.Cores() { // would overload the destination outright
 			continue
 		}
-		if h.MemFreeGB()-inboundMem[h.ID()] < v.MemoryGB() {
+		if h.MemFreeGB()-inboundMem[h.ID()-1] < v.MemoryGB() {
 			continue
 		}
 		if m.cl.GroupConflict(h.ID(), v.Group(), vid) {
@@ -994,7 +1070,7 @@ func (m *Manager) pickLBDestination(vid vm.ID, src *host.Host, forecasts map[vm.
 // pickDestination finds the serving host with the most forecast slack
 // that can take the VM (best-fit by slack keeps the packing tight
 // without starving any host).
-func (m *Manager) pickDestination(vid vm.ID, forecasts map[vm.ID]float64, serving []*host.Host) *host.Host {
+func (m *Manager) pickDestination(vid vm.ID, forecasts []float64, serving []*host.Host) *host.Host {
 	v, ok := m.cl.VM(vid)
 	if !ok {
 		return nil
@@ -1009,8 +1085,8 @@ func (m *Manager) pickDestination(vid vm.ID, forecasts map[vm.ID]float64, servin
 		if h.ID() == cur || m.distrusted(h.ID()) {
 			continue
 		}
-		slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()] - forecasts[vid]
-		memFree := h.MemFreeGB() - inboundMem[h.ID()]
+		slack := h.Cores()*m.cfg.TargetUtil - loads[h.ID()-1] - forecasts[vid-1]
+		memFree := h.MemFreeGB() - inboundMem[h.ID()-1]
 		if slack < 0 || memFree < v.MemoryGB() {
 			continue
 		}
@@ -1028,44 +1104,68 @@ func (m *Manager) pickDestination(vid vm.ID, forecasts map[vm.ID]float64, servin
 	return best
 }
 
-// hostForecastLoads sums forecast demand per host, charging in-flight
-// migrations to their destinations.
-func (m *Manager) hostForecastLoads(forecasts map[vm.ID]float64) map[host.ID]float64 {
+// hostForecastLoads sums forecast demand per host (indexed host.ID-1),
+// charging in-flight migrations to their destinations. Pure in the
+// placements, the in-flight set, and the forecasts — so an unchanged
+// (epoch, fcEpoch) pair returns the cached vector. Phases that mutate
+// the returned vector in place after a successful actuation (pending
+// placement, load balancing) always move the epoch first via the
+// actuation itself, so the mutated cache is recomputed at its next
+// read, exactly as the eager path rebuilds it each call.
+func (m *Manager) hostForecastLoads(forecasts []float64) []float64 {
+	if m.inc && m.loadsOK && m.loadsE == m.epoch && m.loadsF == m.fcEpoch {
+		return m.loads
+	}
+	m.growHostSlots()
 	loads, migratingTo := m.loads, m.migTo
-	clear(loads)
+	for i := range loads {
+		loads[i] = 0
+	}
 	clear(migratingTo)
 	for _, mig := range m.cl.Migrations().Inflights() {
 		migratingTo[mig.VM] = host.ID(mig.Dst)
 	}
 	for _, v := range m.cl.VMs() {
 		if dst, ok := migratingTo[v.ID()]; ok {
-			loads[dst] += forecasts[v.ID()]
+			loads[dst-1] += forecasts[v.ID()-1]
 			continue
 		}
 		if hid, ok := m.cl.Placement(v.ID()); ok {
-			loads[hid] += forecasts[v.ID()]
+			loads[hid-1] += forecasts[v.ID()-1]
 		}
 	}
+	m.loadsE = m.epoch
+	m.loadsF = m.fcEpoch
+	m.loadsOK = true
 	return loads
 }
 
 // inboundMemory sums in-flight inbound migration memory per host
-// (beyond what the host already reserves itself, this is used for
-// planning against stale reads).
-func (m *Manager) inboundMemory() map[host.ID]float64 {
+// (indexed host.ID-1; beyond what the host already reserves itself,
+// this is used for planning against stale reads). Pure in the
+// in-flight migration set, which only moves with the epoch.
+func (m *Manager) inboundMemory() []float64 {
+	if m.inc && m.inbOK && m.inbE == m.epoch {
+		return m.inbound
+	}
+	m.growHostSlots()
 	out := m.inbound
-	clear(out)
+	for i := range out {
+		out[i] = 0
+	}
 	for _, mig := range m.cl.Migrations().Inflights() {
 		if v, ok := m.cl.VM(mig.VM); ok {
-			out[host.ID(mig.Dst)] += v.MemoryGB()
+			out[mig.Dst-1] += v.MemoryGB()
 		}
 	}
+	m.inbE = m.epoch
+	m.inbOK = true
 	return out
 }
 
 // balanceLoad is the base-DRM behaviour: offload hot hosts onto the
 // coolest serving hosts.
-func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
+func (m *Manager) balanceLoad(forecasts []float64) {
 	c := m.takeCensus()
 	if len(c.serving) < 2 {
 		return
@@ -1078,7 +1178,7 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 		if m.distrusted(src.ID()) {
 			continue
 		}
-		if loads[src.ID()] <= m.cfg.LBThreshold*src.Cores() {
+		if loads[src.ID()-1] <= m.cfg.LBThreshold*src.Cores() {
 			continue
 		}
 		// Move smallest VMs first: cheapest moves that relieve
@@ -1087,17 +1187,17 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 		vids := append(m.lbVMs[:0], src.VMs()...)
 		m.lbVMs = vids
 		sort.Slice(vids, func(i, j int) bool {
-			fi, fj := forecasts[vids[i]], forecasts[vids[j]]
+			fi, fj := forecasts[vids[i]-1], forecasts[vids[j]-1]
 			if fi != fj {
 				return fi < fj
 			}
 			return vids[i] < vids[j]
 		})
 		for _, vid := range vids {
-			if loads[src.ID()] <= m.cfg.TargetUtil*src.Cores() {
+			if loads[src.ID()-1] <= m.cfg.TargetUtil*src.Cores() {
 				break
 			}
-			if m.cl.Migrating(vid) || forecasts[vid] <= 0 || m.migrationHeld(vid) || m.migCmdPending(vid) {
+			if m.cl.Migrating(vid) || forecasts[vid-1] <= 0 || m.migrationHeld(vid) || m.migCmdPending(vid) {
 				continue
 			}
 			dst := m.pickLBDestination(vid, src, forecasts, loads, c.serving)
@@ -1108,9 +1208,13 @@ func (m *Manager) balanceLoad(forecasts map[vm.ID]float64) {
 				m.stats.MigrationsFailed++
 				continue
 			}
+			// startMigration moved the epoch (the cluster's dirty feed
+			// on the direct path, an explicit bump on the async path),
+			// so this in-phase rebalance of the cached vector matches
+			// the eager path and is discarded at the next cache read.
 			m.stats.MigrationsLB++
-			loads[src.ID()] -= forecasts[vid]
-			loads[dst.ID()] += forecasts[vid]
+			loads[src.ID()-1] -= forecasts[vid-1]
+			loads[dst.ID()-1] += forecasts[vid-1]
 		}
 	}
 }

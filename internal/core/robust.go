@@ -53,6 +53,9 @@ func (m *Manager) Quarantined(id host.ID) bool { return m.isQuarantined(id) }
 // success is only known when the ack lands (commandResult).
 func (m *Manager) sleepHost(id host.ID) error {
 	if m.cp != nil {
+		// Async sends bypass the cluster's dirty feed; invalidate so
+		// no cached plan outlives the intent change.
+		m.invalidate()
 		m.parking[id] = true
 		m.cp.SendSleep(id, m.cfg.Policy.SleepState)
 		return nil
@@ -69,6 +72,10 @@ func (m *Manager) sleepHost(id host.ID) error {
 // control plane the order is asynchronous, like sleepHost.
 func (m *Manager) wakeHost(id host.ID) error {
 	if m.cp != nil {
+		// Async sends bypass the cluster's dirty feed; scaleUp appends
+		// to the census's waking set after a successful send, so the
+		// cached census must not be served again unrebuilt.
+		m.invalidate()
 		m.wakingReq[id] = true
 		m.cp.SendWake(id)
 		return nil
@@ -131,6 +138,7 @@ func (m *Manager) suspendFailed(id host.ID) {
 	if n > m.cfg.MaxTransitionRetries {
 		m.quarantine(id)
 		delete(m.evacuating, id)
+		m.invalidate()
 		m.counters.Inc(CtrDegradedKeepOn)
 		return
 	}
@@ -273,6 +281,7 @@ func (m *Manager) hostCrashed(id host.ID) {
 	delete(m.wakingReq, id)
 	delete(m.retries, id)
 	delete(m.retryAt, id)
+	m.invalidate()
 	if m.started {
 		m.step()
 	}

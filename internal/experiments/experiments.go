@@ -60,6 +60,13 @@ type Options struct {
 	// delta, everything else to full. Like Shards, a wall-clock knob:
 	// reports are byte-identical in either mode.
 	Delta DeltaMode
+	// Incremental selects the manager's planning mode for every
+	// scenario an experiment builds: IncrementalOn maintains the
+	// manager's planning inputs from per-host deltas, IncrementalOff
+	// rebuilds them by full scan each control step, and the zero value
+	// keeps the manager default (incremental). Like Delta, a
+	// wall-clock knob: reports are byte-identical in either mode.
+	Incremental agilepower.IncrementalMode
 	// TelemetryCap bounds each recorded time series to this many stored
 	// samples via deterministic bucket folding (see
 	// Scenario.TelemetryCap). 0 leaves experiments to their defaults
@@ -135,6 +142,9 @@ func (o Options) tune(sc agilepower.Scenario) agilepower.Scenario {
 		sc.Delta = true
 	case DeltaOff:
 		sc.Delta = false
+	}
+	if o.Incremental != agilepower.IncrementalDefault {
+		sc.Manager.Incremental = o.Incremental
 	}
 	if o.TelemetryCap > 0 {
 		sc.TelemetryCap = o.TelemetryCap

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"agilepower"
+)
+
+// TestIncrementalMatrixMatchesGolden replays the robust and ctrl
+// experiments — fault injection, crash/repair churn, and the imperfect
+// control plane, the paths that stress the manager's cache
+// invalidation hardest — across the execution matrix: shards {1, 2, 4}
+// × workers {1, 4} × incremental planning {on, off}, comparing each
+// report byte-for-byte against the golden. Planning mode is a
+// wall-clock knob; it may not move a single byte.
+func TestIncrementalMatrixMatchesGolden(t *testing.T) {
+	for _, id := range []string{"robust", "ctrl"} {
+		want := goldenQuickSection(t, id)
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4} {
+				for _, inc := range []agilepower.IncrementalMode{agilepower.IncrementalOn, agilepower.IncrementalOff} {
+					name := fmt.Sprintf("%s/shards=%d/workers=%d/incremental=%s", id, shards, workers, inc)
+					t.Run(name, func(t *testing.T) {
+						var got bytes.Buffer
+						opts := Options{
+							Quick: true, Shards: shards, EvalWorkers: workers, Incremental: inc,
+						}
+						if err := Run(id, &got, opts); err != nil {
+							t.Fatal(err)
+						}
+						diffAt(t, name, got.Bytes(), want)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestHyperscaleIncrementalMatrixMatchesGolden replays the hyperscale
+// experiment across incremental {on, off} × shards {1, 2, 4} ×
+// workers {1, 4} and compares every report against the golden bytes.
+// This is the tentpole's headline identity at experiment scale: the
+// cached plans, the incrementally-maintained census and forecasts, and
+// the lazy forecast catch-up produce exactly the bytes the full-scan
+// planner does, for every sharding of the evaluation tick.
+func TestHyperscaleIncrementalMatrixMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode hyperscale replays; skipped with -short")
+	}
+	want := goldenQuickSection(t, "hyper")
+	for _, inc := range []agilepower.IncrementalMode{agilepower.IncrementalOn, agilepower.IncrementalOff} {
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("hyper/incremental=%s/shards=%d/workers=%d", inc, shards, workers)
+				t.Run(name, func(t *testing.T) {
+					var got bytes.Buffer
+					opts := Options{
+						Quick: true, Shards: shards, EvalWorkers: workers, Incremental: inc,
+					}
+					if err := Run("hyper", &got, opts); err != nil {
+						t.Fatal(err)
+					}
+					diffAt(t, name, got.Bytes(), want)
+				})
+			}
+		}
+	}
+}

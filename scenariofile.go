@@ -93,6 +93,11 @@ type ManagerFile struct {
 	PredictiveWake bool    `json:"predictiveWake,omitempty"`
 	PanicShortfall float64 `json:"panicShortfall,omitempty"`
 	Forecast       string  `json:"forecast,omitempty"` // last-value, ewma, peak-window
+	// Incremental selects the planning mode: "on" (default) maintains
+	// planning inputs from per-host deltas, "off" rebuilds them by full
+	// scan each control step. Wall-clock only; results are
+	// byte-identical either way.
+	Incremental string `json:"incremental,omitempty"`
 }
 
 // CtrlPlaneFile mirrors the CtrlPreset knobs in JSON: mean one-way
@@ -200,6 +205,15 @@ func (f ScenarioFile) Build() (Scenario, error) {
 			sc.Manager.Forecast = ForecastSpec{Kind: ForecastPeakWindow}
 		default:
 			return Scenario{}, fmt.Errorf("agilepower: unknown forecast %q", m.Forecast)
+		}
+		switch m.Incremental {
+		case "":
+		case "on":
+			sc.Manager.Incremental = IncrementalOn
+		case "off":
+			sc.Manager.Incremental = IncrementalOff
+		default:
+			return Scenario{}, fmt.Errorf("agilepower: unknown incremental mode %q", m.Incremental)
 		}
 	}
 	if cp := f.CtrlPlane; cp != nil {

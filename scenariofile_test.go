@@ -15,7 +15,7 @@ const sampleScenarioFile = `{
   ],
   "horizonHours": 6,
   "policy": "dpm-s3",
-  "manager": {"periodMinutes": 3, "targetUtil": 0.65, "predictiveWake": true, "forecast": "ewma"},
+  "manager": {"periodMinutes": 3, "targetUtil": 0.65, "predictiveWake": true, "forecast": "ewma", "incremental": "off"},
   "churn": {"arrivalsPerHour": 2, "meanLifetimeHours": 1},
   "seed": 5
 }`
@@ -46,6 +46,9 @@ func TestParseScenarioFull(t *testing.T) {
 	if sc.Manager.Forecast.Kind != ForecastEWMA {
 		t.Fatalf("forecast = %v", sc.Manager.Forecast.Kind)
 	}
+	if sc.Manager.Incremental != IncrementalOff {
+		t.Fatalf("incremental = %v", sc.Manager.Incremental)
+	}
 	if sc.Churn == nil || sc.Churn.ArrivalsPerHour != 2 || sc.Churn.MeanLifetime != time.Hour {
 		t.Fatalf("churn: %+v", sc.Churn)
 	}
@@ -69,6 +72,7 @@ func TestParseScenarioErrors(t *testing.T) {
 		{"bad fleet kind", `{"hosts":4,"fleets":[{"kind":"quantum","count":2}]}`},
 		{"bad policy", `{"hosts":4,"policy":"yolo","fleets":[{"kind":"flat","count":2}]}`},
 		{"bad forecast", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"manager":{"forecast":"crystal-ball"}}`},
+		{"bad incremental", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"manager":{"incremental":"maybe"}}`},
 		{"replicated missing params", `{"hosts":4,"fleets":[{"kind":"replicated"}]}`},
 		{"no hosts", `{"fleets":[{"kind":"flat","count":2}]}`},
 		{"bad churn", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"churn":{"arrivalsPerHour":-1}}`},
