@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke bench-setup bench-setup-smoke sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -48,8 +48,8 @@ fmt:
 # identically for a fixed seed. Run explicitly in CI (it is also part
 # of `make test`) so a violation is unmissable.
 determinism:
-	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns|TestDeltaMatrixMatchesGolden|TestDeltaEvaluateBitIdentical|TestIncrementalMatrixMatchesGolden|TestHyperscaleIncrementalMatrixMatchesGolden|TestIncrementalPlanningParity' -v \
-		./internal/experiments/ ./internal/ctrlplane/ ./internal/cluster/ ./internal/core/
+	$(GO) test -run 'TestRunAllByteIdenticalAcrossWorkers|TestRunAllByteIdenticalAcrossShards|TestShardedFaultedExperimentsByteIdentical|TestPlaneDeterministicAcrossReruns|TestDeltaMatrixMatchesGolden|TestDeltaEvaluateBitIdentical|TestIncrementalMatrixMatchesGolden|TestHyperscaleIncrementalMatrixMatchesGolden|TestIncrementalPlanningParity|TestForkMatrixMatchesGolden|TestColdWorldMatchesGolden|TestForkMatchesColdStart|TestConcurrentForksMatchColdStart' -v \
+		./internal/experiments/ ./internal/ctrlplane/ ./internal/cluster/ ./internal/core/ .
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -count=3 ./...
@@ -150,6 +150,38 @@ bench-manager-smoke:
 	$(GO) test -run 'TestManagerStepSteadyStateAllocFree|TestIncrementalPlanningParity|TestIncrementalModeMatchesFullScan' -v \
 		./internal/core/ .
 
+# Record the world-setup benchmarks (per-cell world construction and
+# end-to-end session creation, cold versus forked from a shared
+# prototype, at 256-host and 16384-host scale) into BENCH_setup.json.
+# The checked-in artifact holds the pre/post numbers of the
+# snapshot/fork rework; the acceptance bar is fork >= 5x cheaper than
+# cold world construction at quick scale:
+#
+#	make bench-setup LABEL=setup-post-fork
+# The bench output lands in a temp file and is recorded afterwards —
+# piping straight into `go run` would compile benchjson concurrently
+# with the measurement and steal CPU from it.
+bench-setup: LABEL ?= setup
+bench-setup:
+	$(GO) test -run '^$$' -bench '(BenchmarkWorldBuildVsFork|BenchmarkWorldForkVsColdStart)/cold' \
+		-benchmem -benchtime=200x -count=3 -timeout 30m . > bench_setup_cold.tmp
+	$(GO) test -run '^$$' -bench '(BenchmarkWorldBuildVsFork|BenchmarkWorldForkVsColdStart)/fork' \
+		-benchmem -benchtime=200x -count=3 -timeout 30m . > bench_setup_fork.tmp
+	$(GO) run ./cmd/benchjson -label $(LABEL)-pre-cold -out BENCH_setup.json < bench_setup_cold.tmp
+	$(GO) run ./cmd/benchjson -label $(LABEL)-post-fork -out BENCH_setup.json < bench_setup_fork.tmp
+	rm -f bench_setup_cold.tmp bench_setup_fork.tmp
+
+# The setup-cost gate without a measurement run: one iteration of both
+# setup benchmarks (so the fixtures cannot rot), the fork-vs-cold
+# byte-identity matrix, the forked-tick 0-alloc assertion, the
+# screened-placement regression test, and the ColdWorld escape-hatch
+# golden check. CI runs this as its setup-gate job; part of `make ci`.
+bench-setup-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkWorldBuildVsFork|BenchmarkWorldForkVsColdStart' \
+		-benchmem -benchtime=1x .
+	$(GO) test -run 'TestForkMatchesColdStart|TestForkGridMatchesColdStart|TestForkedEvaluateSteadyStateAllocFree|TestPlaceInitialMatchesLegacyRetry|TestColdWorldMatchesGolden' -v \
+		. ./internal/cluster/ ./internal/experiments/
+
 # Allocation regression gate: the steady-state evaluation tick — serial
 # and sharded — the pooled event loop, and the manager's cached control
 # step must stay allocation-free, and the full report bytes must match
@@ -164,7 +196,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-setup-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

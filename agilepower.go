@@ -236,6 +236,12 @@ type Scenario struct {
 	TelemetryCap int
 	// Seed drives all simulation randomness (default 1).
 	Seed uint64
+	// ColdWorld disables the snapshot/fork world reuse in the grid
+	// runners (RunPolicies, RunReplicated, the experiment grids): every
+	// cell rebuilds its world from scratch via Start instead of forking
+	// a shared Prototype. Purely a debugging escape hatch — results are
+	// byte-identical either way, forking is just faster.
+	ColdWorld bool
 	// Faults, when non-nil and enabled, injects transition failures,
 	// migration aborts/stalls, and transient host crashes, all drawn
 	// from a substream of Seed. Nil (or a dormant config) leaves the
@@ -401,17 +407,27 @@ func (s Scenario) RunPolicies(policies []Policy) ([]*Result, error) {
 }
 
 // RunPoliciesWorkers is RunPolicies with an explicit concurrency
-// bound (workers <= 0 means GOMAXPROCS, 1 means sequential). Every
-// worker builds its own engine, cluster, and host fleet from the
-// shared read-only scenario inputs (traces, profiles, policy table),
-// so results — and any report rendered from them in policy order —
-// are byte-identical for every worker count.
+// bound (workers <= 0 means GOMAXPROCS, 1 means sequential). The
+// world — host fleet plus initial placement — is built once as a
+// Prototype and forked per policy (unless ColdWorld is set); each
+// worker then runs its fork on its own engine, so results — and any
+// report rendered from them in policy order — are byte-identical for
+// every worker count, and to a cold per-policy Start.
 func (s Scenario) RunPoliciesWorkers(workers int, policies []Policy) ([]*Result, error) {
+	var proto *Prototype
+	if !s.ColdWorld {
+		// A prototype failure (validation or construction) falls back to
+		// the cold path, which reproduces the same error per policy —
+		// callers see exactly what a cold loop reported.
+		if p, err := s.Prototype(); err == nil {
+			proto = p
+		}
+	}
 	return parallel.Map(context.Background(), len(policies), workers,
 		func(_ context.Context, i int) (*Result, error) {
 			sc := s
 			sc.Manager.Policy = policies[i]
-			res, err := sc.Run()
+			res, err := runScenario(proto, sc)
 			if err != nil {
 				return nil, fmt.Errorf("policy %q: %w", policies[i].Name, err)
 			}

@@ -31,6 +31,7 @@ func main() {
 	delta := flag.String("delta", "", "evaluation mode: 'on' forces event-driven delta evaluation, 'off' forces the full scan, empty lets each experiment choose; output is identical in either mode")
 	incremental := flag.String("incremental", "", "manager planning mode: 'on' maintains planning inputs incrementally (the default), 'off' rebuilds by full scan each control step; output is identical in either mode")
 	telemetryCap := flag.Int("telemetry-cap", 0, "bound each recorded time series to this many stored samples (0 = experiment default)")
+	coldWorld := flag.Bool("cold-world", false, "rebuild each grid cell's fleet from scratch instead of forking a shared snapshot; output is identical either way")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -69,6 +70,7 @@ func main() {
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
 		Shards: *shards, EvalWorkers: *evalWorkers,
 		Delta: deltaMode, Incremental: incMode, TelemetryCap: *telemetryCap,
+		ColdWorld: *coldWorld,
 	}
 	if *exp == "all" {
 		// Long runs stay observable: per-experiment wall times go to

@@ -2,6 +2,7 @@ package agilepower
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"agilepower/internal/sim"
@@ -185,6 +186,56 @@ func ReplicatedFleet(services, replicas int, seed uint64) []VMSpec {
 // of trace memory rather than gigabytes.
 const hyperscalePoolSize = 512
 
+// tracePoolKey identifies one generated hyperscale trace pool set: the
+// fleet kind, the pool size, and the seed fully determine the traces.
+type tracePoolKey struct {
+	kind string
+	size int
+	seed uint64
+}
+
+// tracePoolCacheMax bounds the pool cache. A grid sweep touches a
+// handful of (kind, size, seed) combinations; on overflow the cache is
+// simply cleared (the next builds regenerate), keeping worst-case
+// memory bounded without an eviction order to maintain.
+const tracePoolCacheMax = 16
+
+var (
+	tracePoolMu    sync.Mutex
+	tracePoolCache map[tracePoolKey][][]*Trace
+)
+
+// cachedTracePools returns the shared trace pools for one hyperscale
+// fleet build, generating them with gen on first use. Traces are
+// read-only after construction (internal/workload), so grid cells and
+// replication seeds reusing a (kind, size, seed) share the pool
+// instead of regenerating hundreds of traces per cell. Generation runs
+// outside the lock; on a generation race the first writer wins and
+// later builders adopt its pools, so concurrent callers still share.
+func cachedTracePools(kind string, size int, seed uint64, gen func() [][]*Trace) [][]*Trace {
+	key := tracePoolKey{kind: kind, size: size, seed: seed}
+	tracePoolMu.Lock()
+	pools, ok := tracePoolCache[key]
+	tracePoolMu.Unlock()
+	if ok {
+		return pools
+	}
+	pools = gen()
+	tracePoolMu.Lock()
+	defer tracePoolMu.Unlock()
+	if cached, ok := tracePoolCache[key]; ok {
+		return cached
+	}
+	if tracePoolCache == nil {
+		tracePoolCache = make(map[tracePoolKey][][]*Trace)
+	}
+	if len(tracePoolCache) >= tracePoolCacheMax {
+		clear(tracePoolCache)
+	}
+	tracePoolCache[key] = pools
+	return pools
+}
+
 // HyperscaleFleet returns n small (2 vCPU / 4 GB) VMs for the
 // hyperscale experiment, drawing demand from a shared pool of at most
 // hyperscalePoolSize coarse-grained traces. Every trace is sampled at
@@ -194,7 +245,6 @@ const hyperscalePoolSize = 512
 // flash-crowd API (20%), periodic batch (10%) and flat utility VMs
 // (10%) so every host carries a blend.
 func HyperscaleFleet(n int, seed uint64) []VMSpec {
-	rng := sim.NewRNG(seed)
 	interval := 15 * time.Minute
 	size := hyperscalePoolSize
 	if size > n {
@@ -203,40 +253,48 @@ func HyperscaleFleet(n int, seed uint64) []VMSpec {
 	if size < 20 {
 		size = 20
 	}
-	web := make([]*Trace, size*6/10)
-	for i := range web {
-		web[i] = workload.Diurnal(rng.Fork(), workload.DiurnalSpec{
-			Interval:    interval,
-			BaseCores:   0.1,
-			PeakCores:   0.8,
-			NoiseFrac:   0.05,
-			PhaseJitter: 90 * time.Minute,
-		})
-	}
-	api := make([]*Trace, size*2/10)
-	for i := range api {
-		api[i] = workload.Spiky(rng.Fork(), workload.SpikeSpec{
-			Interval:   interval,
-			BaseCores:  0.1,
-			SpikeCores: 2,
-			Spikes:     2,
-			SpikeLen:   45 * time.Minute,
-		})
-	}
-	batch := make([]*Trace, size/10)
-	for i := range batch {
-		batch[i] = workload.Batch(rng.Fork(), workload.BatchSpec{
-			Interval:  interval,
-			IdleCores: 0.05,
-			RunCores:  2,
-			Period:    6 * time.Hour,
-			RunLen:    90 * time.Minute,
-		})
-	}
-	flat := make([]*Trace, size/10)
-	for i := range flat {
-		flat[i] = workload.Constant(0.1 + 0.05*float64(i%4))
-	}
+	// The RNG is consumed only inside pool generation, so the pools are
+	// a pure function of (size, seed) and repeated builds — grid cells,
+	// replication seeds — reuse the cached traces.
+	pools := cachedTracePools("hyperscale", size, seed, func() [][]*Trace {
+		rng := sim.NewRNG(seed)
+		web := make([]*Trace, size*6/10)
+		for i := range web {
+			web[i] = workload.Diurnal(rng.Fork(), workload.DiurnalSpec{
+				Interval:    interval,
+				BaseCores:   0.1,
+				PeakCores:   0.8,
+				NoiseFrac:   0.05,
+				PhaseJitter: 90 * time.Minute,
+			})
+		}
+		api := make([]*Trace, size*2/10)
+		for i := range api {
+			api[i] = workload.Spiky(rng.Fork(), workload.SpikeSpec{
+				Interval:   interval,
+				BaseCores:  0.1,
+				SpikeCores: 2,
+				Spikes:     2,
+				SpikeLen:   45 * time.Minute,
+			})
+		}
+		batch := make([]*Trace, size/10)
+		for i := range batch {
+			batch[i] = workload.Batch(rng.Fork(), workload.BatchSpec{
+				Interval:  interval,
+				IdleCores: 0.05,
+				RunCores:  2,
+				Period:    6 * time.Hour,
+				RunLen:    90 * time.Minute,
+			})
+		}
+		flat := make([]*Trace, size/10)
+		for i := range flat {
+			flat[i] = workload.Constant(0.1 + 0.05*float64(i%4))
+		}
+		return [][]*Trace{web, api, batch, flat}
+	})
+	web, api, batch, flat := pools[0], pools[1], pools[2], pools[3]
 	out := make([]VMSpec, n)
 	var wi, ai, bi, fi int
 	for i := range out {
@@ -274,7 +332,6 @@ func HyperscaleFleet(n int, seed uint64) []VMSpec {
 // skips them entirely. Traces come from a shared pool like
 // HyperscaleFleet's.
 func DeepTroughFleet(n int, seed uint64) []VMSpec {
-	rng := sim.NewRNG(seed)
 	interval := 15 * time.Minute
 	size := hyperscalePoolSize
 	if size > n {
@@ -283,30 +340,35 @@ func DeepTroughFleet(n int, seed uint64) []VMSpec {
 	if size < 20 {
 		size = 20
 	}
-	batch := make([]*Trace, size*5/10)
-	for i := range batch {
-		batch[i] = workload.Batch(rng.Fork(), workload.BatchSpec{
-			Interval:  interval,
-			IdleCores: 0.02,
-			RunCores:  2,
-			Period:    12 * time.Hour,
-			RunLen:    time.Hour,
-		})
-	}
-	day := make([]*Trace, size*3/10)
-	for i := range day {
-		day[i] = workload.Workday(rng.Fork(), workload.WorkdaySpec{
-			Interval:   interval,
-			LowCores:   0.05,
-			HighCores:  1.5,
-			JumpLen:    15 * time.Minute,
-			OpenJitter: 30 * time.Minute,
-		})
-	}
-	flat := make([]*Trace, size*2/10)
-	for i := range flat {
-		flat[i] = workload.Constant(0.02 + 0.02*float64(i%3))
-	}
+	pools := cachedTracePools("deeptrough", size, seed, func() [][]*Trace {
+		rng := sim.NewRNG(seed)
+		batch := make([]*Trace, size*5/10)
+		for i := range batch {
+			batch[i] = workload.Batch(rng.Fork(), workload.BatchSpec{
+				Interval:  interval,
+				IdleCores: 0.02,
+				RunCores:  2,
+				Period:    12 * time.Hour,
+				RunLen:    time.Hour,
+			})
+		}
+		day := make([]*Trace, size*3/10)
+		for i := range day {
+			day[i] = workload.Workday(rng.Fork(), workload.WorkdaySpec{
+				Interval:   interval,
+				LowCores:   0.05,
+				HighCores:  1.5,
+				JumpLen:    15 * time.Minute,
+				OpenJitter: 30 * time.Minute,
+			})
+		}
+		flat := make([]*Trace, size*2/10)
+		for i := range flat {
+			flat[i] = workload.Constant(0.02 + 0.02*float64(i%3))
+		}
+		return [][]*Trace{batch, day, flat}
+	})
+	batch, day, flat := pools[0], pools[1], pools[2]
 	out := make([]VMSpec, n)
 	var bi, di, fi int
 	for i := range out {

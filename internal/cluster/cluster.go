@@ -98,6 +98,9 @@ type Config struct {
 type Cluster struct {
 	eng  *sim.Engine
 	step time.Duration
+	// cfg is the Config the cluster was built from, kept verbatim so
+	// Fork can rebuild an identically configured empty cluster.
+	cfg Config
 
 	// hostList holds every host in creation order; host N has ID N+1
 	// and hosts are never removed, so the slice doubles as the cached
@@ -293,6 +296,7 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		eng:             eng,
 		step:            step,
+		cfg:             cfg,
 		migrations:      mgr,
 		shards:          cfg.Shards,
 		evalWorkers:     cfg.EvalWorkers,
@@ -346,6 +350,88 @@ func (c *Cluster) InjectFaults(pf power.FaultInjector, mf migrate.FaultInjector)
 	c.migrations.SetFaultInjector(mf)
 }
 
+// Fork copies a pristine cluster — fully built (hosts added, VMs
+// placed) but never started, evaluated, or faulted — into an
+// independent cluster attached to eng. The copy is flat: the host
+// fleet clones in three arena allocations (host.CloneFleet), per-VM
+// state copies as dense slices, and the construction event log is
+// duplicated, while immutable structure (VM objects, demand traces,
+// power profiles) is shared by pointer. Because a pristine cluster has
+// scheduled no engine events, consumed no randomness, and recorded no
+// telemetry, a forked cluster then driven through Start is
+// byte-identical to building the same cluster cold — the invariant the
+// snapshot/fork layer's golden tests pin. Fork only reads the source,
+// so many forks may run concurrently from one prototype.
+func (c *Cluster) Fork(eng *sim.Engine) (*Cluster, error) {
+	if c.started || c.closed {
+		return nil, fmt.Errorf("cluster: fork requires a cluster that has not been started")
+	}
+	if c.tickCount != 0 {
+		return nil, fmt.Errorf("cluster: fork requires a pristine cluster (evaluations already ran)")
+	}
+	if eng.Now() != c.eng.Now() {
+		return nil, fmt.Errorf("cluster: fork engine clock %v differs from source %v", eng.Now(), c.eng.Now())
+	}
+	if len(c.migrations.Inflights()) != 0 {
+		return nil, fmt.Errorf("cluster: fork with in-flight migrations")
+	}
+	nc, err := New(eng, c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := host.CloneFleet(eng, c.hostList)
+	if err != nil {
+		return nil, err
+	}
+	nc.hostList = fleet
+	nc.nextHostID = c.nextHostID
+	// Rebind the per-host observer exactly as AddHost does on the cold
+	// path: one shared listener value, zero allocations across the
+	// fleet.
+	for _, h := range fleet {
+		h.SetListener(nc)
+	}
+	// Per-VM dense state: flat slice copies, VM pointers shared. The two
+	// pointer slices share one arena allocation, capacity-clipped so
+	// appends copy-on-grow instead of clobbering the neighbor.
+	vmArena := make([]*vm.VM, len(c.vmsByID)+len(c.vmList))
+	nc.vmsByID = vmArena[:len(c.vmsByID):len(c.vmsByID)]
+	copy(nc.vmsByID, c.vmsByID)
+	nc.vmList = vmArena[len(c.vmsByID):len(vmArena):len(vmArena)]
+	copy(nc.vmList, c.vmList)
+	nc.placement = append([]host.ID(nil), c.placement...)
+	nc.pending = append([]bool(nil), c.pending...)
+	nc.pendingCount = c.pendingCount
+	nc.current = append([]allocRecord(nil), c.current...)
+	// SLA trackers rebuild in fixed-capacity arena chunks so the sla
+	// pointers stay stable as later arrivals append into the open chunk
+	// (see growVMState).
+	if len(c.sla) > 0 {
+		nc.sla = make([]*telemetry.SLATracker, 0, len(c.sla))
+		nc.slaArena = make([][]telemetry.SLATracker, 0, len(c.slaArena))
+		for _, chunk := range c.slaArena {
+			copied := make([]telemetry.SLATracker, len(chunk), slaChunkSize)
+			copy(copied, chunk)
+			nc.slaArena = append(nc.slaArena, copied)
+			for j := range copied {
+				nc.sla = append(nc.sla, &copied[j])
+			}
+		}
+	}
+	for id, at := range c.arrivedAt {
+		nc.arrivedAt[id] = at
+	}
+	nc.provisionLat = append([]time.Duration(nil), c.provisionLat...)
+	nc.vmEpoch = c.vmEpoch
+	nc.strandedCount = c.strandedCount
+	nc.strandedVMSec = c.strandedVMSec
+	nc.strandedSince = c.strandedSince
+	nc.nextVMID = c.nextVMID
+	nc.departed = c.departed
+	nc.log = c.log.Clone()
+	return nc, nil
+}
+
 // Engine returns the simulation engine driving this cluster.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
 
@@ -380,10 +466,18 @@ func (c *Cluster) AddHost(cfg host.Config) (*host.Host, error) {
 	}
 	c.nextHostID++
 	c.hostList = append(c.hostList, h)
-	h.Machine().OnSettled(func(st power.State) { c.hostSettled(id, st) })
-	h.OnChange(func() { c.noteDirty(id) })
+	h.SetListener(c)
 	return h, nil
 }
+
+// HostChanged implements host.Listener: a host-local change to
+// scheduling inputs (today: a DVFS frequency move) marks the host
+// dirty for delta evaluation.
+func (c *Cluster) HostChanged(id host.ID) { c.noteDirty(id) }
+
+// HostSettled implements host.Listener: a completed power transition
+// runs the cluster's settle bookkeeping.
+func (c *Cluster) HostSettled(id host.ID, st power.State) { c.hostSettled(id, st) }
 
 // slaChunkSize is the arena granularity for SLA trackers: large enough
 // to amortize allocation at fleet scale, small enough not to waste

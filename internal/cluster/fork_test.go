@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"agilepower/internal/host"
+	"agilepower/internal/sim"
+	"agilepower/internal/vm"
+	"agilepower/internal/workload"
+)
+
+// buildPristine constructs a never-started cluster with a populated
+// fleet, the shape every fork test starts from.
+func buildPristine(t testing.TB, cfg Config, hosts, vms int) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	c, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < hosts; h++ {
+		if _, err := c.AddHost(host.Config{Cores: 16, MemoryGB: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(1)
+	for v := 0; v < vms; v++ {
+		tr := workload.Diurnal(rng.Fork(), workload.DiurnalSpec{BaseCores: 0.4, PeakCores: 3})
+		if _, err := c.AddVM(vm.Config{VCPUs: 4, MemoryGB: 8, Trace: tr}, host.ID(v%hosts+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, c
+}
+
+// TestForkedEvaluateSteadyStateAllocFree extends the allocation gate to
+// forked worlds: a cluster stamped out by Fork must reach the same
+// steady state as one built cold — preallocated series, primed scratch
+// buffers — and its evaluation tick must not touch the heap. A fork
+// that shares a growable buffer with its source, or skimps on
+// preallocation, fails here.
+func TestForkedEvaluateSteadyStateAllocFree(t *testing.T) {
+	_, src := buildPristine(t, Config{Horizon: 30 * 24 * time.Hour}, 16, 80)
+	eng := sim.NewEngine(2)
+	c, err := src.Fork(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime scratch and close the first interval exactly as the cold
+	// alloc gate does, then measure clock-advancing ticks.
+	now := eng.Now()
+	c.evaluate()
+	now += sim.Time(time.Minute)
+	eng.RunUntil(now)
+	c.evaluate()
+
+	avg := testing.AllocsPerRun(200, func() {
+		now += sim.Time(time.Minute)
+		eng.RunUntil(now)
+		c.evaluate()
+	})
+	if avg != 0 {
+		t.Fatalf("forked steady-state evaluate allocates %.2f times per tick, want 0", avg)
+	}
+}
+
+// TestForkIsolatesMutableState mutates a fork and its source in
+// opposite directions and checks neither sees the other's writes — the
+// flat-copy boundaries (placements, residents, SLA trackers, event log)
+// must all be deep enough.
+func TestForkIsolatesMutableState(t *testing.T) {
+	_, src := buildPristine(t, Config{}, 4, 12)
+	fork, err := src.Fork(sim.NewEngine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcEvents, forkEvents := src.Events().Len(), fork.Events().Len()
+	if srcEvents != forkEvents {
+		t.Fatalf("construction logs differ: %d vs %d", srcEvents, forkEvents)
+	}
+	// Remove a VM from the fork only; add a VM to the source only.
+	if err := fork.RemoveVM(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.AddVM(vm.Config{VCPUs: 2, MemoryGB: 4, Trace: workload.Constant(1)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.VM(1); !ok {
+		t.Fatal("source lost vm 1 after fork removed it")
+	}
+	if _, ok := fork.VM(1); ok {
+		t.Fatal("fork still holds vm 1 after removal")
+	}
+	if got := len(src.VMs()); got != 12+1 {
+		t.Fatalf("source holds %d VMs, want 13", got)
+	}
+	if got := len(fork.VMs()); got != 12-1 {
+		t.Fatalf("fork holds %d VMs, want 11", got)
+	}
+	lastSrc := src.Events().All()[src.Events().Len()-1]
+	lastFork := fork.Events().All()[fork.Events().Len()-1]
+	if lastSrc == lastFork {
+		t.Fatalf("event logs still shared after divergent mutations: both end with %v", lastSrc)
+	}
+	if err := src.CheckInvariants(); err != nil {
+		t.Fatalf("source invariants: %v", err)
+	}
+	if err := fork.CheckInvariants(); err != nil {
+		t.Fatalf("fork invariants: %v", err)
+	}
+}
+
+// TestForkGuards pins the preconditions: forking is only defined for a
+// pristine, never-started cluster on an engine at the same clock.
+func TestForkGuards(t *testing.T) {
+	t.Run("started", func(t *testing.T) {
+		_, c := buildPristine(t, Config{}, 2, 4)
+		c.Start()
+		if _, err := c.Fork(sim.NewEngine(2)); err == nil {
+			t.Fatal("fork of started cluster succeeded")
+		}
+	})
+	t.Run("evaluated", func(t *testing.T) {
+		_, c := buildPristine(t, Config{}, 2, 4)
+		c.evaluate()
+		if _, err := c.Fork(sim.NewEngine(2)); err == nil {
+			t.Fatal("fork after an evaluation tick succeeded")
+		}
+	})
+	t.Run("clock skew", func(t *testing.T) {
+		_, c := buildPristine(t, Config{}, 2, 4)
+		eng := sim.NewEngine(2)
+		eng.RunUntil(sim.Time(time.Second))
+		if _, err := c.Fork(eng); err == nil {
+			t.Fatal("fork onto an advanced engine succeeded")
+		}
+	})
+}

@@ -108,6 +108,12 @@ type Log struct {
 	cap     int
 	events  []Event
 	dropped int
+	// shared marks a copy-on-write clone: events aliases another log's
+	// backing array and must be detached (copied) before the first
+	// append. Cloning a pristine world's construction log is pure
+	// bookkeeping this way — forks that never record an event (or are
+	// thrown away) never pay for the copy.
+	shared bool
 }
 
 // NewLog returns a log bounded at capacity (≤0 selects 100,000).
@@ -120,12 +126,40 @@ func NewLog(capacity int) *Log {
 
 // Append records an event.
 func (l *Log) Append(e Event) {
+	if l.shared {
+		l.detach()
+	}
 	if len(l.events) >= l.cap {
 		drop := l.cap / 2
 		l.dropped += drop
 		l.events = append(l.events[:0], l.events[drop:]...)
 	}
 	l.events = append(l.events, e)
+}
+
+// Clone returns an independent copy of the log: same cap, same
+// retained events, same drop count. Appends to either side never
+// affect the other — the snapshot/fork layer uses this to give each
+// forked run its own audit trail seeded with the prototype's
+// construction events. The copy is lazy: clone and source share the
+// backing array until one of them appends (both sides detach before
+// their first write, so the shared prefix is never mutated).
+func (l *Log) Clone() *Log {
+	out := &Log{cap: l.cap, dropped: l.dropped}
+	if len(l.events) > 0 {
+		out.events = l.events[:len(l.events):len(l.events)]
+		out.shared = true
+		l.shared = true
+	}
+	return out
+}
+
+// detach gives a copy-on-write log its own backing array.
+func (l *Log) detach() {
+	owned := make([]Event, len(l.events))
+	copy(owned, l.events)
+	l.events = owned
+	l.shared = false
 }
 
 // Len returns the number of retained events.

@@ -63,10 +63,18 @@ func CtrlPlane(w io.Writer, opts Options) error {
 	fmt.Fprintf(w, "Control plane: %d hosts, %d VMs, horizon %.0fh, %d delay×loss mixes\n",
 		sc0.Hosts, len(sc0.VMs), hours(sc0.Horizon), len(mixes))
 
+	// Every cell shares sc0's fleet and world parameters, so the world
+	// is built once and forked per cell (cold fallback on error).
+	var proto *agilepower.Prototype
+	if !sc0.ColdWorld {
+		if p, err := sc0.Prototype(); err == nil {
+			proto = p
+		}
+	}
 	rows, err := parallel.Map(context.Background(), len(cells), opts.workers(),
 		func(_ context.Context, i int) ([]any, error) {
 			c := cells[i]
-			sc := dayScenario(opts)
+			sc := sc0
 			sc.Name = fmt.Sprintf("ctrl-%s-d%s-l%03.0f", c.pol.Name, c.mix.delay, c.mix.loss*1000)
 			sc.Manager.Policy = c.pol
 			// Each cell IS a control-plane setting: the cell's mix
@@ -77,7 +85,7 @@ func CtrlPlane(w io.Writer, opts Options) error {
 			} else {
 				sc.CtrlPlane = nil
 			}
-			res, err := sc.Run()
+			res, err := runCell(proto, sc)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", sc.Name, err)
 			}

@@ -72,6 +72,11 @@ type Options struct {
 	// Scenario.TelemetryCap). 0 leaves experiments to their defaults
 	// (unbounded, except hyperscale which sets its own cap).
 	TelemetryCap int
+	// ColdWorld disables the snapshot/fork world reuse: every grid cell
+	// rebuilds its fleet from scratch via a cold Start instead of
+	// forking a shared Prototype (see Scenario.ColdWorld). A debugging
+	// escape hatch — reports are byte-identical either way.
+	ColdWorld bool
 	// Workers bounds the number of simulations run concurrently inside
 	// an experiment's fan-out (per-policy, per-load, per-period, …) and
 	// across experiments in RunAll. 0 means GOMAXPROCS; 1 runs fully
@@ -149,7 +154,18 @@ func (o Options) tune(sc agilepower.Scenario) agilepower.Scenario {
 	if o.TelemetryCap > 0 {
 		sc.TelemetryCap = o.TelemetryCap
 	}
+	sc.ColdWorld = o.ColdWorld
 	return sc
+}
+
+// runCell executes one grid cell: forked from the shared prototype
+// when one is available, or via a cold Start otherwise. Results are
+// byte-identical either way.
+func runCell(proto *agilepower.Prototype, sc agilepower.Scenario) (*agilepower.Result, error) {
+	if proto != nil {
+		return proto.Run(sc)
+	}
+	return sc.Run()
 }
 
 // Runner executes one experiment, writing its report to w.

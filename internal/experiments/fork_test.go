@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"agilepower"
+)
+
+// TestForkMatrixMatchesGolden replays the robust and ctrl experiments —
+// the faulted grids, where every cell now forks from one shared world
+// prototype — across the execution matrix: shards {1, 2, 4} × workers
+// {1, 4} × delta {off, on} × incremental {on, off}, comparing each
+// report byte-for-byte against the golden. The golden bytes were
+// recorded by cold per-cell construction, so every passing cell is a
+// fork-vs-cold identity proof under that execution mix.
+func TestForkMatrixMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48 quick-mode experiment replays; skipped with -short")
+	}
+	for _, id := range []string{"robust", "ctrl"} {
+		want := goldenQuickSection(t, id)
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4} {
+				for _, delta := range []DeltaMode{DeltaOff, DeltaOn} {
+					for _, inc := range []agilepower.IncrementalMode{agilepower.IncrementalOn, agilepower.IncrementalOff} {
+						name := fmt.Sprintf("%s/shards=%d/workers=%d/delta=%v/incremental=%s",
+							id, shards, workers, delta == DeltaOn, inc)
+						t.Run(name, func(t *testing.T) {
+							var got bytes.Buffer
+							opts := Options{
+								Quick: true, Shards: shards, EvalWorkers: workers,
+								Workers: workers, Delta: delta, Incremental: inc,
+							}
+							if err := Run(id, &got, opts); err != nil {
+								t.Fatal(err)
+							}
+							diffAt(t, name, got.Bytes(), want)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColdWorldMatchesGolden pins the escape hatch: with ColdWorld set,
+// every grid cell rebuilds its fleet from scratch, and the report bytes
+// still match the golden — so fork and cold paths are interchangeable
+// at any time, which is what makes ColdWorld a usable bisection tool.
+func TestColdWorldMatchesGolden(t *testing.T) {
+	for _, id := range []string{"robust", "ctrl"} {
+		want := goldenQuickSection(t, id)
+		for _, cold := range []bool{false, true} {
+			name := fmt.Sprintf("%s/cold=%v", id, cold)
+			t.Run(name, func(t *testing.T) {
+				var got bytes.Buffer
+				if err := Run(id, &got, Options{Quick: true, ColdWorld: cold}); err != nil {
+					t.Fatal(err)
+				}
+				diffAt(t, name, got.Bytes(), want)
+			})
+		}
+	}
+}

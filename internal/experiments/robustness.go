@@ -43,17 +43,25 @@ func Robustness(w io.Writer, opts Options) error {
 	fmt.Fprintf(w, "Robustness: %d hosts, %d VMs, horizon %.0fh, fault rates %v\n",
 		sc0.Hosts, len(sc0.VMs), hours(sc0.Horizon), rates)
 
+	// Every cell shares sc0's fleet and world parameters, so the world
+	// is built once and forked per cell (cold fallback on error).
+	var proto *agilepower.Prototype
+	if !sc0.ColdWorld {
+		if p, err := sc0.Prototype(); err == nil {
+			proto = p
+		}
+	}
 	rows, err := parallel.Map(context.Background(), len(cells), opts.workers(),
 		func(_ context.Context, i int) ([]any, error) {
 			c := cells[i]
-			sc := dayScenario(opts)
+			sc := sc0
 			sc.Name = fmt.Sprintf("robust-%s-%03.0f", c.pol.Name, c.rate*1000)
 			sc.Manager.Policy = c.pol
 			if c.rate > 0 {
 				fc := agilepower.FaultPreset(c.rate)
 				sc.Faults = &fc
 			}
-			res, err := sc.Run()
+			res, err := runCell(proto, sc)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", sc.Name, err)
 			}

@@ -53,6 +53,12 @@ type Host struct {
 	// installs it to mark the host dirty.
 	onChange func()
 
+	// listener is the closure-free observer: one shared value (the
+	// cluster) serves the whole fleet, tagged with this host's ID, so
+	// binding callbacks during AddHost or a fleet fork allocates
+	// nothing. See SetListener.
+	listener Listener
+
 	// res holds resident VMs in ascending ID order — the one canonical
 	// iteration order for every scheduler and accounting loop, so
 	// floating-point sums never depend on map iteration order. resIDs
@@ -111,6 +117,55 @@ func New(eng *sim.Engine, id ID, cfg Config) (*Host, error) {
 	}, nil
 }
 
+// CloneFleet copies a pre-Start fleet into hosts attached to eng, in
+// three arena allocations (hosts, power machines, resident views)
+// instead of per-host allocation loops — the bulk of the snapshot/fork
+// layer's setup saving at fleet scale. Resident *vm.VM pointers are
+// shared: VMs are immutable after creation, so clones alias them
+// freely. The resident slices are capacity-clipped into the arena, so
+// a later Place on either side copies-on-grow rather than overwriting
+// a sibling's window. Scheduler scratch, callbacks and fault injectors
+// are not carried over (the owning cluster re-registers them); a host
+// with inbound migration reservations or a transition in flight cannot
+// be cloned.
+func CloneFleet(eng *sim.Engine, src []*Host) ([]*Host, error) {
+	hosts := make([]Host, len(src))
+	machines := make([]power.Machine, len(src))
+	out := make([]*Host, len(src))
+	total := 0
+	for _, s := range src {
+		total += len(s.res)
+	}
+	resArena := make([]*vm.VM, total)
+	idArena := make([]vm.ID, total)
+	off := 0
+	for i, s := range src {
+		if len(s.resv) != 0 {
+			return nil, fmt.Errorf("host %s: cannot clone with inbound reservations", s.name)
+		}
+		if err := s.machine.CloneInto(&machines[i], eng); err != nil {
+			return nil, fmt.Errorf("host %s: %w", s.name, err)
+		}
+		h := &hosts[i]
+		h.id = s.id
+		h.name = s.name
+		h.cores = s.cores
+		h.memGB = s.memGB
+		h.machine = &machines[i]
+		h.freq = s.freq
+		h.memUsed = s.memUsed
+		h.cpuReserved = s.cpuReserved
+		k := len(s.res)
+		h.res = resArena[off : off+k : off+k]
+		h.resIDs = idArena[off : off+k : off+k]
+		copy(h.res, s.res)
+		copy(h.resIDs, s.resIDs)
+		off += k
+		out[i] = h
+	}
+	return out, nil
+}
+
 // ID returns the host identifier.
 func (h *Host) ID() ID { return h.id }
 
@@ -145,8 +200,13 @@ func (h *Host) SetFrequency(f float64) error {
 	}
 	changed := f != h.freq
 	h.freq = f
-	if changed && h.onChange != nil {
-		h.onChange()
+	if changed {
+		if h.onChange != nil {
+			h.onChange()
+		}
+		if h.listener != nil {
+			h.listener.HostChanged(h.id)
+		}
 	}
 	return nil
 }
@@ -154,6 +214,33 @@ func (h *Host) SetFrequency(f float64) error {
 // OnChange registers fn to run after any host-local change to the
 // scheduling inputs (see the onChange field). One observer only.
 func (h *Host) OnChange(fn func()) { h.onChange = fn }
+
+// Listener receives host-identity-tagged notifications: local changes
+// to scheduling inputs (the OnChange events) and completed power
+// transitions (the machine's OnSettled events). It is the
+// allocation-free alternative to per-host closures — a pointer
+// converts to this interface without heap allocation, so one listener
+// (the owning cluster) binds to an entire fleet for free.
+type Listener interface {
+	HostChanged(id ID)
+	HostSettled(id ID, st power.State)
+}
+
+// SetListener registers l as the host's observer and wires the power
+// machine's settle notifications through it. One listener only.
+func (h *Host) SetListener(l Listener) {
+	h.listener = l
+	h.machine.OnSettledListener(h)
+}
+
+// MachineSettled relays the power machine's completed transition to
+// the listener, tagged with this host's identity. It implements
+// power.SettleListener; callers never invoke it directly.
+func (h *Host) MachineSettled(st power.State) {
+	if h.listener != nil {
+		h.listener.HostSettled(h.id, st)
+	}
+}
 
 // EffectiveCores returns capacity at the current frequency.
 func (h *Host) EffectiveCores() float64 { return h.freq * h.cores }

@@ -75,6 +75,18 @@ type Machine struct {
 	// onSettled, when non-nil, runs after every completed transition
 	// with the newly settled state.
 	onSettled func(State)
+	// settleListener is the closure-free registration variant: one
+	// shared listener value serves any number of machines, so binding a
+	// fleet allocates nothing (see OnSettledListener).
+	settleListener SettleListener
+}
+
+// SettleListener receives completed-transition notifications. It is
+// the allocation-free alternative to an OnSettled closure: a pointer
+// converts to this interface without heap allocation, so one listener
+// can be registered on every machine of a fleet for free.
+type SettleListener interface {
+	MachineSettled(st State)
 }
 
 // NewMachine returns a machine settled in S0 at zero utilization.
@@ -95,6 +107,50 @@ func NewMachine(eng *sim.Engine, profile *Profile) (*Machine, error) {
 			Exits:   make(map[State]int),
 		},
 	}, nil
+}
+
+// cloneStateMap deep-copies a stats map, collapsing empty (or nil)
+// maps to nil: cloned machines start with nil maps and lazily allocate
+// on first write, so a fleet-scale clone performs no per-machine map
+// allocations.
+func cloneStateMap[V any](src map[State]V) map[State]V {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[State]V, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// CloneInto copies this machine's settled state into dst, attached to
+// eng. The profile pointer is shared (profiles are immutable once a
+// machine holds them); the stats maps are deep-copied. The fault
+// injector and OnSettled callback/listener are not carried over — they
+// bind to the owning cluster and must be re-registered by the caller. Cloning
+// a machine with a transition in flight fails: the pending settle
+// event lives in the old engine and cannot be transplanted.
+func (m *Machine) CloneInto(dst *Machine, eng *sim.Engine) error {
+	if m.phase != Settled {
+		return fmt.Errorf("power: cannot clone machine mid-transition (%v→%v)", m.state, m.target)
+	}
+	*dst = Machine{
+		eng:         eng,
+		profile:     m.profile,
+		state:       m.state,
+		phase:       m.phase,
+		target:      m.target,
+		doneAt:      m.doneAt,
+		util:        m.util,
+		freq:        m.freq,
+		lastAccrual: m.lastAccrual,
+		stats:       m.stats,
+	}
+	dst.stats.TimeIn = cloneStateMap(m.stats.TimeIn)
+	dst.stats.Entries = cloneStateMap(m.stats.Entries)
+	dst.stats.Exits = cloneStateMap(m.stats.Exits)
+	return nil
 }
 
 // Profile returns the machine's calibration.
@@ -120,6 +176,10 @@ func (m *Machine) Available() bool { return m.state == S0 && m.phase == Settled 
 
 // OnSettled registers fn to run after every completed transition.
 func (m *Machine) OnSettled(fn func(State)) { m.onSettled = fn }
+
+// OnSettledListener registers l to be notified after every completed
+// transition, alongside any OnSettled callback. One observer only.
+func (m *Machine) OnSettledListener(l SettleListener) { m.settleListener = l }
 
 // SetFaultInjector installs a transition fault injector (nil disables
 // injection entirely — the default).
@@ -207,6 +267,10 @@ func (m *Machine) accrue() {
 	e := WattSeconds(m.Power(), dt)
 	m.stats.Energy += e
 	if m.phase == Settled {
+		// Cloned machines start with nil maps (see CloneInto).
+		if m.stats.TimeIn == nil {
+			m.stats.TimeIn = make(map[State]time.Duration)
+		}
 		m.stats.TimeIn[m.state] += dt
 	} else {
 		m.stats.TransitTime += dt
@@ -251,6 +315,9 @@ func (m *Machine) Sleep(st State) error {
 		}
 	}
 	m.doneAt = m.eng.Now() + latency
+	if m.stats.Entries == nil {
+		m.stats.Entries = make(map[State]int)
+	}
 	m.stats.Entries[st]++
 	m.eng.ScheduleFunc(m.doneAt, func() { m.settle(settleIn) })
 	return nil
@@ -296,6 +363,9 @@ func (m *Machine) Wake() error {
 		}
 	}
 	m.doneAt = m.eng.Now() + exit
+	if m.stats.Exits == nil {
+		m.stats.Exits = make(map[State]int)
+	}
 	m.stats.Exits[from]++
 	m.eng.ScheduleFunc(m.doneAt, func() { m.settle(settleIn) })
 	return nil
@@ -335,6 +405,9 @@ func (m *Machine) settle(st State) {
 	m.crashed = false
 	if m.onSettled != nil {
 		m.onSettled(st)
+	}
+	if m.settleListener != nil {
+		m.settleListener.MachineSettled(st)
 	}
 }
 

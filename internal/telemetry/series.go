@@ -103,9 +103,6 @@ func (s *Series) SetCap(n int) {
 	}
 	s.cap = n
 	s.stride = 1
-	if cap(s.points) < n {
-		s.points = make([]Point, 0, n)
-	}
 }
 
 // Cap returns the stored-sample bound (0 = unbounded).
@@ -127,6 +124,16 @@ func (s *Series) Append(at time.Duration, v float64) {
 
 // appendBounded absorbs a raw sample into the bucketed store.
 func (s *Series) appendBounded(at time.Duration, v float64) {
+	if cap(s.points) < s.cap {
+		// The bounded store allocates on first append, not in SetCap:
+		// building a world costs no telemetry memory until the series
+		// actually records, which keeps cluster construction (and the
+		// snapshot/fork path) lean. One allocation, then steady-state
+		// appends never touch the heap.
+		pts := make([]Point, len(s.points), s.cap)
+		copy(pts, s.points)
+		s.points = pts
+	}
 	s.sortedOK = false
 	if s.pendCount == 0 {
 		// Open a new bucket at this sample's time.

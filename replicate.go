@@ -81,6 +81,16 @@ func (s Scenario) RunReplicatedWorkers(workers int, seeds []uint64, fleet func(s
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("agilepower: replication needs at least one seed")
 	}
+	// Same-fleet mode reuses one world across seeds: the world is
+	// seed-independent (construction consumes no randomness), so it is
+	// built once and forked per seed. Per-seed fleets rebuild the world
+	// cold, as before.
+	var proto *Prototype
+	if fleet == nil && !s.ColdWorld {
+		if p, err := s.Prototype(); err == nil {
+			proto = p
+		}
+	}
 	runs, err := parallel.Map(context.Background(), len(seeds), workers,
 		func(_ context.Context, i int) (*Result, error) {
 			sc := s
@@ -88,7 +98,7 @@ func (s Scenario) RunReplicatedWorkers(workers int, seeds []uint64, fleet func(s
 			if fleet != nil {
 				sc.VMs = fleet(seeds[i])
 			}
-			res, err := sc.Run()
+			res, err := runScenario(proto, sc)
 			if err != nil {
 				return nil, fmt.Errorf("seed %d: %w", seeds[i], err)
 			}

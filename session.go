@@ -38,6 +38,28 @@ func (s Scenario) Start() (*Session, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine(s.Seed)
+	profile := resolvedProfile(s)
+	cl, totalHosts, meanCores, err := buildWorld(eng, s, profile)
+	if err != nil {
+		return nil, err
+	}
+	return startSession(s, eng, cl, profile, totalHosts, meanCores)
+}
+
+// resolvedProfile returns the scenario's power calibration, defaulted.
+func resolvedProfile(s Scenario) *Profile {
+	if s.Profile != nil {
+		return s.Profile
+	}
+	return power.DefaultProfile()
+}
+
+// buildWorld performs the scenario's world construction: the empty
+// cluster, the host fleet, and the initial placement. None of it
+// schedules engine events or consumes randomness — the property that
+// lets Prototype capture the result once and Fork replay the remaining
+// Start steps per cell with byte-identical output.
+func buildWorld(eng *sim.Engine, s Scenario, profile *Profile) (*cluster.Cluster, int, float64, error) {
 	cl, err := cluster.New(eng, cluster.Config{
 		EvalStep:     s.EvalStep,
 		Migration:    s.Migration,
@@ -48,19 +70,25 @@ func (s Scenario) Start() (*Session, error) {
 		TelemetryCap: s.TelemetryCap,
 	})
 	if err != nil {
-		return nil, err
-	}
-	profile := s.Profile
-	if profile == nil {
-		profile = power.DefaultProfile()
+		return nil, 0, 0, err
 	}
 	totalHosts, meanCores, err := buildHosts(cl, s, profile)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if err := placeInitial(cl, s.VMs); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
+	return cl, totalHosts, meanCores, nil
+}
+
+// startSession runs every Start step after world construction: the
+// manager, fault injection, the control plane, churn, and the
+// start-of-time evaluations. The step order — and with it the engine's
+// event sequence and RNG fork order — is shared verbatim by the cold
+// Start path and Prototype.Fork, which is what makes forked runs
+// byte-identical to cold ones.
+func startSession(s Scenario, eng *sim.Engine, cl *cluster.Cluster, profile *Profile, totalHosts int, meanCores float64) (*Session, error) {
 	mgr, err := core.NewManager(cl, s.Manager)
 	if err != nil {
 		return nil, err
@@ -109,6 +137,168 @@ func (s Scenario) Start() (*Session, error) {
 		cp.Start()
 	}
 	return se, nil
+}
+
+// Prototype is a scenario's world, built once: validation, the host
+// fleet, and the initial placement are already done, captured in a
+// pristine (never-started) cluster. Fork stamps out runnable Sessions
+// from it with flat slice copies — no per-host construction, no
+// re-placement, no profile clones — so a grid of experiment cells over
+// one fleet pays world construction once instead of once per cell.
+//
+// A Prototype is immutable after creation: Fork only reads it, so any
+// number of forks may proceed concurrently (the parallel policy and
+// replication runners do exactly that).
+type Prototype struct {
+	// world is the normalized scenario the world was built from; Fork
+	// checks cells against it so a fork can never silently run on a
+	// different fleet than it asked for.
+	world   Scenario
+	profile *Profile
+	cl      *cluster.Cluster
+	hosts   int
+	cores   float64
+}
+
+// Prototype builds the scenario's world once for repeated forking.
+// The cell-level knobs (Name, Seed, Manager, Faults, CtrlPlane, Churn)
+// of the receiving scenario are ignored — each Fork supplies its own —
+// while the world-defining fields (fleet shape, VMs, horizon,
+// evaluation knobs) are fixed here and must match on every Fork.
+func (s Scenario) Prototype() (*Prototype, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(s.Seed)
+	profile := resolvedProfile(s)
+	cl, totalHosts, meanCores, err := buildWorld(eng, s, profile)
+	if err != nil {
+		return nil, err
+	}
+	return &Prototype{world: s, profile: profile, cl: cl, hosts: totalHosts, cores: meanCores}, nil
+}
+
+// Fork materializes a runnable Session for one experiment cell from
+// the prototype's world: the cluster forks as flat slice copies, then
+// the post-construction Start steps (manager, faults, control plane,
+// churn, initial evaluation) run exactly as a cold Start would, on a
+// fresh engine seeded with the cell's Seed. The result is
+// byte-identical to sc.Start() for any sc whose world fields match the
+// prototype's.
+func (p *Prototype) Fork(sc Scenario) (*Session, error) {
+	sc = sc.withDefaults()
+	if err := p.compatible(sc); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(sc.Seed)
+	cl, err := p.cl.Fork(eng)
+	if err != nil {
+		return nil, err
+	}
+	return startSession(sc, eng, cl, p.profile, p.hosts, p.cores)
+}
+
+// Run is the one-shot form of Fork → RunUntil(Horizon) → Result, the
+// forked counterpart of Scenario.Run.
+func (p *Prototype) Run(sc Scenario) (*Result, error) {
+	se, err := p.Fork(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := se.RunUntil(sc.withDefaults().Horizon); err != nil {
+		return nil, err
+	}
+	return se.Result(), nil
+}
+
+// compatible checks that a cell scenario describes the same world the
+// prototype captured. Cell fields (Name, Seed, Manager, Faults,
+// CtrlPlane, Churn, ColdWorld) are free to vary; everything that went
+// into world construction must match. VMs must be the same slice, not
+// merely equal specs: prototype reuse is only sound when cells share
+// one fleet.
+func (p *Prototype) compatible(sc Scenario) error {
+	w := p.world
+	mismatch := ""
+	switch {
+	case sc.Hosts != w.Hosts:
+		mismatch = "Hosts"
+	case sc.HostCores != w.HostCores:
+		mismatch = "HostCores"
+	case sc.HostMemoryGB != w.HostMemoryGB:
+		mismatch = "HostMemoryGB"
+	case sc.Profile != w.Profile:
+		mismatch = "Profile"
+	case !sameHostClasses(sc.HostClasses, w.HostClasses):
+		mismatch = "HostClasses"
+	case !sameVMs(sc.VMs, w.VMs):
+		mismatch = "VMs"
+	case sc.Horizon != w.Horizon:
+		mismatch = "Horizon"
+	case !sameMigration(sc.Migration, w.Migration):
+		mismatch = "Migration"
+	case sc.EvalStep != w.EvalStep:
+		mismatch = "EvalStep"
+	case sc.Shards != w.Shards:
+		mismatch = "Shards"
+	case sc.EvalWorkers != w.EvalWorkers:
+		mismatch = "EvalWorkers"
+	case sc.Delta != w.Delta:
+		mismatch = "Delta"
+	case sc.TelemetryCap != w.TelemetryCap:
+		mismatch = "TelemetryCap"
+	}
+	if mismatch != "" {
+		return fmt.Errorf("agilepower: forked scenario differs from prototype world in %s", mismatch)
+	}
+	return nil
+}
+
+// sameVMs reports whether two scenarios share one VM fleet — the same
+// backing slice, not just equal specs.
+func sameVMs(a, b []VMSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// sameHostClasses compares class lists element-wise (HostClass is
+// comparable; profile pointers must match).
+func sameHostClasses(a, b []HostClass) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameMigration compares optional migration models by value.
+func sameMigration(a, b *MigrationModel) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+// runScenario runs one grid cell: as a fork of proto when a prototype
+// is available, and as a cold start otherwise. The two paths produce
+// identical bytes; proto == nil is the ColdWorld escape hatch (and the
+// fallback when prototype construction itself failed, so the cold path
+// re-surfaces the construction error per cell).
+func runScenario(proto *Prototype, sc Scenario) (*Result, error) {
+	if proto != nil {
+		return proto.Run(sc)
+	}
+	return sc.Run()
 }
 
 // Now returns the current virtual time.
@@ -236,7 +426,10 @@ func (se *Session) Result() *Result {
 }
 
 // buildHosts creates the host fleet from the scenario (classes or
-// homogeneous) and returns (count, mean cores).
+// homogeneous) and returns (count, mean cores). Power profiles are
+// interned: every host of a class shares one immutable Profile
+// instance (machines never mutate their profile) instead of cloning it
+// per host — at 100k hosts that is 100k fewer deep copies per cell.
 func buildHosts(cl *cluster.Cluster, s Scenario, profile *Profile) (int, float64, error) {
 	if len(s.HostClasses) > 0 {
 		totalHosts, meanCores := 0, 0.0
@@ -257,7 +450,7 @@ func buildHosts(cl *cluster.Cluster, s Scenario, profile *Profile) (int, float64
 				if _, err := cl.AddHost(host.Config{
 					Cores:    cores,
 					MemoryGB: mem,
-					Profile:  prof.Clone(),
+					Profile:  prof,
 				}); err != nil {
 					return 0, 0, err
 				}
@@ -271,7 +464,7 @@ func buildHosts(cl *cluster.Cluster, s Scenario, profile *Profile) (int, float64
 		if _, err := cl.AddHost(host.Config{
 			Cores:    s.HostCores,
 			MemoryGB: s.HostMemoryGB,
-			Profile:  profile.Clone(),
+			Profile:  profile,
 		}); err != nil {
 			return 0, 0, err
 		}
@@ -279,27 +472,86 @@ func buildHosts(cl *cluster.Cluster, s Scenario, profile *Profile) (int, float64
 	return s.Hosts, s.HostCores, nil
 }
 
-// placeInitial spreads the fleet round-robin, retrying forward on
-// memory or anti-affinity conflicts.
+// vmConfig translates a VMSpec into the cluster's vm.Config.
+func vmConfig(spec VMSpec) vm.Config {
+	return vm.Config{
+		Name:          spec.Name,
+		VCPUs:         spec.VCPUs,
+		MemoryGB:      spec.MemoryGB,
+		Trace:         spec.Trace,
+		SLOTarget:     spec.SLOTarget,
+		Shares:        spec.Shares,
+		Group:         spec.Group,
+		ReservedCores: spec.ReservedCores,
+		LimitCores:    spec.LimitCores,
+	}
+}
+
+// placeInitial spreads the fleet round-robin, skipping forward past
+// hosts that cannot take the VM.
+//
+// Admission is screened through a per-host mirror of exactly the
+// arithmetic host.Place rejects with — committed memory accumulated in
+// placement order and reserved CPU against the same 1e-9 epsilon — so
+// the first host the screen accepts is the first host the old
+// try-until-AddVM-succeeds chain would have landed on, without paying
+// a failed (error-allocating) AddVM call per skipped host. That chain
+// was O(VMs × hosts) AddVM calls in the worst case; the screen is
+// three comparisons per probe. If the screen and the cluster ever
+// disagree (a VM spec error, or an admission rule the mirror does not
+// model), the legacy retry chain runs verbatim for that VM, so
+// placement and errors stay bit-for-bit what the old loop produced.
 func placeInitial(cl *cluster.Cluster, specs []VMSpec) error {
 	hosts := cl.Hosts()
+	n := len(hosts)
+	memCap := make([]float64, n)
+	memUsed := make([]float64, n)
+	cpuCap := make([]float64, n)
+	cpuRes := make([]float64, n)
+	for j, h := range hosts {
+		memCap[j] = h.MemoryGB()
+		memUsed[j] = h.MemUsedGB()
+		cpuCap[j] = h.Cores()
+		cpuRes[j] = h.CPUReservedCores()
+	}
 	for i, spec := range specs {
-		cfg := vm.Config{
-			Name:          spec.Name,
-			VCPUs:         spec.VCPUs,
-			MemoryGB:      spec.MemoryGB,
-			Trace:         spec.Trace,
-			SLOTarget:     spec.SLOTarget,
-			Shares:        spec.Shares,
-			Group:         spec.Group,
-			ReservedCores: spec.ReservedCores,
-			LimitCores:    spec.LimitCores,
-		}
-		var lastErr error
+		cfg := vmConfig(spec)
 		placed := false
-		for try := 0; try < len(hosts); try++ {
-			on := hosts[(i+try)%len(hosts)].ID()
-			if _, lastErr = cl.AddVM(cfg, on); lastErr == nil {
+		for try := 0; try < n; try++ {
+			j := (i + try) % n
+			// Mirror of host.Place's admission checks (same expressions,
+			// same accumulation order, so the FP results are bitwise
+			// identical to what Place would compute).
+			if spec.MemoryGB > memCap[j]-memUsed[j] {
+				continue
+			}
+			if cpuRes[j]+spec.ReservedCores > cpuCap[j]+1e-9 {
+				continue
+			}
+			if spec.Group != "" && cl.GroupConflict(hosts[j].ID(), spec.Group, 0) {
+				continue
+			}
+			if _, err := cl.AddVM(cfg, hosts[j].ID()); err != nil {
+				break // screen disagreed with the cluster: legacy chain below
+			}
+			memUsed[j] += spec.MemoryGB
+			cpuRes[j] += spec.ReservedCores
+			placed = true
+			break
+		}
+		if placed {
+			continue
+		}
+		// Legacy retry chain, preserved verbatim: replaying from the top
+		// reproduces the old loop's placement — and its error, when no
+		// host takes the VM — exactly. Failed AddVM calls have no side
+		// effects, so the screened attempt above does not perturb it.
+		var lastErr error
+		for try := 0; try < n; try++ {
+			j := (i + try) % n
+			if _, lastErr = cl.AddVM(cfg, hosts[j].ID()); lastErr == nil {
+				memUsed[j] += spec.MemoryGB
+				cpuRes[j] += spec.ReservedCores
 				placed = true
 				break
 			}
