@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke bench-setup bench-setup-smoke sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke bench-setup bench-setup-smoke scenario-gate sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -190,13 +190,23 @@ bench-alloc:
 	$(GO) test -run 'AllocFree|ScheduleFuncPool|PreOptimizationGolden|ArchivedResults' -v \
 		./internal/cluster/ ./internal/sim/ ./internal/experiments/ ./internal/core/
 
+# The scenario gate: every file in the curated scenarios/ library must
+# parse and validate, and two of them (the chaos az-outage and the
+# hand-scripted demand-surge drill) run end-to-end with their
+# assertions — cmd/scenario exits 2 on any failed assertion or
+# stranded VM, which fails the target. Part of `make ci`.
+scenario-gate:
+	$(GO) run ./cmd/scenario validate scenarios/*.json
+	$(GO) run ./cmd/scenario run scenarios/az-outage.json
+	$(GO) run ./cmd/scenario run scenarios/demand-surge.json
+
 # Fast end-to-end smoke: the whole paper reproduction in quick mode.
 sweep-quick:
 	$(GO) run ./cmd/sweep -exp all -quick
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-setup-smoke bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-setup-smoke scenario-gate bench-smoke
 
 clean:
 	$(GO) clean ./...

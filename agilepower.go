@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"agilepower/internal/chaos"
 	"agilepower/internal/core"
 	"agilepower/internal/ctrlplane"
 	"agilepower/internal/events"
@@ -32,6 +33,7 @@ import (
 	"agilepower/internal/migrate"
 	"agilepower/internal/parallel"
 	"agilepower/internal/power"
+	"agilepower/internal/script"
 	"agilepower/internal/telemetry"
 	"agilepower/internal/workload"
 )
@@ -87,7 +89,53 @@ type (
 	// retried commands, heartbeat liveness). The zero value is fully
 	// dormant: runs are byte-identical to plane-unaware builds.
 	CtrlPlaneConfig = ctrlplane.Config
+	// ScriptEvent is one timed action in a scenario's event script
+	// (crash, maintenance, power-cap, demand-surge, fault retune,
+	// control-plane degradation). An empty script schedules nothing:
+	// runs are byte-identical to script-unaware builds.
+	ScriptEvent = script.Event
+	// AssertSpec is one predicate a scenario run must satisfy,
+	// checked continuously against evaluation ticks or once against
+	// the final Result.
+	AssertSpec = script.Assertion
+	// ChaosParams parameterizes one named chaos pattern (see
+	// ChaosPatterns and Scenario.WithChaos).
+	ChaosParams = chaos.Params
 )
+
+// Script actions and assertion kinds, re-exported so scenario literals
+// never import internal packages.
+const (
+	ActionCrash          = script.ActionCrash
+	ActionMaintenance    = script.ActionMaintenance
+	ActionMaintenanceEnd = script.ActionMaintenanceEnd
+	ActionPowerCap       = script.ActionPowerCap
+	ActionDemandSurge    = script.ActionDemandSurge
+	ActionFaultRate      = script.ActionFaultRate
+	ActionWakeFail       = script.ActionWakeFail
+	ActionCtrlDegrade    = script.ActionCtrlDegrade
+	ActionCtrlPartition  = script.ActionCtrlPartition
+
+	AssertNoStrandedVM    = script.KindNoStrandedVM
+	AssertPowerBelow      = script.KindPowerBelow
+	AssertNoPendingVM     = script.KindNoPendingVM
+	AssertActiveHostsMin  = script.KindActiveHostsMin
+	AssertSLAViolationMax = script.KindSLAViolationMax
+	AssertSatisfactionMin = script.KindSatisfactionMin
+	AssertEnergyBelow     = script.KindEnergyBelow
+)
+
+// Chaos pattern names (see internal/chaos for semantics).
+const (
+	ChaosCascadingFailure = chaos.CascadingFailure
+	ChaosAZOutage         = chaos.AZOutage
+	ChaosThermalEmergency = chaos.ThermalEmergency
+	ChaosFlakyResume      = chaos.FlakyResume
+	ChaosControlPartition = chaos.ControlPartition
+)
+
+// ChaosPatterns lists every named chaos pattern, in stable order.
+func ChaosPatterns() []string { return chaos.Patterns() }
 
 // Power states.
 const (
@@ -253,6 +301,17 @@ type Scenario struct {
 	// dormant config) leaves the simulation byte-identical to a
 	// plane-free build.
 	CtrlPlane *CtrlPlaneConfig
+	// Script is the scenario's timed event script: crashes, drains,
+	// power caps, demand surges, fault retunes, control-plane
+	// degradation windows, each compiled to one engine event at Start.
+	// Empty leaves the run byte-identical to a script-free build.
+	// Events that retune faults require Faults to be enabled; events
+	// that impair the plane require CtrlPlane to be enabled.
+	Script []ScriptEvent
+	// Asserts are predicates the run must satisfy; violations land in
+	// Result.Assertions (and drive nonzero CLI exits) without stopping
+	// the run. Empty adds no checks and changes no bytes.
+	Asserts []AssertSpec
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -314,7 +373,77 @@ func (s Scenario) Validate() error {
 			return err
 		}
 	}
+	hosts := s.totalHosts()
+	for i, e := range s.Script {
+		if err := e.Validate(hosts); err != nil {
+			return fmt.Errorf("agilepower: script event %d: %w", i, err)
+		}
+		if e.NeedsFaults() && (s.Faults == nil || !s.Faults.Enabled()) {
+			return fmt.Errorf("agilepower: script event %d (%s) needs fault injection enabled (set Scenario.Faults)", i, e.Action)
+		}
+		if e.NeedsCtrlPlane() && (s.CtrlPlane == nil || !s.CtrlPlane.Enabled()) {
+			return fmt.Errorf("agilepower: script event %d (%s) needs a control plane enabled (set Scenario.CtrlPlane)", i, e.Action)
+		}
+	}
+	for i, a := range s.Asserts {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("agilepower: assertion %d: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// totalHosts returns the fleet size after class expansion.
+func (s Scenario) totalHosts() int {
+	if len(s.HostClasses) == 0 {
+		return s.Hosts
+	}
+	n := 0
+	for _, hc := range s.HostClasses {
+		n += hc.Count
+	}
+	return n
+}
+
+// WithChaos appends the named pattern's generated event script to a
+// copy of the scenario. Generation is a pure function of the scenario
+// seed and the params — deterministic across runs — and an intensity
+// of zero appends nothing at all. Patterns may be stacked by chaining
+// calls (use distinct Salt values to decorrelate same-pattern
+// instances).
+func (s Scenario) WithChaos(p ChaosParams) (Scenario, error) {
+	s2 := s.withDefaults()
+	evs, err := chaos.Generate(chaos.World{
+		Hosts:     s2.totalHosts(),
+		HostPeakW: s2.maxHostPeakW(),
+		Faults:    s2.Faults != nil && s2.Faults.Enabled(),
+		CtrlPlane: s2.CtrlPlane != nil && s2.CtrlPlane.Enabled(),
+		Seed:      s2.Seed,
+	}, p)
+	if err != nil {
+		return s, err
+	}
+	if len(evs) == 0 {
+		return s, nil
+	}
+	out := s
+	out.Script = append(append([]ScriptEvent(nil), s.Script...), evs...)
+	return out, nil
+}
+
+// maxHostPeakW returns the largest single-host peak draw across the
+// scenario's host classes — the unit chaos power ramps budget in.
+func (s Scenario) maxHostPeakW() float64 {
+	base := resolvedProfile(s)
+	peak := float64(base.ActivePower(1))
+	for _, hc := range s.HostClasses {
+		if hc.Profile != nil {
+			if p := float64(hc.Profile.ActivePower(1)); p > peak {
+				peak = p
+			}
+		}
+	}
+	return peak
 }
 
 // Result is the outcome of one scenario run.
@@ -358,6 +487,15 @@ type Result struct {
 	// StrandedVMHours integrates VMs frozen on crashed hosts over time
 	// (VM·hours) — the availability cost crashes exact.
 	StrandedVMHours float64
+	// StrandedVMs counts VMs still frozen on crashed hosts when the
+	// run ended — the end-of-run health signal the CLIs turn into a
+	// nonzero exit.
+	StrandedVMs int
+
+	// Assertions holds one verdict per Scenario.Asserts entry, in
+	// order; AssertionFailures counts the violated ones.
+	Assertions        []AssertionResult
+	AssertionFailures int
 
 	// Events is the audit trail of everything the manager did.
 	Events *EventLog

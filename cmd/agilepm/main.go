@@ -121,6 +121,23 @@ func main() {
 		}
 		fmt.Printf("series for %s written to %s\n", last.Policy, *csvPath)
 	}
+
+	// Scenario files can carry assertions; a run that finished with
+	// failed assertions or VMs stranded on crashed hosts is unhealthy
+	// and must not exit 0 (scripts and CI rely on the code).
+	failures, stranded := 0, 0
+	for _, r := range results {
+		for _, ar := range r.Assertions {
+			fmt.Printf("%s  %s\n", r.Policy, ar)
+		}
+		failures += r.AssertionFailures
+		stranded += r.StrandedVMs
+	}
+	if failures > 0 || stranded > 0 {
+		fmt.Fprintf(os.Stderr, "agilepm: scenario %s unhealthy: %d failed assertion(s), %d stranded VM(s)\n",
+			sc.Name, failures, stranded)
+		os.Exit(2)
+	}
 }
 
 func buildFleet(kind string, n int, flatDemand float64, seed uint64) ([]agilepower.VMSpec, error) {

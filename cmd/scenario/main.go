@@ -1,0 +1,191 @@
+// Command scenario validates and runs declarative scenario files —
+// the JSON DSL with event scripts, assertions, and chaos patterns.
+//
+// Usage:
+//
+//	scenario validate scenarios/*.json      # parse + static checks, no run
+//	scenario run scenarios/az-outage.json   # execute, print report + verdicts
+//	scenario run -policy all file.json      # compare the full policy set
+//
+// Exit codes: 0 on success, 1 on usage/parse/run errors, 2 when the
+// run finished but an assertion failed or VMs ended stranded — so a
+// scenario file doubles as a deterministic integration test in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	switch os.Args[1] {
+	case "validate":
+		os.Exit(cmdValidate(os.Args[2:]))
+	case "run":
+		os.Exit(cmdRun(os.Args[2:]))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  scenario validate <file.json>...   parse + static checks, no run
+  scenario run [flags] <file.json>   execute and print report + assertion verdicts
+
+run flags:
+  -policy name   override the file's policy (static, nopm-drm, dpm-s5, dpm-s3, all)
+  -horizon d     override the file's horizon (e.g. 6h)
+  -quick         cap the horizon at 6h (CI smoke mode)
+`)
+}
+
+// cmdValidate parses every file and reports per-file verdicts. Any
+// failure makes the whole invocation exit 1.
+func cmdValidate(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "scenario validate: no files given")
+		return 1
+	}
+	bad := 0
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		sc, err := agilepower.ParseScenario(data)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %s (%d hosts, %d vms, %d events, %d asserts)\n",
+			path, scHosts(sc), len(sc.VMs), len(sc.Script), len(sc.Asserts))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: %d of %d files failed validation\n", bad, len(args))
+		return 1
+	}
+	return 0
+}
+
+func scHosts(sc agilepower.Scenario) int {
+	if len(sc.HostClasses) == 0 {
+		return sc.Hosts
+	}
+	n := 0
+	for _, hc := range sc.HostClasses {
+		n += hc.Count
+	}
+	return n
+}
+
+// cmdRun executes the scenario and prints the standard report plus one
+// verdict line per assertion. Exit 2 on failed assertions or stranded
+// VMs; exit 1 on errors.
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	policyName := fs.String("policy", "", "override the file's policy (or 'all')")
+	horizon := fs.Duration("horizon", 0, "override the file's horizon")
+	quick := fs.Bool("quick", false, "cap the horizon at 6h (CI smoke mode)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "scenario run: exactly one file expected")
+		return 1
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		return 1
+	}
+	sc, err := agilepower.ParseScenario(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		return 1
+	}
+	if *horizon > 0 {
+		sc.Horizon = *horizon
+	}
+	if *quick && (sc.Horizon == 0 || sc.Horizon > 6*time.Hour) {
+		sc.Horizon = 6 * time.Hour
+	}
+	policies, err := selectPolicies(sc, *policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		return 1
+	}
+	results, err := sc.RunPolicies(policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		return 1
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("scenario %s (%s)", sc.Name, path),
+		"policy", "energy_kwh", "mean_w", "satisfaction", "violation_frac",
+		"migrations", "sleeps", "wakes", "crashes", "stranded")
+	for _, r := range results {
+		tbl.AddRow(r.Policy, r.EnergyKWh(), r.MeanPowerW, r.Satisfaction,
+			r.ViolationFraction, r.Migrations.Completed, r.Sleeps, r.Wakes,
+			r.Crashes, r.StrandedVMs)
+	}
+	if err := tbl.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		return 1
+	}
+
+	failures, stranded := 0, 0
+	for _, r := range results {
+		for _, ar := range r.Assertions {
+			fmt.Printf("%s  %s\n", r.Policy, ar)
+		}
+		failures += r.AssertionFailures
+		stranded += r.StrandedVMs
+	}
+	if failures > 0 || stranded > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: %s unhealthy: %d failed assertion(s), %d stranded VM(s)\n",
+			path, failures, stranded)
+		return 2
+	}
+	return 0
+}
+
+func selectPolicies(sc agilepower.Scenario, name string) ([]agilepower.Policy, error) {
+	if name == "" {
+		// The file's policy (already materialized into the scenario);
+		// files without one get the paper's headline policy.
+		p := sc.Manager.Policy
+		if p.Name == "" {
+			p = agilepower.DPMS3
+		}
+		return []agilepower.Policy{p}, nil
+	}
+	if name == "all" {
+		return agilepower.Policies(), nil
+	}
+	for _, p := range agilepower.Policies() {
+		if strings.EqualFold(p.Name, name) {
+			return []agilepower.Policy{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q (want static, nopm-drm, dpm-s5, dpm-s3, all)", name)
+}

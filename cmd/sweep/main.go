@@ -65,12 +65,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+	health := &experiments.Health{}
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, SVGDir: *svgDir, Workers: *parallel,
 		CtrlDelay: *ctrlDelay, CtrlLoss: *ctrlLoss,
 		Shards: *shards, EvalWorkers: *evalWorkers,
 		Delta: deltaMode, Incremental: incMode, TelemetryCap: *telemetryCap,
-		ColdWorld: *coldWorld,
+		ColdWorld: *coldWorld, Health: health,
 	}
 	if *exp == "all" {
 		// Long runs stay observable: per-experiment wall times go to
@@ -87,6 +88,10 @@ func main() {
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
+	}
+	if health.Unhealthy() {
+		fmt.Fprintln(os.Stderr, "sweep:", health.Summary())
+		os.Exit(3)
 	}
 }
 

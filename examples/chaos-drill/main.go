@@ -1,0 +1,98 @@
+// Chaos-drill: run the az-outage chaos pattern programmatically and
+// watch the fleet ride through it — power and active hosts before the
+// hit, during the outage, and after the repair — then read the
+// assertion verdicts and the audit trail around the blast window.
+// Shows Scenario.WithChaos, scripted runs on a live Session, and the
+// assertion engine.
+//
+//	go run ./examples/chaos-drill
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agilepower"
+	"agilepower/internal/events"
+)
+
+func main() {
+	const (
+		outageAt  = 2 * time.Hour
+		outageDur = time.Hour
+	)
+
+	base := agilepower.Scenario{
+		Name:    "chaos-drill",
+		Hosts:   24,
+		VMs:     append(agilepower.DiurnalFleet(40, 7), agilepower.SpikyFleet(20, 4, 7)...),
+		Horizon: 6 * time.Hour,
+		Seed:    7,
+		Manager: agilepower.ManagerConfig{Policy: agilepower.DPMS3},
+		Asserts: []agilepower.AssertSpec{
+			// A crash may strand VMs; recovery must finish within 15
+			// minutes of any sustained stranding once repairs land.
+			{Kind: agilepower.AssertNoStrandedVM, From: outageAt + outageDur + 30*time.Minute, Over: 15 * time.Minute},
+			{Kind: agilepower.AssertSLAViolationMax, Frac: 0.25},
+		},
+	}
+
+	// Compile the named pattern into a concrete crash script. Same
+	// scenario seed + params + salt → byte-identical outage, always.
+	sc, err := base.WithChaos(agilepower.ChaosParams{
+		Pattern:   agilepower.ChaosAZOutage,
+		Intensity: 0.5,
+		At:        outageAt,
+		Duration:  outageDur,
+		Salt:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled outage script:")
+	for _, e := range sc.Script {
+		fmt.Println("  " + e.String())
+	}
+
+	se, err := sc.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := func(label string) {
+		fmt.Printf("%8s | %2d hosts active | %6.0f W | demand %5.1f cores\n",
+			label, se.ActiveHosts(), se.PowerW(), se.DemandCores())
+	}
+
+	fmt.Println("\nrecovery timeline:")
+	must(se.RunUntil(outageAt - time.Minute))
+	status("T-1m")
+	must(se.RunUntil(outageAt + 5*time.Minute))
+	status("T+5m") // blast landed: the AZ is dark, survivors absorb the load
+	must(se.RunUntil(outageAt + outageDur/2))
+	status("T+30m")
+	must(se.RunUntil(outageAt + outageDur + 10*time.Minute))
+	status("T+70m") // repairs landed: crashed hosts boot and rejoin
+	must(se.RunUntil(sc.Horizon))
+	status("end")
+
+	res := se.Result()
+	fmt.Printf("\ndrill summary: %.1f kWh, satisfaction %.1f%%, %d crash(es), %.1f stranded VM·h, %d stranded at end\n",
+		res.EnergyKWh(), 100*res.Satisfaction, res.Crashes, res.StrandedVMHours, res.StrandedVMs)
+
+	fmt.Println("\nassertions:")
+	for _, ar := range res.Assertions {
+		fmt.Println("  " + ar.String())
+	}
+
+	fmt.Println("\naudit trail around the blast:")
+	for _, e := range res.Events.Filter(events.Between(outageAt, outageAt+10*time.Minute)) {
+		fmt.Println("  " + e.String())
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

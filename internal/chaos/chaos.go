@@ -1,0 +1,243 @@
+// Package chaos turns named failure patterns into deterministic event
+// scripts. Each pattern — a cascading crash wave, an availability-zone
+// outage, a thermal power-cap ramp, a flaky-resume burst, a control
+// plane partition — is a parameterized generator: given a World
+// (what the scenario built) and Params (when, how hard), it emits a
+// script.Event sequence that the session layer schedules like any
+// hand-written scenario script.
+//
+// Determinism: every random choice (which hosts, which order) comes
+// from a private RNG seeded by mixing the world seed, the pattern
+// name, and the caller's salt — never from the engine's stream — so
+// generation is a pure function of (World, Params) and the same
+// scenario replays byte-identically. Dormancy: Intensity <= 0 returns
+// a nil script before anything else is checked, so a zeroed pattern
+// is indistinguishable from no pattern at all.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"agilepower/internal/script"
+	"agilepower/internal/sim"
+)
+
+// Pattern names.
+const (
+	// CascadingFailure crashes a first wave of random hosts at At and a
+	// second wave a quarter of the way into Duration — the migration
+	// storm from the first wave is still in flight when the second
+	// lands.
+	CascadingFailure = "cascading-failure"
+	// AZOutage crashes one contiguous host range (a correlated failure
+	// domain: a rack, a feed, an availability zone) for Duration.
+	AZOutage = "az-outage"
+	// ThermalEmergency ramps a power-feed cap down in four steps across
+	// the first half of Duration, holds, then lifts the cap — the
+	// cooling-failure drill.
+	ThermalEmergency = "thermal-emergency"
+	// FlakyResume raises the wake-failure probability to Intensity for
+	// Duration — resumes that fall back asleep exactly when capacity is
+	// wanted. Requires the scenario to enable fault injection.
+	FlakyResume = "flaky-resume"
+	// ControlPartition severs the control plane completely for
+	// Duration. Requires the scenario to enable a control plane.
+	ControlPartition = "control-partition"
+)
+
+// Patterns lists every pattern name, in stable order.
+func Patterns() []string {
+	return []string{CascadingFailure, AZOutage, ThermalEmergency, FlakyResume, ControlPartition}
+}
+
+// World is what the pattern generators know about the scenario they
+// will run inside: enough to size and gate the scripts they emit,
+// nothing more.
+type World struct {
+	// Hosts is the fleet size (host IDs are 1..Hosts).
+	Hosts int
+	// HostPeakW is the largest single-host peak draw, the unit the
+	// thermal ramp budgets in.
+	HostPeakW float64
+	// Faults and CtrlPlane report whether those subsystems are enabled
+	// (patterns that retune them refuse dormant worlds rather than
+	// silently doing nothing).
+	Faults    bool
+	CtrlPlane bool
+	// Seed is the scenario seed; generation mixes it with the pattern
+	// name and salt.
+	Seed uint64
+}
+
+// Params tunes one pattern instance.
+type Params struct {
+	// Pattern names the generator (one of the Pattern constants).
+	Pattern string
+	// Intensity in (0, 1] scales how hard the pattern hits; <= 0 is
+	// dormant (Generate returns nil). Values above 1 are clamped.
+	Intensity float64
+	// At is when the pattern begins (offset from the run start).
+	At time.Duration
+	// Duration is the pattern's window (default 1 hour).
+	Duration time.Duration
+	// Hosts, when positive, overrides the intensity-derived blast
+	// radius for host-targeting patterns.
+	Hosts int
+	// Salt decorrelates two instances of the same pattern in one
+	// scenario.
+	Salt uint64
+}
+
+// mix folds the pattern name and salt into the world seed (splitmix64
+// finalizer) so distinct patterns draw unrelated choices from the
+// same scenario seed.
+func mix(seed uint64, pattern string, salt uint64) uint64 {
+	z := seed ^ (salt * 0x9E3779B97F4A7C15)
+	for _, c := range pattern {
+		z = (z ^ uint64(c)) * 0xBF58476D1CE4E5B9
+	}
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Generate emits the pattern's event script. Intensity <= 0 returns
+// (nil, nil) — dormant by construction — before any other check.
+func Generate(w World, p Params) ([]script.Event, error) {
+	if p.Intensity <= 0 {
+		return nil, nil
+	}
+	if p.Intensity > 1 {
+		p.Intensity = 1
+	}
+	if p.At < 0 {
+		return nil, fmt.Errorf("chaos: %s starts before the run (%v)", p.Pattern, p.At)
+	}
+	if p.Duration < 0 {
+		return nil, fmt.Errorf("chaos: %s has negative duration %v", p.Pattern, p.Duration)
+	}
+	if p.Duration == 0 {
+		p.Duration = time.Hour
+	}
+	if w.Hosts < 1 {
+		return nil, fmt.Errorf("chaos: world has no hosts")
+	}
+	rng := sim.NewRNG(mix(w.Seed, p.Pattern, p.Salt))
+	switch p.Pattern {
+	case CascadingFailure:
+		return cascadingFailure(w, p, rng)
+	case AZOutage:
+		return azOutage(w, p, rng)
+	case ThermalEmergency:
+		return thermalEmergency(w, p)
+	case FlakyResume:
+		if !w.Faults {
+			return nil, fmt.Errorf("chaos: %s needs fault injection enabled in the scenario", p.Pattern)
+		}
+		return []script.Event{{
+			At:       p.At,
+			Action:   script.ActionWakeFail,
+			Prob:     p.Intensity,
+			Duration: p.Duration,
+		}}, nil
+	case ControlPartition:
+		if !w.CtrlPlane {
+			return nil, fmt.Errorf("chaos: %s needs a control plane enabled in the scenario", p.Pattern)
+		}
+		return []script.Event{{
+			At:       p.At,
+			Action:   script.ActionCtrlPartition,
+			Duration: p.Duration,
+		}}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown pattern %q (have %v)", p.Pattern, Patterns())
+	}
+}
+
+// blast converts intensity into a host count: ceil(intensity × hosts
+// / div), at least 1, at most hosts-1 (something must survive to
+// absorb the refugees).
+func blast(hosts int, intensity float64, div float64, override int) int {
+	n := override
+	if n <= 0 {
+		n = int(math.Ceil(intensity * float64(hosts) / div))
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > hosts-1 {
+		n = hosts - 1
+	}
+	if n < 1 {
+		n = 1 // single-host world: crash the one host anyway
+	}
+	return n
+}
+
+// cascadingFailure crashes wave one at At and wave two (half the
+// size, drawn from the survivors) at At + Duration/4, while wave
+// one's evacuation migrations are still in flight. Repairs land at
+// half the window so the run can be asserted on recovery.
+func cascadingFailure(w World, p Params, rng *sim.RNG) ([]script.Event, error) {
+	n1 := blast(w.Hosts, p.Intensity, 8, p.Hosts)
+	n2 := (n1 + 1) / 2
+	order := rng.Perm(w.Hosts)
+	repair := p.Duration / 2
+	var evs []script.Event
+	for i := 0; i < n1 && i < len(order); i++ {
+		evs = append(evs, script.Event{
+			At: p.At, Action: script.ActionCrash,
+			Host: order[i] + 1, Repair: repair,
+		})
+	}
+	second := p.At + p.Duration/4
+	for i := n1; i < n1+n2 && i < len(order); i++ {
+		evs = append(evs, script.Event{
+			At: second, Action: script.ActionCrash,
+			Host: order[i] + 1, Repair: repair,
+		})
+	}
+	return evs, nil
+}
+
+// azOutage crashes one contiguous host range for the whole window —
+// the correlated-domain failure a random crash process never
+// produces.
+func azOutage(w World, p Params, rng *sim.RNG) ([]script.Event, error) {
+	n := blast(w.Hosts, p.Intensity, 4, p.Hosts)
+	start := 1
+	if w.Hosts > n {
+		start = 1 + rng.Intn(w.Hosts-n+1)
+	}
+	return []script.Event{{
+		At: p.At, Action: script.ActionCrash,
+		Host: start, HostTo: start + n - 1, Repair: p.Duration,
+	}}, nil
+}
+
+// thermalEmergency ramps a power cap down in four equal steps across
+// the first half of the window — from the full fleet peak to
+// (1 − intensity/2) of it — holds the floor, then lifts the cap at
+// At + Duration. No randomness: a thermal event hits the whole feed.
+func thermalEmergency(w World, p Params) ([]script.Event, error) {
+	if w.HostPeakW <= 0 {
+		return nil, fmt.Errorf("chaos: %s needs the world's host peak power", p.Pattern)
+	}
+	full := w.HostPeakW * float64(w.Hosts)
+	floor := full * (1 - 0.5*p.Intensity)
+	const steps = 4
+	evs := make([]script.Event, 0, steps+1)
+	for i := 1; i <= steps; i++ {
+		watts := full + (floor-full)*float64(i)/steps
+		evs = append(evs, script.Event{
+			At:     p.At + p.Duration/2*time.Duration(i-1)/steps,
+			Action: script.ActionPowerCap,
+			Watts:  watts,
+		})
+	}
+	evs = append(evs, script.Event{At: p.At + p.Duration, Action: script.ActionPowerCap, Watts: 0})
+	return evs, nil
+}

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"agilepower/internal/script"
+)
+
+func world() World {
+	return World{Hosts: 24, HostPeakW: 250, Faults: true, CtrlPlane: true, Seed: 7}
+}
+
+// Every pattern must be a pure function of (World, Params): two calls
+// with identical inputs emit identical scripts.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Patterns() {
+		p := Params{Pattern: name, Intensity: 0.6, At: 2 * time.Hour, Duration: time.Hour, Salt: 3}
+		a, err := Generate(world(), p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Generate(world(), p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: generation not deterministic:\n%v\nvs\n%v", name, a, b)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: active pattern emitted no events", name)
+		}
+		hosts := world().Hosts
+		for _, e := range a {
+			if err := e.Validate(hosts); err != nil {
+				t.Fatalf("%s emitted invalid event %v: %v", name, e, err)
+			}
+		}
+	}
+}
+
+// Intensity <= 0 is dormant before any other check: nil script, no
+// error, even for worlds the active pattern would reject.
+func TestZeroIntensityDormant(t *testing.T) {
+	for _, name := range Patterns() {
+		for _, in := range []float64{0, -1} {
+			evs, err := Generate(World{}, Params{Pattern: name, Intensity: in})
+			if err != nil || evs != nil {
+				t.Fatalf("%s at intensity %v: got (%v, %v), want (nil, nil)", name, in, evs, err)
+			}
+		}
+	}
+}
+
+// Distinct salts must decorrelate instances of the same pattern.
+func TestSaltDecorrelates(t *testing.T) {
+	base := Params{Pattern: AZOutage, Intensity: 0.5, At: time.Hour}
+	seen := map[int]bool{}
+	for salt := uint64(0); salt < 16; salt++ {
+		p := base
+		p.Salt = salt
+		evs, err := Generate(world(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[evs[0].Host] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("16 salts produced %d distinct outage windows", len(seen))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		w    World
+		p    Params
+	}{
+		{"unknown pattern", world(), Params{Pattern: "meteor-strike", Intensity: 1}},
+		{"no hosts", World{Seed: 1}, Params{Pattern: AZOutage, Intensity: 1}},
+		{"negative at", world(), Params{Pattern: AZOutage, Intensity: 1, At: -time.Hour}},
+		{"negative duration", world(), Params{Pattern: AZOutage, Intensity: 1, Duration: -time.Minute}},
+		{"flaky-resume without faults", World{Hosts: 8, Seed: 1}, Params{Pattern: FlakyResume, Intensity: 1}},
+		{"partition without plane", World{Hosts: 8, Seed: 1}, Params{Pattern: ControlPartition, Intensity: 1}},
+		{"thermal without peak", World{Hosts: 8, Seed: 1}, Params{Pattern: ThermalEmergency, Intensity: 1}},
+	}
+	for _, c := range cases {
+		if _, err := Generate(c.w, c.p); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// The blast radius scales with intensity, respects the override, and
+// always leaves at least one survivor.
+func TestBlastBounds(t *testing.T) {
+	if n := blast(24, 1, 4, 0); n != 6 {
+		t.Fatalf("full-intensity az blast = %d, want 6", n)
+	}
+	if n := blast(24, 0.01, 4, 0); n != 1 {
+		t.Fatalf("tiny blast = %d, want 1", n)
+	}
+	if n := blast(24, 0.5, 4, 11); n != 11 {
+		t.Fatalf("override ignored: %d", n)
+	}
+	if n := blast(2, 1, 1, 5); n != 1 {
+		t.Fatalf("survivor rule violated: %d of 2 hosts", n)
+	}
+}
+
+// The thermal ramp steps down inside the first half of the window and
+// always ends with an uncap at At+Duration.
+func TestThermalShape(t *testing.T) {
+	p := Params{Pattern: ThermalEmergency, Intensity: 1, At: 2 * time.Hour, Duration: 2 * time.Hour}
+	evs, err := Generate(world(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 4 steps + uncap", len(evs))
+	}
+	full := 250.0 * 24
+	prev := full + 1
+	for _, e := range evs[:4] {
+		if e.Action != script.ActionPowerCap {
+			t.Fatalf("unexpected action %s", e.Action)
+		}
+		if e.Watts >= prev {
+			t.Fatalf("ramp not monotonic: %v then %v", prev, e.Watts)
+		}
+		if e.At < p.At || e.At > p.At+p.Duration/2 {
+			t.Fatalf("step at %v outside the ramp half-window", e.At)
+		}
+		prev = e.Watts
+	}
+	if floor := evs[3].Watts; floor != full*0.5 {
+		t.Fatalf("floor = %v, want half the fleet peak", floor)
+	}
+	last := evs[4]
+	if last.Watts != 0 || last.At != p.At+p.Duration {
+		t.Fatalf("missing uncap: %+v", last)
+	}
+}
+
+// Cascading failure sends a smaller second wave while the first wave's
+// repairs are still pending, never re-crashing a first-wave host.
+func TestCascadingWaves(t *testing.T) {
+	p := Params{Pattern: CascadingFailure, Intensity: 1, At: time.Hour, Duration: time.Hour}
+	evs, err := Generate(world(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second []script.Event
+	for _, e := range evs {
+		switch e.At {
+		case p.At:
+			first = append(first, e)
+		case p.At + p.Duration/4:
+			second = append(second, e)
+		default:
+			t.Fatalf("event at unexpected time %v", e.At)
+		}
+	}
+	if len(first) == 0 || len(second) == 0 || len(second) > len(first) {
+		t.Fatalf("wave sizes %d/%d", len(first), len(second))
+	}
+	hit := map[int]bool{}
+	for _, e := range evs {
+		if hit[e.Host] {
+			t.Fatalf("host %d crashed twice", e.Host)
+		}
+		hit[e.Host] = true
+		if e.Repair != p.Duration/2 {
+			t.Fatalf("repair %v, want half window", e.Repair)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"time"
 
 	"agilepower/internal/events"
@@ -163,6 +164,22 @@ type Cluster struct {
 	strandedCount int
 	strandedVMSec float64
 	strandedSince sim.Time
+
+	// demandScale holds per-VM runtime demand multipliers (indexed by
+	// vm.ID-1), the mechanism behind scenario demand-surge events. It
+	// stays nil until the first ScaleDemandPrefix call, and an entry of
+	// 0 or 1 means unscaled, so script-free runs never branch into the
+	// scaling path and VMDemand degenerates to vm.Demand bit-for-bit.
+	// The scale lives here, not on the VM: VM objects are shared by
+	// pointer across prototype forks, and per-run mutable state must
+	// stay with the run.
+	demandScale []float64
+
+	// onTick, when set, observes every evaluation tick's cluster-wide
+	// aggregates — the hook the scenario assertion engine rides, so
+	// continuous predicates are checked without scheduling a single
+	// extra engine event (dormancy: a nil observer changes nothing).
+	onTick func(TickStats)
 
 	// pending marks VMs that have arrived but are not yet placed on a
 	// host (dynamic provisioning, indexed by vm.ID-1). Their demand is
@@ -423,6 +440,7 @@ func (c *Cluster) Fork(eng *sim.Engine) (*Cluster, error) {
 	}
 	nc.provisionLat = append([]time.Duration(nil), c.provisionLat...)
 	nc.vmEpoch = c.vmEpoch
+	nc.demandScale = append([]float64(nil), c.demandScale...)
 	nc.strandedCount = c.strandedCount
 	nc.strandedVMSec = c.strandedVMSec
 	nc.strandedSince = c.strandedSince
@@ -1060,7 +1078,7 @@ func (c *Cluster) finishTick(now sim.Time, totalPower power.Watts, totalDemand, 
 			if !c.pending[i] {
 				continue
 			}
-			d := v.Demand(now)
+			d := c.VMDemand(v, now)
 			rec := &c.current[i]
 			if !rec.present || rec.demand != d {
 				c.closeRun(i, now)
@@ -1073,7 +1091,101 @@ func (c *Cluster) finishTick(now sim.Time, totalPower power.Watts, totalDemand, 
 	c.demandSeries.Append(now, totalDemand)
 	c.deliveredSeries.Append(now, totalDelivered)
 	c.activeSeries.Append(now, float64(active))
+	if c.onTick != nil {
+		c.onTick(TickStats{
+			Now: now, PowerW: float64(totalPower),
+			Demand: totalDemand, Delivered: totalDelivered,
+			Active: active, Stranded: stranded, Pending: c.pendingCount,
+		})
+	}
 }
+
+// TickStats is one evaluation tick's cluster-wide aggregates, handed
+// to the OnTick observer: the same numbers the telemetry series
+// record, plus the stranded and pending populations.
+type TickStats struct {
+	Now       sim.Time
+	PowerW    float64
+	Demand    float64
+	Delivered float64
+	Active    int
+	Stranded  int
+	Pending   int
+}
+
+// OnTick registers fn to observe every evaluation tick's aggregates.
+// The scenario assertion engine uses this to check continuous
+// predicates at exactly the cadence the cluster already evaluates —
+// registering an observer schedules no events and perturbs nothing.
+func (c *Cluster) OnTick(fn func(TickStats)) { c.onTick = fn }
+
+// VMDemand returns v's CPU demand at time at, including any runtime
+// demand scaling applied by scenario demand-surge events. With no
+// scale in effect it returns exactly v.Demand(at) — same branch-free
+// arithmetic, same bits — so script-free runs are untouched. A scale
+// multiplies the raw trace demand and then applies the vCPU and limit
+// caps in vm.Demand's clamping order.
+func (c *Cluster) VMDemand(v *vm.VM, at sim.Time) float64 {
+	if c.demandScale != nil {
+		if i := int(v.ID()) - 1; i < len(c.demandScale) {
+			if s := c.demandScale[i]; s != 0 && s != 1 {
+				d := v.Trace().At(at) * s
+				if vc := v.VCPUs(); d > vc {
+					d = vc
+				}
+				if lim := v.LimitCores(); lim > 0 && d > lim {
+					d = lim
+				}
+				return d
+			}
+		}
+	}
+	return v.Demand(at)
+}
+
+// ScaleDemandPrefix sets the demand multiplier of every live VM whose
+// name starts with prefix ("" = all VMs) to factor (1 restores
+// normal), returning how many VMs matched. Affected hosts are dirtied
+// and the cluster re-evaluates once, so allocation runs, SLA
+// accounting, and the delta machinery all see the step exactly at the
+// event time. Repeated calls overwrite (absolute scale, not
+// compounding); VMs arriving later are unscaled.
+func (c *Cluster) ScaleDemandPrefix(prefix string, factor float64) int {
+	matched := 0
+	for _, v := range c.vmList {
+		if prefix != "" && !strings.HasPrefix(v.Name(), prefix) {
+			continue
+		}
+		if c.demandScale == nil {
+			c.demandScale = make([]float64, len(c.vmsByID))
+		}
+		i := int(v.ID()) - 1
+		if i >= len(c.demandScale) {
+			grown := make([]float64, len(c.vmsByID))
+			copy(grown, c.demandScale)
+			c.demandScale = grown
+		}
+		c.demandScale[i] = factor
+		matched++
+		if h, ok := c.Placement(v.ID()); ok {
+			c.noteDirty(h)
+		}
+	}
+	if matched == 0 {
+		return 0
+	}
+	c.record(events.DemandScaled, 0, 0,
+		fmt.Sprintf("fleet %q ×%g (%d vms)", prefix, factor, matched))
+	if c.started {
+		c.evaluate()
+	}
+	return matched
+}
+
+// StrandedCount returns how many VMs are frozen on crashed hosts right
+// now (as opposed to StrandedVMSeconds, the time integral) — the
+// end-of-run health signal the CLIs turn into a nonzero exit.
+func (c *Cluster) StrandedCount() int { return c.strandedCount }
 
 // closeRun charges VM index i's open allocation run up to now and
 // restarts the run there (no-op when there is no open run or it is
@@ -1105,7 +1217,7 @@ func (c *Cluster) evalHost(h *host.Host, now sim.Time) hostPartial {
 	res := h.Residents() // ascending VM ID
 	demands := h.DemandScratch()
 	for i, v := range res {
-		demands[i] = v.Demand(now)
+		demands[i] = c.VMDemand(v, now)
 	}
 	alloc := h.Schedule(demands, c.migrations.CPUOverhead(int(h.ID())))
 	h.Machine().SetUtilization(alloc.Utilization)
@@ -1273,7 +1385,7 @@ func (c *Cluster) finishMigration(mig *migrate.Migration) {
 	c.noteDirty(host.ID(mig.Src))
 	c.noteDirty(host.ID(mig.Dst))
 	// The stop-and-copy pause fully blanks the VM.
-	c.sla[mig.VM-1].RecordOutage(mig.Plan.Downtime, v.Demand(c.eng.Now()))
+	c.sla[mig.VM-1].RecordOutage(mig.Plan.Downtime, c.VMDemand(v, c.eng.Now()))
 	c.record(events.MigrationCompleted, mig.VM, host.ID(mig.Dst),
 		fmt.Sprintf("%d→%d in %v", mig.Src, mig.Dst, mig.Plan.Duration.Round(time.Millisecond)))
 	c.evaluate()
@@ -1405,7 +1517,7 @@ func (c *Cluster) TotalDemand() float64 {
 	total := 0.0
 	now := c.eng.Now()
 	for _, v := range c.vmList {
-		total += v.Demand(now)
+		total += c.VMDemand(v, now)
 	}
 	return total
 }

@@ -198,7 +198,7 @@ func (m *Manager) ensureForecasts(now sim.Time) {
 			i := id - 1
 			f := m.newForecaster()
 			m.fcs[i] = f
-			f.Observe(now, v.Demand(now))
+			f.Observe(now, m.cl.VMDemand(v, now))
 			fc := f.Forecast()
 			if fc > v.VCPUs() {
 				fc = v.VCPUs()
@@ -219,9 +219,9 @@ func (m *Manager) ensureForecasts(now sim.Time) {
 		i := d.vid - 1
 		f := m.fcs[i]
 		if m.invPrev > m.lastObs[i] {
-			f.Observe(m.invPrev, v.Demand(m.invPrev))
+			f.Observe(m.invPrev, m.cl.VMDemand(v, m.invPrev))
 		}
-		f.Observe(now, v.Demand(now))
+		f.Observe(now, m.cl.VMDemand(v, now))
 		m.lastObs[i] = now
 		fc := f.Forecast()
 		if fc > v.VCPUs() {
@@ -255,7 +255,7 @@ func (m *Manager) eagerObserve(now sim.Time) {
 			f = m.newForecaster()
 			m.fcs[i] = f
 		}
-		f.Observe(now, v.Demand(now))
+		f.Observe(now, m.cl.VMDemand(v, now))
 		fc := f.Forecast()
 		// Never forecast below the VM's cap nor above it.
 		if fc > v.VCPUs() {
@@ -282,7 +282,7 @@ func (m *Manager) eagerObserve(now sim.Time) {
 	if m.diurnal != nil {
 		total := 0.0
 		for _, v := range m.cl.VMs() {
-			total += v.Demand(now)
+			total += m.cl.VMDemand(v, now)
 		}
 		m.diurnal.Observe(now, total)
 	}

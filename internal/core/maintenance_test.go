@@ -153,7 +153,8 @@ func TestMaintenanceErrors(t *testing.T) {
 	if err := m.ExitMaintenance(1); err == nil {
 		t.Fatal("exit without enter accepted")
 	}
-	// Sleeping host cannot enter maintenance (wake it first).
+	// A host mid-transition cannot enter maintenance; once it settles
+	// asleep, maintenance becomes a wake hold (nothing to drain).
 	eng.RunUntil(time.Minute)
 	var parked host.ID
 	for _, h := range cl.Hosts() {
@@ -167,7 +168,17 @@ func TestMaintenanceErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := m.EnterMaintenance(parked); err == nil {
-			t.Fatal("sleeping host accepted for maintenance")
+			t.Fatal("mid-transition host accepted for maintenance")
+		}
+		eng.RunUntil(eng.Now() + time.Minute) // let the S3 entry settle
+		if err := m.EnterMaintenance(parked); err != nil {
+			t.Fatalf("settled parked host rejected: %v", err)
+		}
+		if !m.InMaintenance(parked) || !m.MaintenanceReady(parked) {
+			t.Fatal("parked maintenance host not held/ready")
+		}
+		if err := m.ExitMaintenance(parked); err != nil {
+			t.Fatal(err)
 		}
 	}
 	if m.MaintenanceReady(99) {

@@ -150,6 +150,13 @@ type Manager struct {
 	planOK    bool
 	sortLoads []float64 // packServing per-host load scratch
 
+	// Power-feed cap (scenario power-cap events): capWatts is the feed
+	// limit, capBudget the derived active-host budget. Zero means
+	// uncapped — the default, and the only state the allocation-free
+	// benchmarks exercise.
+	capWatts  float64
+	capBudget int
+
 	stats   Stats
 	started bool
 }
@@ -186,7 +193,7 @@ func NewManager(cl *cluster.Cluster, cfg Config) (*Manager, error) {
 	// last-value qualify; EWMA evolves on every observation and the
 	// diurnal model consumes the whole demand sum each invocation, so
 	// those run the eager sweep (with the epoch caches still active).
-	m.lazyFC = m.inc && !cfg.PredictiveWake &&
+	m.lazyFC = m.inc && !cfg.PredictiveWake && !cfg.DemandShocks &&
 		(cfg.Forecast.Kind == ForecastPeakWindow || cfg.Forecast.Kind == ForecastLastValue)
 	if m.inc {
 		// The cluster's event feed is the invalidation signal for every
@@ -221,19 +228,27 @@ func (m *Manager) continueMoves() {
 
 // EnterMaintenance marks a host for evacuation and keeps it out of
 // service once drained: the operational "put host in maintenance mode"
-// flow, reusing the consolidation drain machinery. The host is not
-// parked; it sits available-but-unused (ready for firmware work) until
-// ExitMaintenance.
+// flow, reusing the consolidation drain machinery. An available host
+// is not parked; it sits available-but-unused (ready for firmware
+// work) until ExitMaintenance. A host settled in a sleep state has
+// nothing to drain: the hold simply makes it ineligible for wake —
+// the shape of a rack losing its power feed while parked. Hosts
+// mid-transition are rejected; retry once they settle.
 func (m *Manager) EnterMaintenance(id host.ID) error {
 	h, ok := m.cl.Host(id)
 	if !ok {
 		return fmt.Errorf("core: unknown host %d", id)
 	}
-	if !h.Available() {
-		return fmt.Errorf("core: host %d is not available (%v/%v)", id, h.Machine().State(), h.Machine().Phase())
+	mach := h.Machine()
+	switch {
+	case mach.Available():
+		m.maintenance[id] = true
+		m.evacuating[id] = true
+	case mach.Phase() == power.Settled && mach.State().IsSleep():
+		m.maintenance[id] = true
+	default:
+		return fmt.Errorf("core: host %d is mid-transition (%v/%v)", id, mach.State(), mach.Phase())
 	}
-	m.maintenance[id] = true
-	m.evacuating[id] = true
 	m.invalidate()
 	if m.started {
 		m.continueMoves()
@@ -395,13 +410,25 @@ func (m *Manager) checkPanic() {
 			delete(m.evacuating, id)
 		}
 	}
+	c := m.takeCensus()
+	on := len(c.serving) + len(c.evacuating) + len(c.waking)
 	for _, h := range m.cl.Hosts() {
+		if m.capBudget > 0 && on >= m.capBudget {
+			// Even panic respects the feed budget: tripping a breaker
+			// serves nobody. The cap wins over wakes, never over
+			// already-serving hosts.
+			m.counters.Inc(CtrCapDeferredWakes)
+			break
+		}
 		if m.distrusted(h.ID()) || m.hostCmdPending(h.ID()) {
 			continue
 		}
 		if h.Machine().State().IsSleep() && h.Machine().Phase() == power.Settled {
-			if err := m.wakeHost(h.ID()); err == nil && m.cp == nil {
-				m.stats.Wakes++
+			if err := m.wakeHost(h.ID()); err == nil {
+				if m.cp == nil {
+					m.stats.Wakes++
+				}
+				on++
 			}
 		}
 	}
@@ -641,6 +668,9 @@ func (m *Manager) adjustFrequencies(forecasts []float64) {
 // on slack, park drained hosts.
 func (m *Manager) managePower(forecasts []float64) {
 	c := m.takeCensus()
+	if m.enforcePowerCap(forecasts, c) {
+		c = m.takeCensus()
+	}
 	if m.scaleUp(forecasts, c) {
 		m.shrinkOpen = false
 		return
@@ -686,6 +716,12 @@ func (m *Manager) scaleUp(forecasts []float64, c census) bool {
 		if haveCores >= needCores && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
 			break
 		}
+		if m.capBudget > 0 && len(c.serving)+len(c.waking) >= m.capBudget {
+			// Reclaiming would keep the host on past the feed budget —
+			// cap enforcement marked it for a reason.
+			m.counters.Inc(CtrCapDeferredWakes)
+			break
+		}
 		if m.maintenance[h.ID()] {
 			continue
 		}
@@ -706,6 +742,14 @@ func (m *Manager) scaleUp(forecasts []float64, c census) bool {
 		if haveCores >= needCores && len(c.serving)+len(c.waking) >= m.cfg.MinActive {
 			break
 		}
+		if m.capBudget > 0 && len(c.serving)+len(c.evacuating)+len(c.waking) >= m.capBudget {
+			// The feed budget is full: demand pressure must wait for
+			// load to fall or the cap to lift. Best-effort semantics —
+			// the cap wins over wake pressure, never over hosts already
+			// serving.
+			m.counters.Inc(CtrCapDeferredWakes)
+			break
+		}
 		if m.isQuarantined(h.ID()) || m.parkHeld(h.ID()) {
 			continue
 		}
@@ -721,6 +765,86 @@ func (m *Manager) scaleUp(forecasts []float64, c census) bool {
 		}
 	}
 	return true
+}
+
+// SetPowerCap installs (watts > 0) or lifts (watts <= 0) a power-feed
+// cap. The cap is enforced as an active-host budget: the largest host
+// peak draw in the fleet divides the feed, so any budget-sized active
+// set peaks below the cap regardless of which hosts are on. Semantics
+// are best-effort by design — when even MinActive hosts exceed the
+// budget, MinActive wins (hosts keep serving; SLA over cap), and
+// hosts already on are drained rather than dropped.
+func (m *Manager) SetPowerCap(watts float64) {
+	if watts <= 0 {
+		m.capWatts, m.capBudget = 0, 0
+		m.invalidate()
+		return
+	}
+	peak := 0.0
+	for _, h := range m.cl.Hosts() {
+		if p := float64(h.Machine().Profile().ActivePower(1)); p > peak {
+			peak = p
+		}
+	}
+	budget := 1
+	if peak > 0 {
+		if b := int(watts / peak); b > 1 {
+			budget = b
+		}
+	}
+	m.capWatts = watts
+	m.capBudget = budget
+	m.invalidate()
+	if m.started {
+		m.step()
+	}
+}
+
+// PowerCap returns the current power-feed cap in watts (0 when
+// uncapped).
+func (m *Manager) PowerCap() float64 { return m.capWatts }
+
+// enforcePowerCap drains the least-loaded serving hosts while the
+// committed-on count exceeds the cap budget, reporting whether it
+// marked anything. Unlike considerScaleDown it bypasses the
+// shrink-persistence damper and the wake cooldown: a feed cap is a
+// physical limit, not an optimization opportunity.
+func (m *Manager) enforcePowerCap(forecasts []float64, c census) bool {
+	if m.capBudget <= 0 {
+		return false
+	}
+	keep := m.capBudget
+	if keep < m.cfg.MinActive {
+		keep = m.cfg.MinActive
+	}
+	over := len(c.serving) + len(c.waking) - keep
+	if over <= 0 {
+		return false
+	}
+	loads := m.hostForecastLoads(forecasts)
+	cand := append([]*host.Host(nil), c.serving...)
+	sort.Slice(cand, func(i, j int) bool {
+		li, lj := loads[cand[i].ID()-1], loads[cand[j].ID()-1]
+		if li != lj {
+			return li < lj
+		}
+		return cand[i].ID() < cand[j].ID()
+	})
+	acted := false
+	for _, h := range cand {
+		if over <= 0 {
+			break
+		}
+		if m.distrusted(h.ID()) || m.hostCmdPending(h.ID()) {
+			continue
+		}
+		m.evacuating[h.ID()] = true
+		m.invalidate()
+		m.counters.Inc(CtrCapEvacuations)
+		acted = true
+		over--
+	}
+	return acted
 }
 
 // considerScaleDown checks whether the packing frees at least one
@@ -862,7 +986,7 @@ func (m *Manager) buildBins(hosts []*host.Host) []Bin {
 	for _, mig := range m.cl.Migrations().Inflights() {
 		if v, ok := m.cl.VM(mig.VM); ok {
 			dst := host.ID(mig.Dst)
-			inboundCPU[dst] += v.Demand(m.cl.Engine().Now())
+			inboundCPU[dst] += m.cl.VMDemand(v, m.cl.Engine().Now())
 			inboundMem[dst] += v.MemoryGB()
 			if g := v.Group(); g != "" {
 				inboundGroups[dst] = append(inboundGroups[dst], g)

@@ -186,6 +186,14 @@ type Config struct {
 	// path is not hammered every control period.
 	MigrationRetryBackoff time.Duration
 
+	// DemandShocks declares that VM demand may be rescaled at runtime
+	// (scenario demand-surge events). Lazy forecast maintenance replays
+	// demand reads at past times and would see the post-shock scale for
+	// pre-shock moments, so it is disabled when shocks are possible;
+	// the eager sweep (still epoch-cached) reads demand only at the
+	// current instant and stays exact.
+	DemandShocks bool
+
 	// Incremental selects incremental planning-input maintenance
 	// (default on; see IncrementalMode). Decisions and reports are
 	// byte-identical either way.

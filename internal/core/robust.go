@@ -37,6 +37,16 @@ const (
 	CtrDegradedKeepOn = "degraded_keep_on"
 	// CtrCrashesObserved — host crashes the manager reacted to.
 	CtrCrashesObserved = "crashes_observed"
+	// CtrCapEvacuations — hosts marked for evacuation because the
+	// active-host count exceeded a power-feed cap budget.
+	CtrCapEvacuations = "power_cap_evacuations"
+	// CtrCapDeferredWakes — wake opportunities the manager declined
+	// because waking would exceed the power-feed cap budget.
+	CtrCapDeferredWakes = "power_cap_deferred_wakes"
+	// CtrScriptSkipped — scenario script events that could not be
+	// applied when they fired (e.g. crashing an already-down host) and
+	// were skipped.
+	CtrScriptSkipped = "script_skipped"
 )
 
 // Counters returns the manager's robustness counters (all zero in a

@@ -308,9 +308,13 @@ type pendingCmd struct {
 // everything else in the simulator it is single-threaded: one plane per
 // engine, driven entirely by engine events.
 type Plane struct {
-	eng  *sim.Engine
-	cl   *cluster.Cluster
-	cfg  Config
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	cfg Config
+	// base preserves the construction-time impairment knobs so a
+	// scenario partition or degradation window can be lifted again
+	// (RestoreImpairment).
+	base Config
 	rng  *sim.RNG
 	ctrs *telemetry.Counters
 
@@ -357,6 +361,7 @@ func New(eng *sim.Engine, cl *cluster.Cluster, cfg Config, ctrs *telemetry.Count
 		eng:         eng,
 		cl:          cl,
 		cfg:         cfg,
+		base:        cfg,
 		rng:         eng.RNG().Fork(),
 		ctrs:        ctrs,
 		nextSeq:     1,
@@ -372,6 +377,51 @@ func New(eng *sim.Engine, cl *cluster.Cluster, cfg Config, ctrs *telemetry.Count
 
 // Config returns the plane's effective (defaulted) configuration.
 func (p *Plane) Config() Config { return p.cfg }
+
+// SetImpairment replaces the six Preset-shaped network knobs (command
+// and report delay, jitter, loss) at runtime — scenario ctrl-degrade
+// events. Timeouts, retry budgets, heartbeat cadence and liveness
+// hysteresis keep their construction-time values. Deterministic for
+// the same reason faults.Tune is: every send reads the config at its
+// own event time, inside the engine.
+func (p *Plane) SetImpairment(delay time.Duration, loss float64) {
+	if delay < 0 {
+		delay = 0
+	}
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	p.cfg.CmdDelay = delay
+	p.cfg.CmdJitter = delay / 2
+	p.cfg.CmdLossProb = loss
+	p.cfg.ReportDelay = delay
+	p.cfg.ReportJitter = delay / 2
+	p.cfg.ReportLossProb = loss
+}
+
+// Partition severs the plane completely: every command and report leg
+// is lost until RestoreImpairment. Heartbeats stop arriving, so the
+// liveness monitor will walk every host to Suspect and then Dead at
+// its configured hysteresis.
+func (p *Plane) Partition() {
+	p.cfg.CmdLossProb = 1
+	p.cfg.ReportLossProb = 1
+}
+
+// RestoreImpairment puts the six network knobs back to their
+// construction-time values, ending a Partition or SetImpairment
+// window.
+func (p *Plane) RestoreImpairment() {
+	p.cfg.CmdDelay = p.base.CmdDelay
+	p.cfg.CmdJitter = p.base.CmdJitter
+	p.cfg.CmdLossProb = p.base.CmdLossProb
+	p.cfg.ReportDelay = p.base.ReportDelay
+	p.cfg.ReportJitter = p.base.ReportJitter
+	p.cfg.ReportLossProb = p.base.ReportLossProb
+}
 
 // OnCommandResult registers the single sender-side completion callback:
 // it fires exactly once per command, with nil on an acked success, the

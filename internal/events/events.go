@@ -37,6 +37,9 @@ const (
 	MigrationFailed
 	// HostCrashed — a host crashed and is down for repair.
 	HostCrashed
+	// DemandScaled — a scenario event rescaled a fleet's demand
+	// (demand-surge); Detail carries the fleet selector and factor.
+	DemandScaled
 )
 
 // String names the kind.
@@ -62,6 +65,8 @@ func (k Kind) String() string {
 		return "migration-failed"
 	case HostCrashed:
 		return "host-crashed"
+	case DemandScaled:
+		return "demand-scaled"
 	default:
 		return "event?"
 	}

@@ -60,6 +60,7 @@ func Ablations(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	staticRes := results[0]
 
 	tbl := report.NewTable(
@@ -105,6 +106,7 @@ func Ablations(w io.Writer, opts Options) error {
 			if err != nil {
 				return nil, err
 			}
+			opts.note(res...)
 			st, r := res[0], res[1]
 			return []any{replicas, r.SavingsVs(st), r.ViolationFraction,
 				r.ActiveHosts.TimeMean(0, sc.Horizon)}, nil
@@ -134,6 +136,7 @@ func Ablations(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(resR...)
 	tblR := report.NewTable(
 		"Ablations: S3 resume-failure robustness",
 		"fail_prob", "savings_vs_static", "violation_frac", "resume_failures")
@@ -162,6 +165,7 @@ func Ablations(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(resL...)
 	tblL := report.NewTable(
 		"Ablations: S3 exit-latency sensitivity",
 		"exit_latency", "savings_vs_static", "violation_frac")

@@ -72,6 +72,7 @@ func F4(w io.Writer, opts Options) error {
 			if err != nil {
 				return nil, err
 			}
+			opts.note(results...)
 			oracleE, err := results[0].OracleEnergy()
 			if err != nil {
 				return nil, err
@@ -105,6 +106,7 @@ func F5(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	fmt.Fprintf(w, "F5: day-long run, %d hosts, %d VMs, horizon %.0fh\n",
 		sc.Hosts, len(sc.VMs), hours(sc.Horizon))
 
@@ -162,6 +164,7 @@ func F6(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	tbl := report.NewTable(
 		"F6: performance impact over the day workload",
 		"policy", "satisfaction", "violation_frac", "unmet_core_hours")
@@ -198,6 +201,7 @@ func F7(w io.Writer, opts Options) error {
 			if err != nil {
 				return nil, err
 			}
+			opts.note(res...)
 			static, dpm := res[0], res[1]
 			return []any{n, n * 5, static.EnergyKWh(), dpm.EnergyKWh(),
 				dpm.SavingsVs(static), dpm.Satisfaction,
@@ -224,6 +228,7 @@ func F8(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	h := hours(sc.Horizon)
 	tbl := report.NewTable(
 		"F8: management actions per hour",
@@ -265,6 +270,7 @@ func F9(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	staticRes := results[0]
 	tbl := report.NewTable(
 		"F9: DPM-S3 sensitivity to control period",
@@ -319,6 +325,7 @@ func F10(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	staticRes := results[0]
 	tbl := report.NewTable(
 		"F10: energy-performance trade-off (vs static provisioning)",
@@ -338,6 +345,7 @@ func T2(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	static := results[0]
 	oracleE, err := static.OracleEnergy()
 	if err != nil {

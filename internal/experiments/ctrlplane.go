@@ -89,6 +89,7 @@ func CtrlPlane(w io.Writer, opts Options) error {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", sc.Name, err)
 			}
+			opts.note(res)
 			fc := res.FaultCounters
 			return []any{
 				c.mix.delay.String(),

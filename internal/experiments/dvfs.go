@@ -35,6 +35,7 @@ func DVFS(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	staticRes := results[0]
 
 	tbl := report.NewTable(

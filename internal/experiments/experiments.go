@@ -89,6 +89,67 @@ type Options struct {
 	// the report writer so long runs are observable on stderr without
 	// polluting the stdout report. Lines appear in completion order.
 	Progress io.Writer
+	// Health, when non-nil, accumulates fleet-hygiene problems across
+	// every simulation the experiments run (see Health). CLIs consult
+	// it after a sweep to exit nonzero on stranded VMs or failed
+	// assertions even when the report itself rendered fine.
+	Health *Health
+}
+
+// Health accumulates fleet-hygiene problems across simulations: VMs
+// still stranded on crashed hosts at the horizon and failed scenario
+// assertions. A sweep whose report renders fine can still have left
+// wreckage behind; CLIs consult the accumulated verdict to exit
+// nonzero. Safe for concurrent use — experiments fan out across
+// workers.
+type Health struct {
+	mu       sync.Mutex
+	runs     int
+	badRuns  int
+	stranded int
+	failed   int
+}
+
+// Note records one simulation's outcome.
+func (h *Health) Note(res *agilepower.Result) {
+	if h == nil || res == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.runs++
+	if res.StrandedVMs > 0 || res.AssertionFailures > 0 {
+		h.badRuns++
+		h.stranded += res.StrandedVMs
+		h.failed += res.AssertionFailures
+	}
+}
+
+// Unhealthy reports whether any noted run ended with stranded VMs or
+// failed assertions.
+func (h *Health) Unhealthy() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.badRuns > 0
+}
+
+// Summary renders the one-line verdict CLIs print to stderr.
+func (h *Health) Summary() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return fmt.Sprintf("%d of %d runs unhealthy: %d stranded VM(s), %d failed assertion(s)",
+		h.badRuns, h.runs, h.stranded, h.failed)
+}
+
+// note feeds results into the Options' Health accumulator, if any.
+// Every experiment run site routes its results through here.
+func (o Options) note(results ...*agilepower.Result) {
+	if o.Health == nil {
+		return
+	}
+	for _, r := range results {
+		o.Health.Note(r)
+	}
 }
 
 func (o Options) seed() uint64 {

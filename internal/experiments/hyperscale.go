@@ -80,6 +80,7 @@ func Hyperscale(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 
 	static := results[0]
 	tbl := report.NewTable(
@@ -109,6 +110,7 @@ func Hyperscale(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(trough)
 	wall := time.Since(start)
 	vtbl := report.NewTable(
 		"hyperscale: trough-heavy diurnal variant (dpm-s3)",

@@ -70,6 +70,7 @@ func Predict(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	staticRes := results[0]
 
 	tbl := report.NewTable(
@@ -118,6 +119,7 @@ func Predict(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(weekResults...)
 	weekStatic := weekResults[0]
 	tblW := report.NewTable(
 		"Predict: a week with quiet weekends (daily predictor pre-arms for ramps that never come)",

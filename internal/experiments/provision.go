@@ -43,6 +43,7 @@ func Prov(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	tbl := report.NewTable(
 		"Prov: dynamic provisioning under power management",
 		"policy", "arrived", "placed", "prov_p50", "prov_p95", "prov_max",

@@ -65,6 +65,7 @@ func Robustness(w io.Writer, opts Options) error {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", sc.Name, err)
 			}
+			opts.note(res)
 			fc := res.FaultCounters
 			return []any{
 				fmt.Sprintf("%.0f%%", c.rate*100),

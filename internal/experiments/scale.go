@@ -71,6 +71,7 @@ func Scale(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
+	opts.note(results...)
 	wall := time.Since(start)
 
 	static := results[0]

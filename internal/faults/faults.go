@@ -181,6 +181,25 @@ func New(eng *sim.Engine, cfg Config) (*Injector, error) {
 // Config returns the injector's configuration.
 func (i *Injector) Config() Config { return i.cfg }
 
+// Tune replaces the injector's configuration at runtime (scenario
+// fault-rate events). The new config is validated and the repair
+// default applied; it may even be fully dormant — running crash
+// processes pause (ticking without drawing randomness) until a later
+// Tune re-arms them. Determinism is unaffected: every fault decision
+// reads the config at its own event time, inside the engine, so a
+// Tune scheduled as a simulation event lands identically on every
+// replay.
+func (i *Injector) Tune(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.CrashMTBF > 0 && cfg.CrashRepairMean == 0 {
+		cfg.CrashRepairMean = 10 * time.Minute
+	}
+	i.cfg = cfg
+	return nil
+}
+
 // Stats returns a snapshot of what has been injected so far.
 func (i *Injector) Stats() Stats { return i.stats }
 
@@ -250,7 +269,24 @@ func (i *Injector) ScheduleCrashes(hosts int, crash func(idx int, repair time.Du
 	}
 }
 
+// ScheduleCrashProcesses starts one crash process per host index
+// unconditionally, paused while CrashMTBF is zero. Scenario scripts
+// that Tune a crash rate in at runtime need the processes to exist
+// from t=0 so the tick schedule is a pure function of the seed.
+func (i *Injector) ScheduleCrashProcesses(hosts int, crash func(idx int, repair time.Duration) bool) {
+	for idx := 0; idx < hosts; idx++ {
+		i.scheduleCrash(idx, crash)
+	}
+}
+
 func (i *Injector) scheduleCrash(idx int, crash func(idx int, repair time.Duration) bool) {
+	if i.cfg.CrashMTBF <= 0 {
+		// Paused: re-check each simulated hour without drawing
+		// randomness, so a later Tune can re-arm the process with the
+		// substream untouched (resume lag is at most one hour).
+		i.eng.AfterFunc(time.Hour, func() { i.scheduleCrash(idx, crash) })
+		return
+	}
 	wait := time.Duration(i.rng.Exp(float64(i.cfg.CrashMTBF)))
 	i.eng.AfterFunc(wait, func() {
 		repair := time.Duration(i.rng.Exp(float64(i.cfg.CrashRepairMean)))

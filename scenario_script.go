@@ -1,0 +1,235 @@
+package agilepower
+
+import (
+	"fmt"
+	"time"
+
+	"agilepower/internal/cluster"
+	"agilepower/internal/core"
+	"agilepower/internal/faults"
+	"agilepower/internal/host"
+	"agilepower/internal/script"
+	"agilepower/internal/sim"
+)
+
+// AssertionResult is the verdict on one scenario assertion.
+type AssertionResult struct {
+	// Assert is the spec the verdict is about.
+	Assert AssertSpec
+	// Violated reports whether the predicate failed.
+	Violated bool
+	// At is when a continuous assertion first latched its violation
+	// (the run horizon for final assertions).
+	At time.Duration
+	// Observed is the value that violated the bound (or the final
+	// observed value for passing final assertions).
+	Observed float64
+}
+
+// String renders a one-line verdict.
+func (r AssertionResult) String() string {
+	verdict := "PASS"
+	if r.Violated {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-4s %s (observed %.4g at %v)", verdict, r.Assert.String(), r.Observed, r.At)
+}
+
+// compileScript schedules one engine event per script entry. Caller
+// guarantees (via Scenario.Validate) that events needing the fault
+// injector or control plane only appear when those subsystems are
+// enabled. Events apply best-effort: an action that cannot take at its
+// fire time (crashing a host that is already down, draining a crashed
+// host) bumps the manager's script_skipped counter and the run
+// continues — scripts describe intent against a fleet whose state they
+// do not control.
+func (se *Session) compileScript(evs []ScriptEvent) {
+	for _, e := range evs {
+		e := e
+		se.eng.ScheduleFunc(sim.Time(e.At), func() { se.applyEvent(e) })
+	}
+}
+
+func (se *Session) applyEvent(e ScriptEvent) {
+	switch e.Action {
+	case script.ActionCrash:
+		repair := e.Repair
+		if repair <= 0 {
+			repair = 10 * time.Minute
+		}
+		for id := e.HostLo(); id <= e.HostHi(); id++ {
+			hid := host.ID(id)
+			if err := se.cl.CrashHost(hid, repair); err == nil {
+				continue
+			}
+			// A parked host has no workload to crash, but the outage
+			// still keeps it from being woken until the repair: model
+			// that as a maintenance hold released at repair time.
+			if err := se.mgr.EnterMaintenance(hid); err != nil {
+				se.mgr.Counters().Inc(core.CtrScriptSkipped)
+				continue
+			}
+			se.eng.ScheduleFunc(sim.Time(e.At+repair), func() {
+				_ = se.mgr.ExitMaintenance(hid)
+			})
+		}
+	case script.ActionMaintenance:
+		for id := e.HostLo(); id <= e.HostHi(); id++ {
+			if err := se.mgr.EnterMaintenance(host.ID(id)); err != nil {
+				se.mgr.Counters().Inc(core.CtrScriptSkipped)
+			}
+		}
+	case script.ActionMaintenanceEnd:
+		for id := e.HostLo(); id <= e.HostHi(); id++ {
+			if err := se.mgr.ExitMaintenance(host.ID(id)); err != nil {
+				se.mgr.Counters().Inc(core.CtrScriptSkipped)
+			}
+		}
+	case script.ActionPowerCap:
+		se.mgr.SetPowerCap(e.Watts)
+		if e.Watts > 0 && e.Duration > 0 {
+			se.eng.ScheduleFunc(sim.Time(e.At+e.Duration), func() { se.mgr.SetPowerCap(0) })
+		}
+	case script.ActionDemandSurge:
+		if se.cl.ScaleDemandPrefix(e.Fleet, e.Factor) == 0 {
+			se.mgr.Counters().Inc(core.CtrScriptSkipped)
+		}
+		if e.Duration > 0 {
+			fleet := e.Fleet
+			se.eng.ScheduleFunc(sim.Time(e.At+e.Duration), func() {
+				se.cl.ScaleDemandPrefix(fleet, 1)
+			})
+		}
+	case script.ActionFaultRate:
+		if err := se.inj.Tune(faults.Preset(e.Rate)); err != nil {
+			se.mgr.Counters().Inc(core.CtrScriptSkipped)
+		}
+		if e.Duration > 0 {
+			se.eng.ScheduleFunc(sim.Time(e.At+e.Duration), func() {
+				_ = se.inj.Tune(se.baseFaults)
+			})
+		}
+	case script.ActionWakeFail:
+		cfg := se.inj.Config()
+		cfg.WakeFailProb = e.Prob
+		if err := se.inj.Tune(cfg); err != nil {
+			se.mgr.Counters().Inc(core.CtrScriptSkipped)
+		}
+		if e.Duration > 0 {
+			se.eng.ScheduleFunc(sim.Time(e.At+e.Duration), func() {
+				restored := se.inj.Config()
+				restored.WakeFailProb = se.baseFaults.WakeFailProb
+				_ = se.inj.Tune(restored)
+			})
+		}
+	case script.ActionCtrlDegrade:
+		se.cp.SetImpairment(e.Delay, e.Loss)
+		if e.Duration > 0 {
+			se.eng.ScheduleFunc(sim.Time(e.At+e.Duration), func() { se.cp.RestoreImpairment() })
+		}
+	case script.ActionCtrlPartition:
+		se.cp.Partition()
+		se.eng.ScheduleFunc(sim.Time(e.At+e.Duration), func() { se.cp.RestoreImpairment() })
+	}
+}
+
+// assertEngine evaluates a scenario's assertions. Continuous kinds
+// piggyback on the cluster's evaluation tick via OnTick — no extra
+// engine events, so an asserted run's simulation is byte-identical to
+// an unasserted one — and final kinds are checked once in finish. A
+// violation latches: the first moment the bad condition has persisted
+// past the spec's grace is recorded and the verdict never un-fails.
+type assertEngine struct {
+	specs  []AssertSpec
+	states []assertState
+}
+
+type assertState struct {
+	bad      bool
+	badSince sim.Time
+	violated bool
+	at       sim.Time
+	observed float64
+}
+
+func newAssertEngine(specs []AssertSpec) *assertEngine {
+	return &assertEngine{specs: specs, states: make([]assertState, len(specs))}
+}
+
+// tick checks every continuous assertion against one evaluation
+// tick's aggregates.
+func (ae *assertEngine) tick(ts cluster.TickStats) {
+	for i := range ae.specs {
+		a := &ae.specs[i]
+		st := &ae.states[i]
+		if st.violated || !a.Continuous() {
+			continue
+		}
+		now := time.Duration(ts.Now)
+		if now < a.From || (a.Until > 0 && now > a.Until) {
+			st.bad = false
+			continue
+		}
+		var bad bool
+		var obs float64
+		switch a.Kind {
+		case script.KindNoStrandedVM:
+			obs = float64(ts.Stranded)
+			bad = ts.Stranded > 0
+		case script.KindPowerBelow:
+			obs = ts.PowerW
+			bad = ts.PowerW > a.Watts
+		case script.KindNoPendingVM:
+			obs = float64(ts.Pending)
+			bad = ts.Pending > 0
+		case script.KindActiveHostsMin:
+			obs = float64(ts.Active)
+			bad = ts.Active < a.Count
+		}
+		if !bad {
+			st.bad = false
+			continue
+		}
+		if !st.bad {
+			st.bad = true
+			st.badSince = ts.Now
+		}
+		if time.Duration(ts.Now-st.badSince) >= a.Over {
+			st.violated = true
+			st.at = ts.Now
+			st.observed = obs
+		}
+	}
+}
+
+// finish evaluates the final assertions against the collected Result
+// and writes all verdicts (continuous and final) into it.
+func (ae *assertEngine) finish(res *Result) {
+	res.Assertions = make([]AssertionResult, len(ae.specs))
+	for i, a := range ae.specs {
+		st := ae.states[i]
+		ar := AssertionResult{Assert: a}
+		if a.Continuous() {
+			ar.Violated = st.violated
+			ar.At = time.Duration(st.at)
+			ar.Observed = st.observed
+		} else {
+			ar.At = res.Horizon
+			switch a.Kind {
+			case script.KindSLAViolationMax:
+				ar.Observed = res.ViolationFraction
+				ar.Violated = res.ViolationFraction > a.Frac
+			case script.KindSatisfactionMin:
+				ar.Observed = res.Satisfaction
+				ar.Violated = res.Satisfaction < a.Frac
+			case script.KindEnergyBelow:
+				ar.Observed = res.EnergyKWh()
+				ar.Violated = res.EnergyKWh() > a.KWh
+			}
+		}
+		if ar.Violated {
+			res.AssertionFailures++
+		}
+		res.Assertions[i] = ar
+	}
+}

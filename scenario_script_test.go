@@ -1,0 +1,354 @@
+package agilepower
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptedScenario is the small fleet the event-script behavior tests
+// run: busy enough that DPM keeps several hosts serving, small enough
+// to run in milliseconds.
+func scriptedScenario() Scenario {
+	return Scenario{
+		Name:    "scripted",
+		Hosts:   8,
+		VMs:     MixedFleet(32, 5),
+		Horizon: 6 * time.Hour,
+		Seed:    5,
+		Manager: ManagerConfig{Policy: DPMS3},
+	}
+}
+
+// An empty script and no assertions must leave the run byte-identical
+// to a script-free build: nothing is scheduled, no observer registers.
+func TestEmptyScriptDormant(t *testing.T) {
+	plain := scriptedScenario()
+	scripted := scriptedScenario()
+	scripted.Script = []ScriptEvent{}
+	scripted.Asserts = []AssertSpec{}
+
+	a, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scripted.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+	if b.Assertions != nil || b.AssertionFailures != 0 {
+		t.Fatalf("empty assert list produced verdicts: %+v", b.Assertions)
+	}
+}
+
+// A scripted run replays byte-identically: scripts draw nothing from
+// the engine RNG and schedule fixed events.
+func TestScriptedRunDeterministic(t *testing.T) {
+	sc := scriptedScenario()
+	sc.Script = []ScriptEvent{
+		{At: time.Hour, Action: ActionCrash, Host: 1, Repair: 20 * time.Minute},
+		{At: 2 * time.Hour, Action: ActionDemandSurge, Factor: 2, Duration: time.Hour},
+		{At: 4 * time.Hour, Action: ActionPowerCap, Watts: 1000, Duration: time.Hour},
+	}
+	sc.Asserts = []AssertSpec{{Kind: AssertSLAViolationMax, Frac: 1}}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+}
+
+// A scripted crash takes the host down, strands its VMs for the repair
+// window, and the fleet recovers afterwards.
+func TestScriptCrashEvent(t *testing.T) {
+	sc := scriptedScenario()
+	sc.Script = []ScriptEvent{
+		{At: time.Hour, Action: ActionCrash, Host: 1, HostTo: 8, Repair: 30 * time.Minute},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The range covers the whole fleet, so every serving host crashes
+	// (parked ones become wake holds instead): the crash must be real —
+	// counted, and stranding VM time.
+	if res.Crashes == 0 {
+		t.Fatal("no host crashed")
+	}
+	if res.StrandedVMHours <= 0 {
+		t.Fatal("crash stranded no VM time")
+	}
+	if res.StrandedVMs != 0 {
+		t.Fatalf("%d VMs still stranded at the horizon (repair was 30m)", res.StrandedVMs)
+	}
+}
+
+// A maintenance window drains the host and returns it afterwards.
+func TestScriptMaintenanceWindow(t *testing.T) {
+	sc := scriptedScenario()
+	sc.Script = []ScriptEvent{
+		{At: time.Hour, Action: ActionMaintenance, Host: 1},
+		{At: 3 * time.Hour, Action: ActionMaintenanceEnd, Host: 1},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range res.Events.All() {
+		if strings.Contains(e.String(), "migration") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("maintenance drain produced no migrations")
+	}
+	if res.Satisfaction < 0.9 {
+		t.Fatalf("maintenance wrecked the run: satisfaction %v", res.Satisfaction)
+	}
+}
+
+// A power cap shrinks the active-host budget while it holds; lifting
+// it restores normal operation.
+func TestScriptPowerCap(t *testing.T) {
+	base := scriptedScenario()
+	capped := scriptedScenario()
+	// Cap to roughly two hosts' peak for two mid-run hours.
+	capped.Script = []ScriptEvent{
+		{At: 2 * time.Hour, Action: ActionPowerCap, Watts: 500, Duration: 2 * time.Hour},
+	}
+	a, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capped.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 W buys a budget of 2 hosts (250 W peak each): the capped run
+	// must hold fewer hosts active across the window.
+	baseMean := a.ActiveHosts.TimeMean(2*time.Hour, 4*time.Hour)
+	cappedMean := b.ActiveHosts.TimeMean(2*time.Hour, 4*time.Hour)
+	if cappedMean >= baseMean {
+		t.Fatalf("cap did not shrink the fleet: %v vs %v active hosts", cappedMean, baseMean)
+	}
+	caps := b.FaultCounters["power_cap_evacuations"] + b.FaultCounters["power_cap_deferred_wakes"]
+	if caps == 0 {
+		t.Fatal("cap enforcement left no counter trace")
+	}
+}
+
+// A demand surge scales matching VMs up and restores them afterwards.
+func TestScriptDemandSurge(t *testing.T) {
+	base := scriptedScenario()
+	surged := scriptedScenario()
+	surged.Script = []ScriptEvent{
+		{At: 2 * time.Hour, Action: ActionDemandSurge, Factor: 3, Duration: time.Hour},
+	}
+	a, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := surged.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inWindow := b.Demand.TimeMean(2*time.Hour, 3*time.Hour)
+	baseWindow := a.Demand.TimeMean(2*time.Hour, 3*time.Hour)
+	if inWindow < 2*baseWindow {
+		t.Fatalf("surge barely moved demand: %v vs base %v", inWindow, baseWindow)
+	}
+	after := b.Demand.TimeMean(4*time.Hour, 6*time.Hour)
+	baseAfter := a.Demand.TimeMean(4*time.Hour, 6*time.Hour)
+	if after > baseAfter*1.05 {
+		t.Fatalf("surge not restored: %v vs base %v after the window", after, baseAfter)
+	}
+}
+
+// A surge targeting a fleet prefix with no members applies to nothing
+// and bumps the skipped counter.
+func TestScriptSurgeUnknownFleet(t *testing.T) {
+	sc := scriptedScenario()
+	sc.Script = []ScriptEvent{
+		{At: time.Hour, Action: ActionDemandSurge, Factor: 2, Fleet: "nosuch"},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultCounters["script_skipped"] == 0 {
+		t.Fatal("unmatched surge not counted as skipped")
+	}
+}
+
+// Continuous assertions latch violations with grace and windows; final
+// assertions check the aggregates. Failed assertions are counted but
+// do not error the run.
+func TestAssertionsVerdicts(t *testing.T) {
+	sc := scriptedScenario()
+	sc.Script = []ScriptEvent{
+		{At: time.Hour, Action: ActionCrash, Host: 1, HostTo: 8, Repair: time.Hour},
+	}
+	sc.Asserts = []AssertSpec{
+		// Violated: the crash strands VMs for a full hour.
+		{Kind: AssertNoStrandedVM, Over: 10 * time.Minute},
+		// Passes: the window starts after the repair completed.
+		{Kind: AssertNoStrandedVM, From: 3 * time.Hour, Over: 10 * time.Minute},
+		// Passes: bound loose enough for the whole fleet.
+		{Kind: AssertPowerBelow, Watts: 8 * 300},
+		// Violated: no run burns less than a watt-hour.
+		{Kind: AssertEnergyBelow, KWh: 0.001},
+		// Passes trivially.
+		{Kind: AssertSLAViolationMax, Frac: 1},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assertions) != len(sc.Asserts) {
+		t.Fatalf("%d verdicts for %d assertions", len(res.Assertions), len(sc.Asserts))
+	}
+	wantViolated := []bool{true, false, false, true, false}
+	for i, want := range wantViolated {
+		if got := res.Assertions[i].Violated; got != want {
+			t.Errorf("assertion %d (%s): violated = %v, want %v",
+				i, res.Assertions[i].Assert.String(), got, want)
+		}
+	}
+	if res.AssertionFailures != 2 {
+		t.Fatalf("failures = %d, want 2", res.AssertionFailures)
+	}
+	// The stranded-VM violation latched only after its grace.
+	if at := res.Assertions[0].At; at < time.Hour+10*time.Minute {
+		t.Fatalf("violation latched at %v, before the grace ran out", at)
+	}
+	if res.Assertions[0].Observed <= 0 {
+		t.Fatal("violation recorded no observed value")
+	}
+	// Final verdicts stamp the horizon.
+	if res.Assertions[3].At != res.Horizon {
+		t.Fatalf("final verdict at %v, want horizon %v", res.Assertions[3].At, res.Horizon)
+	}
+}
+
+// Asserting must not perturb the simulation: a run with assertions is
+// byte-identical to the same run without them.
+func TestAssertionsDoNotPerturbRun(t *testing.T) {
+	plain := scriptedScenario()
+	asserted := scriptedScenario()
+	asserted.Asserts = []AssertSpec{
+		{Kind: AssertNoStrandedVM},
+		{Kind: AssertPowerBelow, Watts: 1},     // certain to fail
+		{Kind: AssertSatisfactionMin, Frac: 1}, // likely to fail
+	}
+	a, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := asserted.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+	if b.AssertionFailures == 0 {
+		t.Fatal("expected at least one failed assertion")
+	}
+}
+
+// Scenario.Validate statically rejects scripts that need subsystems
+// the scenario does not enable, and bad events and assertions.
+func TestScriptValidation(t *testing.T) {
+	sc := scriptedScenario()
+	sc.Script = []ScriptEvent{{Action: ActionFaultRate, Rate: 0.5}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Fatalf("fault-rate without faults: %v", err)
+	}
+	sc = scriptedScenario()
+	sc.Script = []ScriptEvent{{Action: ActionCtrlPartition, Duration: time.Minute}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "control plane") {
+		t.Fatalf("partition without plane: %v", err)
+	}
+	sc = scriptedScenario()
+	sc.Script = []ScriptEvent{{Action: ActionCrash, Host: 99}}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("out-of-range crash accepted")
+	}
+	sc = scriptedScenario()
+	sc.Asserts = []AssertSpec{{Kind: "always-green"}}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("unknown assertion kind accepted")
+	}
+}
+
+// Fault-rate and wake-fail events retune a live injector and restore
+// the base configuration after the window, deterministically.
+func TestScriptFaultRetune(t *testing.T) {
+	sc := scriptedScenario()
+	fc := FaultPreset(0.05)
+	sc.Faults = &fc
+	sc.Horizon = 8 * time.Hour
+	sc.Script = []ScriptEvent{
+		{At: 2 * time.Hour, Action: ActionWakeFail, Prob: 1, Duration: 2 * time.Hour},
+	}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+}
+
+// WithChaos appends a generated script; zero intensity appends nothing
+// and leaves the run byte-identical to the pattern-free scenario.
+func TestWithChaosZeroIntensityDormant(t *testing.T) {
+	base := scriptedScenario()
+	chaotic, err := base.WithChaos(ChaosParams{Pattern: ChaosAZOutage, Intensity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chaotic.Script) != 0 {
+		t.Fatalf("dormant pattern emitted %d events", len(chaotic.Script))
+	}
+	a, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaotic.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+}
+
+// An active chaos pattern materializes into the script and the
+// resulting run replays byte-identically.
+func TestWithChaosRunDeterministic(t *testing.T) {
+	base := scriptedScenario()
+	sc, err := base.WithChaos(ChaosParams{
+		Pattern: ChaosCascadingFailure, Intensity: 0.8, At: time.Hour, Duration: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Script) == 0 {
+		t.Fatal("active pattern emitted no events")
+	}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+}

@@ -1,9 +1,14 @@
 package agilepower
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"time"
+
+	"agilepower/internal/script"
 )
 
 // ScenarioFile is the declarative JSON form of a Scenario, the format
@@ -42,7 +47,19 @@ type ScenarioFile struct {
 	Churn        *ChurnFile   `json:"churn,omitempty"`
 	// CtrlPlane degrades the management network (CtrlPreset mix).
 	CtrlPlane *CtrlPlaneFile `json:"ctrlplane,omitempty"`
-	Seed      uint64         `json:"seed,omitempty"`
+	// Faults injects the standard fault mix (FaultPreset rate). Zero
+	// rate = dormant (no injector is built).
+	Faults *FaultsFile `json:"faults,omitempty"`
+	// Events is the timed event script: crashes, drains, power caps,
+	// demand surges, fault retunes, control-plane windows.
+	Events []EventFile `json:"events,omitempty"`
+	// Assert lists predicates the run must satisfy; violations are
+	// reported in the Result and drive nonzero CLI exits.
+	Assert []AssertFile `json:"assert,omitempty"`
+	// Chaos appends named-pattern generated event scripts (applied
+	// after Events, in order).
+	Chaos []ChaosFile `json:"chaos,omitempty"`
+	Seed  uint64      `json:"seed,omitempty"`
 	// Shards and EvalWorkers shard the evaluation tick inside the
 	// simulation (wall-clock only; results are byte-identical for every
 	// value — see Scenario.Shards).
@@ -108,6 +125,62 @@ type CtrlPlaneFile struct {
 	Loss    float64 `json:"loss,omitempty"`
 }
 
+// FaultsFile mirrors the FaultPreset knob in JSON: the standard fault
+// mix at intensity rate ∈ [0, 1]. Zero = dormant.
+type FaultsFile struct {
+	Rate float64 `json:"rate"`
+}
+
+// EventFile mirrors script.Event in JSON. Times and durations are Go
+// duration strings ("2h", "90m", "45s"); hosts are targeted as
+// "host-17" or "host-3..7" (1-based, inclusive).
+//
+//	{"at": "2h", "action": "crash", "target": "host-17"}
+//	{"at": "4h", "action": "demand-surge", "factor": 3, "fleet": "web", "duration": "1h"}
+//	{"at": "6h", "action": "power-cap", "watts": 90000, "duration": "2h"}
+type EventFile struct {
+	At       string  `json:"at"`
+	Action   string  `json:"action"`
+	Target   string  `json:"target,omitempty"`
+	Repair   string  `json:"repair,omitempty"`
+	Duration string  `json:"duration,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+	Fleet    string  `json:"fleet,omitempty"`
+	Watts    float64 `json:"watts,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+	Prob     float64 `json:"prob,omitempty"`
+	Delay    string  `json:"delay,omitempty"`
+	Loss     float64 `json:"loss,omitempty"`
+}
+
+// AssertFile mirrors script.Assertion in JSON.
+//
+//	{"kind": "no-stranded-vm", "over": "10m"}
+//	{"kind": "power-below", "watts": 90000}
+//	{"kind": "sla-violation-max", "frac": 0.01}
+type AssertFile struct {
+	Kind  string  `json:"kind"`
+	Over  string  `json:"over,omitempty"`
+	From  string  `json:"from,omitempty"`
+	Until string  `json:"until,omitempty"`
+	Watts float64 `json:"watts,omitempty"`
+	Frac  float64 `json:"frac,omitempty"`
+	Count int     `json:"count,omitempty"`
+	KWh   float64 `json:"kwh,omitempty"`
+}
+
+// ChaosFile names one chaos pattern instance (see ChaosPatterns).
+//
+//	{"pattern": "az-outage", "intensity": 0.5, "at": "6h", "duration": "1h"}
+type ChaosFile struct {
+	Pattern   string  `json:"pattern"`
+	Intensity float64 `json:"intensity"`
+	At        string  `json:"at,omitempty"`
+	Duration  string  `json:"duration,omitempty"`
+	Hosts     int     `json:"hosts,omitempty"`
+	Salt      uint64  `json:"salt,omitempty"`
+}
+
 // ChurnFile mirrors ChurnSpec in JSON.
 type ChurnFile struct {
 	ArrivalsPerHour   float64 `json:"arrivalsPerHour"`
@@ -117,13 +190,86 @@ type ChurnFile struct {
 	MemoryGB          float64 `json:"memoryGB,omitempty"`
 }
 
-// ParseScenario decodes and materializes a scenario file.
+// ParseScenario decodes and materializes a scenario file. Unknown
+// keys are rejected, not ignored: a typo'd knob ("telemtryCap") would
+// otherwise silently fall back to its default and the run would
+// measure something other than what the file asked for.
 func ParseScenario(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var f ScenarioFile
-	if err := json.Unmarshal(data, &f); err != nil {
+	if err := dec.Decode(&f); err != nil {
 		return Scenario{}, fmt.Errorf("agilepower: decoding scenario file: %w", err)
 	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return Scenario{}, fmt.Errorf("agilepower: trailing data after scenario object")
+	}
 	return f.Build()
+}
+
+// parseDur parses an optional Go duration string ("2h", "90m"); empty
+// means zero.
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("agilepower: bad %s duration %q: %w", field, s, err)
+	}
+	return d, nil
+}
+
+// buildEvent converts one EventFile into a script event.
+func buildEvent(ef EventFile) (ScriptEvent, error) {
+	var e ScriptEvent
+	var err error
+	if e.At, err = parseDur("at", ef.At); err != nil {
+		return e, err
+	}
+	e.Action = ef.Action
+	if ef.Target != "" {
+		if e.Host, e.HostTo, err = script.ParseTarget(ef.Target); err != nil {
+			return e, err
+		}
+	}
+	if e.Repair, err = parseDur("repair", ef.Repair); err != nil {
+		return e, err
+	}
+	if e.Duration, err = parseDur("duration", ef.Duration); err != nil {
+		return e, err
+	}
+	if e.Delay, err = parseDur("delay", ef.Delay); err != nil {
+		return e, err
+	}
+	e.Factor = ef.Factor
+	e.Fleet = ef.Fleet
+	e.Watts = ef.Watts
+	e.Rate = ef.Rate
+	e.Prob = ef.Prob
+	e.Loss = ef.Loss
+	return e, nil
+}
+
+// buildAssert converts one AssertFile into an assertion spec.
+func buildAssert(af AssertFile) (AssertSpec, error) {
+	var a AssertSpec
+	var err error
+	a.Kind = af.Kind
+	if a.Over, err = parseDur("over", af.Over); err != nil {
+		return a, err
+	}
+	if a.From, err = parseDur("from", af.From); err != nil {
+		return a, err
+	}
+	if a.Until, err = parseDur("until", af.Until); err != nil {
+		return a, err
+	}
+	a.Watts = af.Watts
+	a.Frac = af.Frac
+	a.Count = af.Count
+	a.KWh = af.KWh
+	return a, nil
 }
 
 // Build materializes the file into a runnable Scenario.
@@ -228,6 +374,16 @@ func (f ScenarioFile) Build() (Scenario, error) {
 			sc.CtrlPlane = &cfg
 		}
 	}
+	if fl := f.Faults; fl != nil {
+		if fl.Rate < 0 || fl.Rate > 1 {
+			return Scenario{}, fmt.Errorf("agilepower: fault rate %v outside [0,1]", fl.Rate)
+		}
+		// A zero rate stays nil so no injector is ever constructed
+		// (dormancy).
+		if cfg := FaultPreset(fl.Rate); cfg.Enabled() {
+			sc.Faults = &cfg
+		}
+	}
 	if c := f.Churn; c != nil {
 		sc.Churn = &ChurnSpec{
 			ArrivalsPerHour: c.ArrivalsPerHour,
@@ -235,6 +391,41 @@ func (f ScenarioFile) Build() (Scenario, error) {
 			DemandCores:     c.DemandCores,
 			VCPUs:           c.VCPUs,
 			MemoryGB:        c.MemoryGB,
+		}
+	}
+	for i, ef := range f.Events {
+		e, err := buildEvent(ef)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("agilepower: event %d: %w", i, err)
+		}
+		sc.Script = append(sc.Script, e)
+	}
+	for i, af := range f.Assert {
+		a, err := buildAssert(af)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("agilepower: assertion %d: %w", i, err)
+		}
+		sc.Asserts = append(sc.Asserts, a)
+	}
+	for i, cf := range f.Chaos {
+		at, err := parseDur("at", cf.At)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("agilepower: chaos %d: %w", i, err)
+		}
+		dur, err := parseDur("duration", cf.Duration)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("agilepower: chaos %d: %w", i, err)
+		}
+		sc, err = sc.WithChaos(ChaosParams{
+			Pattern:   cf.Pattern,
+			Intensity: cf.Intensity,
+			At:        at,
+			Duration:  dur,
+			Hosts:     cf.Hosts,
+			Salt:      cf.Salt,
+		})
+		if err != nil {
+			return Scenario{}, fmt.Errorf("agilepower: chaos %d: %w", i, err)
 		}
 	}
 	if err := sc.Validate(); err != nil {

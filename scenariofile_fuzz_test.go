@@ -21,6 +21,14 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add(`{`)
 	f.Add(`null`)
 	f.Add(`[]`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}],"faults":{"rate":0.3},"events":[{"at":"1h","action":"crash","target":"host-1..2","repair":"30m"},{"at":"2h","action":"fault-rate","rate":0.9,"duration":"1h"}]}`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"90m","action":"demand-surge","factor":3,"fleet":"flat","duration":"1h"},{"at":"3h","action":"power-cap","watts":700}]}`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}],"assert":[{"kind":"no-stranded-vm","over":"10m"},{"kind":"power-below","watts":2000},{"kind":"sla-violation-max","frac":0.1}]}`)
+	f.Add(`{"hosts":8,"fleets":[{"kind":"diurnal","count":8}],"chaos":[{"pattern":"az-outage","intensity":0.5,"at":"2h","duration":"1h","salt":3},{"pattern":"thermal-emergency","intensity":1}]}`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"-1h","action":"crash","target":"host-1"}]}`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}],"chaos":[{"pattern":"flaky-resume","intensity":1}]}`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}],"telemtryCap":100}`)
+	f.Add(`{"hosts":4,"fleets":[{"kind":"flat","count":2}]} trailing`)
 	f.Fuzz(func(t *testing.T, input string) {
 		sc, err := ParseScenario([]byte(input))
 		if err != nil {

@@ -129,3 +129,138 @@ func TestParseScenarioDeterministicFleets(t *testing.T) {
 		t.Fatal("same-kind fleets share a seed")
 	}
 }
+
+// A typo'd key must be rejected, not silently ignored: the misspelled
+// knob would otherwise fall back to its default and the run would
+// measure something other than what the file asked for.
+func TestParseScenarioRejectsUnknownKeys(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"misspelled telemetryCap", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"telemtryCap":100}`},
+		{"misspelled horizon", `{"hosts":4,"horizonHrs":6,"fleets":[{"kind":"flat","count":2}]}`},
+		{"unknown top-level", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"bogus":true}`},
+		{"unknown nested manager", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"manager":{"periodMins":5}}`},
+		{"unknown event field", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"1h","action":"crash","hostID":1}]}`},
+		{"unknown assert field", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"assert":[{"kind":"no-stranded-vm","grace":"1m"}]}`},
+		{"trailing data", `{"hosts":4,"fleets":[{"kind":"flat","count":2}]} {"more":1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScenario([]byte(tc.in)); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// Events, assertions, faults and chaos sections round-trip from JSON
+// into the scenario.
+func TestParseScenarioScriptSections(t *testing.T) {
+	in := `{
+	  "hosts": 8,
+	  "fleets": [{"kind": "diurnal", "count": 16}],
+	  "horizonHours": 6,
+	  "faults": {"rate": 0.1},
+	  "ctrlplane": {"delayMS": 50, "loss": 0.01},
+	  "events": [
+	    {"at": "1h", "action": "crash", "target": "host-2..3", "repair": "20m"},
+	    {"at": "2h", "action": "demand-surge", "factor": 2.5, "fleet": "web", "duration": "1h"},
+	    {"at": "3h", "action": "power-cap", "watts": 1500, "duration": "1h"},
+	    {"at": "4h", "action": "ctrl-degrade", "delay": "200ms", "loss": 0.05, "duration": "30m"}
+	  ],
+	  "assert": [
+	    {"kind": "no-stranded-vm", "from": "2h", "over": "15m"},
+	    {"kind": "power-below", "watts": 9000, "over": "1m"},
+	    {"kind": "sla-violation-max", "frac": 0.25}
+	  ],
+	  "chaos": [
+	    {"pattern": "az-outage", "intensity": 0.5, "at": "5h", "duration": "30m", "salt": 1}
+	  ]
+	}`
+	sc, err := ParseScenario([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Script) != 4+1 {
+		t.Fatalf("script has %d events, want 4 scripted + 1 chaos", len(sc.Script))
+	}
+	e := sc.Script[0]
+	if e.At != time.Hour || e.Action != ActionCrash || e.Host != 2 || e.HostTo != 3 || e.Repair != 20*time.Minute {
+		t.Fatalf("event 0: %+v", e)
+	}
+	if sc.Script[1].Factor != 2.5 || sc.Script[1].Fleet != "web" || sc.Script[1].Duration != time.Hour {
+		t.Fatalf("event 1: %+v", sc.Script[1])
+	}
+	chaosEv := sc.Script[4]
+	if chaosEv.Action != ActionCrash || chaosEv.At != 5*time.Hour {
+		t.Fatalf("chaos event: %+v", chaosEv)
+	}
+	if len(sc.Asserts) != 3 {
+		t.Fatalf("asserts: %d", len(sc.Asserts))
+	}
+	if sc.Asserts[0].From != 2*time.Hour || sc.Asserts[0].Over != 15*time.Minute {
+		t.Fatalf("assert 0: %+v", sc.Asserts[0])
+	}
+	if sc.Faults == nil || !sc.Faults.Enabled() {
+		t.Fatal("faults section dropped")
+	}
+	// And the scripted scenario runs end to end.
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assertions) != 3 {
+		t.Fatalf("verdicts: %d", len(res.Assertions))
+	}
+}
+
+// A zero fault rate and a dormant chaos block leave their subsystems
+// unbuilt, exactly like files without the sections.
+func TestParseScenarioDormantSections(t *testing.T) {
+	in := `{
+	  "hosts": 4,
+	  "fleets": [{"kind": "flat", "count": 4}],
+	  "horizonHours": 1,
+	  "faults": {"rate": 0},
+	  "chaos": [{"pattern": "az-outage", "intensity": 0}]
+	}`
+	sc, err := ParseScenario([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Faults != nil {
+		t.Fatal("zero-rate faults materialized a config")
+	}
+	if len(sc.Script) != 0 {
+		t.Fatal("dormant chaos emitted events")
+	}
+}
+
+// Bad script sections are rejected with context.
+func TestParseScenarioScriptErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad event time", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"soon","action":"crash","target":"host-1"}]}`},
+		{"bad target", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"1h","action":"crash","target":"rack-1"}]}`},
+		{"target outside fleet", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"1h","action":"crash","target":"host-9"}]}`},
+		{"unknown action", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"1h","action":"explode"}]}`},
+		{"fault event without faults", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"1h","action":"fault-rate","rate":0.5}]}`},
+		{"ctrl event without plane", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"events":[{"at":"1h","action":"ctrl-partition","duration":"10m"}]}`},
+		{"bad assert kind", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"assert":[{"kind":"always-green"}]}`},
+		{"bad assert window", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"assert":[{"kind":"no-stranded-vm","from":"2h","until":"1h"}]}`},
+		{"unknown chaos pattern", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"chaos":[{"pattern":"meteor","intensity":1}]}`},
+		{"chaos needs faults", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"chaos":[{"pattern":"flaky-resume","intensity":1}]}`},
+		{"bad fault rate", `{"hosts":4,"fleets":[{"kind":"flat","count":2}],"faults":{"rate":2}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScenario([]byte(tc.in)); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+}

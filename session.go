@@ -10,6 +10,7 @@ import (
 	"agilepower/internal/faults"
 	"agilepower/internal/host"
 	"agilepower/internal/power"
+	"agilepower/internal/script"
 	"agilepower/internal/sim"
 	"agilepower/internal/vm"
 )
@@ -28,6 +29,14 @@ type Session struct {
 	hosts    int
 	cores    float64
 	finished bool
+
+	// Script and assertion state (nil without a script/asserts).
+	// baseFaults is the scenario's construction-time fault config, the
+	// restore point for bounded fault-rate/wake-fail windows.
+	inj        *faults.Injector
+	cp         *ctrlplane.Plane
+	asserts    *assertEngine
+	baseFaults faults.Config
 }
 
 // Start builds the scenario's cluster and manager and performs the
@@ -89,6 +98,18 @@ func buildWorld(eng *sim.Engine, s Scenario, profile *Profile) (*cluster.Cluster
 // Start path and Prototype.Fork, which is what makes forked runs
 // byte-identical to cold ones.
 func startSession(s Scenario, eng *sim.Engine, cl *cluster.Cluster, profile *Profile, totalHosts int, meanCores float64) (*Session, error) {
+	// Scenario scripts that rescale demand at runtime invalidate the
+	// manager's lazy forecast replay (it reads demand at past times);
+	// declare the possibility before the manager is built.
+	scriptTunesFaults := false
+	for _, e := range s.Script {
+		if e.ScalesDemand() {
+			s.Manager.DemandShocks = true
+		}
+		if e.Action == script.ActionFaultRate {
+			scriptTunesFaults = true
+		}
+	}
 	mgr, err := core.NewManager(cl, s.Manager)
 	if err != nil {
 		return nil, err
@@ -96,16 +117,25 @@ func startSession(s Scenario, eng *sim.Engine, cl *cluster.Cluster, profile *Pro
 	// Fault injection: only an enabled config constructs an injector —
 	// even forking the RNG for a dormant one would perturb the stream
 	// and break byte-identity with fault-free runs.
+	var inj *faults.Injector
 	if s.Faults != nil && s.Faults.Enabled() {
-		inj, err := faults.New(eng, *s.Faults)
+		inj, err = faults.New(eng, *s.Faults)
 		if err != nil {
 			return nil, err
 		}
 		cl.InjectFaults(inj, inj)
 		fleet := cl.Hosts()
-		inj.ScheduleCrashes(len(fleet), func(idx int, repair time.Duration) bool {
+		crash := func(idx int, repair time.Duration) bool {
 			return cl.CrashHost(fleet[idx].ID(), repair) == nil
-		})
+		}
+		if scriptTunesFaults {
+			// A fault-rate event may introduce a crash process the base
+			// config lacks; start every per-host process now (paused
+			// while MTBF is zero) so the schedule is seed-pure.
+			inj.ScheduleCrashProcesses(len(fleet), crash)
+		} else {
+			inj.ScheduleCrashes(len(fleet), crash)
+		}
 	}
 	// Control plane: same dormancy rule as faults. The RNG fork order
 	// is fixed — faults first, then ctrlplane — so enabling one
@@ -127,9 +157,25 @@ func startSession(s Scenario, eng *sim.Engine, cl *cluster.Cluster, profile *Pro
 		profile:  profile,
 		hosts:    totalHosts,
 		cores:    meanCores,
+		inj:      inj,
+		cp:       cp,
+	}
+	if inj != nil {
+		se.baseFaults = inj.Config()
 	}
 	if s.Churn != nil {
 		scheduleChurn(eng, cl, *s.Churn, s.Horizon, &se.churn)
+	}
+	// Script events and assertion hooks are pure additions: an empty
+	// script schedules nothing and empty asserts register no observer,
+	// so script-free runs stay byte-identical (dormancy by
+	// construction).
+	if len(s.Script) > 0 {
+		se.compileScript(s.Script)
+	}
+	if len(s.Asserts) > 0 {
+		se.asserts = newAssertEngine(s.Asserts)
+		cl.OnTick(se.asserts.tick)
 	}
 	cl.Start()
 	mgr.Start()
@@ -391,7 +437,7 @@ func (se *Session) Result() *Result {
 	agg := se.cl.AggregateSLA()
 	entries, exits := se.cl.PowerActions()
 	suspendFails, wakeFails, crashes := se.cl.TransitionFaultStats()
-	return &Result{
+	res := &Result{
 		Scenario:          se.scenario.Name,
 		Policy:            se.mgr.Config().Policy.Name,
 		Horizon:           horizon,
@@ -422,7 +468,12 @@ func (se *Session) Result() *Result {
 		Profile:           se.profile,
 		EvalTicks:         evalTicks,
 		HostEvals:         hostEvals,
+		StrandedVMs:       se.cl.StrandedCount(),
 	}
+	if se.asserts != nil {
+		se.asserts.finish(res)
+	}
+	return res
 }
 
 // buildHosts creates the host fleet from the scenario (classes or
