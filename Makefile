@@ -4,7 +4,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke bench-setup bench-setup-smoke scenario-gate sweep-quick ci clean
+.PHONY: build test test-shuffle race vet fmt staticcheck determinism bench bench-smoke bench-baseline bench-hotpath bench-alloc bench-scale bench-scale-smoke bench-hyperscale bench-hyperscale-smoke bench-manager bench-manager-smoke bench-setup bench-setup-smoke bench-api bench-api-smoke scenario-gate sweep-quick ci clean
 
 build:
 	$(GO) build ./...
@@ -190,6 +190,25 @@ bench-alloc:
 	$(GO) test -run 'AllocFree|ScheduleFuncPool|PreOptimizationGolden|ArchivedResults' -v \
 		./internal/cluster/ ./internal/sim/ ./internal/experiments/ ./internal/core/
 
+# Record the full-scale service load test into BENCH_api.json: a
+# thousand concurrent sessions against a race-enabled daemon, with a
+# hot/cold request mix so the artifact holds both the cache-hit and
+# cold-run latency distributions (the cache acceptance bar is hit mean
+# >= 100x below cold mean):
+#
+#	make bench-api LABEL=api-load
+bench-api: LABEL ?= api-load
+bench-api:
+	APIGATE_SESSIONS=1000 APIGATE_PER_SESSION=4 APIGATE_LABEL=$(LABEL) \
+		sh scripts/api_gate.sh
+
+# The service gate without a measurement run: race-enabled daemon, a
+# burst of concurrent sessions through the async API (zero failed
+# jobs, nonzero cache hit rate — cmd/apiload enforces both), graceful
+# drain, and the persisted terminal-job ledger. Part of `make ci`.
+bench-api-smoke:
+	sh scripts/api_gate.sh
+
 # The scenario gate: every file in the curated scenarios/ library must
 # parse and validate, and two of them (the chaos az-outage and the
 # hand-scripted demand-surge drill) run end-to-end with their
@@ -206,7 +225,7 @@ sweep-quick:
 
 # Everything the CI workflow runs, in the same order, for one local
 # command that predicts a green pipeline.
-ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-setup-smoke scenario-gate bench-smoke
+ci: vet fmt build test test-shuffle race determinism bench-alloc bench-scale-smoke bench-hyperscale-smoke bench-manager-smoke bench-setup-smoke bench-api-smoke scenario-gate bench-smoke
 
 clean:
 	$(GO) clean ./...

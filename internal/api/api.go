@@ -1,31 +1,95 @@
-// Package api exposes the simulator and manager over HTTP/JSON: a
-// small control plane for submitting scenario runs, browsing results,
-// and regenerating the paper's experiments remotely. It is the
-// operational wrapper a downstream user scripts against instead of
-// linking the library.
+// Package api exposes the simulator and manager over HTTP/JSON: the
+// multi-tenant simulation service. Scenario runs are submitted to a
+// bounded async job queue (202 + job ID, per-tenant fair scheduling,
+// queue-depth backpressure), executed by a worker pool that forks
+// shared world prototypes, and served from a content-addressed result
+// cache whenever the same (scenario, seed, code version) was run
+// before — determinism makes a cache hit byte-identical to a fresh
+// run. Progress streams over SSE, and operational state exports in
+// Prometheus text format on /metrics. The legacy synchronous /api
+// routes remain for small interactive runs and live sessions.
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"agilepower"
+	"agilepower/internal/apimetrics"
 	"agilepower/internal/experiments"
+	"agilepower/internal/jobs"
 	"agilepower/internal/report"
+	"agilepower/internal/rescache"
 )
 
-// Limits keep a single HTTP request from launching an unbounded
-// simulation.
-const (
-	maxHosts   = 2048
-	maxVMs     = 16384
-	maxHorizon = 30 * 24 * time.Hour
-)
+// Config tunes the service. The zero value gets production defaults;
+// every field is also a daemon flag (see cmd/agilepmd).
+type Config struct {
+	// Workers is the job-executor pool size (<= 0 means GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued jobs across all tenants (<= 0 means
+	// 4096); submissions past it are rejected with 429.
+	QueueDepth int
+	// TenantQueueDepth bounds one tenant's queued jobs (<= 0 means
+	// QueueDepth).
+	TenantQueueDepth int
+	// CacheBytes is the result cache's byte budget (<= 0 means 256
+	// MiB). The cache is content-addressed by (scenario, seed, code
+	// version); a hit skips the simulator entirely.
+	CacheBytes int64
+	// MaxHosts, MaxVMs, and MaxHorizon are the admission budget: a
+	// request above any of them is rejected with 400. The defaults
+	// admit delta-mode hyperscale runs (128k hosts / 1M VMs / 30 days);
+	// operators shrink them on small boxes.
+	MaxHosts   int
+	MaxVMs     int
+	MaxHorizon time.Duration
+	// RunChunk is how much simulated time a worker advances between
+	// cancellation checks (<= 0 means 1h). Smaller is snappier
+	// cancellation; results are identical for any value.
+	RunChunk time.Duration
+	// ProgressEvery throttles streamed progress events to at most one
+	// per this much simulated time (<= 0 means 15m).
+	ProgressEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.TenantQueueDepth <= 0 {
+		c.TenantQueueDepth = c.QueueDepth
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxHosts <= 0 {
+		c.MaxHosts = 131072
+	}
+	if c.MaxVMs <= 0 {
+		c.MaxVMs = 1 << 20
+	}
+	if c.MaxHorizon <= 0 {
+		c.MaxHorizon = 30 * 24 * time.Hour
+	}
+	if c.RunChunk <= 0 {
+		c.RunChunk = time.Hour
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 15 * time.Minute
+	}
+	return c
+}
 
 // RunRequest describes a scenario to execute.
 type RunRequest struct {
@@ -62,6 +126,24 @@ type RunRequest struct {
 
 	// Churn optionally adds dynamic arrivals.
 	Churn *ChurnRequest `json:"churn,omitempty"`
+
+	// Shards, EvalWorkers, Delta, and TelemetryCap are the simulator's
+	// wall-clock/memory knobs (see agilepower.Scenario): sharded
+	// evaluation, the shard worker-pool bound, event-driven delta
+	// evaluation, and the telemetry sample cap. All four are invisible
+	// in results — byte-identical for every setting — so they are safe
+	// to expose per-request without fragmenting the result cache's
+	// effective hit rate across equivalent runs... except that they are
+	// part of the request hash (conservative: different knobs, different
+	// key).
+	Shards       int  `json:"shards,omitempty"`
+	EvalWorkers  int  `json:"evalWorkers,omitempty"`
+	Delta        bool `json:"delta,omitempty"`
+	TelemetryCap int  `json:"telemetryCap,omitempty"`
+
+	// Tenant scopes queue fairness and per-tenant backpressure on the
+	// async endpoints ("" is the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ChurnRequest mirrors agilepower.ChurnSpec over JSON.
@@ -97,11 +179,24 @@ type RunResponse struct {
 // Server is the HTTP control plane. The zero value is not usable; use
 // NewServer.
 type Server struct {
+	cfg Config
+
 	mu     sync.Mutex
 	nextID int
 	runs   map[int]*storedRun
 
 	sessions *sessionStore
+
+	queue   *jobs.Queue
+	cache   *rescache.Cache
+	metrics *apimetrics.Registry
+	im      instruments
+
+	// protos caches built worlds keyed by world fingerprint, so
+	// repeated fleet shapes fork a shared Prototype instead of
+	// rebuilding hosts and placement per job.
+	protoMu sync.Mutex
+	protos  map[string]*protoEntry
 }
 
 type storedRun struct {
@@ -109,9 +204,42 @@ type storedRun struct {
 	result *agilepower.Result
 }
 
-// NewServer returns an empty control plane.
-func NewServer() *Server {
-	return &Server{nextID: 1, runs: make(map[int]*storedRun), sessions: newSessionStore()}
+// NewServer returns a control plane with started job workers. Call
+// Close (or Drain) on shutdown.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		nextID:   1,
+		runs:     make(map[int]*storedRun),
+		sessions: newSessionStore(),
+		cache:    rescache.New(cfg.CacheBytes),
+		metrics:  apimetrics.NewRegistry(),
+		protos:   make(map[string]*protoEntry),
+	}
+	s.queue = jobs.New(jobs.Config{
+		Workers:            cfg.Workers,
+		MaxQueued:          cfg.QueueDepth,
+		MaxQueuedPerTenant: cfg.TenantQueueDepth,
+	}, s.runJob)
+	s.registerMetrics()
+	s.queue.Start()
+	return s
+}
+
+// Queue exposes the job queue (for shutdown draining and tests).
+func (s *Server) Queue() *jobs.Queue { return s.queue }
+
+// Drain stops accepting jobs, cancels queued ones, and waits for
+// running jobs until ctx expires (then force-cancels them).
+func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+
+// Close force-drains immediately.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.queue.Drain(ctx)
+	return nil
 }
 
 // Handler returns the HTTP routes.
@@ -129,6 +257,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/runs/{id}/events", s.handleRunEvents)
 	mux.HandleFunc("GET /api/experiments", s.handleListExperiments)
 	mux.HandleFunc("POST /api/experiments/{id}", s.handleRunExperiment)
+	// v1: the async multi-tenant service.
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("POST /v1/scenarios", s.handleSubmitScenario)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.registerSessionRoutes(mux)
 	return mux
 }
@@ -199,13 +336,17 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// buildScenario converts a request into a runnable scenario.
-func buildScenario(req RunRequest) (agilepower.Scenario, error) {
-	if req.Hosts <= 0 || req.Hosts > maxHosts {
-		return agilepower.Scenario{}, fmt.Errorf("hosts must be in [1, %d]", maxHosts)
+// buildScenario converts a request into a runnable scenario, enforcing
+// the server's admission budget.
+func (s *Server) buildScenario(req RunRequest) (agilepower.Scenario, error) {
+	if req.Hosts <= 0 || req.Hosts > s.cfg.MaxHosts {
+		return agilepower.Scenario{}, fmt.Errorf("hosts must be in [1, %d]", s.cfg.MaxHosts)
 	}
-	if req.VMs <= 0 || req.VMs > maxVMs {
-		return agilepower.Scenario{}, fmt.Errorf("vms must be in [1, %d]", maxVMs)
+	if req.VMs <= 0 || req.VMs > s.cfg.MaxVMs {
+		return agilepower.Scenario{}, fmt.Errorf("vms must be in [1, %d]", s.cfg.MaxVMs)
+	}
+	if req.Shards < 0 || req.EvalWorkers < 0 || req.TelemetryCap < 0 {
+		return agilepower.Scenario{}, fmt.Errorf("shards, evalWorkers, and telemetryCap must be non-negative")
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -249,8 +390,8 @@ func buildScenario(req RunRequest) (agilepower.Scenario, error) {
 	if horizon == 0 {
 		horizon = 24 * time.Hour
 	}
-	if horizon < 0 || horizon > maxHorizon {
-		return agilepower.Scenario{}, fmt.Errorf("horizon must be in (0, %v]", maxHorizon)
+	if horizon < 0 || horizon > s.cfg.MaxHorizon {
+		return agilepower.Scenario{}, fmt.Errorf("horizon must be in (0, %v]", s.cfg.MaxHorizon)
 	}
 	var profile *agilepower.Profile
 	if len(req.Profile) > 0 {
@@ -268,6 +409,10 @@ func buildScenario(req RunRequest) (agilepower.Scenario, error) {
 		VMs:          fleet,
 		Horizon:      horizon,
 		Seed:         seed,
+		Shards:       req.Shards,
+		EvalWorkers:  req.EvalWorkers,
+		Delta:        req.Delta,
+		TelemetryCap: req.TelemetryCap,
 		Manager: agilepower.ManagerConfig{
 			Policy:         policy,
 			Period:         time.Duration(req.PeriodMinutes * float64(time.Minute)),
@@ -292,7 +437,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	sc, err := buildScenario(req)
+	sc, err := s.buildScenario(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -11,8 +11,12 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(NewServer().Handler())
-	t.Cleanup(ts.Close)
+	s := NewServer(Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Close()
+	})
 	return ts
 }
 
@@ -131,7 +135,7 @@ func TestCreateRunValidation(t *testing.T) {
 	}{
 		{"bad json", `{`},
 		{"zero hosts", `{"hosts":0,"vms":4,"fleet":"flat"}`},
-		{"too many hosts", `{"hosts":99999,"vms":4,"fleet":"flat"}`},
+		{"too many hosts", `{"hosts":9999999,"vms":4,"fleet":"flat"}`},
 		{"zero vms", `{"hosts":4,"vms":0,"fleet":"flat"}`},
 		{"bad fleet", `{"hosts":4,"vms":4,"fleet":"quantum"}`},
 		{"bad policy", `{"hosts":4,"vms":4,"fleet":"flat","policy":"yolo"}`},

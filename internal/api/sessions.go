@@ -78,7 +78,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	sc, err := buildScenario(req)
+	sc, err := s.buildScenario(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -146,14 +146,14 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 	case req.ToHours > 0:
 		// Compare in float hours: huge values would overflow the
 		// Duration conversion before any Duration-based check.
-		if req.ToHours > maxHorizon.Hours() {
-			writeError(w, http.StatusBadRequest, "target beyond %v", maxHorizon)
+		if req.ToHours > s.cfg.MaxHorizon.Hours() {
+			writeError(w, http.StatusBadRequest, "target beyond %v", s.cfg.MaxHorizon)
 			return
 		}
 		err = ls.session.RunUntil(time.Duration(req.ToHours * float64(time.Hour)))
 	case req.ByHours > 0:
-		if req.ByHours+ls.session.Now().Hours() > maxHorizon.Hours() {
-			writeError(w, http.StatusBadRequest, "target beyond %v", maxHorizon)
+		if req.ByHours+ls.session.Now().Hours() > s.cfg.MaxHorizon.Hours() {
+			writeError(w, http.StatusBadRequest, "target beyond %v", s.cfg.MaxHorizon)
 			return
 		}
 		err = ls.session.Step(time.Duration(req.ByHours * float64(time.Hour)))

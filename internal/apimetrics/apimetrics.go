@@ -1,0 +1,199 @@
+// Package apimetrics is a dependency-free Prometheus text-format
+// exposition layer for the simulation service: counters, callback
+// gauges, and fixed-bucket histograms, rendered in registration order
+// by WritePrometheus. It implements just enough of the exposition
+// format (version 0.0.4) for a Prometheus scraper or a human with
+// curl — the operator idiom the service's /metrics endpoint follows —
+// without pulling the client library into a zero-dependency module.
+package apimetrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name, help string
+	n          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (must be non-negative; counters only go up).
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a point-in-time value read from a callback at scrape time,
+// so gauges can surface live state (queue depth, cache bytes) without
+// a write on every change.
+type Gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// FuncCounter renders as a Prometheus counter but reads its value from
+// a callback at scrape time — for monotonic counts owned by another
+// subsystem (the job queue's lifetime counters, the cache's hit
+// count) that would otherwise need double bookkeeping.
+type FuncCounter struct {
+	name, help string
+	fn         func() uint64
+}
+
+// Histogram is a fixed-bucket cumulative histogram of observations —
+// the Prometheus histogram type: one cumulative count per upper bound,
+// plus _sum and _count series.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds, +Inf implicit
+	counts     []atomic.Uint64
+	count      atomic.Uint64
+	sum        atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; sort.SearchFloat64s
+	// finds the insertion point, which is exactly that index.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets spans 1ms to ~4m in powers of four — wide enough to
+// cover a cache hit (microseconds round to the lowest bucket) and a
+// hyperscale cold run in one histogram.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536, 262.144}
+}
+
+// Registry holds instruments and renders them in registration order.
+type Registry struct {
+	mu    sync.Mutex
+	order []any // *Counter | *Gauge | *Histogram
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(name string, inst any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("apimetrics: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	r.order = append(r.order, inst)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge registers a callback-backed gauge.
+func (r *Registry) Gauge(name, help string, fn func() float64) *Gauge {
+	g := &Gauge{name: name, help: help, fn: fn}
+	r.register(name, g)
+	return g
+}
+
+// CounterFunc registers a callback-backed counter.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) *FuncCounter {
+	c := &FuncCounter{name: name, help: help, fn: fn}
+	r.register(name, c)
+	return c
+}
+
+// Histogram registers a histogram with the given ascending bucket
+// upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("apimetrics: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+	r.register(name, h)
+	return h
+}
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, integers without an exponent.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered instrument in text
+// exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]any(nil), r.order...)
+	r.mu.Unlock()
+	for _, inst := range order {
+		var err error
+		switch m := inst.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				m.name, m.help, m.name, m.name, m.Value())
+		case *FuncCounter:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				m.name, m.help, m.name, m.name, m.fn())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+				m.name, m.help, m.name, m.name, fmtFloat(m.fn()))
+		case *Histogram:
+			if _, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+				m.name, m.help, m.name); err != nil {
+				return err
+			}
+			// Cumulative counts: each le bucket includes all smaller ones.
+			cum := uint64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					m.name, fmtFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				m.name, m.Count(), m.name, fmtFloat(m.Sum()), m.name, m.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package apimetrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("api_runs_total", "total runs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP api_runs_total total runs\n# TYPE api_runs_total counter\napi_runs_total 5\n"
+	if b.String() != want {
+		t.Fatalf("exposition = %q, want %q", b.String(), want)
+	}
+}
+
+func TestGaugeReadsCallbackAtScrape(t *testing.T) {
+	r := NewRegistry()
+	depth := 0
+	r.Gauge("api_queue_depth", "queued jobs", func() float64 { return float64(depth) })
+	depth = 7
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "api_queue_depth 7\n") {
+		t.Fatalf("exposition = %q", b.String())
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("api_run_wall_seconds", "run wall time", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE api_run_wall_seconds histogram",
+		`api_run_wall_seconds_bucket{le="0.1"} 1`,
+		`api_run_wall_seconds_bucket{le="1"} 3`,
+		`api_run_wall_seconds_bucket{le="10"} 4`,
+		`api_run_wall_seconds_bucket{le="+Inf"} 5`,
+		"api_run_wall_seconds_sum 56.05",
+		"api_run_wall_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("exposition = %q", b.String())
+	}
+}
+
+func TestRegistrationOrderPreserved(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz", "")
+	r.Counter("aaa", "")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Index(b.String(), "zzz") > strings.Index(b.String(), "aaa") {
+		t.Fatalf("registration order not preserved:\n%s", b.String())
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup", "", func() float64 { return 0 })
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1})
+	c := r.Counter("c", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Fatalf("count = %d, counter = %d", h.Count(), c.Value())
+	}
+	if h.Sum() != 4000 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}

@@ -175,11 +175,12 @@ type Cluster struct {
 	// stay with the run.
 	demandScale []float64
 
-	// onTick, when set, observes every evaluation tick's cluster-wide
-	// aggregates — the hook the scenario assertion engine rides, so
-	// continuous predicates are checked without scheduling a single
-	// extra engine event (dormancy: a nil observer changes nothing).
-	onTick func(TickStats)
+	// onTick observers see every evaluation tick's cluster-wide
+	// aggregates — the hook the scenario assertion engine and the
+	// service's streaming-progress layer ride, so continuous predicates
+	// and live dashboards are fed without scheduling a single extra
+	// engine event (dormancy: an empty list changes nothing).
+	onTick []func(TickStats)
 
 	// pending marks VMs that have arrived but are not yet placed on a
 	// host (dynamic provisioning, indexed by vm.ID-1). Their demand is
@@ -1091,12 +1092,15 @@ func (c *Cluster) finishTick(now sim.Time, totalPower power.Watts, totalDemand, 
 	c.demandSeries.Append(now, totalDemand)
 	c.deliveredSeries.Append(now, totalDelivered)
 	c.activeSeries.Append(now, float64(active))
-	if c.onTick != nil {
-		c.onTick(TickStats{
+	if len(c.onTick) > 0 {
+		ts := TickStats{
 			Now: now, PowerW: float64(totalPower),
 			Demand: totalDemand, Delivered: totalDelivered,
 			Active: active, Stranded: stranded, Pending: c.pendingCount,
-		})
+		}
+		for _, fn := range c.onTick {
+			fn(ts)
+		}
 	}
 }
 
@@ -1114,10 +1118,11 @@ type TickStats struct {
 }
 
 // OnTick registers fn to observe every evaluation tick's aggregates.
-// The scenario assertion engine uses this to check continuous
-// predicates at exactly the cadence the cluster already evaluates —
-// registering an observer schedules no events and perturbs nothing.
-func (c *Cluster) OnTick(fn func(TickStats)) { c.onTick = fn }
+// Observers accumulate and run in registration order: the scenario
+// assertion engine and the service's streaming-progress feed can both
+// watch one run. Registration schedules no events and perturbs
+// nothing — the simulation is byte-identical with any observer set.
+func (c *Cluster) OnTick(fn func(TickStats)) { c.onTick = append(c.onTick, fn) }
 
 // VMDemand returns v's CPU demand at time at, including any runtime
 // demand scaling applied by scenario demand-surge events. With no

@@ -207,6 +207,53 @@ func ParseScenario(data []byte) (Scenario, error) {
 	return f.Build()
 }
 
+// Canonical returns the file's canonical encoding for content
+// addressing: the decoded struct re-marshalled by encoding/json, which
+// is deterministic — struct fields render in declaration order and map
+// keys sort — so two requests that decode equal produce identical
+// bytes regardless of their original formatting, key order, or
+// whitespace. Combined with CodeVersion this is the scenario half of
+// the result-cache key (see internal/rescache.Key): same canonical
+// bytes + same seed (a field of the file) + same code ⇒ same result
+// bytes, by the determinism guarantee the CI gates pin.
+func (f ScenarioFile) Canonical() ([]byte, error) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("agilepower: canonicalizing scenario file: %w", err)
+	}
+	return data, nil
+}
+
+// TotalHosts returns the host count the file would build — the
+// homogeneous count or the class sum — for admission budgeting before
+// the fleet is materialized.
+func (f ScenarioFile) TotalHosts() int {
+	if len(f.HostClasses) == 0 {
+		return f.Hosts
+	}
+	n := 0
+	for _, hc := range f.HostClasses {
+		n += hc.Count
+	}
+	return n
+}
+
+// TotalVMs returns the VM count the file's fleets would build (each
+// fleet's effective count, with the builders' minimum of one and the
+// services×replicas form), for admission budgeting before the fleet is
+// materialized.
+func (f ScenarioFile) TotalVMs() int {
+	n := 0
+	for _, ff := range f.Fleets {
+		if ff.Kind == "replicated" {
+			n += ff.Services * ff.Replicas
+			continue
+		}
+		n += max1(ff.Count)
+	}
+	return n
+}
+
 // parseDur parses an optional Go duration string ("2h", "90m"); empty
 // means zero.
 func parseDur(field, s string) (time.Duration, error) {

@@ -418,6 +418,44 @@ func (se *Session) DemandCores() float64 { return se.cl.TotalDemand() }
 // Events returns the audit log so far.
 func (se *Session) Events() *EventLog { return se.cl.Events() }
 
+// Progress is one evaluation tick's cluster-wide aggregates, the
+// public face of the cluster's tick observer: what a streaming client
+// watches while a run advances.
+type Progress struct {
+	// At is the virtual time of the tick.
+	At time.Duration
+	// PowerW is the instantaneous cluster draw.
+	PowerW float64
+	// DemandCores and DeliveredCores are the fleet-wide CPU totals.
+	DemandCores    float64
+	DeliveredCores float64
+	// ActiveHosts counts hosts able to serve.
+	ActiveHosts int
+	// StrandedVMs and PendingVMs are the unhealthy/unplaced counts.
+	StrandedVMs int
+	PendingVMs  int
+}
+
+// OnProgress registers fn to observe every evaluation tick. Observers
+// chain — the scenario assertion engine and any number of progress
+// listeners coexist — and registering one schedules no events and
+// consumes no randomness, so an observed run stays byte-identical to
+// an unobserved one. fn runs on the simulation goroutine: it must not
+// block, and it must not call back into the session.
+func (se *Session) OnProgress(fn func(Progress)) {
+	se.cl.OnTick(func(ts cluster.TickStats) {
+		fn(Progress{
+			At:             time.Duration(ts.Now),
+			PowerW:         ts.PowerW,
+			DemandCores:    ts.Demand,
+			DeliveredCores: ts.Delivered,
+			ActiveHosts:    ts.Active,
+			StrandedVMs:    ts.Stranded,
+			PendingVMs:     ts.Pending,
+		})
+	})
+}
+
 // CheckInvariants verifies structural consistency (for tests and
 // debugging).
 func (se *Session) CheckInvariants() error { return se.cl.CheckInvariants() }

@@ -1,0 +1,12 @@
+package agilepower
+
+// CodeVersion identifies the simulator's behavior for content
+// addressing. Every run here is a deterministic function of (scenario,
+// seed, code); the simulation service keys its result cache on all
+// three, so cached bytes can be returned forever without a staleness
+// check — as long as this string changes whenever the simulator's
+// output could. Bump it in any PR that changes result bytes (new
+// policies, report fields, accounting fixes); leave it alone for
+// wall-clock-only work, which is byte-identical by construction and
+// gated as such in CI.
+const CodeVersion = "agilepower-sim/10"
